@@ -1,0 +1,39 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The session fixture runs the complete study (compile, synthesize,
+translate, simulate all four configurations for every benchmark) once;
+results are cached on disk under ``.bench_cache/``, so subsequent
+benchmark sessions only re-render figures.
+
+Set ``REPRO_BENCH_SCALE=small`` for a quick pass.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.harness import collect
+
+
+@pytest.fixture(scope="session")
+def data():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "full")
+    return collect(scale=scale, verbose=True)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def emit(results_dir, table):
+    """Write the rendered figure table to benchmarks/results/ and stdout."""
+    name = table.figure.lower().replace(" ", "")
+    path = os.path.join(results_dir, "%s.txt" % name)
+    text = table.render()
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    sys.stdout.write("\n" + text + "\n")

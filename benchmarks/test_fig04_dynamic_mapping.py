@@ -1,0 +1,11 @@
+"""Figure 4: ARM-to-FITS dynamic mapping rate per benchmark (~98 % avg)."""
+
+from repro.harness import FIGURES
+from conftest import emit
+
+
+def test_fig04_dynamic_mapping(benchmark, data, results_dir):
+    table = benchmark(FIGURES["fig4"], data)
+    emit(results_dir, table)
+    assert table.average("dynamic%") > 90.0
+    assert all(v[0] > 60.0 for _b, v in table.rows)

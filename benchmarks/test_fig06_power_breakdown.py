@@ -1,0 +1,28 @@
+"""Figure 6: I-cache power breakdown per configuration.
+
+Paper's qualitative anchors (Section 6.3.1): dynamic power dominates;
+internal power is more than half of total cache power in all four
+schemes; halving the cache raises the switching share and lowers the
+internal share; FITS at equal size shows a *lower* switching share than
+ARM.
+"""
+
+from repro.harness import FIGURES
+from conftest import emit
+
+
+def test_fig06_power_breakdown(benchmark, data, results_dir):
+    table = benchmark(FIGURES["fig6"], data)
+    emit(results_dir, table)
+    a16_sw = table.average("A16.sw")
+    a16_int = table.average("A16.int")
+    a16_lk = table.average("A16.lk")
+    # dynamic dominates, internal > half
+    assert a16_sw + a16_int > 70.0
+    assert a16_int > 45.0
+    assert 5.0 < a16_lk < 30.0
+    # halving the cache raises the switching share
+    assert table.average("A8.sw") > a16_sw
+    # FITS at equal size has a lower switching share than ARM
+    assert table.average("F16.sw") < a16_sw
+    assert table.average("F8.sw") < table.average("A8.sw")

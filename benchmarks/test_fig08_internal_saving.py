@@ -1,0 +1,19 @@
+"""Figure 8: I-cache internal power saving.
+
+Paper's shape: internal power scales with cache size, so the two
+half-sized caches (ARM8, FITS8) both save substantially; FITS16 is
+size-bound and saves little.
+"""
+
+from repro.harness import FIGURES
+from conftest import emit
+
+
+def test_fig08_internal_saving(benchmark, data, results_dir):
+    table = benchmark(FIGURES["fig8"], data)
+    emit(results_dir, table)
+    assert table.average("ARM8") > 25.0
+    assert table.average("FITS8") > 30.0
+    assert table.average("FITS16") < table.average("FITS8") - 20.0
+    # FITS8 never loses to ARM8 by much (its extra accesses are halved)
+    assert table.average("FITS8") > table.average("ARM8") - 5.0

@@ -1,0 +1,24 @@
+"""Figure 9: I-cache leakage power saving.
+
+Paper's shape: leakage follows gate count — half-sized caches save
+about half — but longer operational periods erode the saving (the paper
+notes exceptions where ARM8's miss-inflated runtime gives FITS the
+edge; in our flow the erosion also shows on FITS16 where translation
+overhead stretches runtime).
+"""
+
+from repro.harness import FIGURES
+from conftest import emit
+
+
+def test_fig09_leakage_saving(benchmark, data, results_dir):
+    table = benchmark(FIGURES["fig9"], data)
+    emit(results_dir, table)
+    assert table.average("ARM8") > 35.0
+    assert table.average("FITS8") > 35.0
+    # the full-size FITS16 cache leaks the same gates — no real saving
+    assert table.average("FITS16") < 15.0
+    # runtime erosion: at least one benchmark where ARM8 saves clearly
+    # less than the nominal 50 %
+    arm8 = table.column("ARM8")
+    assert min(arm8.values()) < 45.0

@@ -1,0 +1,19 @@
+"""Figure 10: I-cache peak power saving.
+
+Paper's ordering: FITS8 (63 %) > FITS16 (46 %) > ARM8 (31 %) — peak
+power mixes both effects, so FITS wins on the fetch side (one bus word
+per two instructions) and halving the cache wins on the array side;
+FITS8 collects both.
+"""
+
+from repro.harness import FIGURES
+from conftest import emit
+
+
+def test_fig10_peak_saving(benchmark, data, results_dir):
+    table = benchmark(FIGURES["fig10"], data)
+    emit(results_dir, table)
+    arm8 = table.average("ARM8")
+    fits16 = table.average("FITS16")
+    fits8 = table.average("FITS8")
+    assert fits8 > fits16 > arm8 > 5.0, (arm8, fits16, fits8)

@@ -1,0 +1,21 @@
+"""Figure 11: total I-cache power saving.
+
+Paper's ordering: FITS8 (47 %) > ARM8 (27 %) > FITS16 (18 %) — the
+combination of halved accesses and a halved array beats either alone,
+and simply halving the ARM cache beats FITS16 because internal+leakage
+(size-bound) outweigh switching (access-bound).
+"""
+
+from repro.harness import FIGURES
+from conftest import emit
+
+
+def test_fig11_total_cache_saving(benchmark, data, results_dir):
+    table = benchmark(FIGURES["fig11"], data)
+    emit(results_dir, table)
+    arm8 = table.average("ARM8")
+    fits16 = table.average("FITS16")
+    fits8 = table.average("FITS8")
+    assert fits8 > arm8 > fits16, (arm8, fits16, fits8)
+    assert fits8 > 30.0
+    assert arm8 > 20.0

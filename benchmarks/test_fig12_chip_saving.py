@@ -1,0 +1,19 @@
+"""Figure 12: total chip power saving (StrongARM-style dilution).
+
+Paper: 15 % FITS8, 8 % ARM8, 7 % FITS16 — the I-cache is 27 % of chip
+power, so cache savings dilute accordingly, with FITS also trimming the
+fetch/decode slice of the core.
+"""
+
+from repro.harness import FIGURES
+from conftest import emit
+
+
+def test_fig12_chip_saving(benchmark, data, results_dir):
+    table = benchmark(FIGURES["fig12"], data)
+    emit(results_dir, table)
+    assert table.average("ARM8") > 5.0
+    assert table.average("FITS8") > 5.0
+    # chip savings are a diluted version of the cache savings
+    assert table.average("FITS8") < 30.0
+    assert table.average("ARM8") < 20.0

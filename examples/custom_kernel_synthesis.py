@@ -1,0 +1,65 @@
+"""Synthesize a FITS instruction set for your own kernel.
+
+Shows the library as a downstream user would adopt it: write a kernel
+against the IR builder, link the runtime library, and hand the module to
+the FITS flow.  The printed decoder configuration — opcode table,
+register renaming, immediate dictionaries — is the artifact a FITS
+processor would have downloaded into its programmable decoders.
+
+Run:  python examples/custom_kernel_synthesis.py
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global, Module, Width
+from repro.workloads.runtime import runtime_module
+from repro import compile_arm, fits_flow
+
+
+def build_kernel():
+    """A small image-delta kernel: sum of absolute byte differences."""
+    m = Module("sad_kernel")
+    n = 4096
+    import struct
+
+    data_a = bytes((7 * i + 3) & 0xFF for i in range(n))
+    data_b = bytes((5 * i + 11) & 0xFF for i in range(n))
+    m.add_global(Global("img_a", data=data_a))
+    m.add_global(Global("img_b", data=data_b))
+
+    b = FunctionBuilder(m, "main", [])
+    pa = b.ga("img_a")
+    pb = b.ga("img_b")
+    total = b.li(0)
+    with b.for_range(0, n) as i:
+        va = b.load(pa, i, Width.BYTE)
+        vb = b.load(pb, i, Width.BYTE)
+        d = b.sub(va, vb)
+        with b.if_then(Cond.LT, d, 0):
+            b.rsb(d, 0, dst=d)
+        b.add(total, d, dst=total)
+    b.ret(total)
+    m.merge(runtime_module(), allow_duplicates=True)
+    return m
+
+
+def main():
+    module = build_kernel()
+    arm = compile_arm(module)
+    flow = fits_flow(module)
+
+    print("ARM code: %d bytes; FITS code: %d bytes (%.0f%%)"
+          % (arm.code_size, flow.fits_image.code_size,
+             100 * flow.fits_image.code_size / arm.code_size))
+    print("mapping: %.1f%% static / %.1f%% dynamic\n"
+          % (100 * flow.static_mapping, 100 * flow.dynamic_mapping))
+
+    print("synthesized decoder configuration:")
+    print(flow.isa.describe())
+    print("\noperate dictionary:", [hex(v) for v in flow.isa.dicts["operate"][:16]])
+    print("memory dictionary:  ", flow.isa.dicts["mem"][:16])
+    print("decoder storage: %.1f Kbit" % (flow.isa.decoder_storage_bits() / 1024))
+    print("\nexpansion histogram (FITS instrs per ARM instr):",
+          flow.fits_image.expansion_histogram())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Miniature of the paper's full power study (Figures 6-12) on a few
+benchmarks, printed as one table per component.
+
+Run:  python examples/power_study.py [scale]
+"""
+
+import sys
+
+from repro.harness import collect, FIGURES
+
+BENCHES = ["crc32", "sha", "dijkstra", "rijndael", "gsm"]
+
+
+def main():
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    data = collect(scale=scale, names=BENCHES, verbose=True)
+    for key in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"):
+        print()
+        print(FIGURES[key](data).render())
+
+
+if __name__ == "__main__":
+    main()

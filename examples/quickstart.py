@@ -1,0 +1,68 @@
+"""Quickstart: run the whole PowerFITS pipeline on one benchmark.
+
+Compiles the crc32 workload to ARM, runs the FITS flow (profile →
+synthesize → translate → execute), simulates the paper's four processor
+configurations, and prints the headline numbers.
+
+Run:  python examples/quickstart.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro import (
+    CacheGeometry,
+    CachePowerModel,
+    ArmSimulator,
+    compile_arm,
+    compile_thumb,
+    fits_flow,
+    get_workload,
+    simulate_timing,
+)
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "crc32"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+    wl = get_workload(name)
+    print("benchmark: %s (%s, %s scale)" % (wl.name, wl.category, scale))
+
+    # baseline ARM compile + run
+    arm = compile_arm(wl.build_module(scale))
+    arm_result = ArmSimulator(arm).run()
+    assert arm_result.exit_code == wl.reference(scale), "checksum mismatch"
+    print("ARM   : %6d bytes, %9d instructions executed"
+          % (arm.code_size, arm_result.dynamic_instructions))
+
+    # Thumb comparator
+    thumb = compile_thumb(wl.build_module(scale))
+    print("THUMB : %6d bytes (%.0f%% of ARM)"
+          % (thumb.code_size, 100 * thumb.code_size / arm.code_size))
+
+    # the FITS flow: profile → synthesize → translate → execute
+    flow = fits_flow(wl.build_module(scale))
+    print("FITS  : %6d bytes (%.0f%% of ARM), ISA k_op=%d k_reg=%d (%d opcodes)"
+          % (flow.fits_image.code_size,
+             100 * flow.fits_image.code_size / arm.code_size,
+             flow.isa.k_op, flow.isa.k_reg, len(flow.isa.opcode_table)))
+    print("mapping: %.1f%% static / %.1f%% dynamic one-to-one"
+          % (100 * flow.static_mapping, 100 * flow.dynamic_mapping))
+
+    # the paper's four configurations
+    results = {"arm": arm_result, "fits": flow.fits_result}
+    base = None
+    print("\n%-8s %8s %8s %10s %10s" % ("config", "IPC", "miss/M", "cache W", "saving"))
+    for label, isa, size in [("ARM16", "arm", 16384), ("ARM8", "arm", 8192),
+                             ("FITS16", "fits", 16384), ("FITS8", "fits", 8192)]:
+        timing = simulate_timing(results[isa], size)
+        power = CachePowerModel(CacheGeometry(size)).evaluate(timing)
+        if base is None:
+            base = power.energy_j
+        saving = 100 * (1 - power.energy_j / base)
+        print("%-8s %8.2f %8.1f %10.3f %9.1f%%"
+              % (label, timing.ipc, timing.icache_misses_per_million,
+                 power.total_w, saving))
+
+
+if __name__ == "__main__":
+    main()

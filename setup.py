@@ -1,0 +1,5 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel`` package,
+so PEP 517 editable installs fail; plain ``setup.py develop`` works."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""PowerFITS reproduction.
+
+A from-scratch implementation of *PowerFITS: Reduce Dynamic and Static
+I-Cache Power Using Application Specific Instruction Set Synthesis*
+(Cheng, Tyson, Mudge; ISPASS 2005): a mini compiler with ARM-like and
+Thumb-like back ends, the FITS instruction-set synthesizer and ARM→FITS
+translator, functional and timing simulators, a sim-panalyzer-style
+cache power model, 22 MiBench-like workloads, and a harness regenerating
+every figure in the paper's evaluation.
+
+Quick start::
+
+    from repro import get_workload, compile_arm, fits_flow
+
+    wl = get_workload("crc32")
+    arm = compile_arm(wl.build_module("small"))
+    flow = fits_flow(wl.build_module("small"))
+    print(flow.static_mapping, flow.fits_image.code_size / arm.code_size)
+
+See ``examples/`` and ``benchmarks/`` for the full experiment flow.
+"""
+
+from repro.compiler import compile_arm, compile_thumb, Image
+from repro.sim.functional import ArmSimulator
+from repro.sim.functional.thumb_sim import ThumbSimulator
+from repro.sim.functional.fits_sim import FitsSimulator
+from repro.sim.pipeline import TimingConfig, simulate_timing
+from repro.sim.cache import CacheGeometry, SetAssociativeCache
+from repro.power import CachePowerModel, ChipPowerModel, TechnologyParams
+from repro.core import ArmProfile, synthesize, translate, SynthesisConfig
+from repro.core.flow import fits_flow, FitsFlowResult
+from repro.workloads import get_workload, workload_names, all_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_arm",
+    "compile_thumb",
+    "Image",
+    "ArmSimulator",
+    "ThumbSimulator",
+    "FitsSimulator",
+    "TimingConfig",
+    "simulate_timing",
+    "CacheGeometry",
+    "SetAssociativeCache",
+    "CachePowerModel",
+    "ChipPowerModel",
+    "TechnologyParams",
+    "ArmProfile",
+    "synthesize",
+    "translate",
+    "SynthesisConfig",
+    "fits_flow",
+    "FitsFlowResult",
+    "get_workload",
+    "workload_names",
+    "all_workloads",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""The mini compiler: IR → linked machine-code images.
+
+Pipeline::
+
+    Module (repro.ir)
+      → liveness + linear-scan register allocation (per function)
+      → instruction selection (ARM or Thumb back end)
+      → link (lay out code and data, resolve branches and globals)
+      → Image (consumed by the simulators, profiler and translator)
+
+The back ends face the same encoding constraints as real tool chains —
+rotated immediates on ARM, low-register/two-address forms on Thumb — so
+the code-size and field-usage statistics the FITS synthesizer feeds on
+are earned, not assumed.
+"""
+
+from repro.compiler.regalloc import allocate_registers, Allocation
+from repro.compiler.arm_backend import compile_function_arm
+from repro.compiler.link import link_arm, Image
+from repro.compiler.pipeline import compile_arm, compile_thumb
+
+__all__ = [
+    "allocate_registers",
+    "Allocation",
+    "compile_function_arm",
+    "link_arm",
+    "Image",
+    "compile_arm",
+    "compile_thumb",
+]

@@ -1,0 +1,80 @@
+"""Block-level liveness analysis over IR virtual registers."""
+
+from repro.ir.instructions import Call
+
+
+class LivenessInfo:
+    """Result of :func:`analyze`: per-block live-in/out plus positions.
+
+    Positions are global instruction indices over the function's blocks
+    in layout order; they are what the register allocator builds live
+    intervals from.
+    """
+
+    def __init__(self, func):
+        self.func = func
+        self.block_range = {}  # label -> (first_index, last_index)
+        self.live_in = {}
+        self.live_out = {}
+        self.call_positions = []
+        index = 0
+        for blk in func.blocks:
+            first = index
+            for ins in blk.instrs:
+                if isinstance(ins, Call):
+                    self.call_positions.append(index)
+                index += 1
+            self.block_range[blk.label] = (first, index - 1)
+        self.num_positions = index
+
+
+def _block_use_def(block):
+    use = set()
+    defined = set()
+    for ins in block.instrs:
+        for v in ins.uses():
+            if v.id not in defined:
+                use.add(v.id)
+        for v in ins.defs():
+            defined.add(v.id)
+    return use, defined
+
+
+def analyze(func):
+    """Compute liveness for ``func``; returns a :class:`LivenessInfo`.
+
+    Raises ``ValueError`` if a non-argument virtual register can be read
+    before any definition reaches it (live into the entry block) — the
+    most common hand-built-IR bug.
+    """
+    info = LivenessInfo(func)
+    use = {}
+    defined = {}
+    for blk in func.blocks:
+        use[blk.label], defined[blk.label] = _block_use_def(blk)
+        info.live_in[blk.label] = set()
+        info.live_out[blk.label] = set()
+
+    changed = True
+    order = [blk.label for blk in reversed(func.blocks)]
+    succs = {blk.label: blk.successors() for blk in func.blocks}
+    while changed:
+        changed = False
+        for label in order:
+            out = set()
+            for s in succs[label]:
+                out |= info.live_in[s]
+            new_in = use[label] | (out - defined[label])
+            if out != info.live_out[label] or new_in != info.live_in[label]:
+                info.live_out[label] = out
+                info.live_in[label] = new_in
+                changed = True
+
+    arg_ids = set(range(func.num_args))
+    undefined = info.live_in[func.blocks[0].label] - arg_ids
+    if undefined:
+        raise ValueError(
+            "@%s: virtual registers used before definition: %s"
+            % (func.name, sorted(undefined))
+        )
+    return info

@@ -1,0 +1,29 @@
+"""One-call compile entry points for the two baseline ISAs."""
+
+from repro.compiler.link import link_arm
+
+
+#: Callee-saved pool of the FITS-aware compilation mode: r0-r6 plus the
+#: scratch r12 are the eight registers that appear in register fields at
+#: any frequency (sp/lr/pc are reached through dedicated FITS formats;
+#: the lr scratch only shows up in spill sequences, which this budget
+#: keeps rare), so a 3-bit register index covers the hot file.
+FITS_CALLEE_SAVED = (4, 5, 6)
+
+
+def compile_arm(module, entry="main", fits_tuned=False):
+    """Compile and link ``module`` to an ARM :class:`~repro.compiler.link.Image`.
+
+    With ``fits_tuned`` the register allocator is restricted to the FITS
+    register budget (the paper's compiler trades register-file size
+    against spill frequency during synthesis).
+    """
+    callee = FITS_CALLEE_SAVED if fits_tuned else None
+    return link_arm(module, entry=entry, callee_saved=callee)
+
+
+def compile_thumb(module, entry="main"):
+    """Compile and link ``module`` to a Thumb image (16-bit baseline)."""
+    from repro.compiler.thumb_backend import link_thumb
+
+    return link_thumb(module, entry=entry)

@@ -1,0 +1,25 @@
+"""The paper's contribution: FITS instruction-set synthesis.
+
+Flow (paper Figure 1): **profile** an ARM execution
+(:class:`~repro.core.profiler.ArmProfile`), **synthesize** a 16-bit
+instruction set matched to it (:func:`~repro.core.synthesizer.synthesize`),
+**compile/translate** the ARM binary into the synthesized encoding
+(:func:`~repro.core.translator.translate`), **configure** the
+programmable decoder (the resulting :class:`~repro.isa.fits.FitsIsa`
+*is* the decoder configuration) and **execute** on the FITS functional
+simulator.
+"""
+
+from repro.core.profiler import ArmProfile
+from repro.core.synthesizer import synthesize, SynthesisConfig, SynthesisResult
+from repro.core.translator import translate, FitsImage, TranslationError
+
+__all__ = [
+    "ArmProfile",
+    "synthesize",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "translate",
+    "FitsImage",
+    "TranslationError",
+]

@@ -1,0 +1,69 @@
+"""Immediate-dictionary synthesis (paper Section 3.3).
+
+FITS stores the most frequently used immediates that do not fit their
+instruction's raw field in programmable storage, replacing the field
+with an index.  Dictionaries are per category (operate immediates and
+memory displacements) and ordered by utilization, so an opcode whose
+index field is only ``w`` bits wide can still reach the hottest ``2^w``
+entries.
+"""
+
+
+def raw_operate_ok(value, width):
+    """Does a 32-bit operate immediate fit a raw zero-extended field?"""
+    return 0 <= value < (1 << width)
+
+
+def raw_mem_ok(offset, width_bytes, field_width):
+    """Does a displacement fit the raw scaled unsigned field?"""
+    if offset < 0 or offset % width_bytes:
+        return False
+    return (offset // width_bytes) < (1 << field_width)
+
+
+def build_dictionaries(profile, isa_geom, budgets, dyn_weight):
+    """Choose dictionary contents for each immediate category.
+
+    Args:
+        profile: :class:`~repro.core.profiler.ArmProfile`.
+        isa_geom: object with ``oprd_width`` and ``operate2_width``
+            (candidate geometry; dictionaries only admit values that the
+            widest raw field could not hold).
+        budgets: category → max entries.
+        dyn_weight: weight of one dynamic occurrence relative to one
+            static occurrence when ranking.
+
+    Returns:
+        category → ordered list of values (hottest first).
+    """
+    dicts = {}
+
+    # operate immediates: admitted when the *narrow* (three-operand) raw
+    # field cannot hold them — dictionary slots then serve shift amounts
+    # and small constants for narrow forms as well as large constants for
+    # the wide forms, ranked by utilization
+    weights = {}
+    for value, count in profile.imm_static["operate"].items():
+        if raw_operate_ok(value, isa_geom.oprd_width):
+            continue
+        weights[value] = weights.get(value, 0.0) + count
+    for value, count in profile.imm_dynamic["operate"].items():
+        if value in weights:
+            weights[value] += dyn_weight * count
+    ranked = sorted(weights, key=lambda v: weights[v], reverse=True)
+    dicts["operate"] = ranked[: budgets.get("operate", 0)]
+
+    # memory displacements: helped if the word-scaled raw field misses
+    # them (negative, unaligned, or too large)
+    weights = {}
+    for value, count in profile.imm_static["mem"].items():
+        if raw_mem_ok(value, 4, isa_geom.oprd_width) and value % 4 == 0:
+            continue
+        weights[value] = weights.get(value, 0.0) + count
+    for value, count in profile.imm_dynamic["mem"].items():
+        if value in weights:
+            weights[value] += dyn_weight * count
+    ranked = sorted(weights, key=lambda v: weights[v], reverse=True)
+    dicts["mem"] = ranked[: budgets.get("mem", 0)]
+
+    return dicts

@@ -1,0 +1,181 @@
+"""Classify ARM instructions into FITS operation signatures.
+
+A *signature* names an operation the synthesized decoder could implement
+as one opcode: the semantic class plus everything baked into the decoder
+entry (ALU op, condition, access width, shift type, register list), but
+*not* the per-instance operands (registers, immediate values).  The
+synthesizer allocates opcodes to signatures; the translator then maps
+each ARM instruction through its signature's available encodings.
+"""
+
+from repro.isa.arm.model import (
+    Branch,
+    Cond,
+    DPOp,
+    DataProc,
+    MemHalf,
+    MemMultiple,
+    MemWord,
+    Multiply,
+    Operand2Imm,
+    Operand2Reg,
+    Operand2RegReg,
+    ShiftType,
+    Swi,
+    COMPARE_OPS,
+)
+
+SP = 13
+LR = 14
+PC = 15
+
+
+class Use:
+    """One ARM instruction's classification.
+
+    Attributes:
+        sig: the signature tuple (see module docstring).
+        regs: role → ARM register number (roles: rc, ra, oprd / rd, rb).
+        imm: immediate value (32-bit) or None.
+        imm_category: "operate" or "mem" when ``imm`` is set.
+        two_op: for dp3-imm uses, whether rd == rn (two-operand shape).
+        sp_base: for memory uses, whether the base register is sp.
+        target_arm_index: for branches, the static index of the target.
+    """
+
+    __slots__ = ("sig", "regs", "imm", "imm_category", "two_op", "sp_base", "target_arm_index")
+
+    def __init__(self, sig, regs=None, imm=None, imm_category=None, two_op=False, sp_base=False):
+        self.sig = sig
+        self.regs = dict(regs or {})
+        self.imm = imm
+        self.imm_category = imm_category
+        self.two_op = two_op
+        self.sp_base = sp_base
+        self.target_arm_index = None
+
+    def __repr__(self):
+        return "<Use %r regs=%r imm=%r>" % (self.sig, self.regs, self.imm)
+
+
+class UnsupportedInstruction(Exception):
+    """An ARM instruction outside what the translator can map."""
+
+
+def classify(instr, index=None, image=None):
+    """Classify one decoded ARM instruction into a :class:`Use`.
+
+    ``index``/``image`` resolve branch targets to static indices.
+    """
+    if isinstance(instr, DataProc):
+        return _classify_dataproc(instr)
+    if isinstance(instr, Multiply):
+        if instr.accumulate:
+            raise UnsupportedInstruction("MLA has no 16-bit mapping: %r" % instr)
+        return Use(("mul",), regs={"rc": instr.rd, "ra": instr.rm, "oprd": instr.rs})
+    if isinstance(instr, MemWord):
+        return _classify_mem(
+            instr, width=1 if instr.byte else 4, signed=False, load=instr.load
+        )
+    if isinstance(instr, MemHalf):
+        width = 2 if instr.half else 1
+        return _classify_mem(instr, width=width, signed=instr.signed, load=instr.load)
+    if isinstance(instr, MemMultiple):
+        if instr.rn != SP:
+            raise UnsupportedInstruction("block transfer off a non-sp base: %r" % instr)
+        kind = "ldm" if instr.load else "stm"
+        return Use((kind, tuple(instr.reglist)))
+    if isinstance(instr, Branch):
+        if instr.link:
+            if instr.cond is not Cond.AL:
+                raise UnsupportedInstruction("conditional BL unsupported: %r" % instr)
+            use = Use(("bl",))
+        else:
+            use = Use(("b", instr.cond))
+        if index is not None and image is not None:
+            target = instr.target(image.addr_of_index(index))
+            use.target_arm_index = image.index_of_addr(target)
+        return use
+    if isinstance(instr, Swi):
+        return Use(("swi",), imm=instr.imm24)
+    raise UnsupportedInstruction("cannot classify %r" % (instr,))
+
+
+def _classify_dataproc(instr):
+    op = instr.op
+    op2 = instr.operand2
+
+    if op in COMPARE_OPS:
+        if isinstance(op2, Operand2Imm):
+            return Use(("cmp2", op, "imm"), regs={"ra": instr.rn}, imm=op2.value,
+                       imm_category="operate")
+        if isinstance(op2, Operand2Reg) and op2.shift_imm == 0:
+            return Use(("cmp2", op, "reg"), regs={"ra": instr.rn, "oprd": op2.rm})
+        raise UnsupportedInstruction("shifted compare: %r" % instr)
+
+    if op is DPOp.MOV:
+        if instr.rd == PC:
+            if isinstance(op2, Operand2Reg) and op2.rm == LR and op2.shift_imm == 0:
+                return Use(("ret",))
+            raise UnsupportedInstruction("computed pc write: %r" % instr)
+        if isinstance(op2, Operand2Imm):
+            return Use(("movi",), regs={"rc": instr.rd}, imm=op2.value, imm_category="operate")
+        if isinstance(op2, Operand2Reg):
+            if op2.shift_imm == 0 and op2.shift_type in (ShiftType.LSL,):
+                return Use(("mov2",), regs={"rc": instr.rd, "ra": op2.rm})
+            if op2.shift_imm == 0:
+                raise UnsupportedInstruction("shift-by-32 form: %r" % instr)
+            return Use(
+                ("shifti", op2.shift_type),
+                regs={"rc": instr.rd, "ra": op2.rm},
+                imm=op2.shift_imm,
+                imm_category="operate",
+            )
+        if isinstance(op2, Operand2RegReg):
+            return Use(
+                ("shiftr", op2.shift_type),
+                regs={"rc": instr.rd, "ra": op2.rm, "oprd": op2.rs},
+            )
+
+    if op is DPOp.MVN:
+        if isinstance(op2, Operand2Imm):
+            return Use(("mvni",), regs={"rc": instr.rd}, imm=op2.value, imm_category="operate")
+        raise UnsupportedInstruction("register MVN: %r" % instr)
+
+    # plain three-address data processing
+    if isinstance(op2, Operand2Imm):
+        if instr.rd == SP and instr.rn == SP and op in (DPOp.ADD, DPOp.SUB):
+            return Use(("spadj", op is DPOp.SUB), imm=op2.value, imm_category="operate")
+        return Use(
+            ("dp3", op, "imm"),
+            regs={"rc": instr.rd, "ra": instr.rn},
+            imm=op2.value,
+            imm_category="operate",
+            two_op=(instr.rd == instr.rn),
+        )
+    if isinstance(op2, Operand2Reg):
+        if op2.shift_imm != 0:
+            raise UnsupportedInstruction("shifted dp operand: %r" % instr)
+        return Use(
+            ("dp3", op, "reg"),
+            regs={"rc": instr.rd, "ra": instr.rn, "oprd": op2.rm},
+        )
+    raise UnsupportedInstruction("register-shift dp operand: %r" % instr)
+
+
+def _classify_mem(instr, width, signed, load):
+    if isinstance(getattr(instr, "offset", 0), Operand2Reg):
+        off = instr.offset
+        return Use(
+            ("memr", load, width, signed, off.shift_imm),
+            regs={"rd": instr.rd, "rb": instr.rn, "oprd": off.rm},
+            sp_base=(instr.rn == SP),
+        )
+    return Use(
+        ("mem", load, width, signed),
+        regs={"rd": instr.rd, "rb": instr.rn},
+        imm=instr.offset,
+        imm_category="mem",
+        two_op=False,
+        sp_base=(instr.rn == SP),
+    )

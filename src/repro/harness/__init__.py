@@ -1,0 +1,26 @@
+"""Experiment harness: regenerate every figure of the paper's evaluation.
+
+The heavy lifting — compile, profile, synthesize, translate, simulate
+all four processor configurations — happens once per benchmark in
+:mod:`repro.harness.runner` and is cached on disk as JSON summaries;
+the figure functions in :mod:`repro.harness.figures` are cheap
+post-processing over those summaries.
+
+Usage::
+
+    from repro.harness import collect, FIGURES
+    data = collect(scale="full")        # cached after the first run
+    print(FIGURES["fig7"](data).render())
+"""
+
+from repro.harness.runner import BenchmarkSummary, collect, run_benchmark, CONFIGS
+from repro.harness.figures import FIGURES, FigureTable
+
+__all__ = [
+    "BenchmarkSummary",
+    "collect",
+    "run_benchmark",
+    "CONFIGS",
+    "FIGURES",
+    "FigureTable",
+]

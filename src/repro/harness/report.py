@@ -1,0 +1,123 @@
+"""Generate EXPERIMENTS.md: paper-reported vs measured, figure by figure.
+
+Run:  python -m repro.harness.report [scale] [output-path]
+"""
+
+import sys
+import datetime
+
+from repro.harness.runner import collect
+from repro.harness.figures import FIGURES
+
+#: (figure key, paper headline, which measured summary values to quote)
+PAPER_VS_MEASURED = [
+    ("fig3", "96 % average static mapping",
+     lambda t: "%.1f %% average static mapping" % t.average("static%")),
+    ("fig4", "98 % average dynamic mapping",
+     lambda t: "%.1f %% average dynamic mapping" % t.average("dynamic%")),
+    ("fig5", "THUMB ≈ 67, FITS ≈ 53 (normalized, ARM = 100)",
+     lambda t: "THUMB ≈ %.1f, FITS ≈ %.1f" % (t.average("THUMB"), t.average("FITS"))),
+    ("fig6", "internal > 50 % of cache power in all four schemes",
+     lambda t: "ARM16 breakdown %.0f/%.0f/%.0f (sw/int/lk); internal stays dominant"
+     % (t.average("A16.sw"), t.average("A16.int"), t.average("A16.lk"))),
+    ("fig7", "switching saving ≈50 % FITS16/FITS8, ≈0 % ARM8 (abstract: 49.4 %)",
+     lambda t: "ARM8 %.1f %%, FITS16 %.1f %%, FITS8 %.1f %%"
+     % (t.average("ARM8"), t.average("FITS16"), t.average("FITS8"))),
+    ("fig8", "internal saving: both half-size caches substantial (abstract: 43.9 %)",
+     lambda t: "ARM8 %.1f %%, FITS16 %.1f %%, FITS8 %.1f %%"
+     % (t.average("ARM8"), t.average("FITS16"), t.average("FITS8"))),
+    ("fig9", "leakage saving ≈50 % for half-size, eroded by runtime (abstract: 14.9 %)",
+     lambda t: "ARM8 %.1f %%, FITS16 %.1f %%, FITS8 %.1f %%"
+     % (t.average("ARM8"), t.average("FITS16"), t.average("FITS8"))),
+    ("fig10", "peak saving 31 % ARM8 < 46 % FITS16 < 63 % FITS8",
+     lambda t: "ARM8 %.1f %% < FITS16 %.1f %% < FITS8 %.1f %%"
+     % (t.average("ARM8"), t.average("FITS16"), t.average("FITS8"))),
+    ("fig11", "total cache saving 18 % FITS16 < 27 % ARM8 < 47 % FITS8",
+     lambda t: "FITS16 %.1f %% < ARM8 %.1f %% < FITS8 %.1f %%"
+     % (t.average("FITS16"), t.average("ARM8"), t.average("FITS8"))),
+    ("fig12", "chip saving 7 % FITS16, 8 % ARM8, 15 % FITS8",
+     lambda t: "FITS16 %.1f %%, ARM8 %.1f %%, FITS8 %.1f %%"
+     % (t.average("FITS16"), t.average("ARM8"), t.average("FITS8"))),
+    ("fig13", "FITS8 misses ≤ ARM16; ARM8 blows up on big footprints",
+     lambda t: "avg miss/M: ARM16 %.1f, ARM8 %.1f, FITS16 %.1f, FITS8 %.1f"
+     % (t.average("ARM16"), t.average("ARM8"), t.average("FITS16"), t.average("FITS8"))),
+    ("fig14", "IPC satisfactory everywhere; FITS8 ≈ ARM16",
+     lambda t: "avg IPC: ARM16 %.2f, ARM8 %.2f, FITS16 %.2f, FITS8 %.2f"
+     % (t.average("ARM16"), t.average("ARM8"), t.average("FITS16"), t.average("FITS8"))),
+]
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Regenerated with ``python -m repro.harness.report`` (scale: {scale};
+{count} benchmarks; all checksums validated on ARM, Thumb and FITS).
+
+Absolute numbers are not expected to match the paper — its substrate was
+SimpleScalar-ARM + sim-panalyzer on compiled MiBench C; ours is a
+from-scratch compiler and analytical simulator (see DESIGN.md).  What
+must hold, and is asserted by ``pytest benchmarks/``, is the *shape*:
+who wins, roughly by how much, and where the crossovers fall.
+
+## Summary
+
+| figure | paper reports | we measure |
+|---|---|---|
+{summary_rows}
+
+## Known divergences (and why)
+
+* **Figure 7 (switching).** The paper's switching saving is ≈50 % —
+  exactly the fetch-access ratio, i.e. a constant activity factor per
+  access.  We drive the output bus with the *real Hamming activity* of
+  the fetched encodings; dense 16-bit FITS encodings toggle more bits
+  per word, so our saving (≈33 %) sits below the access-ratio bound.
+  The access-bound component of our model reproduces the paper's
+  size-independence signature (FITS16 ≈ FITS8, ARM8 ≈ 0).
+* **FITS16 internal/leakage (Figures 8, 9).** Our FITS binaries execute
+  ~15 % more instructions than ARM (register-budget spills plus 1-to-n
+  expansions), so the always-on components accrue over a longer run and
+  FITS16's saving goes slightly negative.  The paper reports
+  "insignificant" time differences; its compiler targeted the native
+  datapath directly rather than translating a restricted-register
+  compile.  The ordering the paper emphasizes (FITS8 > ARM8 > FITS16)
+  is preserved.
+* **Figure 12 (chip).** Reported on the paper's power basis.  The same
+  runtime overhead dilutes FITS chip savings relative to the paper's
+  15 %.
+* **Peak magnitudes (Figure 10)** are compressed (ours ≈17/33/50 vs the
+  paper's 31/46/63) because our analytic peak is a single worst-cycle
+  bound rather than a measured per-cycle maximum; the ordering and the
+  FITS16-beats-ARM8 inversion match.
+
+## Per-figure tables
+
+"""
+
+
+def generate(scale="full", names=None):
+    data = collect(scale=scale, names=names)
+    rows = []
+    tables = []
+    for key, paper, measure in PAPER_VS_MEASURED:
+        table = FIGURES[key](data)
+        rows.append("| %s | %s | %s |" % (table.figure, paper, measure(table)))
+        tables.append("```\n%s\n```" % table.render())
+    text = HEADER.format(
+        scale=scale,
+        count=len(data),
+        summary_rows="\n".join(rows),
+    )
+    text += "\n\n".join(tables) + "\n"
+    return text
+
+
+def main(argv):
+    scale = argv[1] if len(argv) > 1 else "full"
+    out = argv[2] if len(argv) > 2 else "EXPERIMENTS.md"
+    text = generate(scale=scale)
+    with open(out, "w") as fh:
+        fh.write(text)
+    print("wrote %s" % out)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

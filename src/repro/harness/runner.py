@@ -1,0 +1,168 @@
+"""Per-benchmark experiment runner with on-disk caching.
+
+For one benchmark, :func:`run_benchmark` produces everything the paper's
+figures consume:
+
+* ARM / Thumb / FITS code sizes and ARM→FITS mapping rates,
+* timing and cache-power results for the four simulated configurations
+  — ARM16, ARM8, FITS16, FITS8 (ISA × I-cache size, Section 5),
+* chip-level power per configuration (calibrated to the ARM16 baseline).
+
+Summaries are plain dicts cached as JSON under ``.bench_cache/`` so the
+figure scripts and pytest benchmarks never recompute a benchmark that
+has already been simulated at the same scale.
+"""
+
+import json
+import os
+
+from repro.compiler import compile_arm, compile_thumb
+from repro.sim.functional import ArmSimulator
+from repro.sim.functional.thumb_sim import ThumbSimulator
+from repro.sim.pipeline import simulate_timing
+from repro.sim.cache import CacheGeometry
+from repro.power import CachePowerModel, ChipPowerModel
+from repro.core.flow import fits_flow
+from repro.workloads import get_workload, POWER_STUDY_BENCHMARKS, CODE_SIZE_BENCHMARKS
+
+#: The paper's four processor configurations: (label, isa, i-cache bytes).
+CONFIGS = [
+    ("ARM16", "arm", 16 * 1024),
+    ("ARM8", "arm", 8 * 1024),
+    ("FITS16", "fits", 16 * 1024),
+    ("FITS8", "fits", 8 * 1024),
+]
+
+CACHE_VERSION = 7  # bump to invalidate cached summaries
+
+
+def _cache_dir():
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root is None:
+        root = os.path.join(os.getcwd(), ".bench_cache")
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+class BenchmarkSummary:
+    """JSON-serializable results for one benchmark at one scale."""
+
+    def __init__(self, data):
+        self.data = data
+
+    def __getitem__(self, key):
+        return self.data[key]
+
+    @property
+    def name(self):
+        return self.data["name"]
+
+    def config(self, label):
+        return self.data["configs"][label]
+
+    def saving(self, label, field, kind="energy"):
+        """Fractional saving of ``field`` vs. the ARM16 baseline."""
+        base = self.config("ARM16")[field]
+        value = self.config(label)[field]
+        if base == 0:
+            return 0.0
+        return 1.0 - value / base
+
+
+def run_benchmark(name, scale="full", verbose=False):
+    """Run the full study for one benchmark; returns a summary dict."""
+    wl = get_workload(name)
+    arm_image = compile_arm(wl.build_module(scale))
+    arm_result = ArmSimulator(arm_image).run()
+    if arm_result.exit_code != wl.reference(scale):
+        raise AssertionError("%s: ARM checksum mismatch" % name)
+
+    thumb_image = compile_thumb(wl.build_module(scale))
+    thumb_result = ThumbSimulator(thumb_image).run()
+    if thumb_result.exit_code != wl.reference(scale):
+        raise AssertionError("%s: Thumb checksum mismatch" % name)
+
+    flow = fits_flow(wl.build_module(scale))
+
+    results = {"arm": arm_result, "fits": flow.fits_result}
+    configs = {}
+    timings = {}
+    powers = {}
+    for label, isa, size in CONFIGS:
+        timing = simulate_timing(results[isa], size)
+        power = CachePowerModel(CacheGeometry(size)).evaluate(timing)
+        timings[label] = timing
+        powers[label] = power
+    chip = ChipPowerModel(powers["ARM16"], timings["ARM16"])
+
+    for label, isa, size in CONFIGS:
+        timing = timings[label]
+        power = powers[label]
+        chip_report = chip.evaluate(power, timing)
+        sw, internal, leak = power.breakdown()
+        configs[label] = {
+            "cycles": timing.cycles,
+            "instructions": timing.instructions,
+            "ipc": timing.ipc,
+            "seconds": timing.seconds,
+            "icache_requests": timing.icache_requests,
+            "icache_misses": timing.icache_misses,
+            "mpm": timing.icache_misses_per_million,
+            "dcache_accesses": timing.dcache_accesses,
+            "dcache_misses": timing.dcache_misses,
+            "switching_w": power.switching_w,
+            "internal_w": power.internal_w,
+            "leakage_w": power.leakage_w,
+            "total_w": power.total_w,
+            "peak_w": power.peak_w,
+            "switching_j": power.switching_j,
+            "internal_j": power.internal_j,
+            "leakage_j": power.leakage_j,
+            "total_j": power.energy_j,
+            "frac_switching": sw,
+            "frac_internal": internal,
+            "frac_leakage": leak,
+            "chip_w": chip_report.total_w,
+            "chip_j": chip_report.total_w * timing.seconds,
+        }
+
+    summary = {
+        "name": name,
+        "scale": scale,
+        "arm_code_size": arm_image.code_size,
+        "thumb_code_size": thumb_image.code_size,
+        "fits_code_size": flow.fits_image.code_size,
+        "static_mapping": flow.static_mapping,
+        "dynamic_mapping": flow.dynamic_mapping,
+        "fits_budget": list(flow.budget) if flow.budget else None,
+        "fits_geometry": [flow.isa.k_op, flow.isa.k_reg],
+        "fits_opcodes": len(flow.isa.opcode_table),
+        "expansion_histogram": {
+            str(k): v for k, v in flow.fits_image.expansion_histogram().items()
+        },
+        "configs": configs,
+    }
+    if verbose:
+        print("ran %s (%s): %d arm bytes, mapping %.3f/%.3f" % (
+            name, scale, arm_image.code_size, flow.static_mapping, flow.dynamic_mapping))
+    return summary
+
+
+def collect(scale="full", names=None, verbose=False, use_cache=True):
+    """All benchmark summaries (cached); returns name → BenchmarkSummary."""
+    if names is None:
+        names = CODE_SIZE_BENCHMARKS
+    out = {}
+    for name in names:
+        path = os.path.join(_cache_dir(), "%s-%s-v%d.json" % (name, scale, CACHE_VERSION))
+        data = None
+        if use_cache and os.path.exists(path):
+            with open(path) as fh:
+                data = json.load(fh)
+        if data is None:
+            data = run_benchmark(name, scale, verbose=verbose)
+            if use_cache:
+                with open(path, "w") as fh:
+                    json.dump(data, fh)
+        out[name] = BenchmarkSummary(data)
+    return out

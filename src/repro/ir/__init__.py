@@ -1,0 +1,67 @@
+"""Three-address intermediate representation used by the mini compiler.
+
+The IR is deliberately close to what a RISC back end wants to see:
+
+* an unbounded set of 32-bit virtual registers (:class:`VReg`),
+* non-SSA form — a virtual register may be re-defined, which keeps loop
+  code (induction variables, accumulators) natural to write by hand,
+* explicit basic blocks, each terminated by exactly one of
+  :class:`Br`, :class:`CBr` or :class:`Ret`,
+* byte/half/word loads and stores against global arrays,
+* calls following an ARM-like convention (up to four register args).
+
+Workloads (``repro.workloads``) construct IR through
+:class:`FunctionBuilder`; the compiler (``repro.compiler``) lowers it to
+ARM or Thumb machine code; :mod:`repro.ir.interp` executes it directly so
+every workload has a machine-independent golden run.
+"""
+
+from repro.ir.ops import Op, Cond, Width
+from repro.ir.instructions import (
+    VReg,
+    Instr,
+    Li,
+    Mov,
+    Bin,
+    Load,
+    Store,
+    GlobalAddr,
+    Br,
+    CBr,
+    Call,
+    Ret,
+    TERMINATORS,
+)
+from repro.ir.function import BasicBlock, Function, Global, Module
+from repro.ir.builder import FunctionBuilder
+from repro.ir.verify import VerifyError, verify_function, verify_module
+from repro.ir.interp import IRInterpreter, InterpLimitExceeded
+
+__all__ = [
+    "Op",
+    "Cond",
+    "Width",
+    "VReg",
+    "Instr",
+    "Li",
+    "Mov",
+    "Bin",
+    "Load",
+    "Store",
+    "GlobalAddr",
+    "Br",
+    "CBr",
+    "Call",
+    "Ret",
+    "TERMINATORS",
+    "BasicBlock",
+    "Function",
+    "Global",
+    "Module",
+    "FunctionBuilder",
+    "VerifyError",
+    "verify_function",
+    "verify_module",
+    "IRInterpreter",
+    "InterpLimitExceeded",
+]

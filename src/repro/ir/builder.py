@@ -1,0 +1,309 @@
+"""Ergonomic construction of IR functions.
+
+:class:`FunctionBuilder` keeps a current insertion block and offers one
+method per instruction plus structured-control-flow helpers
+(:meth:`for_range`, :meth:`loop_while`, :meth:`if_then`,
+:meth:`if_else`) so workload kernels read close to the C they model.
+"""
+
+import contextlib
+import itertools
+
+from repro.ir.ops import Op, Cond, Width
+from repro.ir.instructions import (
+    VReg,
+    Li,
+    Mov,
+    Bin,
+    Load,
+    Store,
+    GlobalAddr,
+    Br,
+    CBr,
+    Call,
+    Ret,
+)
+from repro.ir.function import BasicBlock, Function
+
+
+class FunctionBuilder:
+    """Builds one :class:`~repro.ir.function.Function` inside a module.
+
+    The function is registered with the module at construction time, and
+    argument virtual registers are available as :attr:`args` (also by
+    name through :meth:`arg`).
+    """
+
+    def __init__(self, module, name, arg_names=()):
+        self.module = module
+        self.func = Function(name, arg_names)
+        module.add_function(self.func)
+        self._labels = itertools.count()
+        self.args = [self.vreg(a) for a in arg_names]
+        self._arg_map = dict(zip(arg_names, self.args))
+        self._block = self.func.add_block(BasicBlock("entry"))
+
+    # ------------------------------------------------------------------
+    # registers, blocks and insertion point
+
+    def vreg(self, name=None):
+        """Allocate a fresh virtual register."""
+        reg = VReg(self.func.next_vreg, name)
+        self.func.next_vreg += 1
+        return reg
+
+    def arg(self, name):
+        """The virtual register holding the named argument."""
+        return self._arg_map[name]
+
+    def new_block(self, hint="bb"):
+        """Create (but do not enter) a new block; returns its label."""
+        label = "%s%d" % (hint, next(self._labels))
+        self.func.add_block(BasicBlock(label))
+        return label
+
+    def at(self, label):
+        """Move the insertion point to an existing block."""
+        self._block = self.func.block(label)
+        return label
+
+    @property
+    def current_label(self):
+        return self._block.label
+
+    def emit(self, instr):
+        """Append an instruction to the current block."""
+        if self._block.terminator is not None:
+            raise ValueError(
+                "block .%s already terminated; cannot append %r" % (self._block.label, instr)
+            )
+        self._block.instrs.append(instr)
+        return instr
+
+    def _dst(self, dst, hint=None):
+        return dst if dst is not None else self.vreg(hint)
+
+    def _as_value(self, value):
+        """Coerce an int to a register via ``li``; pass registers through."""
+        if isinstance(value, VReg):
+            return value
+        return self.li(value)
+
+    # ------------------------------------------------------------------
+    # straight-line instructions
+
+    def li(self, imm, dst=None):
+        dst = self._dst(dst)
+        self.emit(Li(dst, imm))
+        return dst
+
+    def mov(self, src, dst=None):
+        if isinstance(src, int):
+            return self.li(src, dst=dst)
+        dst = self._dst(dst)
+        self.emit(Mov(dst, src))
+        return dst
+
+    def bin(self, op, lhs, rhs, dst=None):
+        dst = self._dst(dst)
+        self.emit(Bin(op, dst, self._as_value(lhs), rhs))
+        return dst
+
+    def add(self, lhs, rhs, dst=None):
+        return self.bin(Op.ADD, lhs, rhs, dst)
+
+    def sub(self, lhs, rhs, dst=None):
+        return self.bin(Op.SUB, lhs, rhs, dst)
+
+    def rsb(self, lhs, rhs, dst=None):
+        return self.bin(Op.RSB, lhs, rhs, dst)
+
+    def and_(self, lhs, rhs, dst=None):
+        return self.bin(Op.AND, lhs, rhs, dst)
+
+    def orr(self, lhs, rhs, dst=None):
+        return self.bin(Op.ORR, lhs, rhs, dst)
+
+    def eor(self, lhs, rhs, dst=None):
+        return self.bin(Op.EOR, lhs, rhs, dst)
+
+    def lsl(self, lhs, rhs, dst=None):
+        return self.bin(Op.LSL, lhs, rhs, dst)
+
+    def lsr(self, lhs, rhs, dst=None):
+        return self.bin(Op.LSR, lhs, rhs, dst)
+
+    def asr(self, lhs, rhs, dst=None):
+        return self.bin(Op.ASR, lhs, rhs, dst)
+
+    def mul(self, lhs, rhs, dst=None):
+        return self.bin(Op.MUL, lhs, rhs, dst)
+
+    def udiv(self, lhs, rhs, dst=None):
+        """Unsigned divide via the runtime library (``__udiv``)."""
+        return self.call("__udiv", [self._as_value(lhs), self._as_value(rhs)], dst=self._dst(dst))
+
+    def sdiv(self, lhs, rhs, dst=None):
+        return self.call("__sdiv", [self._as_value(lhs), self._as_value(rhs)], dst=self._dst(dst))
+
+    def urem(self, lhs, rhs, dst=None):
+        return self.call("__urem", [self._as_value(lhs), self._as_value(rhs)], dst=self._dst(dst))
+
+    def srem(self, lhs, rhs, dst=None):
+        return self.call("__srem", [self._as_value(lhs), self._as_value(rhs)], dst=self._dst(dst))
+
+    def load(self, base, offset=0, width=Width.WORD, signed=False, dst=None):
+        dst = self._dst(dst)
+        self.emit(Load(dst, base, offset, width, signed))
+        return dst
+
+    def store(self, src, base, offset=0, width=Width.WORD):
+        self.emit(Store(self._as_value(src), base, offset, width))
+
+    def ga(self, symbol, dst=None):
+        dst = self._dst(dst, hint=symbol)
+        self.emit(GlobalAddr(dst, symbol))
+        return dst
+
+    def call(self, callee, args=(), dst=None):
+        """Call ``callee``; pass ``dst`` (or rely on the fresh default) to
+        capture the return value, or ``dst=False`` for a void call."""
+        if dst is False:
+            dst = None
+        elif dst is None:
+            dst = self.vreg()
+        self.emit(Call(dst, callee, [self._as_value(a) for a in args]))
+        return dst
+
+    # ------------------------------------------------------------------
+    # control flow
+
+    def br(self, target):
+        self.emit(Br(target))
+
+    def cbr(self, cond, lhs, rhs, if_true, if_false):
+        self.emit(CBr(cond, self._as_value(lhs), rhs, if_true, if_false))
+
+    def ret(self, value=None):
+        if isinstance(value, int):
+            value = self.li(value)
+        self.emit(Ret(value))
+
+    @contextlib.contextmanager
+    def for_range(self, start, stop, step=1, hint="i", unsigned=False):
+        """Counted loop; yields the induction register.
+
+        Equivalent to ``for (i = start; i < stop; i += step)`` with a
+        signed comparison by default.  ``step`` may be negative, in which
+        case the condition becomes ``i > stop``.
+        """
+        head = self.new_block("for_head")
+        body = self.new_block("for_body")
+        done = self.new_block("for_done")
+        i = self.mov(start, dst=self.vreg(hint))
+        self.br(head)
+        self.at(head)
+        if step >= 0:
+            cond = Cond.LTU if unsigned else Cond.LT
+        else:
+            cond = Cond.GTU if unsigned else Cond.GT
+        self.cbr(cond, i, stop, body, done)
+        self.at(body)
+        yield i
+        if self._block.terminator is None:
+            self.add(i, step, dst=i)
+            self.br(head)
+        self.at(done)
+
+    @contextlib.contextmanager
+    def loop_while(self, cond, lhs, rhs):
+        """Top-tested loop; the body must mutate ``lhs``/``rhs`` in place."""
+        head = self.new_block("while_head")
+        body = self.new_block("while_body")
+        done = self.new_block("while_done")
+        self.br(head)
+        self.at(head)
+        self.cbr(cond, lhs, rhs, body, done)
+        self.at(body)
+        yield
+        if self._block.terminator is None:
+            self.br(head)
+        self.at(done)
+
+    @contextlib.contextmanager
+    def if_then(self, cond, lhs, rhs):
+        """Execute the body only when the condition holds."""
+        then = self.new_block("then")
+        join = self.new_block("endif")
+        self.cbr(cond, lhs, rhs, then, join)
+        self.at(then)
+        yield
+        if self._block.terminator is None:
+            self.br(join)
+        self.at(join)
+
+    @contextlib.contextmanager
+    def if_else(self, cond, lhs, rhs):
+        """Two-armed conditional.
+
+        Yields a context manager for the else arm; code written directly
+        inside the outer ``with`` is the then arm::
+
+            with b.if_else(Cond.LT, x, 0) as otherwise:
+                ... then code ...
+                with otherwise:
+                    ... else code ...
+        """
+        then = self.new_block("then")
+        els = self.new_block("else")
+        join = self.new_block("endif")
+        self.cbr(cond, lhs, rhs, then, els)
+        self.at(then)
+
+        builder = self
+
+        @contextlib.contextmanager
+        def otherwise():
+            if builder._block.terminator is None:
+                builder.br(join)
+            builder.at(els)
+            yield
+            if builder._block.terminator is None:
+                builder.br(join)
+
+        state = {"used": False}
+
+        @contextlib.contextmanager
+        def otherwise_once():
+            state["used"] = True
+            with otherwise():
+                yield
+
+        yield otherwise_once()
+        if not state["used"]:
+            raise ValueError("if_else else-arm context manager was never entered")
+        self.at(join)
+
+    def select(self, cond, lhs, rhs, if_true, if_false, dst=None):
+        """Materialize ``cond(lhs, rhs) ? if_true : if_false`` into a register."""
+        dst = self._dst(dst)
+        with self.if_else(cond, lhs, rhs) as otherwise:
+            self.mov(if_true, dst=dst)
+            with otherwise:
+                self.mov(if_false, dst=dst)
+        return dst
+
+    def min_(self, a, b_, signed=True, dst=None):
+        cond = Cond.LE if signed else Cond.LEU
+        a = self._as_value(a)
+        return self.select(cond, a, b_, a, b_, dst=dst)
+
+    def max_(self, a, b_, signed=True, dst=None):
+        cond = Cond.GE if signed else Cond.GEU
+        a = self._as_value(a)
+        return self.select(cond, a, b_, a, b_, dst=dst)
+
+    def abs_(self, a, dst=None):
+        a = self._as_value(a)
+        neg = self.rsb(a, 0)
+        return self.select(Cond.LT, a, 0, neg, a, dst=dst)

@@ -1,0 +1,164 @@
+"""Basic blocks, functions, globals and modules."""
+
+from repro.ir.instructions import TERMINATORS, CBr, Br
+
+
+class BasicBlock:
+    """A labelled straight-line sequence ending in one terminator."""
+
+    __slots__ = ("label", "instrs")
+
+    def __init__(self, label):
+        self.label = label
+        self.instrs = []
+
+    @property
+    def terminator(self):
+        """The block's terminator, or ``None`` if the block is unfinished."""
+        if self.instrs and isinstance(self.instrs[-1], TERMINATORS):
+            return self.instrs[-1]
+        return None
+
+    def successors(self):
+        """Labels of the blocks this one can branch to."""
+        term = self.terminator
+        if isinstance(term, Br):
+            return [term.target]
+        if isinstance(term, CBr):
+            return [term.if_true, term.if_false]
+        return []
+
+    def __repr__(self):
+        return "<BasicBlock .%s (%d instrs)>" % (self.label, len(self.instrs))
+
+    def dump(self):
+        """Readable listing of the block."""
+        lines = [".%s:" % self.label]
+        lines.extend("    %r" % ins for ins in self.instrs)
+        return "\n".join(lines)
+
+
+class Function:
+    """An IR function: ordered basic blocks, the first being the entry."""
+
+    def __init__(self, name, arg_names):
+        self.name = name
+        self.arg_names = list(arg_names)
+        self.blocks = []  # ordered; blocks[0] is the entry
+        self.block_map = {}
+        self.next_vreg = 0
+
+    @property
+    def num_args(self):
+        return len(self.arg_names)
+
+    def add_block(self, block):
+        if block.label in self.block_map:
+            raise ValueError("duplicate block label %r in %s" % (block.label, self.name))
+        self.blocks.append(block)
+        self.block_map[block.label] = block
+        return block
+
+    def block(self, label):
+        return self.block_map[label]
+
+    def instructions(self):
+        """Iterate over every instruction in block order."""
+        for blk in self.blocks:
+            for ins in blk.instrs:
+                yield ins
+
+    def dump(self):
+        """Readable listing of the whole function."""
+        header = "func @%s(%s):" % (self.name, ", ".join(self.arg_names))
+        return "\n".join([header] + [blk.dump() for blk in self.blocks])
+
+    def __repr__(self):
+        return "<Function @%s (%d blocks)>" % (self.name, len(self.blocks))
+
+
+class Global:
+    """A module-level byte array with optional initial contents.
+
+    ``data`` supplies the initializer; ``size`` may extend it with zero
+    fill (BSS-style).  ``align`` is in bytes and defaults to word
+    alignment so word loads against globals are always legal.
+    """
+
+    def __init__(self, name, data=b"", size=None, align=4):
+        self.name = name
+        self.data = bytes(data)
+        self.size = size if size is not None else len(self.data)
+        if self.size < len(self.data):
+            raise ValueError("global %s: size %d < initializer %d" % (name, self.size, len(self.data)))
+        if align & (align - 1):
+            raise ValueError("global %s: alignment must be a power of two" % name)
+        self.align = align
+
+    def initial_bytes(self):
+        """Initializer padded with zero fill out to ``size`` bytes."""
+        return self.data + b"\x00" * (self.size - len(self.data))
+
+    def __repr__(self):
+        return "<Global @%s (%d bytes)>" % (self.name, self.size)
+
+
+class Module:
+    """A linkable unit: functions plus globals.
+
+    Workloads populate a module with their kernel functions and data, the
+    shared runtime library is merged in with :meth:`merge`, and the
+    compiler consumes the result.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.functions = {}
+        self.globals = {}
+
+    def add_function(self, func):
+        if func.name in self.functions:
+            raise ValueError("duplicate function @%s" % func.name)
+        self.functions[func.name] = func
+        return func
+
+    def add_global(self, glob):
+        if glob.name in self.globals:
+            raise ValueError("duplicate global @%s" % glob.name)
+        self.globals[glob.name] = glob
+        return glob
+
+    def merge(self, other, allow_duplicates=False):
+        """Merge another module's functions and globals into this one.
+
+        With ``allow_duplicates`` set, definitions already present are
+        kept and the incoming duplicates are ignored — that is how each
+        workload links against the runtime library while overriding
+        nothing.
+        """
+        for func in other.functions.values():
+            if func.name in self.functions:
+                if not allow_duplicates:
+                    raise ValueError("merge conflict on function @%s" % func.name)
+                continue
+            self.functions[func.name] = func
+        for glob in other.globals.values():
+            if glob.name in self.globals:
+                if not allow_duplicates:
+                    raise ValueError("merge conflict on global @%s" % glob.name)
+                continue
+            self.globals[glob.name] = glob
+        return self
+
+    def dump(self):
+        parts = ["; module %s" % self.name]
+        parts.extend(repr(g) for g in self.globals.values())
+        parts.extend(f.dump() for f in self.functions.values())
+        return "\n\n".join(parts)
+
+    def __repr__(self):
+        return "<Module %s (%d funcs, %d globals)>" % (
+            self.name,
+            len(self.functions),
+            len(self.globals),
+        )

@@ -1,0 +1,289 @@
+"""IR instruction classes.
+
+Instructions are small mutable objects (plain ``__slots__`` classes rather
+than frozen dataclasses) because the compiler rewrites operands in place
+during lowering.  Every instruction knows which virtual registers it reads
+(:meth:`Instr.uses`) and writes (:meth:`Instr.defs`), which is all the
+register allocator needs.
+"""
+
+from repro.ir.ops import Op, Cond, Width
+
+
+class VReg:
+    """A 32-bit virtual register.
+
+    Identity is by ``id``; the optional ``name`` is only for diagnostics
+    and disassembly listings.
+    """
+
+    __slots__ = ("id", "name")
+
+    def __init__(self, id, name=None):
+        self.id = id
+        self.name = name
+
+    def __repr__(self):
+        return "%%%s" % (self.name if self.name else self.id)
+
+    def __eq__(self, other):
+        return isinstance(other, VReg) and other.id == self.id
+
+    def __hash__(self):
+        return hash(("vreg", self.id))
+
+
+def _operand_str(value):
+    if isinstance(value, VReg):
+        return repr(value)
+    return "#%d" % value
+
+
+class Instr:
+    """Base class for IR instructions."""
+
+    __slots__ = ()
+
+    def uses(self):
+        """Virtual registers read by this instruction."""
+        return []
+
+    def defs(self):
+        """Virtual registers written by this instruction."""
+        return []
+
+
+class Li(Instr):
+    """Load a 32-bit immediate constant: ``dst = imm``."""
+
+    __slots__ = ("dst", "imm")
+
+    def __init__(self, dst, imm):
+        self.dst = dst
+        self.imm = imm & 0xFFFFFFFF
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return "li %r, #0x%x" % (self.dst, self.imm)
+
+
+class Mov(Instr):
+    """Register copy: ``dst = src``."""
+
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst, src):
+        self.dst = dst
+        self.src = src
+
+    def uses(self):
+        return [self.src]
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return "mov %r, %r" % (self.dst, self.src)
+
+
+class Bin(Instr):
+    """Binary ALU operation: ``dst = lhs <op> rhs``.
+
+    ``rhs`` may be a :class:`VReg` or a Python int immediate; back ends
+    are responsible for materializing immediates their encodings cannot
+    express.
+    """
+
+    __slots__ = ("op", "dst", "lhs", "rhs")
+
+    def __init__(self, op, dst, lhs, rhs):
+        if not isinstance(op, Op):
+            raise TypeError("op must be an Op, got %r" % (op,))
+        self.op = op
+        self.dst = dst
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def uses(self):
+        out = [self.lhs]
+        if isinstance(self.rhs, VReg):
+            out.append(self.rhs)
+        return out
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return "%s %r, %r, %s" % (self.op.value, self.dst, self.lhs, _operand_str(self.rhs))
+
+
+class Load(Instr):
+    """Memory load: ``dst = *(base + offset)`` of the given width.
+
+    ``offset`` may be an int or a :class:`VReg`.  Sub-word loads zero- or
+    sign-extend according to ``signed``.
+    """
+
+    __slots__ = ("dst", "base", "offset", "width", "signed")
+
+    def __init__(self, dst, base, offset, width=Width.WORD, signed=False):
+        self.dst = dst
+        self.base = base
+        self.offset = offset
+        self.width = Width(width)
+        self.signed = signed
+
+    def uses(self):
+        out = [self.base]
+        if isinstance(self.offset, VReg):
+            out.append(self.offset)
+        return out
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        suffix = {Width.BYTE: "b", Width.HALF: "h", Width.WORD: ""}[self.width]
+        if self.signed and self.width != Width.WORD:
+            suffix = "s" + suffix
+        return "ld%s %r, [%r + %s]" % (suffix, self.dst, self.base, _operand_str(self.offset))
+
+
+class Store(Instr):
+    """Memory store: ``*(base + offset) = src`` truncated to ``width``."""
+
+    __slots__ = ("src", "base", "offset", "width")
+
+    def __init__(self, src, base, offset, width=Width.WORD):
+        self.src = src
+        self.base = base
+        self.offset = offset
+        self.width = Width(width)
+
+    def uses(self):
+        out = [self.src, self.base]
+        if isinstance(self.offset, VReg):
+            out.append(self.offset)
+        return out
+
+    def __repr__(self):
+        suffix = {Width.BYTE: "b", Width.HALF: "h", Width.WORD: ""}[self.width]
+        return "st%s %r, [%r + %s]" % (suffix, self.src, self.base, _operand_str(self.offset))
+
+
+class GlobalAddr(Instr):
+    """Materialize the address of a module global: ``dst = &global``."""
+
+    __slots__ = ("dst", "symbol")
+
+    def __init__(self, dst, symbol):
+        self.dst = dst
+        self.symbol = symbol
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return "ga %r, @%s" % (self.dst, self.symbol)
+
+
+class Br(Instr):
+    """Unconditional branch to a block label."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        self.target = target
+
+    def __repr__(self):
+        return "br .%s" % self.target
+
+
+class CBr(Instr):
+    """Conditional branch: ``if (lhs cond rhs) goto if_true else if_false``.
+
+    ``rhs`` may be an int immediate.  Both successors are explicit so the
+    block structure carries the full CFG.
+    """
+
+    __slots__ = ("cond", "lhs", "rhs", "if_true", "if_false")
+
+    def __init__(self, cond, lhs, rhs, if_true, if_false):
+        if not isinstance(cond, Cond):
+            raise TypeError("cond must be a Cond, got %r" % (cond,))
+        self.cond = cond
+        self.lhs = lhs
+        self.rhs = rhs
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def uses(self):
+        out = [self.lhs]
+        if isinstance(self.rhs, VReg):
+            out.append(self.rhs)
+        return out
+
+    def __repr__(self):
+        return "br.%s %r, %s, .%s, .%s" % (
+            self.cond.value,
+            self.lhs,
+            _operand_str(self.rhs),
+            self.if_true,
+            self.if_false,
+        )
+
+
+class Call(Instr):
+    """Direct call: ``dst = callee(args...)`` (``dst`` may be ``None``).
+
+    At most four arguments are supported, mirroring the ARM register
+    calling convention the back ends implement.
+    """
+
+    MAX_ARGS = 4
+
+    __slots__ = ("dst", "callee", "args")
+
+    def __init__(self, dst, callee, args):
+        if len(args) > self.MAX_ARGS:
+            raise ValueError(
+                "call to %s has %d args; max is %d" % (callee, len(args), self.MAX_ARGS)
+            )
+        self.dst = dst
+        self.callee = callee
+        self.args = list(args)
+
+    def uses(self):
+        return [a for a in self.args if isinstance(a, VReg)]
+
+    def defs(self):
+        return [self.dst] if self.dst is not None else []
+
+    def __repr__(self):
+        args = ", ".join(_operand_str(a) for a in self.args)
+        if self.dst is not None:
+            return "call %r, @%s(%s)" % (self.dst, self.callee, args)
+        return "call @%s(%s)" % (self.callee, args)
+
+
+class Ret(Instr):
+    """Return, optionally with a value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value=None):
+        self.value = value
+
+    def uses(self):
+        return [self.value] if isinstance(self.value, VReg) else []
+
+    def __repr__(self):
+        if self.value is None:
+            return "ret"
+        return "ret %s" % _operand_str(self.value)
+
+
+#: Instruction classes that may terminate a basic block.
+TERMINATORS = (Br, CBr, Ret)

@@ -1,0 +1,155 @@
+"""Direct interpreter for IR modules.
+
+The interpreter gives every workload a machine-independent golden run:
+its results are compared both against the workload's pure-Python
+reference model and against the compiled binary executed on the ARM and
+FITS simulators.  It is not fast and does not need to be.
+"""
+
+import struct
+
+from repro.ir.ops import evaluate_op, evaluate_cond, MASK32
+from repro.ir.instructions import (
+    VReg,
+    Li,
+    Mov,
+    Bin,
+    Load,
+    Store,
+    GlobalAddr,
+    Br,
+    CBr,
+    Call,
+    Ret,
+)
+from repro.ir.function import Module
+
+#: Base address at which globals are laid out, matching the linker's
+#: convention of keeping address zero unmapped to catch null derefs.
+GLOBAL_BASE = 0x1000
+
+
+class InterpLimitExceeded(Exception):
+    """Raised when execution exceeds the configured step budget."""
+
+
+class IRInterpreter:
+    """Executes IR functions against a byte-addressed flat memory."""
+
+    def __init__(self, module, max_steps=200_000_000):
+        if not isinstance(module, Module):
+            raise TypeError("expected a Module, got %r" % (module,))
+        self.module = module
+        self.max_steps = max_steps
+        self.steps = 0
+        self.global_addr = {}
+        addr = GLOBAL_BASE
+        chunks = []
+        for glob in module.globals.values():
+            pad = (-addr) % glob.align
+            chunks.append(b"\x00" * pad)
+            addr += pad
+            self.global_addr[glob.name] = addr
+            chunks.append(glob.initial_bytes())
+            addr += glob.size
+        self.memory = bytearray(b"\x00" * GLOBAL_BASE + b"".join(chunks))
+
+    # ------------------------------------------------------------------
+    # memory helpers (also used by tests to inspect results)
+
+    def addr_of(self, symbol):
+        return self.global_addr[symbol]
+
+    def read_word(self, addr):
+        return struct.unpack_from("<I", self.memory, addr)[0]
+
+    def write_word(self, addr, value):
+        struct.pack_into("<I", self.memory, addr, value & MASK32)
+
+    def read_bytes(self, addr, count):
+        return bytes(self.memory[addr : addr + count])
+
+    def _load(self, addr, width, signed):
+        if addr < 0 or addr + width > len(self.memory):
+            raise IndexError("load of %d bytes at 0x%x out of range" % (width, addr))
+        raw = self.memory[addr : addr + width]
+        value = int.from_bytes(raw, "little")
+        if signed:
+            bits = width * 8
+            if value & (1 << (bits - 1)):
+                value -= 1 << bits
+        return value & MASK32
+
+    def _store(self, addr, value, width):
+        if addr < 0 or addr + width > len(self.memory):
+            raise IndexError("store of %d bytes at 0x%x out of range" % (width, addr))
+        self.memory[addr : addr + width] = (value & ((1 << (width * 8)) - 1)).to_bytes(
+            width, "little"
+        )
+
+    # ------------------------------------------------------------------
+
+    def call(self, name, *args):
+        """Call an IR function with integer arguments; returns its value."""
+        func = self.module.functions[name]
+        if len(args) != func.num_args:
+            raise TypeError(
+                "@%s takes %d args, got %d" % (name, func.num_args, len(args))
+            )
+        return self._run(func, [a & MASK32 for a in args])
+
+    def _run(self, func, args):
+        # Argument registers are by construction vregs 0..n-1 of the function
+        # (FunctionBuilder allocates them before anything else).
+        regs = dict(enumerate(args))
+
+        def value_of(operand):
+            if isinstance(operand, VReg):
+                try:
+                    return regs[operand.id]
+                except KeyError:
+                    raise NameError(
+                        "@%s: read of undefined vreg %r" % (func.name, operand)
+                    ) from None
+            return operand & MASK32
+
+        block = func.blocks[0]
+        index = 0
+        while True:
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise InterpLimitExceeded(
+                    "exceeded %d interpreter steps in @%s" % (self.max_steps, func.name)
+                )
+            ins = block.instrs[index]
+            index += 1
+            if isinstance(ins, Bin):
+                regs[ins.dst.id] = evaluate_op(ins.op, value_of(ins.lhs), value_of(ins.rhs))
+            elif isinstance(ins, Load):
+                addr = (value_of(ins.base) + value_of(ins.offset)) & MASK32
+                regs[ins.dst.id] = self._load(addr, int(ins.width), ins.signed)
+            elif isinstance(ins, Store):
+                addr = (value_of(ins.base) + value_of(ins.offset)) & MASK32
+                self._store(addr, value_of(ins.src), int(ins.width))
+            elif isinstance(ins, Li):
+                regs[ins.dst.id] = ins.imm
+            elif isinstance(ins, Mov):
+                regs[ins.dst.id] = value_of(ins.src)
+            elif isinstance(ins, CBr):
+                taken = evaluate_cond(ins.cond, value_of(ins.lhs), value_of(ins.rhs))
+                block = func.block_map[ins.if_true if taken else ins.if_false]
+                index = 0
+            elif isinstance(ins, Br):
+                block = func.block_map[ins.target]
+                index = 0
+            elif isinstance(ins, GlobalAddr):
+                regs[ins.dst.id] = self.global_addr[ins.symbol]
+            elif isinstance(ins, Call):
+                callee = self.module.functions[ins.callee]
+                result = self._run(callee, [value_of(a) for a in ins.args])
+                if ins.dst is not None:
+                    regs[ins.dst.id] = result if result is not None else 0
+            elif isinstance(ins, Ret):
+                return value_of(ins.value) if ins.value is not None else None
+            else:
+                raise TypeError("@%s: cannot interpret %r" % (func.name, ins))

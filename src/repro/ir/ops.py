@@ -1,0 +1,149 @@
+"""Operator, condition and access-width enumerations shared across the IR."""
+
+import enum
+
+MASK32 = 0xFFFFFFFF
+
+
+class Op(enum.Enum):
+    """Binary ALU operators.
+
+    All operate on 32-bit unsigned values with wrap-around semantics.
+    ``LSR``/``ASR`` are logical/arithmetic right shifts; shift amounts are
+    taken modulo 32 (shifts of 32 or more produce 0, or the sign fill for
+    ``ASR``), matching what the back ends generate.
+    """
+
+    ADD = "add"
+    SUB = "sub"
+    RSB = "rsb"  # reverse subtract: dst = rhs - lhs
+    AND = "and"
+    ORR = "orr"
+    EOR = "eor"
+    LSL = "lsl"
+    LSR = "lsr"
+    ASR = "asr"
+    MUL = "mul"
+
+
+class Cond(enum.Enum):
+    """Comparison conditions for conditional branches.
+
+    Signed conditions (LT/LE/GT/GE) interpret both operands as two's
+    complement; the ``*U`` variants are unsigned.
+    """
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    LTU = "ltu"
+    LEU = "leu"
+    GTU = "gtu"
+    GEU = "geu"
+
+
+#: Condition that holds when the operands are swapped.
+SWAPPED_COND = {
+    Cond.EQ: Cond.EQ,
+    Cond.NE: Cond.NE,
+    Cond.LT: Cond.GT,
+    Cond.LE: Cond.GE,
+    Cond.GT: Cond.LT,
+    Cond.GE: Cond.LE,
+    Cond.LTU: Cond.GTU,
+    Cond.LEU: Cond.GEU,
+    Cond.GTU: Cond.LTU,
+    Cond.GEU: Cond.LEU,
+}
+
+#: Condition that holds exactly when the original does not.
+INVERTED_COND = {
+    Cond.EQ: Cond.NE,
+    Cond.NE: Cond.EQ,
+    Cond.LT: Cond.GE,
+    Cond.GE: Cond.LT,
+    Cond.LE: Cond.GT,
+    Cond.GT: Cond.LE,
+    Cond.LTU: Cond.GEU,
+    Cond.GEU: Cond.LTU,
+    Cond.LEU: Cond.GTU,
+    Cond.GTU: Cond.LEU,
+}
+
+
+class Width(enum.IntEnum):
+    """Memory access width in bytes."""
+
+    BYTE = 1
+    HALF = 2
+    WORD = 4
+
+
+def to_signed(value):
+    """Interpret a 32-bit unsigned value as two's complement."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_unsigned(value):
+    """Wrap an arbitrary Python int to its 32-bit unsigned representation."""
+    return value & MASK32
+
+
+def evaluate_op(op, lhs, rhs):
+    """Evaluate ``op`` on two 32-bit unsigned values, returning 32 bits."""
+    lhs &= MASK32
+    rhs &= MASK32
+    if op is Op.ADD:
+        return (lhs + rhs) & MASK32
+    if op is Op.SUB:
+        return (lhs - rhs) & MASK32
+    if op is Op.RSB:
+        return (rhs - lhs) & MASK32
+    if op is Op.AND:
+        return lhs & rhs
+    if op is Op.ORR:
+        return lhs | rhs
+    if op is Op.EOR:
+        return lhs ^ rhs
+    if op is Op.LSL:
+        return (lhs << rhs) & MASK32 if rhs < 32 else 0
+    if op is Op.LSR:
+        return (lhs >> rhs) if rhs < 32 else 0
+    if op is Op.ASR:
+        s = to_signed(lhs)
+        return to_unsigned(s >> rhs) if rhs < 32 else (MASK32 if s < 0 else 0)
+    if op is Op.MUL:
+        return (lhs * rhs) & MASK32
+    raise ValueError("unknown op: %r" % (op,))
+
+
+def evaluate_cond(cond, lhs, rhs):
+    """Evaluate a branch condition on two 32-bit unsigned values."""
+    lhs &= MASK32
+    rhs &= MASK32
+    if cond is Cond.EQ:
+        return lhs == rhs
+    if cond is Cond.NE:
+        return lhs != rhs
+    if cond is Cond.LTU:
+        return lhs < rhs
+    if cond is Cond.LEU:
+        return lhs <= rhs
+    if cond is Cond.GTU:
+        return lhs > rhs
+    if cond is Cond.GEU:
+        return lhs >= rhs
+    sl, sr = to_signed(lhs), to_signed(rhs)
+    if cond is Cond.LT:
+        return sl < sr
+    if cond is Cond.LE:
+        return sl <= sr
+    if cond is Cond.GT:
+        return sl > sr
+    if cond is Cond.GE:
+        return sl >= sr
+    raise ValueError("unknown cond: %r" % (cond,))

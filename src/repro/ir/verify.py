@@ -1,0 +1,81 @@
+"""Structural verification of IR functions and modules.
+
+The verifier catches the mistakes that are cheap to make with a hand
+builder API and expensive to debug downstream: unterminated blocks,
+terminators in the middle of a block, branches to missing labels, calls
+to functions the module never defines, and references to missing
+globals.
+"""
+
+from repro.ir.instructions import TERMINATORS, Br, CBr, Call, GlobalAddr, Ret
+
+
+class VerifyError(Exception):
+    """Raised when IR fails structural verification."""
+
+
+def verify_function(func):
+    """Check one function's block structure; raises :class:`VerifyError`."""
+    if not func.blocks:
+        raise VerifyError("@%s has no blocks" % func.name)
+    for blk in func.blocks:
+        if not blk.instrs:
+            raise VerifyError("@%s: block .%s is empty" % (func.name, blk.label))
+        for ins in blk.instrs[:-1]:
+            if isinstance(ins, TERMINATORS):
+                raise VerifyError(
+                    "@%s: terminator %r in the middle of .%s" % (func.name, ins, blk.label)
+                )
+        term = blk.instrs[-1]
+        if not isinstance(term, TERMINATORS):
+            raise VerifyError(
+                "@%s: block .%s does not end in a terminator (last: %r)"
+                % (func.name, blk.label, term)
+            )
+        for target in blk.successors():
+            if target not in func.block_map:
+                raise VerifyError(
+                    "@%s: .%s branches to unknown label .%s" % (func.name, blk.label, target)
+                )
+    _check_reachability(func)
+
+
+def _check_reachability(func):
+    seen = set()
+    work = [func.blocks[0].label]
+    while work:
+        label = work.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        work.extend(func.block_map[label].successors())
+    dead = [blk.label for blk in func.blocks if blk.label not in seen]
+    if dead:
+        raise VerifyError("@%s: unreachable blocks: %s" % (func.name, ", ".join(dead)))
+
+
+def verify_module(module, entry=None):
+    """Verify every function plus cross-references (calls, globals).
+
+    When ``entry`` is given, additionally checks that the entry function
+    exists and returns (every path must reach a :class:`Ret`).
+    """
+    for func in module.functions.values():
+        verify_function(func)
+        for ins in func.instructions():
+            if isinstance(ins, Call) and ins.callee not in module.functions:
+                raise VerifyError(
+                    "@%s calls undefined function @%s" % (func.name, ins.callee)
+                )
+            if isinstance(ins, GlobalAddr) and ins.symbol not in module.globals:
+                raise VerifyError(
+                    "@%s references undefined global @%s" % (func.name, ins.symbol)
+                )
+    if entry is not None:
+        if entry not in module.functions:
+            raise VerifyError("entry function @%s is not defined" % entry)
+        has_ret = any(
+            isinstance(ins, Ret) for ins in module.functions[entry].instructions()
+        )
+        if not has_ret:
+            raise VerifyError("entry function @%s never returns" % entry)

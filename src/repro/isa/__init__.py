@@ -1,0 +1,11 @@
+"""Instruction-set architecture models.
+
+Three ISAs live here:
+
+* :mod:`repro.isa.arm` — the 32-bit ARM-like baseline ISA (real ARMv4
+  encodings for the subset the compiler generates),
+* :mod:`repro.isa.thumb` — the 16-bit Thumb-like dual-ISA comparator,
+* :mod:`repro.isa.fits` — the parameterized 16-bit FITS format machinery
+  whose concrete encoding is synthesized per application by
+  :mod:`repro.core`.
+"""

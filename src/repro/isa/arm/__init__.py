@@ -1,0 +1,53 @@
+"""ARM-like 32-bit ISA: instruction model, encoder, decoder, disassembler.
+
+The subset covers everything the mini compiler emits — ARMv4 data
+processing with rotated immediates and register shifts, MUL/MLA,
+word/byte transfers with 12-bit displacements, halfword/signed
+transfers, conditional branches with link, and SWI — using the genuine
+ARM bit layouts so field statistics (opcode, register, immediate and
+displacement widths) match what the FITS profiler would see on real
+binaries.
+"""
+
+from repro.isa.arm.model import (
+    Cond,
+    DPOp,
+    ShiftType,
+    Operand2Imm,
+    Operand2Reg,
+    Operand2RegReg,
+    ArmInstr,
+    DataProc,
+    Multiply,
+    MemWord,
+    MemHalf,
+    MemMultiple,
+    Branch,
+    Swi,
+)
+from repro.isa.arm.imm import encode_rotated_imm, decode_rotated_imm, is_encodable_imm
+from repro.isa.arm.decode import decode, DecodeError
+from repro.isa.arm.disasm import disassemble
+
+__all__ = [
+    "Cond",
+    "DPOp",
+    "ShiftType",
+    "Operand2Imm",
+    "Operand2Reg",
+    "Operand2RegReg",
+    "ArmInstr",
+    "DataProc",
+    "Multiply",
+    "MemWord",
+    "MemHalf",
+    "MemMultiple",
+    "Branch",
+    "Swi",
+    "encode_rotated_imm",
+    "decode_rotated_imm",
+    "is_encodable_imm",
+    "decode",
+    "DecodeError",
+    "disassemble",
+]

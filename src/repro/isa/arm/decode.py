@@ -1,0 +1,167 @@
+"""Decoder: 32-bit machine word → instruction object.
+
+Strict by design: the simulator only ever sees words produced by our
+back ends, so anything outside the supported subset raises
+:class:`DecodeError` instead of silently mis-executing.
+"""
+
+from repro.isa.arm.model import (
+    Cond,
+    DPOp,
+    ShiftType,
+    Operand2Imm,
+    Operand2Reg,
+    Operand2RegReg,
+    DataProc,
+    Multiply,
+    MemWord,
+    MemHalf,
+    MemMultiple,
+    Branch,
+    Swi,
+    COMPARE_OPS,
+)
+
+
+class DecodeError(Exception):
+    """Raised for machine words outside the supported ARM subset."""
+
+
+def _bits(word, hi, lo):
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def decode(word):
+    """Decode one machine word; raises :class:`DecodeError` if unsupported."""
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise DecodeError("word out of range: %r" % (word,))
+    cond_bits = _bits(word, 31, 28)
+    if cond_bits == 15:
+        raise DecodeError("unconditional (NV) space unsupported: 0x%08x" % word)
+    cond = Cond(cond_bits)
+    group = _bits(word, 27, 25)
+
+    if group == 0b100:
+        if not word & (1 << 21):
+            raise DecodeError("block transfer without write-back: 0x%08x" % word)
+        load = bool(word & (1 << 20))
+        p = bool(word & (1 << 24))
+        u = bool(word & (1 << 23))
+        if load and not (not p and u):
+            raise DecodeError("only LDMIA supported: 0x%08x" % word)
+        if not load and not (p and not u):
+            raise DecodeError("only STMDB supported: 0x%08x" % word)
+        reglist = [r for r in range(16) if word & (1 << r)]
+        return MemMultiple(load, rn=_bits(word, 19, 16), reglist=reglist, cond=cond)
+
+    if group == 0b101:
+        offset = _bits(word, 23, 0)
+        if word & (1 << 23):
+            offset -= 1 << 24
+        return Branch(offset, link=bool(word & (1 << 24)), cond=cond)
+
+    if group == 0b111:
+        if not word & (1 << 24):
+            raise DecodeError("coprocessor space unsupported: 0x%08x" % word)
+        return Swi(_bits(word, 23, 0), cond=cond)
+
+    if group in (0b010, 0b011):
+        return _decode_mem_word(word, cond, register_offset=(group == 0b011))
+
+    if group == 0b001:
+        return _decode_dataproc(word, cond, Operand2Imm(_bits(word, 11, 8), _bits(word, 7, 0)))
+
+    if group == 0b000:
+        if _bits(word, 7, 4) == 0b1001 and _bits(word, 27, 22) == 0:
+            return Multiply(
+                rd=_bits(word, 19, 16),
+                rn=_bits(word, 15, 12),
+                rs=_bits(word, 11, 8),
+                rm=_bits(word, 3, 0),
+                accumulate=bool(word & (1 << 21)),
+                s=bool(word & (1 << 20)),
+                cond=cond,
+            )
+        if (word & (1 << 7)) and (word & (1 << 4)) and _bits(word, 6, 5) != 0:
+            return _decode_mem_half(word, cond)
+        if word & (1 << 4):
+            if word & (1 << 7):
+                raise DecodeError("extension space unsupported: 0x%08x" % word)
+            op2 = Operand2RegReg(
+                rm=_bits(word, 3, 0),
+                shift_type=ShiftType(_bits(word, 6, 5)),
+                rs=_bits(word, 11, 8),
+            )
+            return _decode_dataproc(word, cond, op2)
+        op2 = Operand2Reg(
+            rm=_bits(word, 3, 0),
+            shift_type=ShiftType(_bits(word, 6, 5)),
+            shift_imm=_bits(word, 11, 7),
+        )
+        return _decode_dataproc(word, cond, op2)
+
+    raise DecodeError("unsupported instruction group %d: 0x%08x" % (group, word))
+
+
+def _decode_dataproc(word, cond, operand2):
+    op = DPOp(_bits(word, 24, 21))
+    s = bool(word & (1 << 20))
+    if op in COMPARE_OPS and not s:
+        raise DecodeError("compare without S bit: 0x%08x" % word)
+    return DataProc(
+        op=op,
+        rd=_bits(word, 15, 12),
+        rn=_bits(word, 19, 16),
+        operand2=operand2,
+        s=s,
+        cond=cond,
+    )
+
+
+def _decode_mem_word(word, cond, register_offset):
+    if not word & (1 << 24) or word & (1 << 21):
+        raise DecodeError("only pre-indexed, no-writeback transfers: 0x%08x" % word)
+    up = bool(word & (1 << 23))
+    if register_offset:
+        if not up:
+            raise DecodeError("subtracted register offsets unsupported: 0x%08x" % word)
+        if word & (1 << 4):
+            raise DecodeError("register-shift register offset unsupported: 0x%08x" % word)
+        offset = Operand2Reg(
+            rm=_bits(word, 3, 0),
+            shift_type=ShiftType(_bits(word, 6, 5)),
+            shift_imm=_bits(word, 11, 7),
+        )
+    else:
+        offset = _bits(word, 11, 0)
+        if not up:
+            offset = -offset
+    return MemWord(
+        load=bool(word & (1 << 20)),
+        rd=_bits(word, 15, 12),
+        rn=_bits(word, 19, 16),
+        offset=offset,
+        byte=bool(word & (1 << 22)),
+        cond=cond,
+    )
+
+
+def _decode_mem_half(word, cond):
+    if not word & (1 << 24) or word & (1 << 21):
+        raise DecodeError("only pre-indexed, no-writeback transfers: 0x%08x" % word)
+    if not word & (1 << 22):
+        raise DecodeError("register-offset halfword transfers unsupported: 0x%08x" % word)
+    offset = (_bits(word, 11, 8) << 4) | _bits(word, 3, 0)
+    if not word & (1 << 23):
+        offset = -offset
+    sh = _bits(word, 6, 5)
+    load = bool(word & (1 << 20))
+    return MemHalf(
+        load=load,
+        rd=_bits(word, 15, 12),
+        rn=_bits(word, 19, 16),
+        offset=offset,
+        half=bool(sh & 1),
+        signed=bool(sh & 2),
+        cond=cond,
+    )

@@ -1,0 +1,80 @@
+"""Minimal ARM disassembler for diagnostics and test output."""
+
+from repro.isa.arm.model import (
+    Cond,
+    DPOp,
+    DataProc,
+    Multiply,
+    MemWord,
+    MemHalf,
+    MemMultiple,
+    Branch,
+    Swi,
+    Operand2Imm,
+    COMPARE_OPS,
+    UNARY_OPS,
+)
+
+
+def _cond_suffix(cond):
+    return "" if cond is Cond.AL else cond.name.lower()
+
+
+def disassemble(instr, pc=None):
+    """One-line assembly text for a decoded instruction.
+
+    ``pc`` (byte address) resolves branch targets to absolute addresses.
+    """
+    c = _cond_suffix(instr.cond)
+    if isinstance(instr, DataProc):
+        op2 = repr(instr.operand2)
+        name = instr.op.name.lower()
+        if instr.op in COMPARE_OPS:
+            return "%s%s r%d, %s" % (name, c, instr.rn, op2)
+        if instr.op in UNARY_OPS:
+            s = "s" if instr.s else ""
+            return "%s%s%s r%d, %s" % (name, c, s, instr.rd, op2)
+        s = "s" if instr.s else ""
+        return "%s%s%s r%d, r%d, %s" % (name, c, s, instr.rd, instr.rn, op2)
+    if isinstance(instr, Multiply):
+        if instr.accumulate:
+            return "mla%s r%d, r%d, r%d, r%d" % (c, instr.rd, instr.rm, instr.rs, instr.rn)
+        return "mul%s r%d, r%d, r%d" % (c, instr.rd, instr.rm, instr.rs)
+    if isinstance(instr, MemWord):
+        name = ("ldr" if instr.load else "str") + ("b" if instr.byte else "")
+        if isinstance(instr.offset, int):
+            if instr.offset:
+                return "%s%s r%d, [r%d, #%d]" % (name, c, instr.rd, instr.rn, instr.offset)
+            return "%s%s r%d, [r%d]" % (name, c, instr.rd, instr.rn)
+        return "%s%s r%d, [r%d, %r]" % (name, c, instr.rd, instr.rn, instr.offset)
+    if isinstance(instr, MemHalf):
+        if instr.load:
+            name = "ldr" + ("s" if instr.signed else "") + ("h" if instr.half else "b")
+        else:
+            name = "strh"
+        if instr.offset:
+            return "%s%s r%d, [r%d, #%d]" % (name, c, instr.rd, instr.rn, instr.offset)
+        return "%s%s r%d, [r%d]" % (name, c, instr.rd, instr.rn)
+    if isinstance(instr, MemMultiple):
+        regs = ", ".join(("pc" if r == 15 else "r%d" % r) for r in instr.reglist)
+        name = "ldmia" if instr.load else "stmdb"
+        return "%s%s r%d!, {%s}" % (name, c, instr.rn, regs)
+    if isinstance(instr, Branch):
+        name = "bl" if instr.link else "b"
+        if pc is not None:
+            return "%s%s 0x%x" % (name, c, instr.target(pc))
+        return "%s%s pc%+d" % (name, c, 8 + 4 * instr.offset)
+    if isinstance(instr, Swi):
+        return "swi%s #%d" % (c, instr.imm24)
+    raise TypeError("cannot disassemble %r" % (instr,))
+
+
+def disassemble_image(words, base=0):
+    """Disassemble a list of machine words starting at ``base``."""
+    from repro.isa.arm.decode import decode
+
+    lines = []
+    for i, word in enumerate(words):
+        pc = base + 4 * i
+        lines.append("%08x:  %08x  %s" % (pc, word, disassemble(decode(word), pc)))
+    return "\n".join(lines)

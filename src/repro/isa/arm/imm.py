@@ -1,0 +1,38 @@
+"""ARM rotated-immediate encoding.
+
+A data-processing immediate is an 8-bit value rotated right by an even
+amount (0, 2, …, 30).  This constraint is one of the field-level facts
+the FITS profiler exploits: most embedded immediates are small and
+encodable, the rest force multi-instruction materialization.
+"""
+
+MASK32 = 0xFFFFFFFF
+
+
+def _ror32(value, amount):
+    amount &= 31
+    return ((value >> amount) | (value << (32 - amount))) & MASK32
+
+
+def encode_rotated_imm(value):
+    """Return ``(rot, imm8)`` such that ``ror32(imm8, 2*rot) == value``.
+
+    Returns ``None`` when the value cannot be expressed.  Prefers the
+    smallest rotation (the canonical assembler choice).
+    """
+    value &= MASK32
+    for rot in range(16):
+        imm8 = _ror32(value, 32 - 2 * rot) if rot else value
+        if imm8 <= 0xFF:
+            return rot, imm8
+    return None
+
+
+def decode_rotated_imm(rot, imm8):
+    """Inverse of :func:`encode_rotated_imm`."""
+    return _ror32(imm8, 2 * rot)
+
+
+def is_encodable_imm(value):
+    """True when the value fits an ARM data-processing immediate."""
+    return encode_rotated_imm(value) is not None

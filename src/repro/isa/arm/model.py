@@ -1,0 +1,426 @@
+"""Decoded ARM instruction objects and their encoders.
+
+Each instruction class knows how to produce its genuine ARMv4 machine
+word via :meth:`ArmInstr.encode`; :mod:`repro.isa.arm.decode` is the
+inverse.  The functional simulator executes these objects directly
+(pre-decoded execution), and the FITS profiler reads their fields.
+"""
+
+import enum
+
+from repro.isa.arm.imm import decode_rotated_imm
+
+
+class Cond(enum.IntEnum):
+    """ARM condition codes (the value is the 4-bit cond field)."""
+
+    EQ = 0
+    NE = 1
+    CS = 2  # carry set / unsigned >=
+    CC = 3  # carry clear / unsigned <
+    MI = 4
+    PL = 5
+    VS = 6
+    VC = 7
+    HI = 8  # unsigned >
+    LS = 9  # unsigned <=
+    GE = 10
+    LT = 11
+    GT = 12
+    LE = 13
+    AL = 14
+
+
+class DPOp(enum.IntEnum):
+    """Data-processing opcodes (the value is the 4-bit opcode field)."""
+
+    AND = 0
+    EOR = 1
+    SUB = 2
+    RSB = 3
+    ADD = 4
+    ADC = 5
+    SBC = 6
+    RSC = 7
+    TST = 8
+    TEQ = 9
+    CMP = 10
+    CMN = 11
+    ORR = 12
+    MOV = 13
+    BIC = 14
+    MVN = 15
+
+
+#: Opcodes that only set flags and write no register.
+COMPARE_OPS = frozenset({DPOp.TST, DPOp.TEQ, DPOp.CMP, DPOp.CMN})
+#: Opcodes with a single (shifter) operand and no Rn.
+UNARY_OPS = frozenset({DPOp.MOV, DPOp.MVN})
+
+
+class ShiftType(enum.IntEnum):
+    LSL = 0
+    LSR = 1
+    ASR = 2
+    ROR = 3
+
+
+class Operand2Imm:
+    """Rotated-immediate shifter operand."""
+
+    __slots__ = ("rot", "imm8")
+
+    def __init__(self, rot, imm8):
+        if not (0 <= rot < 16 and 0 <= imm8 <= 0xFF):
+            raise ValueError("bad rotated immediate rot=%d imm8=%d" % (rot, imm8))
+        self.rot = rot
+        self.imm8 = imm8
+
+    @property
+    def value(self):
+        return decode_rotated_imm(self.rot, self.imm8)
+
+    def __repr__(self):
+        return "#0x%x" % self.value
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Operand2Imm)
+            and other.rot == self.rot
+            and other.imm8 == self.imm8
+        )
+
+
+class Operand2Reg:
+    """Register shifter operand, optionally shifted by an immediate."""
+
+    __slots__ = ("rm", "shift_type", "shift_imm")
+
+    def __init__(self, rm, shift_type=ShiftType.LSL, shift_imm=0):
+        if not 0 <= shift_imm < 32:
+            raise ValueError("shift_imm out of range: %d" % shift_imm)
+        self.rm = rm
+        self.shift_type = ShiftType(shift_type)
+        self.shift_imm = shift_imm
+
+    def __repr__(self):
+        if self.shift_imm == 0 and self.shift_type is ShiftType.LSL:
+            return "r%d" % self.rm
+        return "r%d, %s #%d" % (self.rm, self.shift_type.name.lower(), self.shift_imm)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Operand2Reg)
+            and other.rm == self.rm
+            and other.shift_type == self.shift_type
+            and other.shift_imm == self.shift_imm
+        )
+
+
+class Operand2RegReg:
+    """Register shifted by a register amount (``rm, lsl rs``).
+
+    ARM takes the shift amount from the bottom byte of ``rs``; amounts of
+    32 or more produce 0 (or the sign fill for ASR), which matches the IR
+    shift semantics the compiler lowers from.
+    """
+
+    __slots__ = ("rm", "shift_type", "rs")
+
+    def __init__(self, rm, shift_type, rs):
+        self.rm = rm
+        self.shift_type = ShiftType(shift_type)
+        self.rs = rs
+
+    def __repr__(self):
+        return "r%d, %s r%d" % (self.rm, self.shift_type.name.lower(), self.rs)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Operand2RegReg)
+            and other.rm == self.rm
+            and other.shift_type == self.shift_type
+            and other.rs == self.rs
+        )
+
+
+def _check_reg(*regs):
+    for r in regs:
+        if not 0 <= r <= 15:
+            raise ValueError("register out of range: %d" % r)
+
+
+class ArmInstr:
+    """Base class; every ARM instruction carries a condition code."""
+
+    __slots__ = ("cond",)
+
+    def __init__(self, cond=Cond.AL):
+        self.cond = Cond(cond)
+
+    def encode(self):
+        raise NotImplementedError
+
+    def regs_read(self):
+        """Architectural register numbers read (for profiling)."""
+        return []
+
+    def regs_written(self):
+        return []
+
+
+class DataProc(ArmInstr):
+    """Data-processing: ``<op>{cond}{s} rd, rn, <operand2>``."""
+
+    __slots__ = ("op", "s", "rn", "rd", "operand2")
+
+    def __init__(self, op, rd, rn, operand2, s=False, cond=Cond.AL):
+        super().__init__(cond)
+        self.op = DPOp(op)
+        self.s = bool(s)
+        if self.op in COMPARE_OPS:
+            self.s = True  # compares always set flags
+            rd = 0
+        if self.op in UNARY_OPS:
+            rn = 0
+        _check_reg(rd, rn)
+        self.rd = rd
+        self.rn = rn
+        if not isinstance(operand2, (Operand2Imm, Operand2Reg, Operand2RegReg)):
+            raise TypeError("operand2 must be Operand2Imm/Operand2Reg/Operand2RegReg")
+        self.operand2 = operand2
+
+    def encode(self):
+        word = (self.cond << 28) | (self.op << 21) | (int(self.s) << 20)
+        word |= (self.rn << 16) | (self.rd << 12)
+        if isinstance(self.operand2, Operand2Imm):
+            word |= 1 << 25
+            word |= (self.operand2.rot << 8) | self.operand2.imm8
+        elif isinstance(self.operand2, Operand2RegReg):
+            word |= (self.operand2.rs << 8) | (self.operand2.shift_type << 5)
+            word |= (1 << 4) | self.operand2.rm
+        else:
+            word |= (self.operand2.shift_imm << 7) | (self.operand2.shift_type << 5)
+            word |= self.operand2.rm
+        return word
+
+    def regs_read(self):
+        out = [] if self.op in UNARY_OPS else [self.rn]
+        if isinstance(self.operand2, (Operand2Reg, Operand2RegReg)):
+            out.append(self.operand2.rm)
+        if isinstance(self.operand2, Operand2RegReg):
+            out.append(self.operand2.rs)
+        return out
+
+    def regs_written(self):
+        return [] if self.op in COMPARE_OPS else [self.rd]
+
+
+class Multiply(ArmInstr):
+    """``mul rd, rm, rs`` or ``mla rd, rm, rs, rn`` (accumulate)."""
+
+    __slots__ = ("rd", "rm", "rs", "rn", "accumulate", "s")
+
+    def __init__(self, rd, rm, rs, rn=0, accumulate=False, s=False, cond=Cond.AL):
+        super().__init__(cond)
+        _check_reg(rd, rm, rs, rn)
+        if rd == rm:
+            raise ValueError("ARM MUL requires rd != rm")
+        self.rd = rd
+        self.rm = rm
+        self.rs = rs
+        self.rn = rn
+        self.accumulate = bool(accumulate)
+        self.s = bool(s)
+
+    def encode(self):
+        word = (self.cond << 28) | (int(self.accumulate) << 21) | (int(self.s) << 20)
+        word |= (self.rd << 16) | (self.rn << 12) | (self.rs << 8) | (0b1001 << 4)
+        word |= self.rm
+        return word
+
+    def regs_read(self):
+        out = [self.rm, self.rs]
+        if self.accumulate:
+            out.append(self.rn)
+        return out
+
+    def regs_written(self):
+        return [self.rd]
+
+
+class MemWord(ArmInstr):
+    """Word/byte load-store with immediate or (shifted) register offset.
+
+    Pre-indexed without write-back only — the addressing mode the
+    compiler uses.  ``offset`` is a signed int in [-4095, 4095] or an
+    :class:`Operand2Reg` (LSL-shifted register, added).
+    """
+
+    __slots__ = ("load", "byte", "rn", "rd", "offset")
+
+    def __init__(self, load, rd, rn, offset=0, byte=False, cond=Cond.AL):
+        super().__init__(cond)
+        _check_reg(rd, rn)
+        self.load = bool(load)
+        self.byte = bool(byte)
+        self.rd = rd
+        self.rn = rn
+        if isinstance(offset, int):
+            if not -4095 <= offset <= 4095:
+                raise ValueError("word transfer offset out of range: %d" % offset)
+        elif not isinstance(offset, Operand2Reg):
+            raise TypeError("offset must be int or Operand2Reg")
+        elif offset.shift_type is not ShiftType.LSL:
+            raise ValueError("register offsets use LSL shifts only")
+        self.offset = offset
+
+    def encode(self):
+        word = (self.cond << 28) | (1 << 26) | (1 << 24)  # pre-indexed
+        word |= (int(self.byte) << 22) | (int(self.load) << 20)
+        word |= (self.rn << 16) | (self.rd << 12)
+        if isinstance(self.offset, int):
+            up = self.offset >= 0
+            word |= int(up) << 23
+            word |= abs(self.offset)
+        else:
+            word |= (1 << 25) | (1 << 23)  # register offset, added
+            word |= (self.offset.shift_imm << 7) | (self.offset.shift_type << 5)
+            word |= self.offset.rm
+        return word
+
+    def regs_read(self):
+        out = [self.rn]
+        if isinstance(self.offset, Operand2Reg):
+            out.append(self.offset.rm)
+        if not self.load:
+            out.append(self.rd)
+        return out
+
+    def regs_written(self):
+        return [self.rd] if self.load else []
+
+
+class MemHalf(ArmInstr):
+    """Halfword and signed byte/halfword transfers (imm8 offsets).
+
+    ``signed`` loads sign-extend; stores are always unsigned halfword.
+    """
+
+    __slots__ = ("load", "half", "signed", "rn", "rd", "offset")
+
+    def __init__(self, load, rd, rn, offset=0, half=True, signed=False, cond=Cond.AL):
+        super().__init__(cond)
+        _check_reg(rd, rn)
+        self.load = bool(load)
+        self.half = bool(half)
+        self.signed = bool(signed)
+        if not self.load and (self.signed or not self.half):
+            raise ValueError("stores in this format are unsigned halfword only")
+        if self.load and not self.signed and not self.half:
+            raise ValueError("unsigned byte loads use MemWord (LDRB)")
+        if not isinstance(offset, int) or not -255 <= offset <= 255:
+            raise ValueError("halfword transfer offset out of range: %r" % (offset,))
+        self.rd = rd
+        self.rn = rn
+        self.offset = offset
+
+    def encode(self):
+        word = (self.cond << 28) | (1 << 24)  # pre-indexed
+        word |= (1 << 22)  # immediate offset form
+        word |= (int(self.offset >= 0) << 23) | (int(self.load) << 20)
+        word |= (self.rn << 16) | (self.rd << 12)
+        mag = abs(self.offset)
+        word |= ((mag >> 4) << 8) | (mag & 0xF)
+        sh = (int(self.signed) << 1) | int(self.half)
+        word |= (1 << 7) | (sh << 5) | (1 << 4)
+        return word
+
+    def regs_read(self):
+        return [self.rn] + ([] if self.load else [self.rd])
+
+    def regs_written(self):
+        return [self.rd] if self.load else []
+
+
+class MemMultiple(ArmInstr):
+    """Block transfer: ``stmdb rn!, {...}`` / ``ldmia rn!, {...}``.
+
+    Only the two stack idioms compilers actually emit are supported
+    (full-descending push and pop, always with write-back).  A pop whose
+    register list includes pc (r15) is a function return.
+    """
+
+    __slots__ = ("load", "rn", "reglist")
+
+    def __init__(self, load, rn, reglist, cond=Cond.AL):
+        super().__init__(cond)
+        _check_reg(rn, *reglist)
+        if not reglist:
+            raise ValueError("empty register list")
+        self.load = bool(load)
+        self.rn = rn
+        self.reglist = sorted(set(reglist))
+        if not self.load and 15 in self.reglist:
+            raise ValueError("cannot push pc")
+
+    def encode(self):
+        word = (self.cond << 28) | (0b100 << 25) | (1 << 21)  # W=1
+        if self.load:
+            word |= (1 << 23) | (1 << 20)  # LDMIA: P=0 U=1 L=1
+        else:
+            word |= 1 << 24  # STMDB: P=1 U=0 L=0
+        word |= self.rn << 16
+        for r in self.reglist:
+            word |= 1 << r
+        return word
+
+    def regs_read(self):
+        return [self.rn] + ([] if self.load else list(self.reglist))
+
+    def regs_written(self):
+        return [self.rn] + (list(self.reglist) if self.load else [])
+
+
+class Branch(ArmInstr):
+    """``b{cond}`` / ``bl{cond}`` with a 24-bit word offset.
+
+    ``offset`` is in *words* relative to PC+8 (the architectural
+    convention); the linker computes it from byte addresses.
+    """
+
+    __slots__ = ("link", "offset")
+
+    def __init__(self, offset, link=False, cond=Cond.AL):
+        super().__init__(cond)
+        if not -(1 << 23) <= offset < (1 << 23):
+            raise ValueError("branch offset out of range: %d" % offset)
+        self.link = bool(link)
+        self.offset = offset
+
+    def encode(self):
+        word = (self.cond << 28) | (0b101 << 25) | (int(self.link) << 24)
+        word |= self.offset & 0xFFFFFF
+        return word
+
+    def target(self, pc):
+        """Byte address of the branch target given the instruction's PC."""
+        return (pc + 8 + 4 * self.offset) & 0xFFFFFFFF
+
+    def regs_written(self):
+        return [14] if self.link else []
+
+
+class Swi(ArmInstr):
+    """Software interrupt; the 24-bit comment selects the system call."""
+
+    __slots__ = ("imm24",)
+
+    def __init__(self, imm24, cond=Cond.AL):
+        super().__init__(cond)
+        if not 0 <= imm24 < (1 << 24):
+            raise ValueError("swi number out of range: %d" % imm24)
+        self.imm24 = imm24
+
+    def encode(self):
+        return (self.cond << 28) | (0xF << 24) | self.imm24

@@ -1,0 +1,34 @@
+"""FITS 16-bit format machinery.
+
+A FITS instruction set is *synthesized per application*
+(:mod:`repro.core`): field widths, the opcode table, the register
+renaming map and the immediate dictionaries together form the
+*programmable decoder configuration* that the paper downloads into
+non-volatile storage after fabrication.  This package holds the
+parameterized format model, the encoder and the (config-driven)
+decoder.
+"""
+
+from repro.isa.fits.spec import (
+    FitsIsa,
+    OperationSpec,
+    FitsInstr,
+    FitsEncodingError,
+    OPRD_REG,
+    OPRD_RAW,
+    OPRD_DICT,
+)
+from repro.isa.fits.codec import encode_fits, decode_fits, FitsDecodeError
+
+__all__ = [
+    "FitsIsa",
+    "OperationSpec",
+    "FitsInstr",
+    "FitsEncodingError",
+    "OPRD_REG",
+    "OPRD_RAW",
+    "OPRD_DICT",
+    "encode_fits",
+    "decode_fits",
+    "FitsDecodeError",
+]

@@ -1,0 +1,61 @@
+"""FITS encoder and decoder.
+
+The encoder packs an opcode plus field values into one halfword; the
+decoder reverses it using the same :class:`~repro.isa.fits.spec.FitsIsa`
+configuration (the programmable decoder).  The FITS functional simulator
+executes only what the decoder produces, so a mismatch between the
+translator's intent and the decodable encoding fails loudly in tests.
+"""
+
+from repro.isa.fits.spec import FitsInstr, FitsEncodingError, SIGNED_WIDE
+
+
+class FitsDecodeError(Exception):
+    """Raised for halfwords that don't decode under a given ISA config."""
+
+
+def encode_fits(isa, instr):
+    """Encode a :class:`FitsInstr` to a 16-bit word."""
+    layout = isa.field_layout(instr.spec)
+    word = instr.opcode
+    used = isa.k_op
+    for name, width in layout:
+        value = instr.fields.get(name, 0)
+        if instr.spec.kind in SIGNED_WIDE and name == "value":
+            lo = -(1 << (width - 1))
+            hi = (1 << (width - 1)) - 1
+            if not lo <= value <= hi:
+                raise FitsEncodingError(
+                    "%s: signed field %s=%d out of %d-bit range"
+                    % (instr.spec.name, name, value, width)
+                )
+            value &= (1 << width) - 1
+        elif not 0 <= value < (1 << width):
+            raise FitsEncodingError(
+                "%s: field %s=%d exceeds %d bits" % (instr.spec.name, name, value, width)
+            )
+        word = (word << width) | value
+        used += width
+    # right-pad unused low bits (Implicit formats, short layouts)
+    word <<= 16 - used
+    return word
+
+
+def decode_fits(isa, halfword):
+    """Decode one halfword back into a :class:`FitsInstr`."""
+    if not 0 <= halfword <= 0xFFFF:
+        raise FitsDecodeError("halfword out of range: %r" % (halfword,))
+    opcode = halfword >> (16 - isa.k_op)
+    spec = isa.opcode_table.get(opcode)
+    if spec is None:
+        raise FitsDecodeError("opcode %d not in decoder table" % opcode)
+    layout = isa.field_layout(spec)
+    fields = {}
+    pos = 16 - isa.k_op
+    for name, width in layout:
+        pos -= width
+        raw = (halfword >> pos) & ((1 << width) - 1)
+        if spec.kind in SIGNED_WIDE and name == "value" and raw >= (1 << (width - 1)):
+            raw -= 1 << width
+        fields[name] = raw
+    return FitsInstr(opcode, spec, fields)

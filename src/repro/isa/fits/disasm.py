@@ -1,0 +1,97 @@
+"""FITS disassembler: halfwords → synthesized-assembly listing.
+
+Because the instruction set is synthesized per application, the listing
+prints the *decoder's* names for opcodes and resolves register renaming
+and dictionary indices back to architectural values — it documents the
+decoder configuration as much as the program.
+"""
+
+from repro.isa.fits.spec import OPRD_DICT, OPRD_REG
+from repro.isa.fits.codec import decode_fits
+
+
+def _reg(isa, field_value):
+    try:
+        return "r%d" % isa.arm_reg(field_value & ((1 << isa.k_reg) - 1))
+    except KeyError:
+        return "r?%d" % field_value
+
+
+def disassemble_fits(isa, instr):
+    """One-line text for a decoded :class:`FitsInstr`."""
+    spec = instr.spec
+    f = instr.fields
+    name = spec.name
+    kind = spec.kind
+    if kind in ("dp3", "shifti", "shiftr", "mul", "mov2"):
+        rc = _reg(isa, f.get("rc", 0))
+        ra = _reg(isa, f.get("ra", 0))
+        if kind == "mov2":
+            return "%s %s, %s" % (name, rc, ra)
+        oprd = f.get("oprd", 0)
+        if spec.oprd_mode == OPRD_REG:
+            return "%s %s, %s, %s" % (name, rc, ra, _reg(isa, oprd))
+        if spec.oprd_mode == OPRD_DICT:
+            return "%s %s, %s, =%#x" % (name, rc, ra, isa.dict_lookup(spec.dict_category, oprd))
+        return "%s %s, %s, #%d" % (name, rc, ra, oprd)
+    if kind in ("dp2", "movi", "mvni", "shift2i", "shift2r", "mul2"):
+        rc = _reg(isa, f.get("rc", 0))
+        value = f.get("value", 0)
+        if spec.oprd_mode == OPRD_REG:
+            return "%s %s, %s" % (name, rc, _reg(isa, value))
+        if spec.oprd_mode == OPRD_DICT:
+            return "%s %s, =%#x" % (name, rc, isa.dict_lookup(spec.dict_category, value))
+        return "%s %s, #%d" % (name, rc, value)
+    if kind == "cmp2":
+        ra = _reg(isa, f.get("ra", 0))
+        value = f.get("value", 0)
+        if spec.params.get("mode") == "reg":
+            return "%s %s, %s" % (name, ra, _reg(isa, value))
+        if spec.oprd_mode == OPRD_DICT:
+            return "%s %s, =%#x" % (name, ra, isa.dict_lookup(spec.dict_category, value))
+        return "%s %s, #%d" % (name, ra, value)
+    if kind in ("mem", "memr"):
+        rd = _reg(isa, f.get("rd", 0))
+        rb = _reg(isa, f.get("rb", 0))
+        imm = f.get("imm", 0)
+        if kind == "memr" or spec.oprd_mode == OPRD_REG:
+            return "%s %s, [%s, %s]" % (name, rd, rb, _reg(isa, imm))
+        if spec.oprd_mode == OPRD_DICT:
+            return "%s %s, [%s, =%d]" % (name, rd, rb, isa.dict_lookup("mem", imm))
+        return "%s %s, [%s, #%d]" % (name, rd, rb, imm * spec.params.get("width", 4))
+    if kind == "memrx":
+        rd = _reg(isa, f.get("rd", 0))
+        rb = _reg(isa, f.get("rb", 0))
+        return "%s %s, [%s, <extr>]" % (name, rd, rb)
+    if kind == "memsp":
+        rd = _reg(isa, f.get("rd", 0))
+        return "%s %s, [sp, #%d]" % (name, rd, f.get("imm", 0) * 4)
+    if kind in ("b", "bl", "spadj"):
+        return "%s %+d" % (name, f.get("value", 0))
+    if kind == "swi":
+        return "%s #%d" % (name, f.get("value", 0))
+    if kind == "ext":
+        return "%s 0x%x" % (name, f.get("value", 0))
+    if kind in ("ldm", "stm"):
+        regs = ", ".join(("pc" if r == 15 else "r%d" % r) for r in spec.params["reglist"])
+        return "%s {%s}" % (name, regs)
+    if kind == "ret":
+        return name
+    return "%s %r" % (name, f)
+
+
+def disassemble_image(fits_image, start=0, count=None):
+    """Listing of a translated FITS image (address, halfword, text)."""
+    isa = fits_image.isa
+    out = []
+    end = len(fits_image.halfwords) if count is None else min(
+        len(fits_image.halfwords), start + count
+    )
+    for i in range(start, end):
+        half = fits_image.halfwords[i]
+        instr = decode_fits(isa, half)
+        out.append(
+            "%08x:  %04x  %s"
+            % (fits_image.addr_of_index(i), half, disassemble_fits(isa, instr))
+        )
+    return "\n".join(out)

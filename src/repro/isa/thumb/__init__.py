@@ -1,0 +1,53 @@
+"""Thumb-like 16-bit ISA (the dual-instruction-set comparator).
+
+Real Thumb-1 encodings for the subset the Thumb back end emits.  The
+point of this ISA in the study is its *constraints*: 3-bit register
+fields (eight low registers), two-address ALU operations, and 8-bit
+immediates — the reasons the paper gives for Thumb's code-size saving
+(~33 %) falling short of FITS (~47 %).
+"""
+
+from repro.isa.thumb.model import (
+    TCond,
+    TAluOp,
+    ThumbInstr,
+    TShiftImm,
+    TAddSub,
+    TMovCmpAddSubImm,
+    TAlu,
+    THiReg,
+    TLoadStoreImm,
+    TLoadStoreReg,
+    TLoadStoreSpRel,
+    TAdjustSp,
+    TPushPop,
+    TCondBranch,
+    TBranch,
+    TBranchLink,
+    TSwi,
+)
+from repro.isa.thumb.decode import decode_thumb, ThumbDecodeError
+from repro.isa.thumb.disasm import disassemble_thumb
+
+__all__ = [
+    "TCond",
+    "TAluOp",
+    "ThumbInstr",
+    "TShiftImm",
+    "TAddSub",
+    "TMovCmpAddSubImm",
+    "TAlu",
+    "THiReg",
+    "TLoadStoreImm",
+    "TLoadStoreReg",
+    "TLoadStoreSpRel",
+    "TAdjustSp",
+    "TPushPop",
+    "TCondBranch",
+    "TBranch",
+    "TBranchLink",
+    "TSwi",
+    "decode_thumb",
+    "ThumbDecodeError",
+    "disassemble_thumb",
+]

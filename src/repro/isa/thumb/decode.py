@@ -1,0 +1,147 @@
+"""Thumb decoder: halfword(s) → instruction objects.
+
+``decode_thumb`` takes the halfword at the decode position plus the
+following halfword (needed to assemble a ``bl`` pair) and returns the
+instruction object; strict like the ARM decoder.
+"""
+
+from repro.isa.thumb.model import (
+    TCond,
+    TAluOp,
+    TShiftImm,
+    TAddSub,
+    TMovCmpAddSubImm,
+    TAlu,
+    THiReg,
+    TLoadStoreImm,
+    TLoadStoreReg,
+    TLoadStoreSpRel,
+    TAdjustSp,
+    TPushPop,
+    TCondBranch,
+    TBranch,
+    TBranchLink,
+    TSwi,
+)
+
+
+class ThumbDecodeError(Exception):
+    """Raised for halfwords outside the supported Thumb subset."""
+
+
+def _bits(h, hi, lo):
+    return (h >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def decode_thumb(half, next_half=None):
+    """Decode one instruction; returns the object (bl consumes two
+    halfwords — pass the following halfword)."""
+    if not 0 <= half <= 0xFFFF:
+        raise ThumbDecodeError("halfword out of range: %r" % (half,))
+    top3 = _bits(half, 15, 13)
+
+    if top3 == 0b000:
+        op = _bits(half, 12, 11)
+        if op != 0b11:
+            return TShiftImm(
+                {0: "lsl", 1: "lsr", 2: "asr"}[op],
+                rd=_bits(half, 2, 0),
+                rm=_bits(half, 5, 3),
+                imm5=_bits(half, 10, 6),
+            )
+        return TAddSub(
+            sub=bool(half & (1 << 9)),
+            rd=_bits(half, 2, 0),
+            rn=_bits(half, 5, 3),
+            value=_bits(half, 8, 6),
+            imm=bool(half & (1 << 10)),
+        )
+
+    if top3 == 0b001:
+        op = {0: "mov", 1: "cmp", 2: "add", 3: "sub"}[_bits(half, 12, 11)]
+        return TMovCmpAddSubImm(op, rd=_bits(half, 10, 8), imm8=_bits(half, 7, 0))
+
+    if top3 == 0b010:
+        if _bits(half, 12, 10) == 0b000:
+            return TAlu(TAluOp(_bits(half, 9, 6)), rd=_bits(half, 2, 0), rm=_bits(half, 5, 3))
+        if _bits(half, 12, 10) == 0b001:
+            op = {0: "add", 1: "cmp", 2: "mov", 3: "bx"}[_bits(half, 9, 8)]
+            rd = (_bits(half, 7, 7) << 3) | _bits(half, 2, 0)
+            rm = (_bits(half, 6, 6) << 3) | _bits(half, 5, 3)
+            return THiReg(op, rd, rm)
+        if _bits(half, 12, 12) == 1:
+            # register-offset transfers (formats 7/8)
+            rm, rn, rd = _bits(half, 8, 6), _bits(half, 5, 3), _bits(half, 2, 0)
+            if half & (1 << 9):
+                hs = _bits(half, 11, 10)
+                if hs == 0b00:
+                    return TLoadStoreReg(False, rd, rn, rm, width=2)
+                if hs == 0b01:
+                    return TLoadStoreReg(True, rd, rn, rm, width=1, signed=True)
+                if hs == 0b10:
+                    return TLoadStoreReg(True, rd, rn, rm, width=2)
+                return TLoadStoreReg(True, rd, rn, rm, width=2, signed=True)
+            load = bool(half & (1 << 11))
+            byte = bool(half & (1 << 10))
+            return TLoadStoreReg(load, rd, rn, rm, width=1 if byte else 4)
+        raise ThumbDecodeError("pc-relative load unsupported: 0x%04x" % half)
+
+    if top3 == 0b011:
+        load = bool(half & (1 << 11))
+        byte = bool(half & (1 << 12))
+        width = 1 if byte else 4
+        return TLoadStoreImm(
+            load,
+            rd=_bits(half, 2, 0),
+            rn=_bits(half, 5, 3),
+            offset=_bits(half, 10, 6) * width,
+            width=width,
+        )
+
+    if top3 == 0b100:
+        if not half & (1 << 12):
+            return TLoadStoreImm(
+                bool(half & (1 << 11)),
+                rd=_bits(half, 2, 0),
+                rn=_bits(half, 5, 3),
+                offset=_bits(half, 10, 6) * 2,
+                width=2,
+            )
+        return TLoadStoreSpRel(
+            bool(half & (1 << 11)), rd=_bits(half, 10, 8), offset=_bits(half, 7, 0) * 4
+        )
+
+    if top3 == 0b101:
+        if _bits(half, 12, 8) == 0b10000:
+            mag = _bits(half, 6, 0) * 4
+            return TAdjustSp(-mag if half & (1 << 7) else mag)
+        if _bits(half, 12, 12) == 1 and _bits(half, 10, 9) == 0b10:
+            regs = [r for r in range(8) if half & (1 << r)]
+            return TPushPop(bool(half & (1 << 11)), regs, extra=bool(half & (1 << 8)))
+        raise ThumbDecodeError("unsupported misc format: 0x%04x" % half)
+
+    if top3 == 0b110:
+        cond = _bits(half, 11, 8)
+        if cond == 0xF:
+            return TSwi(_bits(half, 7, 0))
+        if cond == 0xE:
+            raise ThumbDecodeError("undefined cond 0xE: 0x%04x" % half)
+        off = _bits(half, 7, 0)
+        if off >= 128:
+            off -= 256
+        return TCondBranch(TCond(cond), off)
+
+    # top3 == 0b111
+    if _bits(half, 12, 11) == 0b00:
+        off = _bits(half, 10, 0)
+        if off >= 1024:
+            off -= 2048
+        return TBranch(off)
+    if _bits(half, 12, 11) == 0b10:
+        if next_half is None or _bits(next_half, 15, 11) != 0b11111:
+            raise ThumbDecodeError("bl hi half without lo half: 0x%04x" % half)
+        off = (_bits(half, 10, 0) << 11) | _bits(next_half, 10, 0)
+        if off >= (1 << 21):
+            off -= 1 << 22
+        return TBranchLink(off)
+    raise ThumbDecodeError("unsupported format: 0x%04x" % half)

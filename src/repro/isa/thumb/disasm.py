@@ -1,0 +1,67 @@
+"""Minimal Thumb disassembler for diagnostics."""
+
+from repro.isa.thumb.model import (
+    TShiftImm,
+    TAddSub,
+    TMovCmpAddSubImm,
+    TAlu,
+    THiReg,
+    TLoadStoreImm,
+    TLoadStoreReg,
+    TLoadStoreSpRel,
+    TAdjustSp,
+    TPushPop,
+    TCondBranch,
+    TBranch,
+    TBranchLink,
+    TSwi,
+)
+
+
+def disassemble_thumb(ins):
+    if isinstance(ins, TShiftImm):
+        return "%s r%d, r%d, #%d" % (ins.op, ins.rd, ins.rm, ins.imm5)
+    if isinstance(ins, TAddSub):
+        name = "sub" if ins.sub else "add"
+        operand = "#%d" % ins.value if ins.imm else "r%d" % ins.value
+        return "%s r%d, r%d, %s" % (name, ins.rd, ins.rn, operand)
+    if isinstance(ins, TMovCmpAddSubImm):
+        return "%s r%d, #%d" % (ins.op, ins.rd, ins.imm8)
+    if isinstance(ins, TAlu):
+        return "%s r%d, r%d" % (ins.op.name.lower(), ins.rd, ins.rm)
+    if isinstance(ins, THiReg):
+        if ins.op == "bx":
+            return "bx r%d" % ins.rm
+        return "%s r%d, r%d" % (ins.op, ins.rd, ins.rm)
+    if isinstance(ins, TLoadStoreImm):
+        name = _ls_name(ins.load, ins.width, False)
+        return "%s r%d, [r%d, #%d]" % (name, ins.rd, ins.rn, ins.offset)
+    if isinstance(ins, TLoadStoreReg):
+        name = _ls_name(ins.load, ins.width, ins.signed)
+        return "%s r%d, [r%d, r%d]" % (name, ins.rd, ins.rn, ins.rm)
+    if isinstance(ins, TLoadStoreSpRel):
+        return "%s r%d, [sp, #%d]" % ("ldr" if ins.load else "str", ins.rd, ins.offset)
+    if isinstance(ins, TAdjustSp):
+        return "add sp, #%d" % ins.delta
+    if isinstance(ins, TPushPop):
+        regs = ", ".join("r%d" % r for r in ins.reglist)
+        if ins.extra:
+            regs = regs + (", pc" if ins.pop else ", lr") if regs else ("pc" if ins.pop else "lr")
+        return "%s {%s}" % ("pop" if ins.pop else "push", regs)
+    if isinstance(ins, TCondBranch):
+        return "b%s .%+d" % (ins.cond.name.lower(), ins.offset)
+    if isinstance(ins, TBranch):
+        return "b .%+d" % ins.offset
+    if isinstance(ins, TBranchLink):
+        return "bl .%+d" % ins.offset
+    if isinstance(ins, TSwi):
+        return "swi #%d" % ins.imm8
+    raise TypeError("cannot disassemble %r" % (ins,))
+
+
+def _ls_name(load, width, signed):
+    if load:
+        if signed:
+            return "ldsb" if width == 1 else "ldsh"
+        return {1: "ldrb", 2: "ldrh", 4: "ldr"}[width]
+    return {1: "strb", 2: "strh", 4: "str"}[width]

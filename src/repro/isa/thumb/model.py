@@ -1,0 +1,382 @@
+"""Thumb instruction objects and encoders (genuine Thumb-1 layouts)."""
+
+import enum
+
+
+class TCond(enum.IntEnum):
+    """Condition field of Thumb conditional branches (same codes as ARM)."""
+
+    EQ = 0
+    NE = 1
+    CS = 2
+    CC = 3
+    MI = 4
+    PL = 5
+    VS = 6
+    VC = 7
+    HI = 8
+    LS = 9
+    GE = 10
+    LT = 11
+    GT = 12
+    LE = 13
+
+
+class TAluOp(enum.IntEnum):
+    """Format-4 two-address ALU opcodes (``rd = rd op rm``)."""
+
+    AND = 0x0
+    EOR = 0x1
+    LSL = 0x2
+    LSR = 0x3
+    ASR = 0x4
+    ADC = 0x5
+    SBC = 0x6
+    ROR = 0x7
+    TST = 0x8
+    NEG = 0x9
+    CMP = 0xA
+    CMN = 0xB
+    ORR = 0xC
+    MUL = 0xD
+    BIC = 0xE
+    MVN = 0xF
+
+
+def _low(*regs):
+    for r in regs:
+        if not 0 <= r <= 7:
+            raise ValueError("low register required, got r%d" % r)
+
+
+class ThumbInstr:
+    """Base class; all Thumb instructions encode to one halfword
+    (``TBranchLink`` is the exception: an hi/lo halfword pair)."""
+
+    __slots__ = ()
+
+    def encode(self):
+        raise NotImplementedError
+
+    @property
+    def size_halfwords(self):
+        return 1
+
+
+class TShiftImm(ThumbInstr):
+    """Format 1: ``lsl/lsr/asr rd, rm, #imm5`` (three-address shift)."""
+
+    __slots__ = ("op", "rd", "rm", "imm5")
+
+    OPS = {"lsl": 0, "lsr": 1, "asr": 2}
+
+    def __init__(self, op, rd, rm, imm5):
+        if op not in self.OPS:
+            raise ValueError("bad shift op %r" % op)
+        _low(rd, rm)
+        if not 0 <= imm5 < 32:
+            raise ValueError("imm5 out of range: %d" % imm5)
+        self.op = op
+        self.rd = rd
+        self.rm = rm
+        self.imm5 = imm5
+
+    def encode(self):
+        return (self.OPS[self.op] << 11) | (self.imm5 << 6) | (self.rm << 3) | self.rd
+
+
+class TAddSub(ThumbInstr):
+    """Format 2: ``add/sub rd, rn, rm`` or ``add/sub rd, rn, #imm3``."""
+
+    __slots__ = ("sub", "rd", "rn", "value", "imm")
+
+    def __init__(self, sub, rd, rn, value, imm=False):
+        _low(rd, rn)
+        if imm:
+            if not 0 <= value <= 7:
+                raise ValueError("imm3 out of range: %d" % value)
+        else:
+            _low(value)
+        self.sub = bool(sub)
+        self.rd = rd
+        self.rn = rn
+        self.value = value
+        self.imm = bool(imm)
+
+    def encode(self):
+        word = 0b00011 << 11
+        word |= (int(self.imm) << 10) | (int(self.sub) << 9)
+        word |= (self.value << 6) | (self.rn << 3) | self.rd
+        return word
+
+
+class TMovCmpAddSubImm(ThumbInstr):
+    """Format 3: ``mov/cmp/add/sub rd, #imm8`` (two-address for add/sub)."""
+
+    __slots__ = ("op", "rd", "imm8")
+
+    OPS = {"mov": 0, "cmp": 1, "add": 2, "sub": 3}
+
+    def __init__(self, op, rd, imm8):
+        if op not in self.OPS:
+            raise ValueError("bad format-3 op %r" % op)
+        _low(rd)
+        if not 0 <= imm8 <= 255:
+            raise ValueError("imm8 out of range: %d" % imm8)
+        self.op = op
+        self.rd = rd
+        self.imm8 = imm8
+
+    def encode(self):
+        return (0b001 << 13) | (self.OPS[self.op] << 11) | (self.rd << 8) | self.imm8
+
+
+class TAlu(ThumbInstr):
+    """Format 4: two-address ALU, ``rd = rd op rm`` (or compare/test)."""
+
+    __slots__ = ("op", "rd", "rm")
+
+    def __init__(self, op, rd, rm):
+        _low(rd, rm)
+        self.op = TAluOp(op)
+        self.rd = rd
+        self.rm = rm
+
+    def encode(self):
+        return (0b010000 << 10) | (self.op << 6) | (self.rm << 3) | self.rd
+
+
+class THiReg(ThumbInstr):
+    """Format 5: ``add/cmp/mov`` involving high registers, and ``bx``."""
+
+    __slots__ = ("op", "rd", "rm")
+
+    OPS = {"add": 0, "cmp": 1, "mov": 2, "bx": 3}
+
+    def __init__(self, op, rd, rm):
+        if op not in self.OPS:
+            raise ValueError("bad hi-reg op %r" % op)
+        if not (0 <= rd <= 15 and 0 <= rm <= 15):
+            raise ValueError("register out of range")
+        if op != "bx" and rd < 8 and rm < 8:
+            raise ValueError("hi-reg form requires at least one high register")
+        self.op = op
+        self.rd = rd
+        self.rm = rm
+
+    def encode(self):
+        h1 = self.rd >> 3
+        h2 = self.rm >> 3
+        return (
+            (0b010001 << 10)
+            | (self.OPS[self.op] << 8)
+            | (h1 << 7)
+            | (h2 << 6)
+            | ((self.rm & 7) << 3)
+            | (self.rd & 7)
+        )
+
+
+class TLoadStoreImm(ThumbInstr):
+    """Formats 9/10: ``ldr/str{b,h} rd, [rn, #imm]`` (scaled imm5)."""
+
+    __slots__ = ("load", "width", "rd", "rn", "offset", "signed")
+
+    def __init__(self, load, rd, rn, offset, width=4, signed=False):
+        _low(rd, rn)
+        if width not in (1, 2, 4):
+            raise ValueError("bad width %r" % width)
+        if signed:
+            raise ValueError("signed loads need the register-offset form")
+        if offset % width:
+            raise ValueError("offset %d not aligned to width %d" % (offset, width))
+        if not 0 <= offset // width < 32:
+            raise ValueError("offset out of range: %d" % offset)
+        self.load = bool(load)
+        self.width = width
+        self.rd = rd
+        self.rn = rn
+        self.offset = offset
+        self.signed = False
+
+    def encode(self):
+        imm5 = self.offset // self.width
+        if self.width == 2:
+            return (0b1000 << 12) | (int(self.load) << 11) | (imm5 << 6) | (self.rn << 3) | self.rd
+        byte = self.width == 1
+        return (
+            (0b011 << 13)
+            | (int(byte) << 12)
+            | (int(self.load) << 11)
+            | (imm5 << 6)
+            | (self.rn << 3)
+            | self.rd
+        )
+
+
+class TLoadStoreReg(ThumbInstr):
+    """Formats 7/8: register-offset transfers, incl. sign-extended loads."""
+
+    __slots__ = ("load", "width", "rd", "rn", "rm", "signed")
+
+    def __init__(self, load, rd, rn, rm, width=4, signed=False):
+        _low(rd, rn, rm)
+        if width not in (1, 2, 4):
+            raise ValueError("bad width %r" % width)
+        if signed and (not load or width == 4):
+            raise ValueError("signed form is load byte/half only")
+        self.load = bool(load)
+        self.width = width
+        self.rd = rd
+        self.rn = rn
+        self.rm = rm
+        self.signed = bool(signed)
+
+    def encode(self):
+        base = (0b0101 << 12) | (self.rm << 6) | (self.rn << 3) | self.rd
+        if self.signed or self.width == 2:
+            # format 8: [H][S]1
+            if not self.load:  # strh
+                hs = 0b00
+            elif self.signed and self.width == 1:  # ldsb
+                hs = 0b01
+            elif not self.signed and self.width == 2:  # ldrh
+                hs = 0b10
+            else:  # ldsh
+                hs = 0b11
+            return base | (hs << 10) | (1 << 9)
+        # format 7: [L][B]0
+        lb = (int(self.load) << 1) | int(self.width == 1)
+        return base | (lb << 10)
+
+
+class TLoadStoreSpRel(ThumbInstr):
+    """Format 11: ``ldr/str rd, [sp, #imm8*4]`` — the spill form."""
+
+    __slots__ = ("load", "rd", "offset")
+
+    def __init__(self, load, rd, offset):
+        _low(rd)
+        if offset % 4 or not 0 <= offset // 4 < 256:
+            raise ValueError("sp-relative offset out of range: %d" % offset)
+        self.load = bool(load)
+        self.rd = rd
+        self.offset = offset
+
+    def encode(self):
+        return (0b1001 << 12) | (int(self.load) << 11) | (self.rd << 8) | (self.offset // 4)
+
+
+class TAdjustSp(ThumbInstr):
+    """Format 13: ``add sp, #±imm7*4``."""
+
+    __slots__ = ("delta",)
+
+    def __init__(self, delta):
+        if delta % 4 or not -508 <= delta <= 508:
+            raise ValueError("sp adjustment out of range: %d" % delta)
+        self.delta = delta
+
+    def encode(self):
+        mag = abs(self.delta) // 4
+        return (0b10110000 << 8) | (int(self.delta < 0) << 7) | mag
+
+
+class TPushPop(ThumbInstr):
+    """Format 14: ``push {rlist[, lr]}`` / ``pop {rlist[, pc]}``."""
+
+    __slots__ = ("pop", "reglist", "extra")
+
+    def __init__(self, pop, reglist, extra=False):
+        for r in reglist:
+            _low(r)
+        self.pop = bool(pop)
+        self.reglist = sorted(set(reglist))
+        self.extra = bool(extra)  # lr for push, pc for pop
+
+    def encode(self):
+        bits = 0
+        for r in self.reglist:
+            bits |= 1 << r
+        return (
+            (0b1011 << 12)
+            | (int(self.pop) << 11)
+            | (0b10 << 9)
+            | (int(self.extra) << 8)
+            | bits
+        )
+
+
+class TCondBranch(ThumbInstr):
+    """Format 16: ``b<cond>`` with a signed 8-bit halfword offset."""
+
+    __slots__ = ("cond", "offset")
+
+    def __init__(self, cond, offset):
+        if not -128 <= offset <= 127:
+            raise ValueError("conditional branch offset out of range: %d" % offset)
+        self.cond = TCond(cond)
+        self.offset = offset
+
+    def encode(self):
+        return (0b1101 << 12) | (self.cond << 8) | (self.offset & 0xFF)
+
+    def target_index(self, index):
+        """Instruction (halfword) index of the target."""
+        return index + 2 + self.offset
+
+
+class TBranch(ThumbInstr):
+    """Format 18: ``b`` with a signed 11-bit halfword offset."""
+
+    __slots__ = ("offset",)
+
+    def __init__(self, offset):
+        if not -1024 <= offset <= 1023:
+            raise ValueError("branch offset out of range: %d" % offset)
+        self.offset = offset
+
+    def encode(self):
+        return (0b11100 << 11) | (self.offset & 0x7FF)
+
+    def target_index(self, index):
+        return index + 2 + self.offset
+
+
+class TBranchLink(ThumbInstr):
+    """Format 19: the two-halfword ``bl`` pair (±4 MB)."""
+
+    __slots__ = ("offset",)
+
+    def __init__(self, offset):
+        if not -(1 << 21) <= offset < (1 << 21):
+            raise ValueError("bl offset out of range: %d" % offset)
+        self.offset = offset  # halfwords, relative to pc+4 of the first half
+
+    @property
+    def size_halfwords(self):
+        return 2
+
+    def encode(self):
+        """Returns the (hi, lo) halfword pair."""
+        off = self.offset & 0x3FFFFF
+        hi = (0b11110 << 11) | ((off >> 11) & 0x7FF)
+        lo = (0b11111 << 11) | (off & 0x7FF)
+        return (hi, lo)
+
+    def target_index(self, index):
+        return index + 2 + self.offset
+
+
+class TSwi(ThumbInstr):
+    """``swi #imm8``."""
+
+    __slots__ = ("imm8",)
+
+    def __init__(self, imm8):
+        if not 0 <= imm8 <= 255:
+            raise ValueError("swi number out of range: %d" % imm8)
+        self.imm8 = imm8
+
+    def encode(self):
+        return (0b11011111 << 8) | self.imm8

@@ -1,0 +1,29 @@
+"""Power models: cache (switching/internal/leakage/peak) and chip-wide.
+
+The decomposition follows the paper's Section 4 / sim-panalyzer:
+
+* **switching power** — output-driver dynamic power, proportional to the
+  bit activity on the instruction bus per cache access (we compute real
+  Hamming toggles over the fetched encodings);
+* **internal power** — dynamic power of the cache block itself: a
+  per-cycle component (clocking/precharge of the whole array, scaling
+  with cache size) plus per-access decode/read energy and line-fill
+  writes;
+* **leakage power** — static, proportional to gate count (cache size),
+  independent of activity;
+* **peak power** — the worst single-cycle power.
+
+Equation (1): ``P = A·C·V²·f + V·I_leak``.
+"""
+
+from repro.power.technology import TechnologyParams
+from repro.power.cache_power import CachePowerModel, CachePowerReport
+from repro.power.chip import ChipPowerModel, ChipPowerReport
+
+__all__ = [
+    "TechnologyParams",
+    "CachePowerModel",
+    "CachePowerReport",
+    "ChipPowerModel",
+    "ChipPowerReport",
+]

@@ -1,0 +1,143 @@
+"""Instruction-cache power model (the paper's Figures 6-11 inputs).
+
+Consumes one :class:`~repro.sim.pipeline.timing.TimingReport` (access
+counts, real Hamming toggle activity, runtime) plus the cache geometry
+and produces component powers.  See :mod:`repro.power` for the
+decomposition.
+"""
+
+import math
+
+from repro.power.technology import TechnologyParams
+
+
+class CachePowerReport:
+    """Component powers (W) and energies (J) of one cache configuration."""
+
+    def __init__(self, switching_w, internal_w, leakage_w, peak_w, seconds, detail):
+        self.switching_w = switching_w
+        self.internal_w = internal_w
+        self.leakage_w = leakage_w
+        self.peak_w = peak_w
+        self.seconds = seconds
+        self.detail = detail
+
+    @property
+    def total_w(self):
+        return self.switching_w + self.internal_w + self.leakage_w
+
+    @property
+    def dynamic_w(self):
+        return self.switching_w + self.internal_w
+
+    def breakdown(self):
+        """Fractions (switching, internal, leakage) of total power."""
+        total = self.total_w
+        if not total:
+            return (0.0, 0.0, 0.0)
+        return (
+            self.switching_w / total,
+            self.internal_w / total,
+            self.leakage_w / total,
+        )
+
+    @property
+    def energy_j(self):
+        return self.total_w * self.seconds
+
+    @property
+    def switching_j(self):
+        return self.switching_w * self.seconds
+
+    @property
+    def internal_j(self):
+        return self.internal_w * self.seconds
+
+    @property
+    def leakage_j(self):
+        return self.leakage_w * self.seconds
+
+    def __repr__(self):
+        s, i, l = self.breakdown()
+        return "<CachePower %.3f W (sw %.0f%% / int %.0f%% / leak %.0f%%), peak %.3f W>" % (
+            self.total_w,
+            100 * s,
+            100 * i,
+            100 * l,
+            self.peak_w,
+        )
+
+
+class CachePowerModel:
+    """Analytical power model for one I-cache geometry."""
+
+    def __init__(self, geometry, tech=None, fetch_bits=32):
+        self.geometry = geometry
+        self.tech = tech or TechnologyParams()
+        self.fetch_bits = fetch_bits
+        g = geometry
+        t = self.tech
+        self.data_bits = g.size_bytes * 8
+        self.total_bits = int(self.data_bits * (1 + t.overhead_fraction))
+        tag_bits = max(1, 32 - int(math.log2(g.block_bytes)) - int(math.log2(g.num_sets)))
+        #: energy of one read access (decode, tag compare across ways,
+        #: data bits driven out)
+        self.read_energy = (
+            t.e_read_base
+            + t.e_read_per_tag_bit * g.associativity * tag_bits
+            + t.e_read_per_data_bit * fetch_bits
+        )
+        #: energy of one line fill (write the whole block + tag)
+        self.fill_energy = t.e_fill_per_bit * (g.block_bytes * 8 + tag_bits)
+        #: per-cycle clock/precharge energy of the whole array
+        self.cycle_energy = t.e_cycle_per_bit * self.total_bits
+        #: static leakage power of the array
+        self.leak_power = t.leak_w_per_bit * self.total_bits
+
+    def evaluate(self, timing):
+        """Power report for one executed configuration."""
+        t = self.tech
+        seconds = timing.seconds
+        if seconds <= 0:
+            raise ValueError("timing report covers no time")
+
+        # switching: output drive per access plus real Hamming toggles
+        e_switch = (
+            timing.icache_requests * t.e_output_access
+            + timing.fetch_toggles * t.e_toggle_bit
+        )
+        switching_w = e_switch / seconds
+
+        # internal: per-cycle array power + per-access reads + miss fills
+        e_internal = (
+            timing.cycles * self.cycle_energy
+            + timing.icache_requests * self.read_energy
+            + timing.icache_misses * self.fill_energy
+        )
+        internal_w = e_internal / seconds
+
+        leakage_w = self.leak_power
+
+        # peak: the worst single cycle — array clocking plus the maximum
+        # number of simultaneous fetch-word accesses the front end can
+        # demand (dual-issue ARM reads two words per cycle; two 16-bit
+        # FITS instructions share one), each with worst-case toggling
+        words_per_cycle = getattr(timing, "max_words_per_cycle", 1)
+        fill_cycles = max(1, self.geometry.block_bytes // 4)
+        worst_access = max(
+            self.read_energy + t.e_output_access + timing.max_fetch_toggles * t.e_toggle_bit,
+            self.fill_energy / fill_cycles + self.read_energy,
+        )
+        peak_w = leakage_w + (self.cycle_energy + words_per_cycle * worst_access) * t.frequency_hz
+
+        detail = {
+            "read_energy": self.read_energy,
+            "fill_energy": self.fill_energy,
+            "cycle_energy": self.cycle_energy,
+            "switch_energy": e_switch,
+            "internal_energy": e_internal,
+            "requests": timing.icache_requests,
+            "misses": timing.icache_misses,
+            "cycles": timing.cycles,
+        }
+        return CachePowerReport(switching_w, internal_w, leakage_w, peak_w, seconds, detail)

@@ -1,0 +1,92 @@
+"""Chip-wide power model (the paper's Figure 12).
+
+Anchored to the published StrongARM breakdown [2]: the I-cache is ≈27 %
+of chip power, the D-cache ≈16 %, and the rest (issue/execute logic,
+clock tree, other) makes up the remainder.  The baseline (ARM16) run
+fixes the absolute sizes of the non-I-cache components; other
+configurations scale them by their own activity:
+
+* D-cache power scales with data-access rate,
+* core (issue/execute) power scales with instruction rate, except for
+  the fetch/decode slice which scales with fetch-request rate (two
+  16-bit FITS instructions arrive per bus word, halving that activity),
+* clock and other static components stay constant while running.
+
+Chip savings then follow from the measured I-cache savings diluted by
+the unchanged remainder, exactly the translation the paper performs.
+"""
+
+#: StrongARM-like chip power fractions (of total chip power at baseline).
+ICACHE_FRACTION = 0.27
+DCACHE_FRACTION = 0.16
+CORE_FRACTION = 0.37  # IBox + EBox + write buffer + MMU etc.
+CLOCK_FRACTION = 0.20
+#: Share of core power in the fetch/decode path (scales with fetch rate).
+CORE_FETCH_SHARE = 0.40
+
+
+class ChipPowerReport:
+    def __init__(self, icache_w, dcache_w, core_w, clock_w):
+        self.icache_w = icache_w
+        self.dcache_w = dcache_w
+        self.core_w = core_w
+        self.clock_w = clock_w
+
+    @property
+    def total_w(self):
+        return self.icache_w + self.dcache_w + self.core_w + self.clock_w
+
+    def breakdown(self):
+        total = self.total_w
+        return {
+            "icache": self.icache_w / total,
+            "dcache": self.dcache_w / total,
+            "core": self.core_w / total,
+            "clock": self.clock_w / total,
+        }
+
+    def __repr__(self):
+        return "<ChipPower %.3f W (I$ %.3f, D$ %.3f, core %.3f, clock %.3f)>" % (
+            self.total_w,
+            self.icache_w,
+            self.dcache_w,
+            self.core_w,
+            self.clock_w,
+        )
+
+
+class ChipPowerModel:
+    """Calibrated against one baseline (ARM, 16 KB) run."""
+
+    def __init__(self, baseline_cache_report, baseline_timing):
+        icache_w = baseline_cache_report.total_w
+        chip_total = icache_w / ICACHE_FRACTION
+        self._dcache_base = chip_total * DCACHE_FRACTION
+        self._core_base = chip_total * CORE_FRACTION
+        self._clock_w = chip_total * CLOCK_FRACTION
+        self._dcache_rate_base = baseline_timing.dcache_accesses / baseline_timing.seconds
+        self._instr_rate_base = baseline_timing.instructions / baseline_timing.seconds
+        self._fetch_rate_base = baseline_timing.icache_requests / baseline_timing.seconds
+        self.baseline = self.evaluate(baseline_cache_report, baseline_timing)
+
+    def evaluate(self, cache_report, timing):
+        """Chip power for a configuration's measured cache power + timing."""
+        dcache_rate = timing.dcache_accesses / timing.seconds
+        instr_rate = timing.instructions / timing.seconds
+        fetch_rate = timing.icache_requests / timing.seconds
+        dcache_w = self._dcache_base * (dcache_rate / self._dcache_rate_base)
+        core_w = self._core_base * (
+            (1.0 - CORE_FETCH_SHARE) * (instr_rate / self._instr_rate_base)
+            + CORE_FETCH_SHARE * (fetch_rate / self._fetch_rate_base)
+        )
+        return ChipPowerReport(
+            icache_w=cache_report.total_w,
+            dcache_w=dcache_w,
+            core_w=core_w,
+            clock_w=self._clock_w,
+        )
+
+    def saving(self, cache_report, timing):
+        """Fractional chip power saving vs. the baseline configuration."""
+        report = self.evaluate(cache_report, timing)
+        return 1.0 - report.total_w / self.baseline.total_w

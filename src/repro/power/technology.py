@@ -1,0 +1,55 @@
+"""Technology parameters (0.35 µm / 3.3 V / 200 MHz, SA-1100-like).
+
+The absolute constants are calibrated so that the baseline (ARM, 16 KB
+I-cache) reproduces the qualitative power picture the paper anchors to:
+dynamic power dominates the cache, internal power is more than half of
+total cache power, leakage is a minor but visible share (the paper's
+0.35 µm process), and the I-cache is ≈27 % of chip power (StrongARM
+measurement [2]).  Everything downstream — every saving the experiments
+report — is *measured* relative to this baseline, not asserted.
+"""
+
+
+class TechnologyParams:
+    """Process/circuit constants used by the cache power model."""
+
+    def __init__(
+        self,
+        vdd=3.3,
+        frequency_hz=200e6,
+        # output driver: effective capacitance per bus bit
+        c_output_bit=1.0e-12,          # F  → ~10.9 pJ per toggled bit
+        # output drive/precharge cost per access, independent of toggles
+        e_output_access=0.8e-09,       # J  per fetch-word request
+        # per-access read path (decoder + tag compare + data read)
+        e_read_base=3.0e-11,           # J  fixed decode/control cost
+        e_read_per_tag_bit=4.0e-13,    # J  per (way × tag bit) compared
+        e_read_per_data_bit=1.5e-12,   # J  per data bit driven to output
+        # per-miss line fill (array write)
+        e_fill_per_bit=8.0e-13,        # J  per block bit written
+        # per-cycle array clocking/precharge while the cache is on
+        e_cycle_per_bit=7.4e-15,       # J  per storage bit per cycle
+        # static leakage
+        leak_w_per_bit=6.3e-07,        # W  per storage bit
+        # cell overhead: tags + valid/LRU state, as a fraction of data bits
+        overhead_fraction=0.12,
+    ):
+        self.vdd = vdd
+        self.frequency_hz = frequency_hz
+        self.c_output_bit = c_output_bit
+        self.e_output_access = e_output_access
+        self.e_read_base = e_read_base
+        self.e_read_per_tag_bit = e_read_per_tag_bit
+        self.e_read_per_data_bit = e_read_per_data_bit
+        self.e_fill_per_bit = e_fill_per_bit
+        self.e_cycle_per_bit = e_cycle_per_bit
+        self.leak_w_per_bit = leak_w_per_bit
+        self.overhead_fraction = overhead_fraction
+
+    @property
+    def e_toggle_bit(self):
+        """Energy per toggled output bit: C·V² (Equation 1's dynamic term)."""
+        return self.c_output_bit * self.vdd * self.vdd
+
+    def __repr__(self):
+        return "<TechnologyParams %.1fV %.0fMHz>" % (self.vdd, self.frequency_hz / 1e6)

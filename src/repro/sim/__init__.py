@@ -1,0 +1,1 @@
+"""Simulators: functional ISS (ARM and FITS), cache model, timing model."""

@@ -1,0 +1,5 @@
+"""Cache models (set-associative, LRU) and their statistics."""
+
+from repro.sim.cache.model import CacheGeometry, SetAssociativeCache
+
+__all__ = ["CacheGeometry", "SetAssociativeCache"]

@@ -1,0 +1,458 @@
+"""Functional ARM simulator with pre-decoded (closure-compiled) execution.
+
+Each static instruction is compiled once into a small Python closure that
+mutates the machine state and returns the next instruction index; the
+main loop then just chains closures, recording a run boundary whenever
+control transfers.  This is the standard trick for getting tolerable
+speed out of a pure-Python ISS and it also keeps the semantics of each
+instruction in one readable place.
+"""
+
+import struct
+
+from repro.isa.arm.model import (
+    Branch,
+    Cond,
+    DPOp,
+    DataProc,
+    MemHalf,
+    MemMultiple,
+    MemWord,
+    Multiply,
+    Operand2Imm,
+    Operand2Reg,
+    Operand2RegReg,
+    ShiftType,
+    Swi,
+    COMPARE_OPS,
+)
+from repro.sim.functional.trace import ExecutionResult, TraceBuilder
+
+M32 = 0xFFFFFFFF
+
+#: SWI numbers understood by the simulator.
+SWI_EXIT = 0
+SWI_PUTC = 1
+
+
+class SimulationError(Exception):
+    """Raised on bad control flow, memory faults, or instruction limits."""
+
+
+class ArmSimulator:
+    """Executes a linked ARM image to completion.
+
+    Args:
+        image: :class:`repro.compiler.link.Image`.
+        max_instructions: dynamic instruction budget (guards against
+            runaway workloads).
+    """
+
+    def __init__(self, image, max_instructions=200_000_000):
+        self.image = image
+        self.max_instructions = max_instructions
+
+    def run(self):
+        """Simulate from ``_start`` until the exit SWI; returns
+        :class:`~repro.sim.functional.trace.ExecutionResult`."""
+        image = self.image
+        regs = [0] * 16
+        regs[13] = image.stack_top
+        mem = image.initial_memory()
+        flags = [False, False, False, False]  # N, Z, C, V
+        trace = TraceBuilder()
+        exit_code = [None]
+
+        handlers = _compile_handlers(image, regs, mem, flags, trace, exit_code)
+
+        starts_append = trace.run_starts.append
+        ends_append = trace.run_ends.append
+        idx = 0  # _start is always the first instruction
+        run_start = 0
+        executed = 0
+        limit = self.max_instructions
+        try:
+            while idx >= 0:
+                nxt = handlers[idx]()
+                if nxt == idx + 1:
+                    idx = nxt
+                    continue
+                starts_append(run_start)
+                ends_append(idx)
+                executed += idx - run_start + 1
+                if executed > limit:
+                    raise SimulationError(
+                        "instruction budget exceeded (%d) in %s"
+                        % (limit, image.name)
+                    )
+                idx = nxt
+                run_start = nxt
+        except (struct.error, IndexError) as exc:
+            raise SimulationError(
+                "memory fault near instruction index %d (%s): %s"
+                % (idx, image.func_of_index[idx] if 0 <= idx < len(image.instrs) else "?", exc)
+            ) from exc
+
+        return ExecutionResult(
+            image=image,
+            exit_code=exit_code[0],
+            run_starts=trace.run_starts,
+            run_ends=trace.run_ends,
+            mem_addrs=trace.mem_addrs,
+            mem_is_store=trace.mem_is_store,
+            console=bytes(trace.console),
+            memory=mem,
+        )
+
+
+# ----------------------------------------------------------------------
+# closure compilation
+
+
+def _cond_checker(cond, flags):
+    if cond is Cond.AL:
+        return None
+    checks = {
+        Cond.EQ: lambda: flags[1],
+        Cond.NE: lambda: not flags[1],
+        Cond.CS: lambda: flags[2],
+        Cond.CC: lambda: not flags[2],
+        Cond.MI: lambda: flags[0],
+        Cond.PL: lambda: not flags[0],
+        Cond.VS: lambda: flags[3],
+        Cond.VC: lambda: not flags[3],
+        Cond.HI: lambda: flags[2] and not flags[1],
+        Cond.LS: lambda: not flags[2] or flags[1],
+        Cond.GE: lambda: flags[0] == flags[3],
+        Cond.LT: lambda: flags[0] != flags[3],
+        Cond.GT: lambda: not flags[1] and flags[0] == flags[3],
+        Cond.LE: lambda: flags[1] or flags[0] != flags[3],
+    }
+    return checks[cond]
+
+
+def _op2_evaluator(op2, regs):
+    """Closure returning the shifter-operand value."""
+    if isinstance(op2, Operand2Imm):
+        value = op2.value
+        return lambda: value
+    if isinstance(op2, Operand2Reg):
+        rm = op2.rm
+        amount = op2.shift_imm
+        if op2.shift_type is ShiftType.LSL:
+            if amount == 0:
+                return lambda: regs[rm]
+            return lambda: (regs[rm] << amount) & M32
+        if op2.shift_type is ShiftType.LSR:
+            if amount == 0:
+                return lambda: 0  # LSR #0 encodes LSR #32
+            return lambda: regs[rm] >> amount
+        if op2.shift_type is ShiftType.ASR:
+            if amount == 0:
+                return lambda: M32 if regs[rm] & 0x80000000 else 0
+            return lambda: (
+                (regs[rm] >> amount) | (((1 << amount) - 1) << (32 - amount))
+                if regs[rm] & 0x80000000
+                else regs[rm] >> amount
+            )
+        # ROR
+        if amount == 0:
+            raise NotImplementedError("RRX unsupported")
+        return lambda: ((regs[rm] >> amount) | (regs[rm] << (32 - amount))) & M32
+    if isinstance(op2, Operand2RegReg):
+        rm = op2.rm
+        rs = op2.rs
+        st = op2.shift_type
+
+        def ev():
+            amount = regs[rs] & 0xFF
+            value = regs[rm]
+            if st is ShiftType.LSL:
+                return (value << amount) & M32 if amount < 32 else 0
+            if st is ShiftType.LSR:
+                return value >> amount if amount < 32 else 0
+            if st is ShiftType.ASR:
+                if amount >= 32:
+                    return M32 if value & 0x80000000 else 0
+                if value & 0x80000000:
+                    return (value >> amount) | (((1 << amount) - 1) << (32 - amount))
+                return value >> amount
+            amount &= 31
+            if amount == 0:
+                return value
+            return ((value >> amount) | (value << (32 - amount))) & M32
+
+        return ev
+    raise TypeError("bad operand2: %r" % (op2,))
+
+
+def _compile_dataproc(ins, idx, image, regs, flags):
+    nxt = idx + 1
+    ev = _op2_evaluator(ins.operand2, regs)
+    rd, rn, op = ins.rd, ins.rn, ins.op
+
+    if op in COMPARE_OPS:
+        if op is DPOp.CMP:
+            def h():
+                a = regs[rn]
+                b = ev()
+                r = (a - b) & M32
+                flags[0] = bool(r & 0x80000000)
+                flags[1] = r == 0
+                flags[2] = a >= b
+                flags[3] = bool((a ^ b) & (a ^ r) & 0x80000000)
+                return nxt
+        elif op is DPOp.CMN:
+            def h():
+                a = regs[rn]
+                b = ev()
+                total = a + b
+                r = total & M32
+                flags[0] = bool(r & 0x80000000)
+                flags[1] = r == 0
+                flags[2] = total > M32
+                flags[3] = bool(~(a ^ b) & (a ^ r) & 0x80000000)
+                return nxt
+        elif op is DPOp.TST:
+            def h():
+                r = regs[rn] & ev()
+                flags[0] = bool(r & 0x80000000)
+                flags[1] = r == 0
+                return nxt
+        else:  # TEQ
+            def h():
+                r = regs[rn] ^ ev()
+                flags[0] = bool(r & 0x80000000)
+                flags[1] = r == 0
+                return nxt
+        return h
+
+    if ins.s:
+        raise NotImplementedError("S-bit data processing (other than compares)")
+
+    if rd == 15:
+        # write to PC: computed control transfer (function return)
+        index_of = image.index_of_addr
+        if op is not DPOp.MOV:
+            raise NotImplementedError("only MOV may target pc")
+
+        def h():
+            return index_of(ev())
+
+        return h
+
+    compute = {
+        DPOp.AND: lambda a, b: a & b,
+        DPOp.EOR: lambda a, b: a ^ b,
+        DPOp.SUB: lambda a, b: (a - b) & M32,
+        DPOp.RSB: lambda a, b: (b - a) & M32,
+        DPOp.ADD: lambda a, b: (a + b) & M32,
+        DPOp.ORR: lambda a, b: a | b,
+        DPOp.BIC: lambda a, b: a & ~b & M32,
+    }
+    if op is DPOp.MOV:
+        def h():
+            regs[rd] = ev()
+            return nxt
+        return h
+    if op is DPOp.MVN:
+        def h():
+            regs[rd] = ev() ^ M32
+            return nxt
+        return h
+    if op in compute:
+        fn = compute[op]
+
+        def h():
+            regs[rd] = fn(regs[rn], ev())
+            return nxt
+
+        return h
+    raise NotImplementedError("data-processing op %s" % op.name)
+
+
+def _compile_handlers(image, regs, mem, flags, trace, exit_code):
+    handlers = []
+    ma = trace.mem_addrs.append
+    ms = trace.mem_is_store.append
+    console = trace.console
+    unpack_from = struct.unpack_from
+    pack_into = struct.pack_into
+
+    for idx, ins in enumerate(image.instrs):
+        nxt = idx + 1
+        if isinstance(ins, DataProc):
+            h = _compile_dataproc(ins, idx, image, regs, flags)
+        elif isinstance(ins, MemWord):
+            h = _compile_memword(ins, idx, regs, mem, ma, ms, unpack_from, pack_into)
+        elif isinstance(ins, MemHalf):
+            h = _compile_memhalf(ins, idx, regs, mem, ma, ms, unpack_from, pack_into)
+        elif isinstance(ins, MemMultiple):
+            reglist = tuple(ins.reglist)
+            rn = ins.rn
+            if ins.load:
+                index_of = image.index_of_addr
+                loads_pc = 15 in reglist
+                gprs = tuple(r for r in reglist if r != 15)
+
+                def h(rn=rn, gprs=gprs, loads_pc=loads_pc, nxt=nxt):
+                    addr = regs[rn]
+                    for r in gprs:
+                        ma(addr)
+                        ms(0)
+                        regs[r] = unpack_from("<I", mem, addr)[0]
+                        addr += 4
+                    target = nxt
+                    if loads_pc:
+                        ma(addr)
+                        ms(0)
+                        target = index_of(unpack_from("<I", mem, addr)[0])
+                        addr += 4
+                    regs[rn] = addr
+                    return target
+            else:
+                def h(rn=rn, reglist=reglist, nxt=nxt):
+                    addr = regs[rn] - 4 * len(reglist)
+                    regs[rn] = addr
+                    for r in reglist:
+                        ma(addr)
+                        ms(1)
+                        pack_into("<I", mem, addr, regs[r])
+                        addr += 4
+                    return nxt
+        elif isinstance(ins, Multiply):
+            rd, rm, rs, rn, acc = ins.rd, ins.rm, ins.rs, ins.rn, ins.accumulate
+            if acc:
+                def h(rd=rd, rm=rm, rs=rs, rn=rn, nxt=nxt):
+                    regs[rd] = (regs[rm] * regs[rs] + regs[rn]) & M32
+                    return nxt
+            else:
+                def h(rd=rd, rm=rm, rs=rs, nxt=nxt):
+                    regs[rd] = (regs[rm] * regs[rs]) & M32
+                    return nxt
+        elif isinstance(ins, Branch):
+            target = image.index_of_addr(ins.target(image.addr_of_index(idx)))
+            check = _cond_checker(ins.cond, flags)
+            if ins.link:
+                ret_addr = image.addr_of_index(idx) + 4
+                if check is None:
+                    def h(target=target, ret_addr=ret_addr):
+                        regs[14] = ret_addr
+                        return target
+                else:
+                    def h(target=target, ret_addr=ret_addr, check=check, nxt=nxt):
+                        if check():
+                            regs[14] = ret_addr
+                            return target
+                        return nxt
+            else:
+                if check is None:
+                    def h(target=target):
+                        return target
+                else:
+                    def h(target=target, check=check, nxt=nxt):
+                        return target if check() else nxt
+        elif isinstance(ins, Swi):
+            num = ins.imm24
+            if num == SWI_EXIT:
+                def h():
+                    exit_code[0] = regs[0]
+                    return -1
+            elif num == SWI_PUTC:
+                def h(nxt=nxt):
+                    console.append(regs[0] & 0xFF)
+                    return nxt
+            else:
+                raise SimulationError("unknown SWI #%d at index %d" % (num, idx))
+        else:
+            raise SimulationError("cannot execute %r" % (ins,))
+        handlers.append(h)
+    return handlers
+
+
+def _compile_memword(ins, idx, regs, mem, ma, ms, unpack_from, pack_into):
+    nxt = idx + 1
+    rd, rn = ins.rd, ins.rn
+    if isinstance(ins.offset, int):
+        off = ins.offset
+
+        def ea():
+            return (regs[rn] + off) & M32
+
+    else:
+        rm = ins.offset.rm
+        shift = ins.offset.shift_imm
+        if shift:
+            def ea():
+                return (regs[rn] + ((regs[rm] << shift) & M32)) & M32
+        else:
+            def ea():
+                return (regs[rn] + regs[rm]) & M32
+
+    if ins.load:
+        if ins.byte:
+            def h():
+                addr = ea()
+                ma(addr)
+                ms(0)
+                regs[rd] = mem[addr]
+                return nxt
+        else:
+            def h():
+                addr = ea()
+                ma(addr)
+                ms(0)
+                regs[rd] = unpack_from("<I", mem, addr)[0]
+                return nxt
+    else:
+        if ins.byte:
+            def h():
+                addr = ea()
+                ma(addr)
+                ms(1)
+                mem[addr] = regs[rd] & 0xFF
+                return nxt
+        else:
+            def h():
+                addr = ea()
+                ma(addr)
+                ms(1)
+                pack_into("<I", mem, addr, regs[rd])
+                return nxt
+    return h
+
+
+def _compile_memhalf(ins, idx, regs, mem, ma, ms, unpack_from, pack_into):
+    nxt = idx + 1
+    rd, rn, off = ins.rd, ins.rn, ins.offset
+    if ins.load:
+        if ins.half and ins.signed:
+            def h():
+                addr = (regs[rn] + off) & M32
+                ma(addr)
+                ms(0)
+                regs[rd] = unpack_from("<h", mem, addr)[0] & M32
+                return nxt
+        elif ins.half:
+            def h():
+                addr = (regs[rn] + off) & M32
+                ma(addr)
+                ms(0)
+                regs[rd] = unpack_from("<H", mem, addr)[0]
+                return nxt
+        else:  # signed byte
+            def h():
+                addr = (regs[rn] + off) & M32
+                ma(addr)
+                ms(0)
+                value = mem[addr]
+                regs[rd] = value | 0xFFFFFF00 if value & 0x80 else value
+                return nxt
+    else:
+        def h():
+            addr = (regs[rn] + off) & M32
+            ma(addr)
+            ms(1)
+            pack_into("<H", mem, addr, regs[rd] & 0xFFFF)
+            return nxt
+    return h

@@ -1,0 +1,426 @@
+"""Functional Thumb simulator (validates the Thumb back end).
+
+Same closure-compiled design as the ARM simulator, over halfword
+indices.  Only the flag behaviour our generated code relies on is
+modelled: the compare instructions set NZCV, conditional branches read
+them.  (Real Thumb ALU ops also set flags; our back end never reads
+those, so modelling them would be dead weight.)
+"""
+
+import struct
+
+from repro.isa.thumb.model import (
+    TAdjustSp,
+    TAlu,
+    TAluOp,
+    TAddSub,
+    TBranch,
+    TBranchLink,
+    TCond,
+    TCondBranch,
+    TLoadStoreImm,
+    TLoadStoreReg,
+    TLoadStoreSpRel,
+    TMovCmpAddSubImm,
+    TPushPop,
+    TShiftImm,
+    TSwi,
+)
+from repro.sim.functional.trace import ExecutionResult, TraceBuilder
+from repro.sim.functional.arm_sim import SimulationError
+
+M32 = 0xFFFFFFFF
+
+
+class ThumbSimulator:
+    """Executes a linked :class:`~repro.compiler.thumb_backend.ThumbImage`."""
+
+    def __init__(self, image, max_instructions=200_000_000):
+        self.image = image
+        self.max_instructions = max_instructions
+
+    def run(self):
+        image = self.image
+        regs = [0] * 16
+        regs[13] = image.stack_top
+        mem = image.initial_memory()
+        flags = [False, False, False, False]
+        trace = TraceBuilder()
+        exit_code = [None]
+        handlers = _compile(image, regs, mem, flags, trace, exit_code)
+
+        starts_append = trace.run_starts.append
+        ends_append = trace.run_ends.append
+        idx = 0
+        run_start = 0
+        executed = 0
+        try:
+            while idx >= 0:
+                nxt = handlers[idx]()
+                if nxt == idx + 1:
+                    idx = nxt
+                    continue
+                starts_append(run_start)
+                ends_append(idx)
+                executed += idx - run_start + 1
+                if executed > self.max_instructions:
+                    raise SimulationError("instruction budget exceeded in %s" % image.name)
+                idx = nxt
+                run_start = nxt
+        except (struct.error, IndexError) as exc:
+            raise SimulationError("thumb memory fault near index %d: %s" % (idx, exc)) from exc
+
+        return ExecutionResult(
+            image=image,
+            exit_code=exit_code[0],
+            run_starts=trace.run_starts,
+            run_ends=trace.run_ends,
+            mem_addrs=trace.mem_addrs,
+            mem_is_store=trace.mem_is_store,
+            console=bytes(trace.console),
+            memory=mem,
+        )
+
+
+def _check(cond, flags):
+    table = {
+        TCond.EQ: lambda: flags[1],
+        TCond.NE: lambda: not flags[1],
+        TCond.CS: lambda: flags[2],
+        TCond.CC: lambda: not flags[2],
+        TCond.MI: lambda: flags[0],
+        TCond.PL: lambda: not flags[0],
+        TCond.VS: lambda: flags[3],
+        TCond.VC: lambda: not flags[3],
+        TCond.HI: lambda: flags[2] and not flags[1],
+        TCond.LS: lambda: not flags[2] or flags[1],
+        TCond.GE: lambda: flags[0] == flags[3],
+        TCond.LT: lambda: flags[0] != flags[3],
+        TCond.GT: lambda: not flags[1] and flags[0] == flags[3],
+        TCond.LE: lambda: flags[1] or flags[0] != flags[3],
+    }
+    return table[cond]
+
+
+def _set_cmp(flags, a, b):
+    r = (a - b) & M32
+    flags[0] = bool(r & 0x80000000)
+    flags[1] = r == 0
+    flags[2] = a >= b
+    flags[3] = bool((a ^ b) & (a ^ r) & 0x80000000)
+
+
+def _compile(image, regs, mem, flags, trace, exit_code):
+    handlers = []
+    ma = trace.mem_addrs.append
+    ms = trace.mem_is_store.append
+    unpack_from = struct.unpack_from
+    pack_into = struct.pack_into
+
+    for idx, ins in enumerate(image.instr_at):
+        nxt = idx + 1
+        if ins is None:
+            handlers.append(None)  # lo half of bl, never executed directly
+            continue
+        if isinstance(ins, TShiftImm):
+            rd, rm, n, op = ins.rd, ins.rm, ins.imm5, ins.op
+            if op == "lsl":
+                def h(rd=rd, rm=rm, n=n, nxt=nxt):
+                    regs[rd] = (regs[rm] << n) & M32
+                    return nxt
+            elif op == "lsr":
+                def h(rd=rd, rm=rm, n=n, nxt=nxt):
+                    regs[rd] = regs[rm] >> n if n else 0
+                    return nxt
+            else:
+                def h(rd=rd, rm=rm, n=n, nxt=nxt):
+                    v = regs[rm]
+                    if n == 0:
+                        regs[rd] = M32 if v & 0x80000000 else 0
+                    elif v & 0x80000000:
+                        regs[rd] = (v >> n) | (((1 << n) - 1) << (32 - n))
+                    else:
+                        regs[rd] = v >> n
+                    return nxt
+        elif isinstance(ins, TAddSub):
+            rd, rn, val, imm, sub = ins.rd, ins.rn, ins.value, ins.imm, ins.sub
+            if imm:
+                if sub:
+                    def h(rd=rd, rn=rn, val=val, nxt=nxt):
+                        regs[rd] = (regs[rn] - val) & M32
+                        return nxt
+                else:
+                    def h(rd=rd, rn=rn, val=val, nxt=nxt):
+                        regs[rd] = (regs[rn] + val) & M32
+                        return nxt
+            else:
+                if sub:
+                    def h(rd=rd, rn=rn, val=val, nxt=nxt):
+                        regs[rd] = (regs[rn] - regs[val]) & M32
+                        return nxt
+                else:
+                    def h(rd=rd, rn=rn, val=val, nxt=nxt):
+                        regs[rd] = (regs[rn] + regs[val]) & M32
+                        return nxt
+        elif isinstance(ins, TMovCmpAddSubImm):
+            rd, imm, op = ins.rd, ins.imm8, ins.op
+            if op == "mov":
+                def h(rd=rd, imm=imm, nxt=nxt):
+                    regs[rd] = imm
+                    return nxt
+            elif op == "cmp":
+                def h(rd=rd, imm=imm, nxt=nxt):
+                    _set_cmp(flags, regs[rd], imm)
+                    return nxt
+            elif op == "add":
+                def h(rd=rd, imm=imm, nxt=nxt):
+                    regs[rd] = (regs[rd] + imm) & M32
+                    return nxt
+            else:
+                def h(rd=rd, imm=imm, nxt=nxt):
+                    regs[rd] = (regs[rd] - imm) & M32
+                    return nxt
+        elif isinstance(ins, TAlu):
+            h = _compile_alu(ins, nxt, regs, flags)
+        elif isinstance(ins, TLoadStoreImm):
+            h = _compile_ls(ins.load, ins.rd, ins.rn, ins.offset, None, ins.width, False,
+                            nxt, regs, mem, ma, ms, unpack_from, pack_into)
+        elif isinstance(ins, TLoadStoreReg):
+            h = _compile_ls(ins.load, ins.rd, ins.rn, None, ins.rm, ins.width, ins.signed,
+                            nxt, regs, mem, ma, ms, unpack_from, pack_into)
+        elif isinstance(ins, TLoadStoreSpRel):
+            off, rd = ins.offset, ins.rd
+            if ins.load:
+                def h(rd=rd, off=off, nxt=nxt):
+                    addr = (regs[13] + off) & M32
+                    ma(addr)
+                    ms(0)
+                    regs[rd] = unpack_from("<I", mem, addr)[0]
+                    return nxt
+            else:
+                def h(rd=rd, off=off, nxt=nxt):
+                    addr = (regs[13] + off) & M32
+                    ma(addr)
+                    ms(1)
+                    pack_into("<I", mem, addr, regs[rd])
+                    return nxt
+        elif isinstance(ins, TAdjustSp):
+            delta = ins.delta
+
+            def h(delta=delta, nxt=nxt):
+                regs[13] = (regs[13] + delta) & M32
+                return nxt
+        elif isinstance(ins, TPushPop):
+            h = _compile_pushpop(ins, idx, nxt, image, regs, mem, ma, ms, unpack_from, pack_into)
+        elif isinstance(ins, TCondBranch):
+            target = ins.target_index(idx)
+            check = _check(ins.cond, flags)
+
+            def h(target=target, check=check, nxt=nxt):
+                return target if check() else nxt
+        elif isinstance(ins, TBranch):
+            target = ins.target_index(idx)
+
+            def h(target=target):
+                return target
+        elif isinstance(ins, TBranchLink):
+            target = ins.target_index(idx)
+            ret_addr = image.addr_of_index(idx) + 4
+
+            def h(target=target, ret_addr=ret_addr):
+                regs[14] = ret_addr
+                return target
+        elif isinstance(ins, TSwi):
+            if ins.imm8 == 0:
+                def h():
+                    exit_code[0] = regs[0]
+                    return -1
+            elif ins.imm8 == 1:
+                def h(nxt=nxt):
+                    trace.console.append(regs[0] & 0xFF)
+                    return nxt
+            else:
+                raise SimulationError("unknown thumb SWI #%d" % ins.imm8)
+        else:
+            raise SimulationError("cannot execute %r" % (ins,))
+        handlers.append(h)
+    return handlers
+
+
+def _compile_alu(ins, nxt, regs, flags):
+    rd, rm, op = ins.rd, ins.rm, ins.op
+    simple = {
+        TAluOp.AND: lambda a, b: a & b,
+        TAluOp.EOR: lambda a, b: a ^ b,
+        TAluOp.ORR: lambda a, b: a | b,
+        TAluOp.BIC: lambda a, b: a & ~b & M32,
+        TAluOp.MUL: lambda a, b: (a * b) & M32,
+        TAluOp.MVN: lambda a, b: b ^ M32,
+        TAluOp.NEG: lambda a, b: (-b) & M32,
+    }
+    if op in simple:
+        fn = simple[op]
+
+        def h(rd=rd, rm=rm, fn=fn, nxt=nxt):
+            regs[rd] = fn(regs[rd], regs[rm])
+            return nxt
+
+        return h
+    if op is TAluOp.CMP:
+        def h(rd=rd, rm=rm, nxt=nxt):
+            _set_cmp(flags, regs[rd], regs[rm])
+            return nxt
+        return h
+    if op is TAluOp.CMN:
+        def h(rd=rd, rm=rm, nxt=nxt):
+            a, b = regs[rd], regs[rm]
+            total = a + b
+            r = total & M32
+            flags[0] = bool(r & 0x80000000)
+            flags[1] = r == 0
+            flags[2] = total > M32
+            flags[3] = bool(~(a ^ b) & (a ^ r) & 0x80000000)
+            return nxt
+        return h
+    if op is TAluOp.TST:
+        def h(rd=rd, rm=rm, nxt=nxt):
+            r = regs[rd] & regs[rm]
+            flags[0] = bool(r & 0x80000000)
+            flags[1] = r == 0
+            return nxt
+        return h
+    if op in (TAluOp.LSL, TAluOp.LSR, TAluOp.ASR, TAluOp.ROR):
+        kind = op
+
+        def h(rd=rd, rm=rm, kind=kind, nxt=nxt):
+            amount = regs[rm] & 0xFF
+            v = regs[rd]
+            if kind is TAluOp.LSL:
+                regs[rd] = (v << amount) & M32 if amount < 32 else 0
+            elif kind is TAluOp.LSR:
+                regs[rd] = v >> amount if amount < 32 else 0
+            elif kind is TAluOp.ASR:
+                if amount >= 32:
+                    regs[rd] = M32 if v & 0x80000000 else 0
+                elif v & 0x80000000:
+                    regs[rd] = (v >> amount) | (((1 << amount) - 1) << (32 - amount))
+                else:
+                    regs[rd] = v >> amount
+            else:
+                amount &= 31
+                regs[rd] = ((v >> amount) | (v << (32 - amount))) & M32 if amount else v
+            return nxt
+
+        return h
+    raise SimulationError("unsupported thumb ALU op %s" % op.name)
+
+
+def _compile_ls(load, rd, rn, off_imm, rm, width, signed, nxt, regs, mem, ma, ms, unpack_from, pack_into):
+    if off_imm is not None:
+        def ea(rn=rn, off=off_imm):
+            return (regs[rn] + off) & M32
+    else:
+        def ea(rn=rn, rm=rm):
+            return (regs[rn] + regs[rm]) & M32
+
+    if load:
+        if width == 4:
+            def h():
+                addr = ea()
+                ma(addr)
+                ms(0)
+                regs[rd] = unpack_from("<I", mem, addr)[0]
+                return nxt
+        elif width == 2:
+            if signed:
+                def h():
+                    addr = ea()
+                    ma(addr)
+                    ms(0)
+                    regs[rd] = unpack_from("<h", mem, addr)[0] & M32
+                    return nxt
+            else:
+                def h():
+                    addr = ea()
+                    ma(addr)
+                    ms(0)
+                    regs[rd] = unpack_from("<H", mem, addr)[0]
+                    return nxt
+        else:
+            if signed:
+                def h():
+                    addr = ea()
+                    ma(addr)
+                    ms(0)
+                    v = mem[addr]
+                    regs[rd] = v | 0xFFFFFF00 if v & 0x80 else v
+                    return nxt
+            else:
+                def h():
+                    addr = ea()
+                    ma(addr)
+                    ms(0)
+                    regs[rd] = mem[addr]
+                    return nxt
+    else:
+        if width == 4:
+            def h():
+                addr = ea()
+                ma(addr)
+                ms(1)
+                pack_into("<I", mem, addr, regs[rd])
+                return nxt
+        elif width == 2:
+            def h():
+                addr = ea()
+                ma(addr)
+                ms(1)
+                pack_into("<H", mem, addr, regs[rd] & 0xFFFF)
+                return nxt
+        else:
+            def h():
+                addr = ea()
+                ma(addr)
+                ms(1)
+                mem[addr] = regs[rd] & 0xFF
+                return nxt
+    return h
+
+
+def _compile_pushpop(ins, idx, nxt, image, regs, mem, ma, ms, unpack_from, pack_into):
+    reglist = list(ins.reglist)
+    if ins.pop:
+        index_of = image.index_of_addr
+
+        def h(reglist=tuple(reglist), extra=ins.extra, nxt=nxt):
+            sp = regs[13]
+            for r in reglist:
+                ma(sp)
+                ms(0)
+                regs[r] = unpack_from("<I", mem, sp)[0]
+                sp += 4
+            target = nxt
+            if extra:
+                ma(sp)
+                ms(0)
+                pc = unpack_from("<I", mem, sp)[0]
+                sp += 4
+                target = index_of(pc)
+            regs[13] = sp
+            return target
+    else:
+        def h(reglist=tuple(reglist), extra=ins.extra, nxt=nxt):
+            count = len(reglist) + (1 if extra else 0)
+            sp = regs[13] - 4 * count
+            regs[13] = sp
+            for r in reglist:
+                ma(sp)
+                ms(1)
+                pack_into("<I", mem, sp, regs[r])
+                sp += 4
+            if extra:
+                ma(sp)
+                ms(1)
+                pack_into("<I", mem, sp, regs[14])
+            return nxt
+    return h

@@ -1,0 +1,96 @@
+"""Execution traces shared by the ARM and FITS functional simulators.
+
+The trace is *run-compressed*: instead of one record per executed
+instruction, it stores one record per straight-line run (the dynamic
+stretch between taken control transfers).  Runs are exactly what the
+timing and power models want — per-run work is O(runs), not
+O(instructions) — and per-instruction execution counts fall out of a
+prefix-sum over run boundaries.
+"""
+
+from array import array
+
+import numpy as np
+
+
+class ExecutionResult:
+    """Everything a completed functional simulation produced.
+
+    Attributes:
+        image: the executed :class:`~repro.compiler.link.Image` (or FITS
+            equivalent).
+        exit_code: value of r0 at the exit SWI.
+        run_starts / run_ends: numpy int64 arrays of static instruction
+            indices; run ``k`` executed instructions
+            ``run_starts[k] .. run_ends[k]`` inclusive, and ended either
+            with a taken control transfer or program exit.
+        mem_addrs: numpy uint32 array of data addresses in access order.
+        mem_is_store: numpy uint8 array parallel to ``mem_addrs``.
+        console: bytes written via the putc SWI.
+        memory: final memory image (for checksum validation).
+    """
+
+    def __init__(self, image, exit_code, run_starts, run_ends, mem_addrs, mem_is_store, console, memory):
+        self.image = image
+        self.exit_code = exit_code
+        self.run_starts = np.asarray(run_starts, dtype=np.int64)
+        self.run_ends = np.asarray(run_ends, dtype=np.int64)
+        self.mem_addrs = np.asarray(mem_addrs, dtype=np.uint32)
+        self.mem_is_store = np.asarray(mem_is_store, dtype=np.uint8)
+        self.console = console
+        self.memory = memory
+        self._exec_counts = None
+
+    @property
+    def num_runs(self):
+        return len(self.run_starts)
+
+    @property
+    def dynamic_instructions(self):
+        """Total executed instruction count."""
+        return int(np.sum(self.run_ends - self.run_starts + 1))
+
+    @property
+    def num_static(self):
+        """Static instruction count of the executed image (any ISA)."""
+        if hasattr(self.image, "instrs"):
+            return len(self.image.instrs)
+        return len(self.image.halfwords)
+
+    def exec_counts(self):
+        """Per-static-instruction execution counts (numpy int64)."""
+        if self._exec_counts is None:
+            n = self.num_static
+            delta = np.zeros(n + 1, dtype=np.int64)
+            np.add.at(delta, self.run_starts, 1)
+            np.add.at(delta, self.run_ends + 1, -1)
+            self._exec_counts = np.cumsum(delta[:-1])
+        return self._exec_counts
+
+    def taken_counts(self):
+        """Per-static-instruction counts of *taken* control transfers.
+
+        A run ends at index ``i`` when the instruction at ``i``
+        transferred control (or was the exit SWI); the count of runs
+        ending at ``i`` is how many times it was taken.
+        """
+        counts = np.zeros(self.num_static, dtype=np.int64)
+        np.add.at(counts, self.run_ends, 1)
+        return counts
+
+    def read_word(self, addr):
+        return int.from_bytes(self.memory[addr : addr + 4], "little")
+
+    def read_bytes(self, addr, count):
+        return bytes(self.memory[addr : addr + count])
+
+
+class TraceBuilder:
+    """Mutable accumulator used by simulators while executing."""
+
+    def __init__(self):
+        self.run_starts = array("q")
+        self.run_ends = array("q")
+        self.mem_addrs = array("L")
+        self.mem_is_store = array("b")
+        self.console = bytearray()

@@ -1,0 +1,5 @@
+"""Dual-issue in-order timing model (SA-1100-like core)."""
+
+from repro.sim.pipeline.timing import TimingConfig, TimingReport, simulate_timing
+
+__all__ = ["TimingConfig", "TimingReport", "simulate_timing"]

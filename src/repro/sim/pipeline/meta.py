@@ -1,0 +1,212 @@
+"""Per-static-instruction metadata for the timing model.
+
+Both ISAs are reduced to the same scoreboard vocabulary: registers read
+and written (ARM numbering, plus pseudo-register 16 for the condition
+flags), resource classes (memory port, multiplier), result latencies and
+multi-cycle occupancy.  Adapters exist for ARM images and FITS images.
+"""
+
+from repro.isa.arm.model import (
+    Branch,
+    Cond,
+    DataProc,
+    DPOp,
+    MemHalf,
+    MemMultiple,
+    MemWord,
+    Multiply,
+    Operand2Reg,
+    Swi,
+    COMPARE_OPS,
+)
+
+FLAGS = 16  # pseudo-register for NZCV
+
+#: Result latency classes (cycles until a consumer may issue).
+LAT_ALU = 1
+LAT_LOAD = 2
+LAT_MUL = 2
+
+
+class InstrMeta:
+    """Scoreboard-relevant facts about one static instruction."""
+
+    __slots__ = (
+        "reads",
+        "writes",
+        "latency",
+        "is_mem",
+        "is_store",
+        "is_mul",
+        "is_control",
+        "is_cond_branch",
+        "is_backward",
+        "extra_cycles",
+    )
+
+    def __init__(self, reads=(), writes=(), latency=LAT_ALU, is_mem=False,
+                 is_store=False, is_mul=False, is_control=False,
+                 is_cond_branch=False, is_backward=False, extra_cycles=0):
+        self.reads = tuple(reads)
+        self.writes = tuple(writes)
+        self.latency = latency
+        self.is_mem = is_mem
+        self.is_store = is_store
+        self.is_mul = is_mul
+        self.is_control = is_control
+        self.is_cond_branch = is_cond_branch
+        self.is_backward = is_backward
+        self.extra_cycles = extra_cycles
+
+
+def arm_meta(image):
+    """Metadata for every instruction of an ARM image."""
+    out = []
+    for idx, ins in enumerate(image.instrs):
+        meta = _arm_one(ins, idx, image)
+        out.append(meta)
+    return out
+
+
+def _arm_one(ins, idx, image):
+    if isinstance(ins, DataProc):
+        reads = list(ins.regs_read())
+        writes = list(ins.regs_written())
+        if ins.op in COMPARE_OPS:
+            writes.append(FLAGS)
+        if ins.cond is not Cond.AL:
+            reads.append(FLAGS)
+        if ins.rd == 15 and ins.op not in COMPARE_OPS:
+            return InstrMeta(reads=reads, writes=[], is_control=True)
+        return InstrMeta(reads=reads, writes=writes)
+    if isinstance(ins, Multiply):
+        return InstrMeta(
+            reads=ins.regs_read(), writes=ins.regs_written(),
+            latency=LAT_MUL, is_mul=True, extra_cycles=1,
+        )
+    if isinstance(ins, (MemWord, MemHalf)):
+        return InstrMeta(
+            reads=ins.regs_read(), writes=ins.regs_written(),
+            latency=LAT_LOAD if ins.load else LAT_ALU,
+            is_mem=True, is_store=not ins.load,
+        )
+    if isinstance(ins, MemMultiple):
+        n = len(ins.reglist)
+        control = ins.load and 15 in ins.reglist
+        return InstrMeta(
+            reads=ins.regs_read(), writes=[r for r in ins.regs_written() if r != 15],
+            latency=LAT_LOAD if ins.load else LAT_ALU,
+            is_mem=True, is_store=not ins.load, is_control=control,
+            extra_cycles=max(0, n - 1),
+        )
+    if isinstance(ins, Branch):
+        reads = [FLAGS] if ins.cond is not Cond.AL else []
+        target = ins.target(image.addr_of_index(idx))
+        backward = target <= image.addr_of_index(idx)
+        return InstrMeta(
+            reads=reads, writes=[14] if ins.link else [],
+            is_control=True,
+            is_cond_branch=ins.cond is not Cond.AL,
+            is_backward=backward,
+        )
+    if isinstance(ins, Swi):
+        return InstrMeta(is_control=True, extra_cycles=2)
+    raise TypeError("no timing metadata for %r" % (ins,))
+
+
+def fits_meta(image):
+    """Metadata for every halfword of a FITS image.
+
+    ``ext`` prefixes are plain single-issue-slot instructions with no
+    register traffic; their consumer carries the semantics.
+    """
+    isa = image.isa
+    out = []
+    records = image.records
+    for idx, rec in enumerate(records):
+        out.append(_fits_one(rec, idx, image, isa))
+    return out
+
+
+def _fits_one(rec, idx, image, isa):
+    spec = rec.spec
+    kind = spec.kind
+    f = rec.fields
+
+    def reg(name, default=None):
+        if name not in f:
+            return default
+        try:
+            return isa.arm_reg(f[name] & ((1 << isa.k_reg) - 1))
+        except KeyError:
+            return default
+
+    if kind == "ext":
+        return InstrMeta()
+    if kind in ("dp3", "mov2", "shifti", "shiftr", "mul"):
+        reads = [r for r in (reg("ra"),) if r is not None]
+        if spec.oprd_mode == "reg" and "oprd" in f:
+            oprd = reg("oprd")
+            if oprd is not None:
+                reads.append(oprd)
+        writes = [r for r in (reg("rc"),) if r is not None]
+        if kind == "mul":
+            return InstrMeta(reads=reads, writes=writes, latency=LAT_MUL,
+                             is_mul=True, extra_cycles=1)
+        return InstrMeta(reads=reads, writes=writes)
+    if kind in ("dp2", "movi", "mvni", "shift2i", "shift2r", "mul2"):
+        rc = reg("rc")
+        reads = [] if kind in ("movi", "mvni") else [rc]
+        if spec.oprd_mode == "reg":
+            rm = reg("value")
+            if rm is not None:
+                reads.append(rm)
+        if kind in ("mul2",):
+            return InstrMeta(reads=reads, writes=[rc], latency=LAT_MUL,
+                             is_mul=True, extra_cycles=1)
+        return InstrMeta(reads=reads, writes=[rc])
+    if kind == "cmp2":
+        reads = [reg("ra")]
+        if spec.params.get("mode") == "reg":
+            rm = reg("value")
+            if rm is not None:
+                reads.append(rm)
+        return InstrMeta(reads=reads, writes=[FLAGS])
+    if kind in ("mem", "memr", "memrx", "memsp"):
+        load = spec.params["load"]
+        rd = reg("rd")
+        rb = 13 if kind == "memsp" else reg("rb")
+        reads = [rb] if load else [rb, rd]
+        writes = [rd] if load else []
+        return InstrMeta(reads=[r for r in reads if r is not None],
+                         writes=[w for w in writes if w is not None],
+                         latency=LAT_LOAD if load else LAT_ALU,
+                         is_mem=True, is_store=not load)
+    if kind == "spadj":
+        return InstrMeta(reads=[13], writes=[13])
+    if kind in ("ldm", "stm"):
+        reglist = spec.params["reglist"]
+        n = len(reglist)
+        control = kind == "ldm" and 15 in reglist
+        if kind == "ldm":
+            return InstrMeta(reads=[13], writes=[13] + [r for r in reglist if r != 15],
+                             latency=LAT_LOAD, is_mem=True, is_control=control,
+                             extra_cycles=max(0, n - 1))
+        return InstrMeta(reads=[13] + list(reglist), writes=[13],
+                         is_mem=True, is_store=True, extra_cycles=max(0, n - 1))
+    if kind == "b":
+        cond = spec.params["cond"]
+        backward = f.get("value", 0) < 0
+        return InstrMeta(
+            reads=[FLAGS] if cond is not Cond.AL else [],
+            is_control=True,
+            is_cond_branch=cond is not Cond.AL,
+            is_backward=backward,
+        )
+    if kind == "bl":
+        return InstrMeta(writes=[14], is_control=True)
+    if kind == "ret":
+        return InstrMeta(reads=[14], is_control=True)
+    if kind == "swi":
+        return InstrMeta(is_control=True, extra_cycles=2)
+    raise TypeError("no timing metadata for FITS kind %r" % kind)

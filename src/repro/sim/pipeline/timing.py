@@ -1,0 +1,329 @@
+"""Trace-driven timing model of the dual-issue in-order core.
+
+The functional simulators emit run-compressed traces (straight-line
+stretches between taken control transfers).  Timing is computed as:
+
+* **base issue cycles** per distinct run, from a dual-issue scoreboard
+  walk (RAW dependencies incl. a flags pseudo-register, one memory port,
+  one multiplier, load-use and multiply result latencies, multi-cycle
+  load/store-multiple) — memoized, since the dynamic trace repeats a
+  small set of runs;
+* **control-flow penalties** from a backward-taken/forward-not-taken
+  static predictor (taken-branch redirect bubble, mispredict penalty,
+  indirect-return penalty);
+* **cache penalties** from line-granular I-cache simulation over each
+  run's address span and per-access D-cache simulation of the memory
+  trace.
+
+The same walk produces what the power model needs: fetch-word request
+counts and Hamming toggles on the instruction bus (real encodings).
+"""
+
+import numpy as np
+
+from repro.sim.cache.model import CacheGeometry, SetAssociativeCache
+from repro.sim.pipeline.meta import arm_meta, fits_meta, FLAGS
+
+
+class TimingConfig:
+    """Core and memory-system parameters (SA-1100-like defaults)."""
+
+    def __init__(
+        self,
+        issue_width=2,
+        icache_miss_penalty=24,
+        dcache_miss_penalty=24,
+        mispredict_penalty=2,
+        taken_redirect_penalty=1,
+        indirect_penalty=1,
+        frequency_hz=200e6,
+        icache_block=32,
+        icache_assoc=32,
+        dcache_bytes=8 * 1024,
+        dcache_block=32,
+        dcache_assoc=32,
+    ):
+        self.issue_width = issue_width
+        self.icache_miss_penalty = icache_miss_penalty
+        self.dcache_miss_penalty = dcache_miss_penalty
+        self.mispredict_penalty = mispredict_penalty
+        self.taken_redirect_penalty = taken_redirect_penalty
+        self.indirect_penalty = indirect_penalty
+        self.frequency_hz = frequency_hz
+        self.icache_block = icache_block
+        self.icache_assoc = icache_assoc
+        self.dcache_bytes = dcache_bytes
+        self.dcache_block = dcache_block
+        self.dcache_assoc = dcache_assoc
+
+    def icache_geometry(self, size_bytes):
+        return CacheGeometry(size_bytes, self.icache_block, self.icache_assoc)
+
+    def dcache_geometry(self):
+        return CacheGeometry(self.dcache_bytes, self.dcache_block, self.dcache_assoc)
+
+
+class TimingReport:
+    """Everything the experiments read out of one timing simulation."""
+
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def seconds(self):
+        return self.cycles / self.frequency_hz
+
+    @property
+    def icache_misses_per_million(self):
+        if not self.icache_requests:
+            return 0.0
+        return 1e6 * self.icache_misses / self.icache_requests
+
+    def __repr__(self):
+        return (
+            "<TimingReport %d instrs, %d cycles, IPC %.3f, I$ %d/%d miss, D$ %d/%d miss>"
+            % (
+                self.instructions,
+                self.cycles,
+                self.ipc,
+                self.icache_misses,
+                self.icache_requests,
+                self.dcache_misses,
+                self.dcache_accesses,
+            )
+        )
+
+
+def metadata_for(image):
+    """Pick the metadata adapter matching the image's ISA."""
+    from repro.core.translator import FitsImage
+
+    if isinstance(image, FitsImage):
+        return fits_meta(image)
+    return arm_meta(image)
+
+
+def _popcount_u32(values):
+    """Vectorized popcount over a uint32 array."""
+    return np.unpackbits(values.astype("<u4").view(np.uint8)).reshape(len(values), 32).sum(axis=1) \
+        if len(values) else np.zeros(0, dtype=np.int64)
+
+
+class _FetchGeometry:
+    """Word-granular view of an image's code stream for fetch accounting."""
+
+    def __init__(self, image):
+        if hasattr(image, "halfwords"):
+            halves = np.asarray(image.halfwords, dtype=np.uint32)
+            if len(halves) % 2:
+                halves = np.append(halves, np.uint32(0))
+            self.words = (halves[0::2] | (halves[1::2] << np.uint32(16))).astype(np.uint32)
+            self.instr_bytes = 2
+        else:
+            self.words = np.asarray(image.words, dtype=np.uint32)
+            self.instr_bytes = 4
+        self.code_base = image.code_base
+        # toggle prefix: toggles[j] = popcount(words[j] ^ words[j-1])
+        if len(self.words) > 1:
+            xors = self.words[1:] ^ self.words[:-1]
+            toggles = _popcount_u32(xors)
+        else:
+            toggles = np.zeros(0, dtype=np.int64)
+        self.toggle_prefix = np.concatenate([[0, 0], np.cumsum(toggles)])
+        self.max_word_toggles = int(toggles.max()) if len(toggles) else 0
+
+    def word_index(self, instr_index):
+        return (instr_index * self.instr_bytes) // 4
+
+    def byte_addr(self, instr_index):
+        return self.code_base + instr_index * self.instr_bytes
+
+    def internal_toggles(self, ws, we):
+        """Toggles between consecutive words fetched within one run."""
+        return self.toggle_prefix[we + 1] - self.toggle_prefix[ws + 1]
+
+
+def _run_cycles(start, end, meta, issue_width):
+    """Base issue cycles for one straight-line run (no cache effects)."""
+    cycle = 0
+    ready = {}
+    i = start
+    while i <= end:
+        m = meta[i]
+        # operand stalls
+        for r in m.reads:
+            t = ready.get(r, 0)
+            if t > cycle:
+                cycle = t
+        issued = 1
+        for w in m.writes:
+            ready[w] = cycle + m.latency
+        if (
+            issue_width >= 2
+            and i < end
+            and not m.is_control
+            and m.extra_cycles == 0
+        ):
+            n = meta[i + 1]
+            dual = True
+            if n.extra_cycles:
+                dual = False
+            elif m.is_mem and n.is_mem:
+                dual = False  # one memory port
+            elif m.is_mul and n.is_mul:
+                dual = False  # one multiplier
+            else:
+                writes = set(m.writes)
+                if writes.intersection(n.reads) or writes.intersection(n.writes):
+                    dual = False
+                else:
+                    for r in n.reads:
+                        if ready.get(r, 0) > cycle:
+                            dual = False
+                            break
+            if dual:
+                for w in n.writes:
+                    ready[w] = cycle + n.latency
+                issued = 2
+        cycle += 1 + m.extra_cycles
+        i += issued
+    return cycle
+
+
+def simulate_timing(result, icache_bytes, config=None, meta=None):
+    """Simulate timing + fetch activity for one execution trace.
+
+    Args:
+        result: :class:`~repro.sim.functional.trace.ExecutionResult`.
+        icache_bytes: instruction-cache size for this configuration.
+        config: :class:`TimingConfig`.
+        meta: precomputed instruction metadata (else derived).
+
+    Returns:
+        :class:`TimingReport`.
+    """
+    config = config or TimingConfig()
+    image = result.image
+    if meta is None:
+        meta = metadata_for(image)
+    fetch = _FetchGeometry(image)
+
+    starts = result.run_starts
+    ends = result.run_ends
+    n_static = len(meta)
+    keys = starts * n_static + ends
+    uniq, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
+    u_start = (uniq // n_static).astype(np.int64)
+    u_end = (uniq % n_static).astype(np.int64)
+
+    # --- per-unique-run quantities -------------------------------------
+    base_cycles = np.empty(len(uniq), dtype=np.int64)
+    end_penalty = np.empty(len(uniq), dtype=np.int64)
+    for k in range(len(uniq)):
+        s, e = int(u_start[k]), int(u_end[k])
+        base_cycles[k] = _run_cycles(s, e, meta, config.issue_width)
+        m = meta[e]
+        if m.is_cond_branch:
+            end_penalty[k] = (
+                config.taken_redirect_penalty if m.is_backward else config.mispredict_penalty
+            )
+        elif m.is_control:
+            # unconditional branch / call: redirect bubble; returns and
+            # pc-loads: indirect penalty
+            end_penalty[k] = config.indirect_penalty
+        else:
+            end_penalty[k] = 0
+
+    u_ws = np.array([fetch.word_index(int(s)) for s in u_start], dtype=np.int64)
+    u_we = np.array([fetch.word_index(int(e)) for e in u_end], dtype=np.int64)
+    u_requests = u_we - u_ws + 1
+    u_toggles = np.array(
+        [fetch.internal_toggles(int(ws), int(we)) for ws, we in zip(u_ws, u_we)],
+        dtype=np.int64,
+    )
+
+    total_base = int(np.dot(base_cycles, counts))
+    total_taken_penalty = int(np.dot(end_penalty, counts))
+    icache_requests = int(np.dot(u_requests, counts))
+    fetch_toggles = int(np.dot(u_toggles, counts))
+
+    # --- boundary toggles (between the last word of run k and the first
+    # word of run k+1) ---------------------------------------------------
+    ws_seq = u_ws[inverse]
+    we_seq = u_we[inverse]
+    if len(ws_seq) > 1:
+        xors = fetch.words[we_seq[:-1]] ^ fetch.words[ws_seq[1:]]
+        boundary = _popcount_u32(xors)
+        fetch_toggles += int(boundary.sum())
+        max_boundary = int(boundary.max())
+    else:
+        max_boundary = 0
+
+    # --- not-taken penalties (backward not-taken mispredicts) -----------
+    exec_counts = result.exec_counts()
+    taken_counts = result.taken_counts()
+    nt_penalty = 0
+    for i, m in enumerate(meta):
+        if m.is_cond_branch:
+            not_taken = int(exec_counts[i]) - int(taken_counts[i])
+            if not_taken > 0:
+                if m.is_backward:
+                    nt_penalty += not_taken * config.mispredict_penalty
+    total_nt_penalty = nt_penalty
+
+    # --- I-cache line simulation (order matters) -------------------------
+    shift = config.icache_block.bit_length() - 1
+    instr_per_line = config.icache_block // fetch.instr_bytes
+    ls_seq = ((starts * fetch.instr_bytes + fetch.code_base) >> shift).astype(np.int64)
+    le_seq = ((ends * fetch.instr_bytes + fetch.code_base) >> shift).astype(np.int64)
+    icache = SetAssociativeCache(config.icache_geometry(icache_bytes))
+    access = icache.access_line
+    for a, b in zip(ls_seq.tolist(), le_seq.tolist()):
+        if a == b:
+            access(a)
+        else:
+            for line in range(a, b + 1):
+                access(line)
+
+    # --- D-cache ---------------------------------------------------------
+    dcache = SetAssociativeCache(config.dcache_geometry())
+    daccess = dcache.access_line
+    dshift = config.dcache_block.bit_length() - 1
+    for line in (result.mem_addrs >> np.uint32(dshift)).tolist():
+        daccess(line)
+
+    cycles = (
+        total_base
+        + total_taken_penalty
+        + total_nt_penalty
+        + icache.misses * config.icache_miss_penalty
+        + dcache.misses * config.dcache_miss_penalty
+    )
+    instructions = result.dynamic_instructions
+
+    return TimingReport(
+        image=image,
+        config=config,
+        icache_bytes=icache_bytes,
+        instructions=instructions,
+        cycles=int(cycles),
+        base_cycles=total_base,
+        frequency_hz=config.frequency_hz,
+        icache_requests=icache_requests,
+        icache_line_accesses=icache.accesses,
+        icache_misses=icache.misses,
+        icache_compulsory=icache.compulsory_misses,
+        dcache_accesses=dcache.accesses,
+        dcache_misses=dcache.misses,
+        fetch_toggles=fetch_toggles,
+        max_fetch_toggles=max(fetch.max_word_toggles, max_boundary),
+        taken_transfers=int(len(starts)),
+        fetch_word_bits=32,
+        max_words_per_cycle=max(1, (config.issue_width * fetch.instr_bytes) // 4),
+        instr_bytes=fetch.instr_bytes,
+        code_lines=(len(fetch.words) * 4 + config.icache_block - 1) // config.icache_block,
+    )

@@ -1,0 +1,34 @@
+"""MiBench-like workloads written in the mini IR.
+
+Each workload models the computational core of the MiBench program of
+the same name, links against the shared runtime library
+(:mod:`repro.workloads.runtime`) and returns a 32-bit checksum from
+``main`` that is validated against a pure-Python reference model.
+
+Workloads build at two scales:
+
+* ``"small"`` — seconds-fast, used by the test suite,
+* ``"full"``  — the evaluation scale used by the benchmark harness
+  (hundreds of thousands of dynamic instructions; the paper ran MiBench
+  to completion, we run the kernels to completion at a reduced input
+  size, which preserves the instruction mix and footprint).
+"""
+
+from repro.workloads.base import Workload, WorkloadError
+from repro.workloads.registry import (
+    get_workload,
+    all_workloads,
+    workload_names,
+    POWER_STUDY_BENCHMARKS,
+    CODE_SIZE_BENCHMARKS,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadError",
+    "get_workload",
+    "all_workloads",
+    "workload_names",
+    "POWER_STUDY_BENCHMARKS",
+    "CODE_SIZE_BENCHMARKS",
+]

@@ -1,0 +1,58 @@
+"""Deterministic input-data generation shared by workloads.
+
+All inputs are derived from a seeded xorshift32 stream so the IR build,
+the Python reference model and every simulator see byte-identical data.
+"""
+
+import struct
+
+from repro.workloads.pyref import XorShift32
+
+
+def seed_from_name(name):
+    """Stable 32-bit seed derived from a workload name."""
+    h = 2166136261
+    for ch in name.encode():
+        h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+    return h or 0x9E3779B9
+
+
+def random_bytes(name, count):
+    rng = XorShift32(seed_from_name(name))
+    return bytes((rng.next() >> 7) & 0xFF for i in range(count))
+
+
+def random_words(name, count, lo=0, hi=0xFFFFFFFF):
+    rng = XorShift32(seed_from_name(name))
+    span = hi - lo + 1
+    return [lo + rng.next() % span for _ in range(count)]
+
+
+def random_halfwords(name, count, lo=0, hi=0xFFFF):
+    return random_words(name, count, lo, hi)
+
+
+def words_bytes(words):
+    return struct.pack("<%dI" % len(words), *[w & 0xFFFFFFFF for w in words])
+
+
+def halfwords_bytes(halfwords):
+    return struct.pack("<%dH" % len(halfwords), *[h & 0xFFFF for h in halfwords])
+
+
+def ascii_text(name, count, words=None):
+    """Deterministic space-separated pseudo-text of roughly ``count`` bytes."""
+    if words is None:
+        words = [
+            "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+            "embedded", "cache", "power", "instruction", "synthesis", "fits",
+            "processor", "benchmark", "telecom", "office", "security", "network",
+        ]
+    rng = XorShift32(seed_from_name(name))
+    out = []
+    size = 0
+    while size < count:
+        w = words[rng.next() % len(words)]
+        out.append(w)
+        size += len(w) + 1
+    return (" ".join(out))[:count].encode()

@@ -1,0 +1,1 @@
+"""The MiBench-like kernel collection (one module per benchmark)."""

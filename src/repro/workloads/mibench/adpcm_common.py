@@ -1,0 +1,226 @@
+"""Shared pieces of the IMA ADPCM codec (``adpcm_enc`` / ``adpcm_dec``).
+
+The classic Intel/DVI ADPCM from MiBench: 89-entry step-size table,
+4-bit codes, index adaptation table.  The PCM input is a deterministic
+synthetic voice-like signal (sum of two sine components plus noise from
+the shared PRNG), generated identically for the IR build and the Python
+reference.
+"""
+
+import struct
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.pyref import XorShift32, sin_table, u32, s32
+
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+SAMPLE_COUNTS = {"small": 600, "full": 14000}
+
+
+def pcm_samples(scale):
+    """Synthetic 16-bit PCM, identical for IR data and reference."""
+    n = SAMPLE_COUNTS[scale]
+    rng = XorShift32(0xADB0C0DE)
+    table = sin_table()
+    out = []
+    for i in range(n):
+        s = (table[(i * 37) & 1023] >> 2) + (table[(i * 11 + 200) & 1023] >> 3)
+        s += (rng.next() & 0x3FF) - 512
+        s = max(-32768, min(32767, s))
+        out.append(s)
+    return out
+
+
+def pcm_bytes(scale):
+    samples = pcm_samples(scale)
+    return struct.pack("<%dh" % len(samples), *samples)
+
+
+def add_tables(m):
+    m.add_global(Global("adpcm_step", data=struct.pack("<89i", *STEP_TABLE)))
+    m.add_global(
+        Global("adpcm_index", data=struct.pack("<16b", *INDEX_TABLE))
+    )
+
+
+def build_clamp_helpers(m):
+    f = FunctionBuilder(m, "adpcm_clamp16", ["x"])
+    x = f.arg("x")
+    with f.if_then(Cond.GT, x, 32767):
+        f.ret(32767)
+    with f.if_then(Cond.LT, x, -32768):
+        f.ret(u32(-32768))
+    f.ret(x)
+
+    f = FunctionBuilder(m, "adpcm_clamp_index", ["i"])
+    i = f.arg("i")
+    with f.if_then(Cond.LT, i, 0):
+        f.ret(0)
+    with f.if_then(Cond.GT, i, 88):
+        f.ret(88)
+    f.ret(i)
+
+
+def build_decoder_func(m):
+    """adpcm_decode_all(codes, n, out) — shared by both directions
+    (the encoder's reference decoder is how MiBench validates)."""
+    f = FunctionBuilder(m, "adpcm_decode_all", ["codes", "n", "out"])
+    codes, n, out = f.args
+    step_t = f.ga("adpcm_step")
+    index_t = f.ga("adpcm_index")
+    valpred = f.li(0)
+    index = f.li(0)
+    with f.for_range(0, n) as i:
+        byte = f.load(codes, f.lsr(i, 1), Width.BYTE)
+        nib = f.vreg("nib")
+        half = f.and_(i, 1)
+        with f.if_else(Cond.NE, half, 0) as otherwise:
+            f.lsr(byte, 4, dst=nib)
+            with otherwise:
+                f.and_(byte, 0xF, dst=nib)
+        step = f.load(step_t, f.lsl(index, 2))
+        delta = f.and_(nib, 7)
+        # vpdiff = (delta * step) / 4 + step / 8, via shifts as in the
+        # reference implementation
+        vpdiff = f.asr(step, 3)
+        with f.if_then(Cond.NE, f.and_(delta, 4), 0):
+            f.add(vpdiff, step, dst=vpdiff)
+        with f.if_then(Cond.NE, f.and_(delta, 2), 0):
+            f.add(vpdiff, f.asr(step, 1), dst=vpdiff)
+        with f.if_then(Cond.NE, f.and_(delta, 1), 0):
+            f.add(vpdiff, f.asr(step, 2), dst=vpdiff)
+        with f.if_else(Cond.NE, f.and_(nib, 8), 0) as otherwise:
+            f.sub(valpred, vpdiff, dst=valpred)
+            with otherwise:
+                f.add(valpred, vpdiff, dst=valpred)
+        f.call("adpcm_clamp16", [valpred], dst=valpred)
+        adj = f.load(index_t, nib, Width.BYTE, signed=True)
+        f.add(index, adj, dst=index)
+        f.call("adpcm_clamp_index", [index], dst=index)
+        f.store(valpred, out, f.lsl(i, 1), Width.HALF)
+    f.ret(valpred)
+
+
+def py_decode(codes, n):
+    """Reference decoder; returns (samples, last_valpred)."""
+    valpred = 0
+    index = 0
+    out = []
+    for i in range(n):
+        byte = codes[i >> 1]
+        nib = (byte >> 4) if i & 1 else (byte & 0xF)
+        step = STEP_TABLE[index]
+        delta = nib & 7
+        vpdiff = step >> 3
+        if delta & 4:
+            vpdiff += step
+        if delta & 2:
+            vpdiff += step >> 1
+        if delta & 1:
+            vpdiff += step >> 2
+        if nib & 8:
+            valpred -= vpdiff
+        else:
+            valpred += vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        index = max(0, min(88, index + INDEX_TABLE[nib]))
+        out.append(valpred)
+    return out, valpred
+
+
+def py_encode(samples):
+    """Reference encoder; returns (codes bytes, last_valpred)."""
+    valpred = 0
+    index = 0
+    codes = bytearray((len(samples) + 1) // 2)
+    for i, sample in enumerate(samples):
+        step = STEP_TABLE[index]
+        diff = sample - valpred
+        sign = 8 if diff < 0 else 0
+        if diff < 0:
+            diff = -diff
+        delta = 0
+        vpdiff = step >> 3
+        if diff >= step:
+            delta = 4
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 2
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 1
+            vpdiff += step
+        if sign:
+            valpred -= vpdiff
+        else:
+            valpred += vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        nib = delta | sign
+        index = max(0, min(88, index + INDEX_TABLE[nib]))
+        if i & 1:
+            codes[i >> 1] |= nib << 4
+        else:
+            codes[i >> 1] = nib
+    return bytes(codes), valpred
+
+
+def build_encoder_func(m):
+    f = FunctionBuilder(m, "adpcm_encode_all", ["pcm", "n", "out"])
+    pcm, n, out = f.args
+    step_t = f.ga("adpcm_step")
+    index_t = f.ga("adpcm_index")
+    valpred = f.li(0)
+    index = f.li(0)
+    with f.for_range(0, n) as i:
+        sample = f.load(pcm, f.lsl(i, 1), Width.HALF, signed=True)
+        step = f.load(step_t, f.lsl(index, 2))
+        diff = f.sub(sample, valpred)
+        sign = f.li(0)
+        with f.if_then(Cond.LT, diff, 0):
+            f.li(8, dst=sign)
+            f.rsb(diff, 0, dst=diff)
+        delta = f.li(0)
+        vpdiff = f.asr(step, 3)
+        with f.if_then(Cond.GE, diff, step):
+            f.li(4, dst=delta)
+            f.sub(diff, step, dst=diff)
+            f.add(vpdiff, step, dst=vpdiff)
+        f.asr(step, 1, dst=step)
+        with f.if_then(Cond.GE, diff, step):
+            f.orr(delta, 2, dst=delta)
+            f.sub(diff, step, dst=diff)
+            f.add(vpdiff, step, dst=vpdiff)
+        f.asr(step, 1, dst=step)
+        with f.if_then(Cond.GE, diff, step):
+            f.orr(delta, 1, dst=delta)
+            f.add(vpdiff, step, dst=vpdiff)
+        with f.if_else(Cond.NE, sign, 0) as otherwise:
+            f.sub(valpred, vpdiff, dst=valpred)
+            with otherwise:
+                f.add(valpred, vpdiff, dst=valpred)
+        f.call("adpcm_clamp16", [valpred], dst=valpred)
+        nib = f.orr(delta, sign)
+        adj = f.load(index_t, nib, Width.BYTE, signed=True)
+        f.add(index, adj, dst=index)
+        f.call("adpcm_clamp_index", [index], dst=index)
+        boff = f.lsr(i, 1)
+        with f.if_else(Cond.NE, f.and_(i, 1), 0) as otherwise:
+            old = f.load(out, boff, Width.BYTE)
+            f.store(f.orr(old, f.lsl(nib, 4)), out, boff, Width.BYTE)
+            with otherwise:
+                f.store(nib, out, boff, Width.BYTE)
+    f.ret(valpred)

@@ -1,0 +1,51 @@
+"""``adpcm_dec`` (telecomm): IMA ADPCM decoder back to PCM."""
+
+from repro.ir import FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.mibench import adpcm_common as common
+from repro.workloads.pyref import M32
+
+
+def _coded(scale):
+    codes, _last = common.py_encode(common.pcm_samples(scale))
+    return codes
+
+
+def _build(m, scale):
+    codes = _coded(scale)
+    n = len(common.pcm_samples(scale))
+    common.add_tables(m)
+    m.add_global(Global("codes_in", data=codes))
+    m.add_global(Global("pcm_out", size=2 * n))
+    common.build_clamp_helpers(m)
+    common.build_decoder_func(m)
+
+    b = FunctionBuilder(m, "main", [])
+    cin = b.ga("codes_in")
+    out = b.ga("pcm_out")
+    last = b.call("adpcm_decode_all", [cin, b.li(n), out])
+    acc = b.mov(last)
+    with b.for_range(0, n) as i:
+        s = b.load(out, b.lsl(i, 1), Width.HALF, signed=True)
+        b.mul(acc, 17, dst=acc)
+        b.eor(acc, s, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    codes = _coded(scale)
+    n = len(common.pcm_samples(scale))
+    samples, last = common.py_decode(codes, n)
+    acc = last & M32
+    for s in samples:
+        acc = ((acc * 17) ^ (s & M32)) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="adpcm_dec",
+    category="telecomm",
+    build=_build,
+    reference=_reference,
+    description="IMA ADPCM decode back to 16-bit PCM",
+)

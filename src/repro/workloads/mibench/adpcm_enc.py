@@ -1,0 +1,46 @@
+"""``adpcm_enc`` (telecomm): IMA ADPCM encoder over synthetic voice PCM."""
+
+from repro.ir import FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.mibench import adpcm_common as common
+from repro.workloads.pyref import M32
+
+
+def _build(m, scale):
+    samples = common.pcm_samples(scale)
+    n = len(samples)
+    common.add_tables(m)
+    m.add_global(Global("pcm_in", data=common.pcm_bytes(scale)))
+    m.add_global(Global("codes_out", size=(n + 1) // 2))
+    common.build_clamp_helpers(m)
+    common.build_encoder_func(m)
+
+    b = FunctionBuilder(m, "main", [])
+    pcm = b.ga("pcm_in")
+    out = b.ga("codes_out")
+    last = b.call("adpcm_encode_all", [pcm, b.li(n), out])
+    acc = b.mov(last)
+    nbytes = (n + 1) // 2
+    with b.for_range(0, nbytes) as i:
+        byte = b.load(out, i, Width.BYTE)
+        b.mul(acc, 31, dst=acc)
+        b.add(acc, byte, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    samples = common.pcm_samples(scale)
+    codes, last = common.py_encode(samples)
+    acc = last & M32
+    for byte in codes:
+        acc = (acc * 31 + byte) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="adpcm_enc",
+    category="telecomm",
+    build=_build,
+    reference=_reference,
+    description="IMA ADPCM encode of a synthetic voice signal",
+)

@@ -1,0 +1,106 @@
+"""``bitcount`` (automotive): five bit-counting algorithms over a PRNG stream.
+
+Mirrors MiBench bitcount's structure: the same values are counted by an
+iterated-shift counter, Kernighan's clear-lowest-bit counter, 8-bit and
+4-bit table lookups, and a SWAR (parallel reduction) counter; the
+checksum accumulates all five results so a bug in any one diverges.
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.pyref import XorShift32, M32
+
+ITERS = {"small": 120, "full": 6000}
+
+
+def _build(m, scale):
+    iters = ITERS[scale]
+    m.add_global(Global("bc_table8", size=256, align=4))
+    m.add_global(Global("bc_table4", data=bytes([bin(i).count("1") for i in range(16)])))
+
+    f = FunctionBuilder(m, "bc_build_table8", [])
+    tab = f.ga("bc_table8")
+    with f.for_range(0, 256) as i:
+        n = f.li(0)
+        x = f.mov(i)
+        with f.loop_while(Cond.NE, x, 0):
+            f.add(n, f.and_(x, 1), dst=n)
+            f.lsr(x, 1, dst=x)
+        f.store(n, tab, i, Width.BYTE)
+    f.ret()
+
+    f = FunctionBuilder(m, "bc_iter", ["x"])
+    x = f.arg("x")
+    n = f.li(0)
+    with f.loop_while(Cond.NE, x, 0):
+        f.add(n, f.and_(x, 1), dst=n)
+        f.lsr(x, 1, dst=x)
+    f.ret(n)
+
+    f = FunctionBuilder(m, "bc_kernighan", ["x"])
+    x = f.arg("x")
+    n = f.li(0)
+    with f.loop_while(Cond.NE, x, 0):
+        f.and_(x, f.sub(x, 1), dst=x)
+        f.add(n, 1, dst=n)
+    f.ret(n)
+
+    f = FunctionBuilder(m, "bc_table_lookup", ["x"])
+    x = f.arg("x")
+    tab = f.ga("bc_table8")
+    n = f.li(0)
+    with f.for_range(0, 4):
+        f.add(n, f.load(tab, f.and_(x, 0xFF), Width.BYTE), dst=n)
+        f.lsr(x, 8, dst=x)
+    f.ret(n)
+
+    f = FunctionBuilder(m, "bc_nibble", ["x"])
+    x = f.arg("x")
+    tab = f.ga("bc_table4")
+    n = f.li(0)
+    with f.for_range(0, 8):
+        f.add(n, f.load(tab, f.and_(x, 0xF), Width.BYTE), dst=n)
+        f.lsr(x, 4, dst=x)
+    f.ret(n)
+
+    f = FunctionBuilder(m, "bc_swar", ["x"])
+    x = f.arg("x")
+    x = f.sub(x, f.and_(f.lsr(x, 1), 0x55555555))
+    lo = f.and_(x, 0x33333333)
+    hi = f.and_(f.lsr(x, 2), 0x33333333)
+    x = f.add(lo, hi)
+    x = f.and_(f.add(x, f.lsr(x, 4)), 0x0F0F0F0F)
+    x = f.mul(x, 0x01010101)
+    f.ret(f.lsr(x, 24))
+
+    b = FunctionBuilder(m, "main", [])
+    b.call("bc_build_table8", [], dst=False)
+    b.call("srand", [b.li(0x1234ABCD)], dst=False)
+    acc = b.li(0)
+    with b.for_range(0, iters):
+        x = b.call("rand_next", [])
+        for counter in ("bc_iter", "bc_kernighan", "bc_table_lookup", "bc_nibble", "bc_swar"):
+            b.add(acc, b.call(counter, [x]), dst=acc)
+        b.mul(acc, 17, dst=acc)
+        b.add(acc, 1, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    rng = XorShift32(0x1234ABCD)
+    acc = 0
+    for _ in range(ITERS[scale]):
+        x = rng.next()
+        bits = bin(x).count("1")
+        acc = (acc + 5 * bits) & M32
+        acc = (acc * 17 + 1) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="bitcount",
+    category="automotive",
+    build=_build,
+    reference=_reference,
+    description="five bit-count algorithms over a deterministic PRNG stream",
+)

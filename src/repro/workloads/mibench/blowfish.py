@@ -1,0 +1,179 @@
+"""``blowfish`` (security): Blowfish ECB encryption.
+
+The full 16-round Feistel network with four 256-entry S-boxes and an
+18-entry P-array; the key schedule runs the cipher over its own state
+exactly as ``BF_set_key`` does.  The initial P/S constants come from the
+shared deterministic PRNG instead of the digits of pi (the structure and
+access pattern, which is what the study measures, are identical).
+Rounds are unrolled, as real Blowfish implementations are.
+"""
+
+import struct
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import random_bytes
+from repro.workloads.pyref import XorShift32, add32, M32
+
+SIZES = {"small": 384, "full": 6144}  # plaintext bytes (multiple of 8)
+KEY = b"PowerFITS-blowfish-key"
+ROUNDS = 16
+
+
+def _init_tables():
+    rng = XorShift32(0xB10F1585)
+    p = [rng.next() << 1 & M32 ^ rng.next() for _ in range(ROUNDS + 2)]
+    s = [[(rng.next() * 2654435761) & M32 for _ in range(256)] for _ in range(4)]
+    return p, s
+
+
+def _plain(scale):
+    return random_bytes("blowfish", SIZES[scale])
+
+
+class _PyBlowfish:
+    def __init__(self, key):
+        self.p, self.s = _init_tables()
+        klen = len(key)
+        for i in range(ROUNDS + 2):
+            data = 0
+            for k in range(4):
+                data = ((data << 8) | key[(i * 4 + k) % klen]) & M32
+            self.p[i] ^= data
+        left = right = 0
+        for i in range(0, ROUNDS + 2, 2):
+            left, right = self.encrypt_block(left, right)
+            self.p[i], self.p[i + 1] = left, right
+        for box in range(4):
+            for i in range(0, 256, 2):
+                left, right = self.encrypt_block(left, right)
+                self.s[box][i], self.s[box][i + 1] = left, right
+
+    def f(self, x):
+        h = add32(self.s[0][(x >> 24) & 0xFF], self.s[1][(x >> 16) & 0xFF])
+        return add32(h ^ self.s[2][(x >> 8) & 0xFF], self.s[3][x & 0xFF])
+
+    def encrypt_block(self, left, right):
+        for i in range(ROUNDS):
+            left ^= self.p[i]
+            right ^= self.f(left)
+            left, right = right, left
+        left, right = right, left
+        right ^= self.p[ROUNDS]
+        left ^= self.p[ROUNDS + 1]
+        return left, right
+
+
+def _build(m, scale):
+    plain = _plain(scale)
+    p_init, s_init = _init_tables()
+    m.add_global(Global("bf_p", data=struct.pack("<18I", *p_init)))
+    m.add_global(
+        Global("bf_s", data=b"".join(struct.pack("<256I", *box) for box in s_init))
+    )
+    m.add_global(Global("bf_key", data=KEY))
+    m.add_global(Global("bf_data", data=plain))
+    m.add_global(Global("bf_lr", size=8))
+
+    # F function: S-box mix
+    f = FunctionBuilder(m, "bf_f", ["x"])
+    x = f.arg("x")
+    s = f.ga("bf_s")
+    a = f.lsr(x, 24)
+    bb = f.and_(f.lsr(x, 16), 0xFF)
+    c = f.and_(f.lsr(x, 8), 0xFF)
+    d = f.and_(x, 0xFF)
+    va = f.load(s, f.lsl(a, 2))
+    vb = f.load(s, f.add(f.lsl(bb, 2), 1024))
+    vc = f.load(s, f.add(f.lsl(c, 2), 2048))
+    vd = f.load(s, f.add(f.lsl(d, 2), 3072))
+    h = f.add(va, vb)
+    h = f.eor(h, vc)
+    f.ret(f.add(h, vd))
+
+    # encrypt the (left, right) pair held in bf_lr — rounds unrolled
+    f = FunctionBuilder(m, "bf_encrypt", [])
+    lr = f.ga("bf_lr")
+    p = f.ga("bf_p")
+    left = f.load(lr, 0)
+    right = f.load(lr, 4)
+    for i in range(ROUNDS):
+        left = f.eor(left, f.load(p, 4 * i))
+        right = f.eor(right, f.call("bf_f", [left]))
+        left, right = right, left
+    left, right = right, left
+    right = f.eor(right, f.load(p, 4 * ROUNDS))
+    left = f.eor(left, f.load(p, 4 * (ROUNDS + 1)))
+    f.store(left, lr, 0)
+    f.store(right, lr, 4)
+    f.ret()
+
+    f = FunctionBuilder(m, "bf_set_key", ["key", "klen"])
+    key, klen = f.args
+    p = f.ga("bf_p")
+    lr = f.ga("bf_lr")
+    with f.for_range(0, ROUNDS + 2) as i:
+        data = f.li(0)
+        base = f.lsl(i, 2)
+        with f.for_range(0, 4) as k:
+            idx = f.urem(f.add(base, k), klen)
+            byte = f.load(key, idx, Width.BYTE)
+            f.orr(f.lsl(data, 8), byte, dst=data)
+        off = f.lsl(i, 2)
+        f.store(f.eor(f.load(p, off), data), p, off)
+    f.store(0, lr, 0)
+    f.store(0, lr, 4)
+    with f.for_range(0, (ROUNDS + 2) // 2) as i:
+        f.call("bf_encrypt", [], dst=False)
+        off = f.lsl(i, 3)
+        f.store(f.load(lr, 0), p, off)
+        f.store(f.load(lr, 4), p, f.add(off, 4))
+    sbox = f.ga("bf_s")
+    with f.for_range(0, 4 * 128) as i:
+        f.call("bf_encrypt", [], dst=False)
+        off = f.lsl(i, 3)
+        f.store(f.load(lr, 0), sbox, off)
+        f.store(f.load(lr, 4), sbox, f.add(off, 4))
+    f.ret()
+
+    b = FunctionBuilder(m, "main", [])
+    b.call("bf_set_key", [b.ga("bf_key"), b.li(len(KEY))], dst=False)
+    data = b.ga("bf_data")
+    lr = b.ga("bf_lr")
+    n_blocks = len(plain) // 8
+    acc = b.li(0)
+    with b.for_range(0, n_blocks) as blk:
+        off = b.lsl(blk, 3)
+        b.store(b.load(data, off), lr, 0)
+        b.store(b.load(data, b.add(off, 4)), lr, 4)
+        b.call("bf_encrypt", [], dst=False)
+        left = b.load(lr, 0)
+        right = b.load(lr, 4)
+        b.store(left, data, off)
+        b.store(right, data, b.add(off, 4))
+        b.mul(acc, 31, dst=acc)
+        b.eor(acc, left, dst=acc)
+        b.add(acc, right, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    plain = _plain(scale)
+    bf = _PyBlowfish(KEY)
+    acc = 0
+    for off in range(0, len(plain), 8):
+        left = int.from_bytes(plain[off : off + 4], "little")
+        right = int.from_bytes(plain[off + 4 : off + 8], "little")
+        left, right = bf.encrypt_block(left, right)
+        acc = ((acc * 31) ^ left) & M32
+        acc = (acc + right) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="blowfish",
+    category="security",
+    build=_build,
+    reference=_reference,
+    description="Blowfish key schedule + ECB encryption, rounds unrolled",
+)

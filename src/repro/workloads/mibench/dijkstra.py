@@ -1,0 +1,113 @@
+"""``dijkstra`` (network): shortest paths on a dense random graph.
+
+Mirrors MiBench's naive O(V^2) Dijkstra (adjacency matrix, linear
+minimum scan, no heap) run from several source nodes; the checksum folds
+all finite distances.
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import random_halfwords, halfwords_bytes
+from repro.workloads.pyref import M32
+
+PARAMS = {"small": (20, 2), "full": (72, 5)}  # (nodes, sources)
+INF = 0x3FFFFFFF
+NO_EDGE = 0  # matrix weight 0 means "no edge" (except the diagonal)
+
+
+def _matrix(scale):
+    nodes, _ = PARAMS[scale]
+    raw = random_halfwords("dijkstra", nodes * nodes, lo=0, hi=19)
+    # weight 0..19; values >= 15 become "no edge" so the graph is sparse-ish
+    weights = [0 if w >= 15 else w + 1 for w in raw]
+    for i in range(nodes):
+        weights[i * nodes + i] = 0
+    return weights
+
+
+def _build(m, scale):
+    nodes, sources = PARAMS[scale]
+    weights = _matrix(scale)
+    m.add_global(Global("dj_adj", data=halfwords_bytes(weights)))
+    m.add_global(Global("dj_dist", size=4 * nodes))
+    m.add_global(Global("dj_visited", size=nodes, align=4))
+
+    f = FunctionBuilder(m, "dj_run", ["src"])
+    src = f.arg("src")
+    dist = f.ga("dj_dist")
+    visited = f.ga("dj_visited")
+    adj = f.ga("dj_adj")
+    with f.for_range(0, nodes) as i:
+        f.store(f.li(INF), dist, f.lsl(i, 2))
+        f.store(f.li(0), visited, i, Width.BYTE)
+    f.store(f.li(0), dist, f.lsl(src, 2))
+
+    with f.for_range(0, nodes):
+        best = f.li(INF)
+        best_idx = f.li(-1)
+        with f.for_range(0, nodes) as j:
+            seen = f.load(visited, j, Width.BYTE)
+            with f.if_then(Cond.EQ, seen, 0):
+                dj = f.load(dist, f.lsl(j, 2))
+                with f.if_then(Cond.LTU, dj, best):
+                    f.mov(dj, dst=best)
+                    f.mov(j, dst=best_idx)
+        with f.if_then(Cond.GE, best_idx, 0):
+            f.store(f.li(1), visited, best_idx, Width.BYTE)
+            row = f.mul(best_idx, nodes)
+            with f.for_range(0, nodes) as k:
+                woff = f.lsl(f.add(row, k), 1)
+                wt = f.load(adj, woff, Width.HALF)
+                with f.if_then(Cond.NE, wt, NO_EDGE):
+                    cand = f.add(best, wt)
+                    dk = f.load(dist, f.lsl(k, 2))
+                    with f.if_then(Cond.LTU, cand, dk):
+                        f.store(cand, dist, f.lsl(k, 2))
+    f.ret()
+
+    b = FunctionBuilder(m, "main", [])
+    dist = b.ga("dj_dist")
+    acc = b.li(0)
+    with b.for_range(0, sources) as s:
+        b.call("dj_run", [s], dst=False)
+        with b.for_range(0, nodes) as i:
+            d = b.load(dist, b.lsl(i, 2))
+            with b.if_then(Cond.NE, d, INF):
+                b.add(acc, d, dst=acc)
+                b.mul(acc, 3, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    nodes, sources = PARAMS[scale]
+    weights = _matrix(scale)
+    acc = 0
+    for src in range(sources):
+        dist = [INF] * nodes
+        dist[src] = 0
+        visited = [False] * nodes
+        for _ in range(nodes):
+            best, best_idx = INF, -1
+            for j in range(nodes):
+                if not visited[j] and dist[j] < best:
+                    best, best_idx = dist[j], j
+            if best_idx < 0:
+                continue
+            visited[best_idx] = True
+            for k in range(nodes):
+                w = weights[best_idx * nodes + k]
+                if w != NO_EDGE and best + w < dist[k]:
+                    dist[k] = best + w
+        for d in dist:
+            if d != INF:
+                acc = ((acc + d) * 3) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="dijkstra",
+    category="network",
+    build=_build,
+    reference=_reference,
+    description="dense-matrix Dijkstra from several sources (no heap)",
+)

@@ -1,0 +1,189 @@
+"""``fft`` (telecomm): fixed-point radix-2 FFT with per-stage scaling.
+
+Q15 arithmetic against the shared sine table, decimation-in-time with
+bit-reversal, scaling by 1/2 each stage to avoid overflow (the standard
+embedded fix_fft structure).  Forward transforms of several synthetic
+frames; the checksum folds the spectra.
+"""
+
+import math
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import random_words
+from repro.workloads.pyref import M32, sin_table, s32
+
+PARAMS = {"small": (64, 2), "full": (256, 8)}  # (N, frames)
+LOG2N = {64: 6, 256: 8}
+
+
+def _frames(scale):
+    n, frames = PARAMS[scale]
+    raw = random_words("fft", n * frames, lo=0, hi=0xFFFF)
+    tab = sin_table()
+    out = []
+    for fidx in range(frames):
+        re = []
+        for i in range(n):
+            v = (tab[(i * (3 + fidx)) & 1023] >> 2) + ((raw[fidx * n + i] & 0x7FF) - 1024)
+            re.append(max(-32768, min(32767, v)))
+        out.append(re)
+    return out
+
+
+def _build(m, scale):
+    n, frames = PARAMS[scale]
+    logn = LOG2N[n]
+    data = b""
+    for frame in _frames(scale):
+        for v in frame:
+            data += (v & 0xFFFF).to_bytes(2, "little")
+    m.add_global(Global("fft_in", data=data))
+    m.add_global(Global("fft_re", size=4 * n))
+    m.add_global(Global("fft_im", size=4 * n))
+
+    # bit reverse of a logn-bit index
+    f = FunctionBuilder(m, "fft_bitrev", ["x", "bits"])
+    x, bits = f.args
+    r = f.li(0)
+    with f.for_range(0, bits):
+        f.lsl(r, 1, dst=r)
+        f.orr(r, f.and_(x, 1), dst=r)
+        f.lsr(x, 1, dst=x)
+    f.ret(r)
+
+    # one in-place FFT over fft_re/fft_im
+    f = FunctionBuilder(m, "fft_run", [])
+    re = f.ga("fft_re")
+    im = f.ga("fft_im")
+    # bit-reversal permutation
+    with f.for_range(0, n) as i:
+        j = f.call("fft_bitrev", [i, f.li(logn)])
+        with f.if_then(Cond.LT, i, j):
+            io = f.lsl(i, 2)
+            jo = f.lsl(j, 2)
+            a = f.load(re, io)
+            bv = f.load(re, jo)
+            f.store(bv, re, io)
+            f.store(a, re, jo)
+            a = f.load(im, io)
+            bv = f.load(im, jo)
+            f.store(bv, im, io)
+            f.store(a, im, jo)
+    # butterflies
+    size = f.li(2)
+    with f.loop_while(Cond.LE, size, n):
+        half = f.lsr(size, 1)
+        step = f.udiv(1024, size)  # sine-table stride for this stage
+        base = f.li(0)
+        with f.loop_while(Cond.LT, base, n):
+            k = f.li(0)
+            with f.loop_while(Cond.LT, k, half):
+                angle = f.mul(k, step)
+                wr = f.call("cos_q15", [angle])
+                wi = f.rsb(f.call("sin_q15", [angle]), 0)
+                i0 = f.add(base, k)
+                i1 = f.add(i0, half)
+                o0 = f.lsl(i0, 2)
+                o1 = f.lsl(i1, 2)
+                xr = f.load(re, o1)
+                xi = f.load(im, o1)
+                # t = w * x >> 15 (Q15 multiply)
+                tr = f.sub(f.mul(wr, xr), f.mul(wi, xi))
+                tr = f.asr(tr, 15)
+                ti = f.add(f.mul(wr, xi), f.mul(wi, xr))
+                ti = f.asr(ti, 15)
+                ur = f.asr(f.load(re, o0), 1)
+                ui = f.asr(f.load(im, o0), 1)
+                f.asr(tr, 1, dst=tr)
+                f.asr(ti, 1, dst=ti)
+                f.store(f.add(ur, tr), re, o0)
+                f.store(f.add(ui, ti), im, o0)
+                f.store(f.sub(ur, tr), re, o1)
+                f.store(f.sub(ui, ti), im, o1)
+                f.add(k, 1, dst=k)
+            f.add(base, size, dst=base)
+        f.lsl(size, 1, dst=size)
+    f.ret()
+
+    b = FunctionBuilder(m, "main", [])
+    src = b.ga("fft_in")
+    re = b.ga("fft_re")
+    im = b.ga("fft_im")
+    acc = b.li(0)
+    for fr in range(frames):
+        with b.for_range(0, n) as i:
+            v = b.load(src, b.add(b.lsl(i, 1), 2 * n * fr), Width.HALF, signed=True)
+            b.store(v, re, b.lsl(i, 2))
+            b.store(0, im, b.lsl(i, 2))
+        b.call("fft_run", [], dst=False)
+        with b.for_range(0, n) as i:
+            r = b.load(re, b.lsl(i, 2))
+            s = b.load(im, b.lsl(i, 2))
+            b.mul(acc, 31, dst=acc)
+            b.eor(acc, r, dst=acc)
+            b.add(acc, s, dst=acc)
+    b.ret(acc)
+
+
+def _py_fft(re_in, n, logn):
+    """Mirror of fft_run with exact 32-bit wrap-around semantics."""
+    from repro.workloads.pyref import add32, sub32, mul32, asr32
+
+    tab = sin_table()
+    re = list(re_in)
+    im = [0] * n
+    for i in range(n):
+        j = 0
+        x = i
+        for _ in range(logn):
+            j = (j << 1) | (x & 1)
+            x >>= 1
+        if i < j:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+    size = 2
+    while size <= n:
+        half = size >> 1
+        step = 1024 // size
+        for base in range(0, n, size):
+            for k in range(half):
+                angle = k * step
+                wr = tab[(angle + 256) & 1023] & M32   # cos_q15
+                wi = (-tab[angle & 1023]) & M32        # -sin_q15
+                i0 = base + k
+                i1 = i0 + half
+                xr, xi = re[i1], im[i1]
+                tr = asr32(sub32(mul32(wr, xr), mul32(wi, xi)), 15)
+                ti = asr32(add32(mul32(wr, xi), mul32(wi, xr)), 15)
+                ur = asr32(re[i0], 1)
+                ui = asr32(im[i0], 1)
+                tr = asr32(tr, 1)
+                ti = asr32(ti, 1)
+                re[i0] = add32(ur, tr)
+                im[i0] = add32(ui, ti)
+                re[i1] = sub32(ur, tr)
+                im[i1] = sub32(ui, ti)
+        size <<= 1
+    return re, im
+
+
+def _reference(scale):
+    n, frames = PARAMS[scale]
+    logn = LOG2N[n]
+    acc = 0
+    for frame in _frames(scale):
+        re, im = _py_fft([v & M32 for v in frame], n, logn)
+        for i in range(n):
+            acc = ((acc * 31) ^ re[i]) & M32
+            acc = (acc + im[i]) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="fft",
+    category="telecomm",
+    build=_build,
+    reference=_reference,
+    description="fixed-point radix-2 FFT frames with per-stage scaling",
+)

@@ -1,0 +1,244 @@
+"""``gsm`` (telecomm): GSM 06.10-style full-rate decoder.
+
+The decode direction (the paper dropped gsm.encode): 33-byte frames are
+bit-unpacked into 8 LARc codes and 4 subframes of RPE/LTP parameters;
+LARc → reflection coefficients through the genuine GSM piecewise-linear
+inverse transform; RPE pulses are APCM-dequantized and grid-upsampled;
+long-term prediction adds the scaled history; and an order-8 lattice
+synthesis filter (stages unrolled, saturating Q15 arithmetic) produces
+160 PCM samples per frame.
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import random_bytes
+from repro.workloads.pyref import M32, s32
+
+FRAMES = {"small": 3, "full": 26}
+FRAME_BYTES = 33
+QLB = [3277, 11469, 21299, 32767]  # LTP gain dequantizer (Q15)
+
+
+def _stream(scale):
+    return random_bytes("gsm", FRAMES[scale] * FRAME_BYTES)
+
+
+# ----------------------------------------------------------------------
+# reference model
+
+
+def _sat16(x):
+    return max(-32768, min(32767, x))
+
+
+def _lar_to_r(larc):
+    lar = (larc - 32) << 10  # Q15-ish log-area ratio
+    temp = abs(lar)
+    if temp < 11059:
+        temp <<= 1
+    elif temp < 20070:
+        temp += 11059
+    else:
+        temp = (temp >> 2) + 26112
+    temp = min(temp, 32767)
+    return -temp if lar < 0 else temp
+
+
+class _BitReader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def get(self, n):
+        v = 0
+        for _ in range(n):
+            byte = self.data[self.pos >> 3]
+            bit = (byte >> (7 - (self.pos & 7))) & 1
+            v = (v << 1) | bit
+            self.pos += 1
+        return v
+
+
+def _reference(scale):
+    data = _stream(scale)
+    rd = _BitReader(data)
+    v = [0] * 9
+    history = [0] * 160
+    acc = 0
+    for _frame in range(FRAMES[scale]):
+        r = [_lar_to_r(rd.get(6)) for _ in range(8)]
+        excitation = []
+        for _sub in range(4):
+            lag = 40 + rd.get(7) % 81
+            gain = rd.get(2)
+            xmaxc = rd.get(6)
+            exp = xmaxc >> 3
+            mant = (xmaxc & 7) + 8
+            pulses = [rd.get(3) for _ in range(13)]
+            grid = gain & 3
+            e = [0] * 40
+            for j, p in enumerate(pulses):
+                amp = ((2 * p - 7) * mant) << exp >> 2
+                pos = 3 * j + (grid % 3)
+                if pos < 40:
+                    e[pos] = _sat16(amp)
+            b = QLB[gain]
+            base = len(excitation)
+            for k in range(40):
+                hidx = (base + k - lag) % 160
+                est = (b * history[hidx]) >> 15
+                e[k] = _sat16(e[k] + est)
+            excitation.extend(e)
+        # update history with this frame's excitation
+        history = list(excitation)
+        # short-term synthesis lattice over the frame
+        for k in range(160):
+            sri = excitation[k]
+            for i in range(7, -1, -1):
+                sri = _sat16(sri - ((r[i] * v[i]) >> 15))
+                v[i + 1] = _sat16(v[i] + ((r[i] * sri) >> 15))
+            v[0] = sri
+            acc = ((acc * 17) ^ (sri & M32)) & M32
+    return acc
+
+
+# ----------------------------------------------------------------------
+# IR build
+
+
+def _build(m, scale):
+    frames = FRAMES[scale]
+    data = _stream(scale)
+    m.add_global(Global("gsm_in", data=data))
+    m.add_global(Global("gsm_bitpos", size=4))
+    m.add_global(Global("gsm_r", size=8 * 4))
+    m.add_global(Global("gsm_v", size=9 * 4))
+    m.add_global(Global("gsm_exc", size=160 * 4))
+    m.add_global(Global("gsm_hist", size=160 * 4))
+    m.add_global(Global("gsm_qlb", data=b"".join(q.to_bytes(4, "little") for q in QLB)))
+
+    f = FunctionBuilder(m, "gsm_sat16", ["x"])
+    x = f.arg("x")
+    with f.if_then(Cond.GT, x, 32767):
+        f.ret(32767)
+    with f.if_then(Cond.LT, x, -32768):
+        f.ret((-32768) & M32)
+    f.ret(x)
+
+    f = FunctionBuilder(m, "gsm_get_bits", ["n"])
+    n = f.arg("n")
+    src = f.ga("gsm_in")
+    posp = f.ga("gsm_bitpos")
+    pos = f.load(posp)
+    v = f.li(0)
+    with f.for_range(0, n):
+        byte = f.load(src, f.lsr(pos, 3), Width.BYTE)
+        sh = f.rsb(f.and_(pos, 7), 7)
+        bit = f.and_(f.lsr(byte, sh), 1)
+        f.orr(f.lsl(v, 1), bit, dst=v)
+        f.add(pos, 1, dst=pos)
+    f.store(pos, posp)
+    f.ret(v)
+
+    f = FunctionBuilder(m, "gsm_lar_decode", [])
+    rp = f.ga("gsm_r")
+    for i in range(8):  # unrolled per coefficient
+        larc = f.call("gsm_get_bits", [f.li(6)])
+        lar = f.lsl(f.sub(larc, 32), 10)
+        temp = f.vreg()
+        with f.if_else(Cond.LT, lar, 0) as otherwise:
+            f.rsb(lar, 0, dst=temp)
+            with otherwise:
+                f.mov(lar, dst=temp)
+        with f.if_else(Cond.LT, temp, 11059) as otherwise:
+            f.lsl(temp, 1, dst=temp)
+            with otherwise:
+                with f.if_else(Cond.LT, temp, 20070) as otherwise2:
+                    f.add(temp, 11059, dst=temp)
+                    with otherwise2:
+                        f.add(f.asr(temp, 2), 26112, dst=temp)
+        with f.if_then(Cond.GT, temp, 32767):
+            f.li(32767, dst=temp)
+        with f.if_then(Cond.LT, lar, 0):
+            f.rsb(temp, 0, dst=temp)
+        f.store(temp, rp, 4 * i)
+    f.ret()
+
+    f = FunctionBuilder(m, "gsm_subframe", ["sub"])
+    sub = f.arg("sub")
+    exc = f.ga("gsm_exc")
+    hist = f.ga("gsm_hist")
+    qlb = f.ga("gsm_qlb")
+    lag_raw = f.call("gsm_get_bits", [f.li(7)])
+    lag = f.add(f.urem(lag_raw, 81), 40)
+    gain = f.call("gsm_get_bits", [f.li(2)])
+    xmaxc = f.call("gsm_get_bits", [f.li(6)])
+    exp = f.lsr(xmaxc, 3)
+    mant = f.add(f.and_(xmaxc, 7), 8)
+    base = f.mul(sub, 40)
+    # clear this subframe's excitation
+    with f.for_range(0, 40) as k:
+        f.store(0, exc, f.lsl(f.add(base, k), 2))
+    grid = f.and_(gain, 3)
+    gpos = f.urem(grid, 3)
+    for j in range(13):  # unrolled pulse placement
+        p = f.call("gsm_get_bits", [f.li(3)])
+        amp = f.mul(f.sub(f.lsl(p, 1), 7), mant)
+        amp = f.asr(f.lsl(amp, exp), 2)
+        amp = f.call("gsm_sat16", [amp])
+        pos = f.add(gpos, 3 * j)
+        with f.if_then(Cond.LT, pos, 40):
+            f.store(amp, exc, f.lsl(f.add(base, pos), 2))
+    b_q = f.load(qlb, f.lsl(gain, 2))
+    with f.for_range(0, 40) as k:
+        absk = f.add(base, k)
+        hidx = f.sub(absk, lag)
+        with f.if_then(Cond.LT, hidx, 0):
+            f.add(hidx, 160, dst=hidx)
+        with f.if_then(Cond.LT, hidx, 0):
+            f.add(hidx, 160, dst=hidx)
+        prev = f.load(hist, f.lsl(hidx, 2))
+        est = f.asr(f.mul(b_q, prev), 15)
+        cur = f.load(exc, f.lsl(absk, 2))
+        f.store(f.call("gsm_sat16", [f.add(cur, est)]), exc, f.lsl(absk, 2))
+    f.ret()
+
+    f = FunctionBuilder(m, "gsm_synthesis", ["acc_in"])
+    acc = f.arg("acc_in")
+    exc = f.ga("gsm_exc")
+    rp = f.ga("gsm_r")
+    vp = f.ga("gsm_v")
+    rs = [f.load(rp, 4 * i) for i in range(8)]
+    with f.for_range(0, 160) as k:
+        sri = f.load(exc, f.lsl(k, 2))
+        for i in range(7, -1, -1):  # unrolled lattice stages
+            vi = f.load(vp, 4 * i)
+            sri = f.call("gsm_sat16", [f.sub(sri, f.asr(f.mul(rs[i], vi), 15))])
+            nv = f.call("gsm_sat16", [f.add(vi, f.asr(f.mul(rs[i], sri), 15))])
+            f.store(nv, vp, 4 * (i + 1))
+        f.store(sri, vp, 0)
+        f.mul(acc, 17, dst=acc)
+        f.eor(acc, sri, dst=acc)
+    f.ret(acc)
+
+    b = FunctionBuilder(m, "main", [])
+    exc = b.ga("gsm_exc")
+    hist = b.ga("gsm_hist")
+    acc = b.li(0)
+    with b.for_range(0, frames):
+        b.call("gsm_lar_decode", [], dst=False)
+        with b.for_range(0, 4) as sub:
+            b.call("gsm_subframe", [sub], dst=False)
+        # history <- excitation (this frame)
+        b.call("memcpy", [hist, exc, b.li(640)], dst=False)
+        b.call("gsm_synthesis", [acc], dst=acc)
+    b.ret(acc)
+
+
+WORKLOAD = Workload(
+    name="gsm",
+    category="telecomm",
+    build=_build,
+    reference=_reference,
+    description="GSM 06.10-style decode: bit unpack, LAR, RPE/LTP, lattice",
+)

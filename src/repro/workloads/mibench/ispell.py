@@ -1,0 +1,239 @@
+"""``ispell`` (office): hash-dictionary spell checking with suggestions.
+
+A nul-separated dictionary blob is hashed into an open-addressing table
+at startup (FNV-1a); the text's words are looked up, and misses go
+through ispell's near-miss strategy — try every single-character
+deletion and every adjacent transposition — counting the corrections
+found.  String-compare and hash loops dominate, like the real thing.
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import ascii_text
+from repro.workloads.pyref import M32, XorShift32
+
+PARAMS = {"small": (90, 1200), "full": (260, 12000)}  # (dict words, text bytes)
+TABLE_SIZE = 1024  # slots (power of two)
+MAX_WORD = 24
+
+BASES = [
+    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+    "embedded", "cache", "power", "instruction", "synthesis", "fits",
+    "processor", "benchmark", "telecom", "office", "security", "network",
+]
+
+
+def _dictionary(scale):
+    count, _ = PARAMS[scale]
+    rng = XorShift32(0x15BE11)
+    words = list(BASES)
+    while len(words) < count:
+        base = BASES[rng.next() % len(BASES)]
+        suffix = chr(ord("a") + rng.next() % 26) + chr(ord("a") + rng.next() % 26)
+        w = base + suffix
+        if w not in words:
+            words.append(w)
+    return words[:count]
+
+
+def _text(scale):
+    _, nbytes = PARAMS[scale]
+    raw = ascii_text("ispell", nbytes).decode()
+    words = raw.split()
+    rng = XorShift32(0x7E57)
+    out = []
+    for i, w in enumerate(words):
+        if i % 3 == 2 and len(w) > 2:
+            # mutate one character to force a near-miss search
+            k = rng.next() % len(w)
+            w = w[:k] + chr(ord("a") + rng.next() % 26) + w[k + 1 :]
+        out.append(w)
+    return (" ".join(out)).encode() + b"\x00"
+
+
+def _fnv(word):
+    h = 2166136261
+    for ch in word:
+        h = ((h ^ ch) * 16777619) & M32
+    return h
+
+
+class _PyDict:
+    def __init__(self, words):
+        self.table = [None] * TABLE_SIZE
+        for w in words:
+            slot = _fnv(w.encode()) & (TABLE_SIZE - 1)
+            while self.table[slot] is not None:
+                slot = (slot + 1) & (TABLE_SIZE - 1)
+            self.table[slot] = w.encode()
+
+    def lookup(self, word):
+        slot = _fnv(word) & (TABLE_SIZE - 1)
+        while self.table[slot] is not None:
+            if self.table[slot] == word:
+                return True
+            slot = (slot + 1) & (TABLE_SIZE - 1)
+        return False
+
+
+def _reference(scale):
+    d = _PyDict(_dictionary(scale))
+    text = _text(scale)[:-1].decode()
+    acc = 0
+    for w in text.split():
+        wb = w.encode()
+        if d.lookup(wb):
+            acc = (acc * 3 + 1) & M32
+            continue
+        suggestions = 0
+        for i in range(len(wb)):  # deletions
+            if d.lookup(wb[:i] + wb[i + 1 :]):
+                suggestions += 1
+        for i in range(len(wb) - 1):  # adjacent transpositions
+            cand = bytearray(wb)
+            cand[i], cand[i + 1] = cand[i + 1], cand[i]
+            if d.lookup(bytes(cand)):
+                suggestions += 1
+        acc = ((acc * 7) ^ suggestions) & M32
+    return acc
+
+
+def _build(m, scale):
+    words = _dictionary(scale)
+    blob = bytearray()
+    offsets = []
+    for w in words:
+        offsets.append(len(blob))
+        blob += w.encode() + b"\x00"
+    text = _text(scale)
+    m.add_global(Global("is_dict", data=bytes(blob)))
+    m.add_global(Global("is_text", data=text))
+    m.add_global(Global("is_table", size=TABLE_SIZE * 4))
+    m.add_global(Global("is_cand", size=MAX_WORD + 2, align=4))
+    m.add_global(
+        Global("is_offsets", data=b"".join(o.to_bytes(4, "little") for o in offsets))
+    )
+
+    f = FunctionBuilder(m, "is_hash", ["ptr"])
+    ptr = f.arg("ptr")
+    h = f.li(2166136261)
+    ch = f.load(ptr, 0, Width.BYTE)
+    with f.loop_while(Cond.NE, ch, 0):
+        f.eor(h, ch, dst=h)
+        f.mul(h, 16777619, dst=h)
+        f.add(ptr, 1, dst=ptr)
+        f.load(ptr, 0, Width.BYTE, dst=ch)
+    f.ret(h)
+
+    f = FunctionBuilder(m, "is_insert", ["word"])
+    word = f.arg("word")
+    table = f.ga("is_table")
+    slot = f.and_(f.call("is_hash", [word]), TABLE_SIZE - 1)
+    entry = f.load(table, f.lsl(slot, 2))
+    with f.loop_while(Cond.NE, entry, 0):
+        f.add(slot, 1, dst=slot)
+        f.and_(slot, TABLE_SIZE - 1, dst=slot)
+        f.load(table, f.lsl(slot, 2), dst=entry)
+    f.store(f.add(word, 1), table, f.lsl(slot, 2))  # +1 so 0 means empty
+    f.ret()
+
+    f = FunctionBuilder(m, "is_lookup", ["word"])
+    word = f.arg("word")
+    table = f.ga("is_table")
+    slot = f.and_(f.call("is_hash", [word]), TABLE_SIZE - 1)
+    entry = f.load(table, f.lsl(slot, 2))
+    with f.loop_while(Cond.NE, entry, 0):
+        stored = f.sub(entry, 1)
+        cmp = f.call("strcmp", [stored, word])
+        with f.if_then(Cond.EQ, cmp, 0):
+            f.ret(1)
+        f.add(slot, 1, dst=slot)
+        f.and_(slot, TABLE_SIZE - 1, dst=slot)
+        f.load(table, f.lsl(slot, 2), dst=entry)
+    f.ret(0)
+
+    # near-miss: deletions and adjacent transpositions via is_cand buffer
+    f = FunctionBuilder(m, "is_suggest", ["word", "length"])
+    word, length = f.args
+    cand = f.ga("is_cand")
+    found = f.li(0)
+    with f.for_range(0, length) as i:  # deletion at i
+        out = f.li(0)
+        with f.for_range(0, length) as j:
+            with f.if_then(Cond.NE, j, i):
+                f.store(f.load(word, j, Width.BYTE), cand, out, Width.BYTE)
+                f.add(out, 1, dst=out)
+        f.store(0, cand, out, Width.BYTE)
+        f.add(found, f.call("is_lookup", [cand]), dst=found)
+    last = f.sub(length, 1)
+    with f.for_range(0, last) as i:  # transposition at i
+        with f.for_range(0, length) as j:
+            f.store(f.load(word, j, Width.BYTE), cand, j, Width.BYTE)
+        a = f.load(cand, i, Width.BYTE)
+        bb = f.load(cand, f.add(i, 1), Width.BYTE)
+        f.store(bb, cand, i, Width.BYTE)
+        f.store(a, cand, f.add(i, 1), Width.BYTE)
+        f.store(0, cand, length, Width.BYTE)
+        f.add(found, f.call("is_lookup", [cand]), dst=found)
+    f.ret(found)
+
+    b = FunctionBuilder(m, "main", [])
+    offs = b.ga("is_offsets")
+    dict_g = b.ga("is_dict")
+    with b.for_range(0, len(words)) as i:
+        off = b.load(offs, b.lsl(i, 2))
+        b.call("is_insert", [b.add(dict_g, off)], dst=False)
+
+    text_g = b.ga("is_text")
+    cand = b.ga("is_cand")
+    acc = b.li(0)
+    pos = b.li(0)
+    outer = b.new_block("outer")
+    done = b.new_block("done")
+    word_blk = b.new_block("word")
+    ch = b.vreg("ch")
+    b.br(outer)
+    b.at(outer)
+    b.load(b.add(text_g, pos), 0, Width.BYTE, dst=ch)
+    with b.loop_while(Cond.EQ, ch, 32):
+        b.add(pos, 1, dst=pos)
+        b.load(b.add(text_g, pos), 0, Width.BYTE, dst=ch)
+    b.cbr(Cond.EQ, ch, 0, done, word_blk)
+    b.at(word_blk)
+    # copy the word into the candidate buffer (nul-terminated)
+    wlen = b.li(0)
+    with b.loop_while(Cond.NE, ch, 0):
+        brk = b.select(Cond.EQ, ch, 32, 1, 0)
+        with b.if_then(Cond.NE, brk, 0):
+            b.li(0, dst=ch)
+        with b.if_then(Cond.EQ, brk, 0):
+            with b.if_then(Cond.LT, wlen, MAX_WORD):
+                b.store(ch, cand, wlen, Width.BYTE)
+                b.add(wlen, 1, dst=wlen)
+            b.add(pos, 1, dst=pos)
+            b.load(b.add(text_g, pos), 0, Width.BYTE, dst=ch)
+    b.store(0, cand, wlen, Width.BYTE)
+    hit = b.call("is_lookup", [cand])
+    with b.if_else(Cond.NE, hit, 0) as otherwise:
+        b.mul(acc, 3, dst=acc)
+        b.add(acc, 1, dst=acc)
+        with otherwise:
+            # the suggest pass mutates is_cand, so it works on a copy in
+            # the upper half of the buffer? no: it rebuilds from `word`,
+            # so pass the candidate itself via the text pointer instead
+            wstart = b.sub(pos, wlen)
+            sugg = b.call("is_suggest", [b.add(text_g, wstart), wlen])
+            b.mul(acc, 7, dst=acc)
+            b.eor(acc, sugg, dst=acc)
+    b.br(outer)
+    b.at(done)
+    b.ret(acc)
+
+
+WORKLOAD = Workload(
+    name="ispell",
+    category="office",
+    build=_build,
+    reference=_reference,
+    description="hash-dictionary spell check with deletion/transpose suggestions",
+)

@@ -1,0 +1,283 @@
+"""``jpeg`` (consumer): JPEG-style encode pipeline over an RGB image.
+
+Four phases per MiBench's cjpeg profile: RGB→YCbCr color conversion
+(integer ITU weights), 8x8 forward DCT (fixed-point Q13 cosine table,
+separable row/column passes with the inner MAC unrolled), quantization
+by reciprocal multiplication (as libjpeg's DIVIDE_BY does), and zigzag +
+run-length/size-class entropy coding into a byte stream.
+
+The per-block pipeline touches four sizable functions every iteration,
+giving the large alternating instruction footprint the paper's cache
+study needs.
+"""
+
+import math
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import random_bytes
+from repro.workloads.pyref import M32, s32, asr32, add32, mul32
+
+DIMS = {"small": (16, 16), "full": (48, 48)}  # multiples of 8
+
+#: Q13 cosine table: C[u][x] = round(8192 * c(u) * cos((2x+1)u*pi/16) / 2)
+def _cos_table():
+    out = []
+    for u in range(8):
+        cu = math.sqrt(0.5) if u == 0 else 1.0
+        row = []
+        for x in range(8):
+            row.append(int(round(8192 * 0.5 * cu * math.cos((2 * x + 1) * u * math.pi / 16))))
+        out.append(row)
+    return out
+
+
+COS = _cos_table()
+
+QTAB = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+RECIP = [(1 << 16) // q for q in QTAB]
+
+ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+
+def _rgb(scale):
+    w, h = DIMS[scale]
+    return random_bytes("jpeg", w * h * 3)
+
+
+def _size_class(v):
+    v = abs(v)
+    n = 0
+    while v:
+        n += 1
+        v >>= 1
+    return n
+
+
+def _build(m, scale):
+    w, h = DIMS[scale]
+    rgb = _rgb(scale)
+    m.add_global(Global("jp_rgb", data=rgb))
+    m.add_global(Global("jp_y", size=w * h * 4))
+    m.add_global(Global("jp_blk", size=64 * 4))
+    m.add_global(Global("jp_tmp", size=64 * 4))
+    cos_flat = []
+    for row in COS:
+        cos_flat.extend(row)
+    m.add_global(Global("jp_cos", data=b"".join((c & 0xFFFF).to_bytes(2, "little") for c in cos_flat)))
+    m.add_global(Global("jp_recip", data=b"".join(r.to_bytes(4, "little") for r in RECIP)))
+    m.add_global(Global("jp_zig", data=bytes(ZIGZAG)))
+    out_cap = w * h  # generous
+    m.add_global(Global("jp_out", size=out_cap))
+    m.add_global(Global("jp_outn", size=4))
+
+    # phase 1: color conversion (Y plane, level-shifted by -128)
+    f = FunctionBuilder(m, "jp_color", [])
+    rgbp = f.ga("jp_rgb")
+    yp = f.ga("jp_y")
+    with f.for_range(0, w * h) as i:
+        off = f.mul(i, 3)
+        r = f.load(rgbp, off, Width.BYTE)
+        g = f.load(rgbp, f.add(off, 1), Width.BYTE)
+        bch = f.load(rgbp, f.add(off, 2), Width.BYTE)
+        y = f.mul(r, 77)
+        y = f.add(y, f.mul(g, 151))
+        y = f.add(y, f.mul(bch, 28))
+        y = f.asr(y, 8)
+        f.store(f.sub(y, 128), yp, f.lsl(i, 2))
+    f.ret()
+
+    # phase 2a: row DCT pass (jp_blk -> jp_tmp); both the coefficient and
+    # sample loops are unrolled with the Q13 constants baked into the
+    # instruction stream, the way optimized integer DCTs are written
+    f = FunctionBuilder(m, "jp_dct_rows", [])
+    blk = f.ga("jp_blk")
+    tmp = f.ga("jp_tmp")
+    with f.for_range(0, 8) as row:
+        base = f.lsl(f.lsl(row, 3), 2)  # row*8 words
+        samples = [f.load(blk, f.add(base, 4 * x)) for x in range(8)]
+        for u in range(8):
+            acc = f.li(0)
+            for x in range(8):
+                c = COS[u][x]
+                if c == 0:
+                    continue
+                f.add(acc, f.mul(samples[x], c & 0xFFFFFFFF), dst=acc)
+            f.store(f.asr(acc, 13), tmp, f.add(base, 4 * u))
+    f.ret()
+
+    # phase 2b: column DCT pass (jp_tmp -> jp_blk), same unrolled shape
+    f = FunctionBuilder(m, "jp_dct_cols", [])
+    blk = f.ga("jp_blk")
+    tmp = f.ga("jp_tmp")
+    with f.for_range(0, 8) as col:
+        coff = f.lsl(col, 2)
+        samples = [f.load(tmp, f.add(coff, 32 * x)) for x in range(8)]
+        for u in range(8):
+            acc = f.li(0)
+            for x in range(8):
+                c = COS[u][x]
+                if c == 0:
+                    continue
+                f.add(acc, f.mul(samples[x], c & 0xFFFFFFFF), dst=acc)
+            f.store(f.asr(acc, 13), blk, f.add(coff, 32 * u))
+    f.ret()
+
+    # phase 3: quantize in place (reciprocal multiply, round to zero);
+    # unrolled per coefficient with the reciprocals as immediates
+    f = FunctionBuilder(m, "jp_quant", [])
+    blk = f.ga("jp_blk")
+    for i in range(64):
+        off = 4 * i
+        v = f.load(blk, off)
+        neg = f.li(0)
+        with f.if_then(Cond.LT, v, 0):
+            f.li(1, dst=neg)
+            f.rsb(v, 0, dst=v)
+        scaled = f.lsr(f.mul(v, RECIP[i]), 16)
+        with f.if_then(Cond.NE, neg, 0):
+            f.rsb(scaled, 0, dst=scaled)
+        f.store(scaled, blk, off)
+    f.ret()
+
+    # phase 4: zigzag + run-length/size-class coding into jp_out
+    f = FunctionBuilder(m, "jp_entropy", [])
+    blk = f.ga("jp_blk")
+    zig = f.ga("jp_zig")
+    out = f.ga("jp_out")
+    outn = f.ga("jp_outn")
+    n = f.load(outn)
+    run = f.li(0)
+    with f.for_range(0, 64) as i:
+        zi = f.load(zig, i, Width.BYTE)
+        v = f.load(blk, f.lsl(zi, 2))
+        with f.if_else(Cond.EQ, v, 0) as otherwise:
+            f.add(run, 1, dst=run)
+            with otherwise:
+                av = f.select(Cond.LT, v, 0, f.rsb(v, 0), v)
+                size = f.li(0)
+                with f.loop_while(Cond.NE, av, 0):
+                    f.add(size, 1, dst=size)
+                    f.lsr(av, 1, dst=av)
+                code = f.orr(f.lsl(run, 4), f.and_(size, 0xF))
+                f.store(code, out, n, Width.BYTE)
+                f.add(n, 1, dst=n)
+                f.store(v, out, n, Width.BYTE)
+                f.add(n, 1, dst=n)
+                f.li(0, dst=run)
+    with f.if_then(Cond.NE, run, 0):
+        f.store(0xF0, out, n, Width.BYTE)
+        f.add(n, 1, dst=n)
+    f.store(n, outn)
+    f.ret()
+
+    b = FunctionBuilder(m, "main", [])
+    b.call("jp_color", [], dst=False)
+    yp = b.ga("jp_y")
+    blk = b.ga("jp_blk")
+    bw = w // 8
+    bh = h // 8
+    with b.for_range(0, bh) as by:
+        with b.for_range(0, bw) as bx:
+            # gather the 8x8 block
+            with b.for_range(0, 8) as r:
+                src_row = b.add(b.mul(b.add(b.lsl(by, 3), r), w), b.lsl(bx, 3))
+                with b.for_range(0, 8) as c:
+                    v = b.load(yp, b.lsl(b.add(src_row, c), 2))
+                    b.store(v, blk, b.lsl(b.add(b.lsl(r, 3), c), 2))
+            b.call("jp_dct_rows", [], dst=False)
+            b.call("jp_dct_cols", [], dst=False)
+            b.call("jp_quant", [], dst=False)
+            b.call("jp_entropy", [], dst=False)
+    out = b.ga("jp_out")
+    outn = b.ga("jp_outn")
+    n = b.load(outn)
+    acc = b.mov(n)
+    with b.for_range(0, n) as i:
+        v = b.load(out, i, Width.BYTE)
+        b.mul(acc, 31, dst=acc)
+        b.add(acc, v, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    w, h = DIMS[scale]
+    rgb = _rgb(scale)
+    ypl = []
+    for i in range(w * h):
+        r, g, bch = rgb[3 * i], rgb[3 * i + 1], rgb[3 * i + 2]
+        y = (r * 77 + g * 151 + bch * 28) >> 8
+        ypl.append(y - 128)
+    out = bytearray()
+    for by in range(h // 8):
+        for bx in range(w // 8):
+            blk = [
+                ypl[(by * 8 + r) * w + bx * 8 + c]
+                for r in range(8)
+                for c in range(8)
+            ]
+            # row pass
+            tmp = [0] * 64
+            for row in range(8):
+                for u in range(8):
+                    acc = 0
+                    for x in range(8):
+                        acc = add32(acc, mul32(blk[row * 8 + x] & M32, COS[u][x] & M32))
+                    tmp[row * 8 + u] = asr32(acc, 13)
+            # column pass
+            for col in range(8):
+                for u in range(8):
+                    acc = 0
+                    for x in range(8):
+                        acc = add32(acc, mul32(tmp[x * 8 + col], COS[u][x] & M32))
+                    blk[u * 8 + col] = asr32(acc, 13)
+            # quantize
+            for i in range(64):
+                v = s32(blk[i])
+                neg = v < 0
+                if neg:
+                    v = -v
+                scaled = (v * RECIP[i]) >> 16
+                blk[i] = (-scaled if neg else scaled) & M32
+            # entropy
+            run = 0
+            for i in range(64):
+                v = s32(blk[ZIGZAG[i]])
+                if v == 0:
+                    run += 1
+                else:
+                    av = -v if v < 0 else v
+                    size = av.bit_length()
+                    out.append(((run << 4) | (size & 0xF)) & 0xFF)
+                    out.append(v & 0xFF)
+                    run = 0
+            if run:
+                out.append(0xF0)
+    acc = len(out) & M32
+    for v in out:
+        acc = (acc * 31 + v) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="jpeg",
+    category="consumer",
+    build=_build,
+    reference=_reference,
+    description="JPEG-style encode: color convert, 8x8 DCT, quantize, entropy",
+)

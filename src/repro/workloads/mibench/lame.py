@@ -1,0 +1,276 @@
+"""``lame`` (consumer): MP3-encoder-style pipeline.
+
+Per granule: a cosine-modulated analysis filterbank (16 bands x 12
+slots, windowed MACs), an MDCT per band, a psychoacoustic-lite masking
+threshold from neighboring band energies, and the nonlinear x^(3/4)
+quantization (via the integer square root, iterated until the
+size-class bit count fits the budget) — the rate loop that dominates
+real lame profiles.
+"""
+
+import math
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.pyref import M32, s32, isqrt, XorShift32, sin_table
+
+BANDS = 16
+SLOTS = 12
+WIN = 16
+GRANULE = SLOTS * WIN  # input samples per granule
+GRANULES = {"small": 2, "full": 12}
+BIT_BUDGET = 600
+
+
+def _filterbank():
+    out = []
+    for b in range(BANDS):
+        row = []
+        for i in range(WIN):
+            v = math.cos(math.pi * (b + 0.5) * (i + 0.5) / WIN) * math.cos(
+                math.pi * i / (2 * WIN)
+            )
+            row.append(int(round(v * 16384)))
+        out.append(row)
+    return out
+
+
+def _mdct_table():
+    out = []
+    for k in range(SLOTS):
+        row = []
+        for n in range(SLOTS):
+            v = math.cos(math.pi / SLOTS * (n + 0.5 + SLOTS / 2) * (k + 0.5))
+            row.append(int(round(v * 16384)))
+        out.append(row)
+    return out
+
+
+FILTER = _filterbank()
+MDCT = _mdct_table()
+
+
+def _pcm(scale):
+    n = GRANULES[scale] * GRANULE
+    rng = XorShift32(0x1A3E5EED)
+    tab = sin_table()
+    out = []
+    for i in range(n):
+        v = (tab[(i * 23) & 1023] >> 2) + ((rng.next() & 0x7FF) - 1024)
+        out.append(max(-32768, min(32767, v)))
+    return out
+
+
+def _tables_bytes(table):
+    return b"".join((c & 0xFFFF).to_bytes(2, "little") for row in table for c in row)
+
+
+def _build(m, scale):
+    pcm = _pcm(scale)
+    granules = GRANULES[scale]
+    m.add_global(Global("lm_pcm", data=b"".join((v & 0xFFFF).to_bytes(2, "little") for v in pcm)))
+    m.add_global(Global("lm_filter", data=_tables_bytes(FILTER)))
+    m.add_global(Global("lm_mdct", data=_tables_bytes(MDCT)))
+    m.add_global(Global("lm_sub", size=BANDS * SLOTS * 4))
+    m.add_global(Global("lm_spec", size=BANDS * SLOTS * 4))
+    m.add_global(Global("lm_energy", size=BANDS * 4))
+    m.add_global(Global("lm_thresh", size=BANDS * 4))
+    m.add_global(Global("lm_q", size=BANDS * SLOTS * 4))
+
+    # phase 1: analysis filterbank (inner window MAC unrolled)
+    f = FunctionBuilder(m, "lm_filterbank", ["pcm_ptr"])
+    src = f.arg("pcm_ptr")
+    filt = f.ga("lm_filter")
+    subp = f.ga("lm_sub")
+    with f.for_range(0, SLOTS) as t:
+        in_base = f.lsl(f.mul(t, WIN), 1)
+        samples = [
+            f.load(src, f.add(in_base, 2 * i), Width.HALF, signed=True)
+            for i in range(WIN)
+        ]
+        with f.for_range(0, BANDS) as band:
+            crow = f.lsl(f.mul(band, WIN), 1)
+            acc = f.li(0)
+            for i in range(WIN):
+                c = f.load(filt, f.add(crow, 2 * i), Width.HALF, signed=True)
+                f.add(acc, f.mul(samples[i], c), dst=acc)
+            out_off = f.lsl(f.add(f.mul(band, SLOTS), t), 2)
+            f.store(f.asr(acc, 14), subp, out_off)
+    f.ret()
+
+    # phase 2: per-band MDCT (inner MAC unrolled)
+    f = FunctionBuilder(m, "lm_mdct_pass", [])
+    subp = f.ga("lm_sub")
+    mdct = f.ga("lm_mdct")
+    spec = f.ga("lm_spec")
+    with f.for_range(0, BANDS) as band:
+        row_base = f.lsl(f.mul(band, SLOTS), 2)
+        slots = [f.load(subp, f.add(row_base, 4 * n)) for n in range(SLOTS)]
+        with f.for_range(0, SLOTS) as k:
+            crow = f.lsl(f.mul(k, SLOTS), 1)
+            acc = f.li(0)
+            for n in range(SLOTS):
+                c = f.load(mdct, f.add(crow, 2 * n), Width.HALF, signed=True)
+                f.add(acc, f.mul(slots[n], c), dst=acc)
+            f.store(f.asr(acc, 14), spec, f.add(row_base, f.lsl(k, 2)))
+    f.ret()
+
+    # phase 3: band energies and masking thresholds
+    f = FunctionBuilder(m, "lm_psy", [])
+    spec = f.ga("lm_spec")
+    energy = f.ga("lm_energy")
+    thresh = f.ga("lm_thresh")
+    with f.for_range(0, BANDS) as band:
+        acc = f.li(0)
+        base = f.lsl(f.mul(band, SLOTS), 2)
+        with f.for_range(0, SLOTS) as k:
+            v = f.load(spec, f.add(base, f.lsl(k, 2)))
+            av = f.select(Cond.LT, v, 0, f.rsb(v, 0), v)
+            f.add(acc, av, dst=acc)
+        f.store(acc, energy, f.lsl(band, 2))
+    with f.for_range(0, BANDS) as band:
+        self_e = f.asr(f.load(energy, f.lsl(band, 2)), 6)
+        t = f.mov(self_e)
+        with f.if_then(Cond.GT, band, 0):
+            left = f.asr(f.load(energy, f.lsl(f.sub(band, 1), 2)), 3)
+            f.max_(t, left, dst=t)
+        with f.if_then(Cond.LT, band, BANDS - 1):
+            right = f.asr(f.load(energy, f.lsl(f.add(band, 1), 2)), 3)
+            f.max_(t, right, dst=t)
+        f.store(t, thresh, f.lsl(band, 2))
+    f.ret()
+
+    # x^(3/4) ≈ isqrt(x * isqrt(x)) for non-negative x
+    f = FunctionBuilder(m, "lm_pow34", ["x"])
+    x = f.arg("x")
+    root = f.call("isqrt", [x])
+    f.ret(f.call("isqrt", [f.mul(x, root)]))
+
+    # phase 4: rate loop — quantize with increasing shift until the
+    # size-class bit count fits the budget
+    f = FunctionBuilder(m, "lm_quantize", [])
+    spec = f.ga("lm_spec")
+    thresh = f.ga("lm_thresh")
+    q = f.ga("lm_q")
+    shift = f.li(0)
+    bits = f.li(BIT_BUDGET + 1)
+    with f.loop_while(Cond.GT, bits, BIT_BUDGET):
+        f.li(0, dst=bits)
+        with f.for_range(0, BANDS) as band:
+            tv = f.load(thresh, f.lsl(band, 2))
+            base = f.lsl(f.mul(band, SLOTS), 2)
+            with f.for_range(0, SLOTS) as k:
+                off = f.add(base, f.lsl(k, 2))
+                v = f.load(spec, off)
+                neg = f.li(0)
+                with f.if_then(Cond.LT, v, 0):
+                    f.li(1, dst=neg)
+                    f.rsb(v, 0, dst=v)
+                with f.if_then(Cond.LE, v, tv):
+                    f.li(0, dst=v)  # masked
+                p = f.call("lm_pow34", [v])
+                f.lsr(p, shift, dst=p)
+                size = f.li(0)
+                t = f.mov(p)
+                with f.loop_while(Cond.NE, t, 0):
+                    f.add(size, 1, dst=size)
+                    f.lsr(t, 1, dst=t)
+                f.add(bits, f.add(size, 1), dst=bits)
+                with f.if_then(Cond.NE, neg, 0):
+                    f.rsb(p, 0, dst=p)
+                f.store(p, q, off)
+        f.add(shift, 1, dst=shift)
+    f.ret(f.orr(f.lsl(shift, 16), bits))
+
+
+    b = FunctionBuilder(m, "main", [])
+    pcm_g = b.ga("lm_pcm")
+    qg = b.ga("lm_q")
+    acc = b.li(0)
+    with b.for_range(0, granules) as g:
+        ptr = b.add(pcm_g, b.mul(g, 2 * GRANULE))
+        b.call("lm_filterbank", [ptr], dst=False)
+        b.call("lm_mdct_pass", [], dst=False)
+        b.call("lm_psy", [], dst=False)
+        rate = b.call("lm_quantize", [])
+        b.eor(acc, rate, dst=acc)
+        with b.for_range(0, BANDS * SLOTS) as i:
+            v = b.load(qg, b.lsl(i, 2))
+            b.mul(acc, 31, dst=acc)
+            b.add(acc, v, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    from repro.workloads.pyref import add32, mul32, asr32, lsr32
+
+    pcm = _pcm(scale)
+    acc = 0
+    for g in range(GRANULES[scale]):
+        frame = pcm[g * GRANULE : (g + 1) * GRANULE]
+        sub = [[0] * SLOTS for _ in range(BANDS)]
+        for t in range(SLOTS):
+            window = frame[t * WIN : (t + 1) * WIN]
+            for band in range(BANDS):
+                s = 0
+                for i in range(WIN):
+                    s = add32(s, mul32(window[i] & M32, FILTER[band][i] & M32))
+                sub[band][t] = asr32(s, 14)
+        spec = [[0] * SLOTS for _ in range(BANDS)]
+        for band in range(BANDS):
+            for k in range(SLOTS):
+                s = 0
+                for n in range(SLOTS):
+                    s = add32(s, mul32(sub[band][n], MDCT[k][n] & M32))
+                spec[band][k] = asr32(s, 14)
+        energy = []
+        for band in range(BANDS):
+            e = 0
+            for k in range(SLOTS):
+                v = s32(spec[band][k])
+                e = add32(e, -v if v < 0 else v)
+            energy.append(e)
+        thresh = []
+        for band in range(BANDS):
+            t = asr32(energy[band], 6)
+            if band > 0:
+                t = max(s32(t), s32(asr32(energy[band - 1], 3))) & M32
+            if band < BANDS - 1:
+                t = max(s32(t), s32(asr32(energy[band + 1], 3))) & M32
+            thresh.append(t)
+        shift = 0
+        bits = BIT_BUDGET + 1
+        q = [[0] * SLOTS for _ in range(BANDS)]
+        while s32(bits) > BIT_BUDGET:
+            bits = 0
+            for band in range(BANDS):
+                tv = s32(thresh[band])
+                for k in range(SLOTS):
+                    v = s32(spec[band][k])
+                    neg = v < 0
+                    if neg:
+                        v = -v
+                    if v <= tv:
+                        v = 0
+                    root = isqrt(v)
+                    p = isqrt((v * root) & M32)
+                    p >>= shift
+                    size = p.bit_length()
+                    bits += size + 1
+                    q[band][k] = (-p if neg else p) & M32
+            shift += 1
+        rate = ((shift << 16) | bits) & M32
+        acc = (acc ^ rate) & M32
+        for band in range(BANDS):
+            for k in range(SLOTS):
+                acc = (acc * 31 + q[band][k]) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="lame",
+    category="consumer",
+    build=_build,
+    reference=_reference,
+    description="MP3-style encode: filterbank, MDCT, masking, rate loop",
+)

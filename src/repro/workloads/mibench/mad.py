@@ -1,0 +1,227 @@
+"""``mad`` (consumer): MP3-decoder-style pipeline.
+
+The decode mirror of ``lame``: a bit reader pulls scalefactors and
+quantized spectral codes per band, requantization applies the x^(4/3)
+power law through a table built at startup (integer-sqrt based, as
+fixed-point decoders precompute it), an inverse MDCT reconstructs
+subband slots, and a windowed synthesis FIR with overlap-add produces
+PCM.
+"""
+
+import math
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import random_bytes
+from repro.workloads.pyref import M32, s32, isqrt, add32, mul32, asr32
+
+BANDS = 16
+SLOTS = 12
+TAPS = 16
+FRAMES = {"small": 3, "full": 22}
+#: bits per frame: per band 4-bit scalefactor + SLOTS 5-bit codes
+FRAME_BITS = BANDS * (4 + SLOTS * 5)
+
+
+def _imdct_table():
+    out = []
+    for n in range(SLOTS):
+        row = []
+        for k in range(SLOTS):
+            v = math.cos(math.pi / SLOTS * (n + 0.5 + SLOTS / 2) * (k + 0.5))
+            row.append(int(round(v * 16384)))
+        out.append(row)
+    return out
+
+
+def _window():
+    return [int(round(16384 * math.sin(math.pi * (i + 0.5) / TAPS))) for i in range(TAPS)]
+
+
+IMDCT = _imdct_table()
+WINDOW = _window()
+
+
+def _stream(scale):
+    nbytes = (FRAMES[scale] * FRAME_BITS + 7) // 8
+    return random_bytes("mad", nbytes)
+
+
+def _pow43_table():
+    # fixed-point x^(4/3) approximation: x * cbrt(x) with cbrt via two
+    # integer square roots (documented approximation, exact mirror)
+    out = []
+    for i in range(32):
+        approx = isqrt(i * isqrt(i * 256))  # ~ i^(1/2) * i^(... ) deterministic
+        out.append((i * 16 + approx * 3) & M32)
+    return out
+
+
+POW43 = _pow43_table()
+
+
+def _build(m, scale):
+    frames = FRAMES[scale]
+    data = _stream(scale)
+    m.add_global(Global("md_in", data=data))
+    m.add_global(Global("md_bitpos", size=4))
+    m.add_global(Global("md_pow43", size=32 * 4))
+    m.add_global(
+        Global("md_imdct", data=b"".join((c & 0xFFFF).to_bytes(2, "little") for row in IMDCT for c in row))
+    )
+    m.add_global(
+        Global("md_window", data=b"".join((c & 0xFFFF).to_bytes(2, "little") for c in WINDOW))
+    )
+    m.add_global(Global("md_spec", size=BANDS * SLOTS * 4))
+    m.add_global(Global("md_sub", size=BANDS * SLOTS * 4))
+    m.add_global(Global("md_overlap", size=TAPS * 4))
+
+    f = FunctionBuilder(m, "md_get_bits", ["n"])
+    n = f.arg("n")
+    src = f.ga("md_in")
+    posp = f.ga("md_bitpos")
+    pos = f.load(posp)
+    v = f.li(0)
+    with f.for_range(0, n):
+        byte = f.load(src, f.lsr(pos, 3), Width.BYTE)
+        sh = f.rsb(f.and_(pos, 7), 7)
+        f.orr(f.lsl(v, 1), f.and_(f.lsr(byte, sh), 1), dst=v)
+        f.add(pos, 1, dst=pos)
+    f.store(pos, posp)
+    f.ret(v)
+
+    # startup: build the pow43 table with the same isqrt recipe
+    f = FunctionBuilder(m, "md_build_pow43", [])
+    tab = f.ga("md_pow43")
+    with f.for_range(0, 32) as i:
+        inner = f.call("isqrt", [f.mul(i, 256)])
+        approx = f.call("isqrt", [f.mul(i, inner)])
+        v = f.add(f.mul(i, 16), f.mul(approx, 3))
+        f.store(v, tab, f.lsl(i, 2))
+    f.ret()
+
+    # per frame: read scalefactors + codes, requantize into md_spec
+    f = FunctionBuilder(m, "md_requant", [])
+    spec = f.ga("md_spec")
+    tab = f.ga("md_pow43")
+    with f.for_range(0, BANDS) as band:
+        sf = f.call("md_get_bits", [f.li(4)])
+        base = f.lsl(f.mul(band, SLOTS), 2)
+        with f.for_range(0, SLOTS) as k:
+            code = f.call("md_get_bits", [f.li(5)])
+            mag = f.and_(code, 0xF)
+            sign = f.lsr(code, 4)
+            v = f.load(tab, f.lsl(mag, 2))
+            v = f.lsl(v, f.lsr(sf, 1))
+            with f.if_then(Cond.NE, sign, 0):
+                f.rsb(v, 0, dst=v)
+            f.store(v, spec, f.add(base, f.lsl(k, 2)))
+    f.ret()
+
+    # inverse MDCT per band (inner MAC unrolled)
+    f = FunctionBuilder(m, "md_imdct_pass", [])
+    spec = f.ga("md_spec")
+    sub = f.ga("md_sub")
+    tabg = f.ga("md_imdct")
+    with f.for_range(0, BANDS) as band:
+        base = f.lsl(f.mul(band, SLOTS), 2)
+        coefs = [f.load(spec, f.add(base, 4 * k)) for k in range(SLOTS)]
+        with f.for_range(0, SLOTS) as n:
+            crow = f.lsl(f.mul(n, SLOTS), 1)
+            acc = f.li(0)
+            for k in range(SLOTS):
+                c = f.load(tabg, f.add(crow, 2 * k), Width.HALF, signed=True)
+                f.add(acc, f.mul(coefs[k], c), dst=acc)
+            f.store(f.asr(acc, 14), sub, f.add(base, f.lsl(n, 2)))
+    f.ret()
+
+    # synthesis: sum bands per slot, windowed FIR with overlap-add
+    f = FunctionBuilder(m, "md_synth", ["acc_in"])
+    acc = f.arg("acc_in")
+    sub = f.ga("md_sub")
+    window = f.ga("md_window")
+    overlap = f.ga("md_overlap")
+    with f.for_range(0, SLOTS) as slot:
+        mixed = f.li(0)
+        with f.for_range(0, BANDS) as band:
+            off = f.lsl(f.add(f.mul(band, SLOTS), slot), 2)
+            f.add(mixed, f.load(sub, off), dst=mixed)
+        # shift the overlap line and deposit the new sample (unrolled FIR)
+        for t in range(TAPS - 1, 0, -1):
+            f.store(f.load(overlap, 4 * (t - 1)), overlap, 4 * t)
+        f.store(mixed, overlap, 0)
+        out = f.li(0)
+        for t in range(TAPS):
+            w = f.load(window, 2 * t, Width.HALF, signed=True)
+            s = f.load(overlap, 4 * t)
+            f.add(out, f.asr(f.mul(s, w), 14), dst=out)
+        f.mul(acc, 17, dst=acc)
+        f.eor(acc, out, dst=acc)
+    f.ret(acc)
+
+    b = FunctionBuilder(m, "main", [])
+    b.call("md_build_pow43", [], dst=False)
+    acc = b.li(0)
+    with b.for_range(0, frames):
+        b.call("md_requant", [], dst=False)
+        b.call("md_imdct_pass", [], dst=False)
+        b.call("md_synth", [acc], dst=acc)
+    b.ret(acc)
+
+
+class _PyBits:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def get(self, n):
+        v = 0
+        for _ in range(n):
+            v = (v << 1) | ((self.data[self.pos >> 3] >> (7 - (self.pos & 7))) & 1)
+            self.pos += 1
+        return v
+
+
+def _reference(scale):
+    data = _stream(scale)
+    rd = _PyBits(data)
+    overlap = [0] * TAPS
+    acc = 0
+    for _fr in range(FRAMES[scale]):
+        spec = [[0] * SLOTS for _ in range(BANDS)]
+        for band in range(BANDS):
+            sf = rd.get(4)
+            for k in range(SLOTS):
+                code = rd.get(5)
+                mag = code & 0xF
+                sign = code >> 4
+                v = (POW43[mag] << (sf >> 1)) & M32
+                if sign:
+                    v = (-v) & M32
+                spec[band][k] = v
+        sub = [[0] * SLOTS for _ in range(BANDS)]
+        for band in range(BANDS):
+            for n in range(SLOTS):
+                s = 0
+                for k in range(SLOTS):
+                    s = add32(s, mul32(spec[band][k], IMDCT[n][k] & M32))
+                sub[band][n] = asr32(s, 14)
+        for slot in range(SLOTS):
+            mixed = 0
+            for band in range(BANDS):
+                mixed = add32(mixed, sub[band][slot])
+            overlap = [mixed] + overlap[:-1]
+            out = 0
+            for t in range(TAPS):
+                out = add32(out, asr32(mul32(overlap[t], WINDOW[t] & M32), 14))
+            acc = ((acc * 17) ^ out) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="mad",
+    category="consumer",
+    build=_build,
+    reference=_reference,
+    description="MP3-style decode: requantize, IMDCT, windowed synthesis",
+)

@@ -1,0 +1,241 @@
+"""``patricia`` (network): Patricia trie of 32-bit route keys.
+
+Mirrors MiBench patricia: inserts IPv4-like addresses into a Patricia
+trie (array-backed nodes: bit index, left/right child, stored key) and
+then performs a lookup storm; the checksum folds hit/miss results.
+Pointer chasing with data-dependent branches.
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import random_words
+from repro.workloads.pyref import M32
+
+PARAMS = {"small": (60, 240), "full": (360, 3000)}  # (inserts, lookups)
+
+# node layout: [bit, left, right, key] words; index 0 is the header node
+NODE_WORDS = 4
+
+
+def _keys(scale):
+    inserts, lookups = PARAMS[scale]
+    ins = random_words("patricia-ins", inserts)
+    # lookups: half from the inserted population, half random
+    hits = random_words("patricia-sel", lookups)
+    rnd = random_words("patricia-miss", lookups)
+    look = [
+        ins[hits[i] % len(ins)] if i % 2 == 0 else rnd[i]
+        for i in range(lookups)
+    ]
+    return ins, look
+
+
+def _build(m, scale):
+    inserts, lookups = PARAMS[scale]
+    ins, look = _keys(scale)
+    m.add_global(Global("pat_ins", data=b"".join(k.to_bytes(4, "little") for k in ins)))
+    m.add_global(Global("pat_look", data=b"".join(k.to_bytes(4, "little") for k in look)))
+    arena_nodes = inserts + 2
+    m.add_global(Global("pat_arena", size=arena_nodes * NODE_WORDS * 4))
+    m.add_global(Global("pat_count", size=4))
+
+    # bit(key, i): bit 31-i of key (MSB-first, like address prefixes)
+    f = FunctionBuilder(m, "pat_bit", ["key", "i"])
+    key, i = f.args
+    sh = f.rsb(i, 31)
+    f.ret(f.and_(f.lsr(key, sh), 1))
+
+    f = FunctionBuilder(m, "pat_node_addr", ["idx"])
+    arena = f.ga("pat_arena")
+    f.ret(f.add(arena, f.lsl(f.arg("idx"), 4)))
+
+    # search to the closest leaf; returns node index
+    f = FunctionBuilder(m, "pat_descend", ["key"])
+    key = f.arg("key")
+    idx = f.li(0)
+    prev_bit = f.li(-1)
+    node = f.call("pat_node_addr", [idx])
+    bit = f.load(node, 0)
+    with f.loop_while(Cond.GT, bit, prev_bit):
+        f.mov(bit, dst=prev_bit)
+        side = f.call("pat_bit", [key, bit])
+        with f.if_else(Cond.NE, side, 0) as otherwise:
+            f.load(node, 8, dst=idx)
+            with otherwise:
+                f.load(node, 4, dst=idx)
+        f.call("pat_node_addr", [idx], dst=node)
+        f.load(node, 0, dst=bit)
+    f.ret(idx)
+
+    f = FunctionBuilder(m, "pat_insert", ["key"])
+    key = f.arg("key")
+    countp = f.ga("pat_count")
+    count = f.load(countp)
+    with f.if_then(Cond.EQ, count, 0):
+        # header: bit 0 pointing at itself until real nodes exist
+        node = f.call("pat_node_addr", [f.li(0)])
+        f.store(0, node, 0)
+        f.store(0, node, 4)
+        f.store(0, node, 8)
+        f.store(key, node, 12)
+        f.store(1, countp)
+        f.ret(0)
+    near_idx = f.call("pat_descend", [key])
+    near = f.call("pat_node_addr", [near_idx])
+    found = f.load(near, 12)
+    with f.if_then(Cond.EQ, found, key):
+        f.ret(1)  # duplicate
+    # first differing bit
+    diff = f.eor(found, key)
+    dbit = f.call("clz32", [diff])
+    new_idx = f.mov(count)
+    f.store(f.add(count, 1), countp)
+    newn = f.call("pat_node_addr", [new_idx])
+    f.store(dbit, newn, 0)
+    f.store(key, newn, 12)
+    # re-descend from the root, stopping where bit ordering breaks
+    idx = f.li(0)
+    prev_bit = f.li(-1)
+    node = f.call("pat_node_addr", [idx])
+    bit = f.load(node, 0)
+    parent = f.li(0)
+    went_right = f.li(0)
+    stop = f.li(0)
+    with f.loop_while(Cond.EQ, stop, 0):
+        cont = f.li(1)
+        with f.if_then(Cond.LE, bit, prev_bit):
+            f.li(0, dst=cont)
+        with f.if_then(Cond.GE, bit, dbit):
+            f.li(0, dst=cont)
+        with f.if_else(Cond.NE, cont, 0) as otherwise:
+            f.mov(bit, dst=prev_bit)
+            f.mov(idx, dst=parent)
+            side = f.call("pat_bit", [key, bit])
+            f.mov(side, dst=went_right)
+            with f.if_else(Cond.NE, side, 0) as otherwise2:
+                f.load(node, 8, dst=idx)
+                with otherwise2:
+                    f.load(node, 4, dst=idx)
+            f.call("pat_node_addr", [idx], dst=node)
+            f.load(node, 0, dst=bit)
+            with otherwise:
+                f.li(1, dst=stop)
+    # wire the new node between parent and idx
+    side = f.call("pat_bit", [key, dbit])
+    with f.if_else(Cond.NE, side, 0) as otherwise:
+        f.store(idx, newn, 4)
+        f.store(new_idx, newn, 8)
+        with otherwise:
+            f.store(new_idx, newn, 4)
+            f.store(idx, newn, 8)
+    parent_node = f.call("pat_node_addr", [parent])
+    with f.if_else(Cond.NE, went_right, 0) as otherwise:
+        f.store(new_idx, parent_node, 8)
+        with otherwise:
+            f.store(new_idx, parent_node, 4)
+    f.ret(2)
+
+    f = FunctionBuilder(m, "pat_lookup", ["key"])
+    key = f.arg("key")
+    countp = f.ga("pat_count")
+    with f.if_then(Cond.EQ, f.load(countp), 0):
+        f.ret(0)
+    idx = f.call("pat_descend", [key])
+    node = f.call("pat_node_addr", [idx])
+    stored = f.load(node, 12)
+    f.ret(f.select(Cond.EQ, stored, key, 1, 0))
+
+    b = FunctionBuilder(m, "main", [])
+    insp = b.ga("pat_ins")
+    acc = b.li(0)
+    with b.for_range(0, inserts) as i:
+        key = b.load(insp, b.lsl(i, 2))
+        r = b.call("pat_insert", [key])
+        b.add(acc, r, dst=acc)
+    lookp = b.ga("pat_look")
+    with b.for_range(0, lookups) as i:
+        key = b.load(lookp, b.lsl(i, 2))
+        hit = b.call("pat_lookup", [key])
+        b.mul(acc, 3, dst=acc)
+        b.add(acc, hit, dst=acc)
+    b.ret(acc)
+
+
+class _PyPatricia:
+    """Reference mirror with the same descend/insert rules."""
+
+    def __init__(self):
+        self.nodes = []  # [bit, left, right, key]
+
+    @staticmethod
+    def _bit(key, i):
+        return (key >> (31 - i)) & 1
+
+    def descend(self, key):
+        idx = 0
+        prev = -1
+        bit = self.nodes[0][0]
+        while bit > prev:
+            prev = bit
+            idx = self.nodes[idx][2] if self._bit(key, bit) else self.nodes[idx][1]
+            bit = self.nodes[idx][0]
+        return idx
+
+    def insert(self, key):
+        if not self.nodes:
+            self.nodes.append([0, 0, 0, key])
+            return 0
+        near = self.nodes[self.descend(key)]
+        if near[3] == key:
+            return 1
+        diff = near[3] ^ key
+        dbit = 32 - diff.bit_length()  # first differing bit, MSB-first
+        new_idx = len(self.nodes)
+        self.nodes.append([dbit, 0, 0, key])
+        idx = 0
+        prev = -1
+        bit = self.nodes[0][0]
+        parent = 0
+        went_right = 0
+        while bit > prev and bit < dbit:
+            prev = bit
+            parent = idx
+            went_right = self._bit(key, bit)
+            idx = self.nodes[idx][2] if went_right else self.nodes[idx][1]
+            bit = self.nodes[idx][0]
+        if self._bit(key, dbit):
+            self.nodes[new_idx][1] = idx
+            self.nodes[new_idx][2] = new_idx
+        else:
+            self.nodes[new_idx][1] = new_idx
+            self.nodes[new_idx][2] = idx
+        if went_right:
+            self.nodes[parent][2] = new_idx
+        else:
+            self.nodes[parent][1] = new_idx
+        return 2
+
+    def lookup(self, key):
+        if not self.nodes:
+            return 0
+        return 1 if self.nodes[self.descend(key)][3] == key else 0
+
+
+def _reference(scale):
+    ins, look = _keys(scale)
+    trie = _PyPatricia()
+    acc = 0
+    for key in ins:
+        acc = (acc + trie.insert(key)) & M32
+    for key in look:
+        acc = (acc * 3 + trie.lookup(key)) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="patricia",
+    category="network",
+    build=_build,
+    reference=_reference,
+    description="Patricia trie inserts + lookup storm over 32-bit keys",
+)

@@ -1,0 +1,210 @@
+"""``pgp`` (security): IDEA block encryption (PGP's symmetric cipher).
+
+The full IDEA: multiplication modulo 2^16+1 (with the 0 ≡ 2^16
+convention), addition mod 2^16, XOR; 52 subkeys derived in-kernel by the
+25-bit key rotation schedule; 8.5 rounds unrolled.
+"""
+
+import struct
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import random_bytes
+from repro.workloads.pyref import M32
+
+SIZES = {"small": 384, "full": 6400}  # plaintext bytes (multiple of 8)
+KEY = bytes.fromhex("00112233445566778899aabbccddeeff")
+ROUNDS = 8
+
+
+def _plain(scale):
+    return random_bytes("pgp", SIZES[scale])
+
+
+# ----------------------------------------------------------------------
+# reference implementation
+
+
+def _mul(a, b):
+    if a == 0:
+        return (0x10001 - b) & 0xFFFF
+    if b == 0:
+        return (0x10001 - a) & 0xFFFF
+    p = a * b
+    lo = p & 0xFFFF
+    hi = p >> 16
+    r = lo - hi
+    if lo < hi:
+        r += 1
+    return r & 0xFFFF
+
+
+def _subkeys(key):
+    words = [int.from_bytes(key[4 * i : 4 * i + 4], "big") for i in range(4)]
+    subs = []
+    while len(subs) < 52:
+        for j in range(8):
+            if len(subs) == 52:
+                break
+            w = words[j >> 1]
+            subs.append((w >> 16) & 0xFFFF if j % 2 == 0 else w & 0xFFFF)
+        # rotate the 128-bit key left by 25
+        k = (words[0] << 96) | (words[1] << 64) | (words[2] << 32) | words[3]
+        k = ((k << 25) | (k >> 103)) & ((1 << 128) - 1)
+        words = [(k >> (96 - 32 * i)) & M32 for i in range(4)]
+    return subs
+
+
+def _encrypt_block(x, subs):
+    x1, x2, x3, x4 = x
+    for r in range(ROUNDS):
+        k = subs[6 * r : 6 * r + 6]
+        x1 = _mul(x1, k[0])
+        x2 = (x2 + k[1]) & 0xFFFF
+        x3 = (x3 + k[2]) & 0xFFFF
+        x4 = _mul(x4, k[3])
+        t0 = _mul(x1 ^ x3, k[4])
+        t1 = _mul((t0 + (x2 ^ x4)) & 0xFFFF, k[5])
+        t0 = (t0 + t1) & 0xFFFF
+        x1 ^= t1
+        x4 ^= t0
+        x2, x3 = x3 ^ t1, x2 ^ t0
+    k = subs[48:52]
+    return (
+        _mul(x1, k[0]),
+        (x3 + k[1]) & 0xFFFF,
+        (x2 + k[2]) & 0xFFFF,
+        _mul(x4, k[3]),
+    )
+
+
+# ----------------------------------------------------------------------
+# IR build
+
+
+def _build(m, scale):
+    plain = _plain(scale)
+    m.add_global(Global("idea_key", data=KEY))
+    m.add_global(Global("idea_subs", size=52 * 2, align=4))
+    m.add_global(Global("idea_data", data=plain))
+
+    f = FunctionBuilder(m, "idea_mul", ["a", "b"])
+    a, bb = f.args
+    with f.if_then(Cond.EQ, a, 0):
+        r = f.rsb(bb, 0x10001)
+        f.ret(f.and_(r, 0xFFFF))
+    with f.if_then(Cond.EQ, bb, 0):
+        r = f.rsb(a, 0x10001)
+        f.ret(f.and_(r, 0xFFFF))
+    p = f.mul(a, bb)
+    lo = f.and_(p, 0xFFFF)
+    hi = f.lsr(p, 16)
+    r = f.sub(lo, hi)
+    with f.if_then(Cond.LTU, lo, hi):
+        f.add(r, 1, dst=r)
+    f.ret(f.and_(r, 0xFFFF))
+
+    f = FunctionBuilder(m, "idea_expand", [])
+    key = f.ga("idea_key")
+    subs = f.ga("idea_subs")
+    # load the 128-bit key as four big-endian words
+    kw = []
+    for i in range(4):
+        b0 = f.load(key, 4 * i, Width.BYTE)
+        b1 = f.load(key, 4 * i + 1, Width.BYTE)
+        b2 = f.load(key, 4 * i + 2, Width.BYTE)
+        b3 = f.load(key, 4 * i + 3, Width.BYTE)
+        w = f.orr(f.lsl(b0, 24), f.lsl(b1, 16))
+        w = f.orr(w, f.lsl(b2, 8))
+        kw.append(f.orr(w, b3))
+    produced = 0
+    while produced < 52:
+        take = min(8, 52 - produced)
+        for j in range(take):
+            w = kw[j >> 1]
+            half = f.lsr(w, 16) if j % 2 == 0 else f.and_(w, 0xFFFF)
+            if j % 2 == 0:
+                half = f.and_(half, 0xFFFF)
+            f.store(half, subs, 2 * (produced + j), Width.HALF)
+        produced += take
+        if produced < 52:
+            # rotate (k0,k1,k2,k3) left by 25 bits
+            nk = []
+            for i in range(4):
+                hi = f.lsl(kw[i], 25)
+                lo = f.lsr(kw[(i + 1) % 4], 7)
+                nk.append(f.orr(hi, lo))
+            kw = nk
+    f.ret()
+
+    f = FunctionBuilder(m, "idea_encrypt_block", ["ptr"])
+    ptr = f.arg("ptr")
+    subs = f.ga("idea_subs")
+    xs = []
+    for i in range(4):
+        xs.append(f.load(ptr, 2 * i, Width.HALF))
+    x1, x2, x3, x4 = xs
+    for r in range(ROUNDS):
+        koff = 12 * r
+        x1 = f.call("idea_mul", [x1, f.load(subs, koff, Width.HALF)])
+        x2 = f.and_(f.add(x2, f.load(subs, koff + 2, Width.HALF)), 0xFFFF)
+        x3 = f.and_(f.add(x3, f.load(subs, koff + 4, Width.HALF)), 0xFFFF)
+        x4 = f.call("idea_mul", [x4, f.load(subs, koff + 6, Width.HALF)])
+        t0 = f.call("idea_mul", [f.eor(x1, x3), f.load(subs, koff + 8, Width.HALF)])
+        t1sum = f.and_(f.add(t0, f.eor(x2, x4)), 0xFFFF)
+        t1 = f.call("idea_mul", [t1sum, f.load(subs, koff + 10, Width.HALF)])
+        t0 = f.and_(f.add(t0, t1), 0xFFFF)
+        x1 = f.eor(x1, t1)
+        x4 = f.eor(x4, t0)
+        new_x2 = f.eor(x3, t1)
+        new_x3 = f.eor(x2, t0)
+        x2, x3 = new_x2, new_x3
+    y1 = f.call("idea_mul", [x1, f.load(subs, 96, Width.HALF)])
+    y2 = f.and_(f.add(x3, f.load(subs, 98, Width.HALF)), 0xFFFF)
+    y3 = f.and_(f.add(x2, f.load(subs, 100, Width.HALF)), 0xFFFF)
+    y4 = f.call("idea_mul", [x4, f.load(subs, 102, Width.HALF)])
+    f.store(y1, ptr, 0, Width.HALF)
+    f.store(y2, ptr, 2, Width.HALF)
+    f.store(y3, ptr, 4, Width.HALF)
+    f.store(y4, ptr, 6, Width.HALF)
+    f.ret()
+
+    b = FunctionBuilder(m, "main", [])
+    b.call("idea_expand", [], dst=False)
+    data = b.ga("idea_data")
+    acc = b.li(0)
+    n_blocks = len(plain) // 8
+    with b.for_range(0, n_blocks) as blk:
+        ptr = b.add(data, b.lsl(blk, 3))
+        b.call("idea_encrypt_block", [ptr], dst=False)
+        w0 = b.load(ptr, 0)
+        w1 = b.load(ptr, 4)
+        b.mul(acc, 31, dst=acc)
+        b.eor(acc, w0, dst=acc)
+        b.add(acc, w1, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    plain = _plain(scale)
+    subs = _subkeys(KEY)
+    out = bytearray(plain)
+    acc = 0
+    for off in range(0, len(plain), 8):
+        x = struct.unpack_from("<4H", plain, off)
+        y = _encrypt_block(x, subs)
+        struct.pack_into("<4H", out, off, *y)
+        w0 = int.from_bytes(out[off : off + 4], "little")
+        w1 = int.from_bytes(out[off + 4 : off + 8], "little")
+        acc = ((acc * 31) ^ w0) & M32
+        acc = (acc + w1) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="pgp",
+    category="security",
+    build=_build,
+    reference=_reference,
+    description="IDEA (PGP's cipher): 8.5 unrolled rounds, in-kernel key schedule",
+)

@@ -1,0 +1,118 @@
+"""``qsort`` (automotive): quicksort of unsigned words.
+
+Models MiBench qsort: a median-of-three quicksort with an insertion-sort
+cutoff for small partitions, recursing on the smaller side.  The
+checksum is a polynomial hash of the sorted array, so both ordering and
+content are verified.
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global
+from repro.workloads.base import Workload
+from repro.workloads.data import random_words, words_bytes
+from repro.workloads.pyref import M32
+
+COUNTS = {"small": 180, "full": 2600}
+CUTOFF = 12
+
+
+def _values(scale):
+    return random_words("qsort", COUNTS[scale])
+
+
+def _build(m, scale):
+    values = _values(scale)
+    m.add_global(Global("qs_data", data=words_bytes(values)))
+
+    f = FunctionBuilder(m, "qs_insertion", ["base", "lo", "hi"])
+    base, lo, hi = f.args
+    i = f.add(lo, 1)
+    with f.loop_while(Cond.LE, i, hi):
+        key = f.load(base, f.lsl(i, 2))
+        j = f.sub(i, 1)
+        cont = f.li(1)
+        with f.loop_while(Cond.NE, cont, 0):
+            f.li(0, dst=cont)
+            with f.if_then(Cond.GE, j, lo):
+                v = f.load(base, f.lsl(j, 2))
+                with f.if_then(Cond.GTU, v, key):
+                    f.store(v, base, f.lsl(f.add(j, 1), 2))
+                    f.sub(j, 1, dst=j)
+                    f.li(1, dst=cont)
+        f.store(key, base, f.lsl(f.add(j, 1), 2))
+        f.add(i, 1, dst=i)
+    f.ret()
+
+    f = FunctionBuilder(m, "qs_sort", ["base", "lo", "hi"])
+    base, lo, hi = f.args
+    span = f.sub(hi, lo)
+    with f.if_then(Cond.LT, span, CUTOFF):
+        f.call("qs_insertion", [base, lo, hi], dst=False)
+        f.ret()
+    # median-of-three pivot selection
+    mid = f.asr(f.add(lo, hi), 1)
+    a = f.load(base, f.lsl(lo, 2))
+    bv = f.load(base, f.lsl(mid, 2))
+    c = f.load(base, f.lsl(hi, 2))
+    # pivot = median(a, bv, c), computed with unsigned compares
+    pivot = f.mov(bv)
+    with f.if_then(Cond.LTU, bv, a):
+        with f.if_then(Cond.LTU, a, c):
+            f.mov(a, dst=pivot)
+        with f.if_then(Cond.GEU, a, c):
+            mx = f.max_(bv, c, signed=False)
+            f.mov(mx, dst=pivot)
+    with f.if_then(Cond.GEU, bv, a):
+        with f.if_then(Cond.GTU, bv, c):
+            mx = f.max_(a, c, signed=False)
+            f.mov(mx, dst=pivot)
+    i = f.mov(lo)
+    j = f.mov(hi)
+    with f.loop_while(Cond.LE, i, j):
+        ai = f.load(base, f.lsl(i, 2))
+        with f.loop_while(Cond.LTU, ai, pivot):
+            f.add(i, 1, dst=i)
+            f.load(base, f.lsl(i, 2), dst=ai)
+        aj = f.load(base, f.lsl(j, 2))
+        with f.loop_while(Cond.GTU, aj, pivot):
+            f.sub(j, 1, dst=j)
+            f.load(base, f.lsl(j, 2), dst=aj)
+        with f.if_then(Cond.LE, i, j):
+            f.store(aj, base, f.lsl(i, 2))
+            f.store(ai, base, f.lsl(j, 2))
+            f.add(i, 1, dst=i)
+            f.sub(j, 1, dst=j)
+    with f.if_then(Cond.LT, lo, j):
+        f.call("qs_sort", [base, lo, j], dst=False)
+    with f.if_then(Cond.LT, i, hi):
+        f.call("qs_sort", [base, i, hi], dst=False)
+    f.ret()
+
+    b = FunctionBuilder(m, "main", [])
+    base = b.ga("qs_data")
+    n = len(values)
+    b.call("qs_sort", [base, b.li(0), b.li(n - 1)], dst=False)
+    acc = b.li(0)
+    with b.for_range(0, n) as i:
+        v = b.load(base, b.lsl(i, 2))
+        b.mul(acc, 31, dst=acc)
+        b.add(acc, v, dst=acc)
+        b.eor(acc, i, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    values = sorted(_values(scale))
+    acc = 0
+    for i, v in enumerate(values):
+        acc = (acc * 31 + v) & M32
+        acc ^= i
+    return acc
+
+
+WORKLOAD = Workload(
+    name="qsort",
+    category="automotive",
+    build=_build,
+    reference=_reference,
+    description="median-of-three quicksort with insertion-sort cutoff",
+)

@@ -1,0 +1,263 @@
+"""``rijndael`` (security): AES-128 ECB encryption.
+
+Complete AES: S-box substitution, ShiftRows, MixColumns (xtime over
+GF(2^8)), AddRoundKey, and the full key expansion.  Each of the ten
+rounds is emitted as its own unrolled function — the way performance
+AES implementations are written — which also gives this benchmark the
+large instruction footprint the paper's cache study needs.
+
+The Python mirror is validated against the FIPS-197 example vector in
+the test suite.
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import random_bytes
+from repro.workloads.pyref import M32
+
+SIZES = {"small": 256, "full": 4096}  # plaintext bytes (multiple of 16)
+KEY = bytes(range(16))  # 000102...0f
+
+# ----------------------------------------------------------------------
+# host-side AES tables and reference implementation
+
+
+def _make_sbox():
+    # multiplicative inverse in GF(2^8) + affine transform (FIPS-197)
+    def gmul(a, b):
+        r = 0
+        for _ in range(8):
+            if b & 1:
+                r ^= a
+            hi = a & 0x80
+            a = (a << 1) & 0xFF
+            if hi:
+                a ^= 0x1B
+            b >>= 1
+        return r
+
+    inv = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if gmul(x, y) == 1:
+                inv[x] = y
+                break
+    sbox = []
+    for x in range(256):
+        b = inv[x]
+        res = 0
+        for i in range(8):
+            bit = (
+                ((b >> i) & 1)
+                ^ ((b >> ((i + 4) % 8)) & 1)
+                ^ ((b >> ((i + 5) % 8)) & 1)
+                ^ ((b >> ((i + 6) % 8)) & 1)
+                ^ ((b >> ((i + 7) % 8)) & 1)
+                ^ ((0x63 >> i) & 1)
+            )
+            res |= bit << i
+        sbox.append(res)
+    return sbox
+
+
+SBOX = _make_sbox()
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(a):
+    a <<= 1
+    return (a ^ 0x1B) & 0xFF if a & 0x100 else a
+
+
+def _expand_key(key):
+    w = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(w[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= RCON[i // 4 - 1]
+        w.append([w[i - 4][k] ^ temp[k] for k in range(4)])
+    return [b for word in w for b in word]  # 176 bytes
+
+
+def _encrypt_block(block, round_keys):
+    state = [block[i] ^ round_keys[i] for i in range(16)]
+    for rnd in range(1, 11):
+        state = [SBOX[b] for b in state]
+        # ShiftRows on column-major state: state[r + 4c]
+        shifted = list(state)
+        for r in range(1, 4):
+            for c in range(4):
+                shifted[r + 4 * c] = state[r + 4 * ((c + r) % 4)]
+        state = shifted
+        if rnd != 10:
+            mixed = []
+            for c in range(4):
+                col = state[4 * c : 4 * c + 4]
+                mixed.extend(
+                    [
+                        _xtime(col[0]) ^ _xtime(col[1]) ^ col[1] ^ col[2] ^ col[3],
+                        col[0] ^ _xtime(col[1]) ^ _xtime(col[2]) ^ col[2] ^ col[3],
+                        col[0] ^ col[1] ^ _xtime(col[2]) ^ _xtime(col[3]) ^ col[3],
+                        _xtime(col[0]) ^ col[0] ^ col[1] ^ col[2] ^ _xtime(col[3]),
+                    ]
+                )
+            state = mixed
+        rk = round_keys[16 * rnd : 16 * rnd + 16]
+        state = [state[i] ^ rk[i] for i in range(16)]
+    return state
+
+
+def encrypt_bytes(data, key=KEY):
+    rks = _expand_key(key)
+    out = bytearray()
+    for off in range(0, len(data), 16):
+        out.extend(_encrypt_block(data[off : off + 16], rks))
+    return bytes(out)
+
+
+def _plain(scale):
+    return random_bytes("rijndael", SIZES[scale])
+
+
+# ----------------------------------------------------------------------
+# IR build
+
+
+def _build(m, scale):
+    plain = _plain(scale)
+    m.add_global(Global("aes_sbox", data=bytes(SBOX)))
+    m.add_global(Global("aes_rcon", data=bytes(RCON)))
+    m.add_global(Global("aes_key", data=KEY))
+    m.add_global(Global("aes_rk", size=176))
+    m.add_global(Global("aes_state", size=16, align=4))
+    m.add_global(Global("aes_tmp", size=16, align=4))
+    m.add_global(Global("aes_data", data=plain))
+
+    f = FunctionBuilder(m, "aes_xtime", ["a"])
+    a = f.arg("a")
+    r = f.lsl(a, 1)
+    with f.if_then(Cond.NE, f.and_(r, 0x100), 0):
+        f.eor(r, 0x1B, dst=r)
+    f.ret(f.and_(r, 0xFF))
+
+    f = FunctionBuilder(m, "aes_expand_key", [])
+    key = f.ga("aes_key")
+    rk = f.ga("aes_rk")
+    sbox = f.ga("aes_sbox")
+    rcon = f.ga("aes_rcon")
+    with f.for_range(0, 16) as i:
+        f.store(f.load(key, i, Width.BYTE), rk, i, Width.BYTE)
+    with f.for_range(4, 44) as i:
+        woff = f.lsl(i, 2)
+        prev = f.sub(woff, 4)
+        t0 = f.load(rk, prev, Width.BYTE)
+        t1 = f.load(rk, f.add(prev, 1), Width.BYTE)
+        t2 = f.load(rk, f.add(prev, 2), Width.BYTE)
+        t3 = f.load(rk, f.add(prev, 3), Width.BYTE)
+        rem = f.and_(i, 3)
+        with f.if_then(Cond.EQ, rem, 0):
+            # rotate, substitute, rcon
+            n0 = f.load(sbox, t1, Width.BYTE)
+            n1 = f.load(sbox, t2, Width.BYTE)
+            n2 = f.load(sbox, t3, Width.BYTE)
+            n3 = f.load(sbox, t0, Width.BYTE)
+            ridx = f.sub(f.lsr(i, 2), 1)
+            f.eor(n0, f.load(rcon, ridx, Width.BYTE), dst=n0)
+            f.mov(n0, dst=t0)
+            f.mov(n1, dst=t1)
+            f.mov(n2, dst=t2)
+            f.mov(n3, dst=t3)
+        back = f.sub(woff, 16)
+        f.store(f.eor(t0, f.load(rk, back, Width.BYTE)), rk, woff, Width.BYTE)
+        f.store(f.eor(t1, f.load(rk, f.add(back, 1), Width.BYTE)), rk, f.add(woff, 1), Width.BYTE)
+        f.store(f.eor(t2, f.load(rk, f.add(back, 2), Width.BYTE)), rk, f.add(woff, 2), Width.BYTE)
+        f.store(f.eor(t3, f.load(rk, f.add(back, 3), Width.BYTE)), rk, f.add(woff, 3), Width.BYTE)
+    f.ret()
+
+    # per-round functions, fully unrolled over the 16 state bytes
+    shift_map = list(range(16))
+    for r in range(1, 4):
+        for c in range(4):
+            shift_map[r + 4 * c] = r + 4 * ((c + r) % 4)
+
+    def build_round(rnd):
+        f = FunctionBuilder(m, "aes_round_%d" % rnd, [])
+        state = f.ga("aes_state")
+        tmp = f.ga("aes_tmp")
+        sbox = f.ga("aes_sbox")
+        rk = f.ga("aes_rk")
+        # SubBytes + ShiftRows into tmp (unrolled)
+        for i in range(16):
+            src = shift_map[i]
+            byte = f.load(state, src, Width.BYTE)
+            f.store(f.load(sbox, byte, Width.BYTE), tmp, i, Width.BYTE)
+        if rnd != 10:
+            # MixColumns + AddRoundKey back into state (unrolled)
+            for c in range(4):
+                col = [f.load(tmp, 4 * c + r, Width.BYTE) for r in range(4)]
+                x = [f.call("aes_xtime", [col[r]]) for r in range(4)]
+                outs = [
+                    f.eor(f.eor(x[0], x[1]), f.eor(col[1], f.eor(col[2], col[3]))),
+                    f.eor(f.eor(col[0], x[1]), f.eor(x[2], f.eor(col[2], col[3]))),
+                    f.eor(f.eor(col[0], col[1]), f.eor(x[2], f.eor(x[3], col[3]))),
+                    f.eor(f.eor(x[0], col[0]), f.eor(col[1], f.eor(col[2], x[3]))),
+                ]
+                for r in range(4):
+                    key_b = f.load(rk, 16 * rnd + 4 * c + r, Width.BYTE)
+                    f.store(f.eor(outs[r], key_b), state, 4 * c + r, Width.BYTE)
+        else:
+            for i in range(16):
+                key_b = f.load(rk, 16 * rnd + i, Width.BYTE)
+                f.store(f.eor(f.load(tmp, i, Width.BYTE), key_b), state, i, Width.BYTE)
+        f.ret()
+
+    for rnd in range(1, 11):
+        build_round(rnd)
+
+    f = FunctionBuilder(m, "aes_encrypt_block", ["src", "dst"])
+    src, dst = f.args
+    state = f.ga("aes_state")
+    rk = f.ga("aes_rk")
+    with f.for_range(0, 16) as i:
+        byte = f.load(src, i, Width.BYTE)
+        f.store(f.eor(byte, f.load(rk, i, Width.BYTE)), state, i, Width.BYTE)
+    for rnd in range(1, 11):
+        f.call("aes_round_%d" % rnd, [], dst=False)
+    with f.for_range(0, 16) as i:
+        f.store(f.load(state, i, Width.BYTE), dst, i, Width.BYTE)
+    f.ret()
+
+    b = FunctionBuilder(m, "main", [])
+    b.call("aes_expand_key", [], dst=False)
+    data = b.ga("aes_data")
+    acc = b.li(0)
+    n_blocks = len(plain) // 16
+    with b.for_range(0, n_blocks) as blk:
+        off = b.lsl(blk, 4)
+        ptr = b.add(data, off)
+        b.call("aes_encrypt_block", [ptr, ptr], dst=False)
+        with b.for_range(0, 4) as w:
+            v = b.load(ptr, b.lsl(w, 2))
+            b.mul(acc, 31, dst=acc)
+            b.eor(acc, v, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    cipher = encrypt_bytes(_plain(scale))
+    acc = 0
+    for off in range(0, len(cipher), 4):
+        w = int.from_bytes(cipher[off : off + 4], "little")
+        acc = ((acc * 31) ^ w) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="rijndael",
+    category="security",
+    build=_build,
+    reference=_reference,
+    description="AES-128 ECB with per-round unrolled functions",
+)

@@ -1,0 +1,165 @@
+"""``rsynth`` (office): rule-based text-to-speech synthesis.
+
+Letters map to phoneme classes through grapheme rules (vowels and
+consonant groups); each phoneme drives a source-filter synthesizer —
+a pulse train (voiced) or PRNG noise (unvoiced) excitation through two
+cascaded second-order formant resonators with per-phoneme Q12
+coefficients — and the checksum folds the waveform.  Fixed-point IIR
+filtering per output sample, like the real formant synthesizer.
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import ascii_text
+from repro.workloads.pyref import M32, s32, add32, sub32, mul32, asr32, XorShift32
+
+SIZES = {"small": 56, "full": 330}  # text bytes
+SAMPLES_PER_PHONE = 48
+PITCH = 32
+
+#: phoneme table: (voiced, b0, c1_1, c2_1, c1_2, c2_2) in Q12
+PHONEMES = [
+    (1, 1200, 6800, -3500, 5200, -2800),  # a-like
+    (1, 1100, 7200, -3800, 4600, -2500),  # e-like
+    (1, 1000, 7600, -4000, 4000, -2200),  # i-like
+    (1, 1300, 6400, -3200, 5600, -3000),  # o-like
+    (1, 1250, 6000, -3000, 6000, -3200),  # u-like
+    (0, 900, 3000, -1500, 2000, -1000),   # s-like noise
+    (0, 800, 4000, -2000, 2400, -1200),   # f-like noise
+    (1, 700, 6900, -3600, 3000, -1600),   # nasal
+    (1, 950, 5800, -2900, 4800, -2600),   # liquid
+    (0, 600, 2600, -1300, 3400, -1800),   # stop burst
+]
+
+
+def _letter_map():
+    table = [255] * 256  # 255 = silence / skip
+    mapping = {
+        "a": 0, "e": 1, "i": 2, "o": 3, "u": 4,
+        "s": 5, "z": 5, "c": 5, "x": 5,
+        "f": 6, "v": 6, "h": 6,
+        "m": 7, "n": 7,
+        "l": 8, "r": 8, "w": 8, "y": 8,
+    }
+    for c in range(ord("a"), ord("z") + 1):
+        table[c] = mapping.get(chr(c), 9)
+    return table
+
+
+LETTER_MAP = _letter_map()
+
+
+def _text(scale):
+    return ascii_text("rsynth", SIZES[scale]) + b"\x00"
+
+
+def _reference(scale):
+    text = _text(scale)
+    rng = XorShift32(0x5EED5EED)
+    acc = 0
+    y1a = y2a = y1b = y2b = 0
+    for ch in text:
+        if ch == 0:
+            break
+        ph = LETTER_MAP[ch]
+        if ph == 255:
+            continue
+        voiced, b0, c11, c21, c12, c22 = PHONEMES[ph]
+        for n in range(SAMPLES_PER_PHONE):
+            if voiced:
+                x = 8000 if n % PITCH == 0 else 0
+            else:
+                x = ((rng.next() & 0x7FF) - 1024) & M32
+            # resonator 1
+            t = add32(mul32(b0 & M32, x), mul32(c11 & M32, y1a))
+            t = add32(t, mul32(c21 & M32, y2a))
+            out1 = asr32(t, 12)
+            y2a, y1a = y1a, out1
+            # resonator 2
+            t = add32(mul32(b0 & M32, out1), mul32(c12 & M32, y1b))
+            t = add32(t, mul32(c22 & M32, y2b))
+            out2 = asr32(t, 12)
+            y2b, y1b = y1b, out2
+            if n % 4 == 0:
+                acc = ((acc * 17) ^ out2) & M32
+    return acc
+
+
+def _build(m, scale):
+    text = _text(scale)
+    m.add_global(Global("rs_text", data=text))
+    m.add_global(Global("rs_map", data=bytes(LETTER_MAP)))
+    rows = []
+    for row in PHONEMES:
+        for v in row:
+            rows.append(v & 0xFFFF)
+    m.add_global(Global("rs_phones", data=b"".join(v.to_bytes(2, "little") for v in rows)))
+    m.add_global(Global("rs_state", size=4 * 4))  # y1a y2a y1b y2b
+
+    f = FunctionBuilder(m, "rs_phone", ["ph", "acc_in"])
+    ph, acc = f.args
+    phones = f.ga("rs_phones")
+    state = f.ga("rs_state")
+    base = f.mul(ph, 12)
+    voiced = f.load(phones, base, Width.HALF, signed=True)
+    b0 = f.load(phones, f.add(base, 2), Width.HALF, signed=True)
+    c11 = f.load(phones, f.add(base, 4), Width.HALF, signed=True)
+    c21 = f.load(phones, f.add(base, 6), Width.HALF, signed=True)
+    c12 = f.load(phones, f.add(base, 8), Width.HALF, signed=True)
+    c22 = f.load(phones, f.add(base, 10), Width.HALF, signed=True)
+    y1a = f.load(state, 0)
+    y2a = f.load(state, 4)
+    y1b = f.load(state, 8)
+    y2b = f.load(state, 12)
+    with f.for_range(0, SAMPLES_PER_PHONE) as n:
+        x = f.vreg("x")
+        with f.if_else(Cond.NE, voiced, 0) as otherwise:
+            f.li(0, dst=x)
+            phase = f.and_(n, PITCH - 1)
+            with f.if_then(Cond.EQ, phase, 0):
+                f.li(8000, dst=x)
+            with otherwise:
+                r = f.call("rand_next", [])
+                f.sub(f.and_(r, 0x7FF), 1024, dst=x)
+        t = f.add(f.mul(b0, x), f.mul(c11, y1a))
+        t = f.add(t, f.mul(c21, y2a))
+        out1 = f.asr(t, 12)
+        f.mov(y1a, dst=y2a)
+        f.mov(out1, dst=y1a)
+        t = f.add(f.mul(b0, out1), f.mul(c12, y1b))
+        t = f.add(t, f.mul(c22, y2b))
+        out2 = f.asr(t, 12)
+        f.mov(y1b, dst=y2b)
+        f.mov(out2, dst=y1b)
+        with f.if_then(Cond.EQ, f.and_(n, 3), 0):
+            f.mul(acc, 17, dst=acc)
+            f.eor(acc, out2, dst=acc)
+    f.store(y1a, state, 0)
+    f.store(y2a, state, 4)
+    f.store(y1b, state, 8)
+    f.store(y2b, state, 12)
+    f.ret(acc)
+
+    b = FunctionBuilder(m, "main", [])
+    b.call("srand", [b.li(0x5EED5EED)], dst=False)
+    text_g = b.ga("rs_text")
+    map_g = b.ga("rs_map")
+    acc = b.li(0)
+    pos = b.li(0)
+    ch = b.load(text_g, 0, Width.BYTE)
+    with b.loop_while(Cond.NE, ch, 0):
+        ph = b.load(map_g, ch, Width.BYTE)
+        with b.if_then(Cond.NE, ph, 255):
+            b.call("rs_phone", [ph, acc], dst=acc)
+        b.add(pos, 1, dst=pos)
+        b.load(text_g, pos, Width.BYTE, dst=ch)
+    b.ret(acc)
+
+
+WORKLOAD = Workload(
+    name="rsynth",
+    category="office",
+    build=_build,
+    reference=_reference,
+    description="rule-based formant synthesis with cascaded Q12 resonators",
+)

@@ -1,0 +1,116 @@
+"""``stringsearch`` (office): Boyer-Moore-Horspool over a text corpus.
+
+Mirrors MiBench stringsearch: builds a 256-entry skip table per pattern
+and scans the text for every pattern; the checksum folds the match
+positions and counts.
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import ascii_text
+from repro.workloads.pyref import M32
+
+SIZES = {"small": (1200, 4), "full": (12000, 10)}  # (text bytes, patterns)
+
+PATTERNS = [
+    "cache", "power", "instruction", "the quick", "synthesis",
+    "embedded fox", "benchmark", "lazy dog", "telecom", "processor",
+]
+
+
+def _text(scale):
+    return ascii_text("stringsearch", SIZES[scale][0])
+
+
+def _patterns(scale):
+    return [p.encode() for p in PATTERNS[: SIZES[scale][1]]]
+
+
+def _build(m, scale):
+    text = _text(scale)
+    patterns = _patterns(scale)
+    m.add_global(Global("ss_text", data=text))
+    blob = bytearray()
+    offsets = []
+    for p in patterns:
+        offsets.append(len(blob))
+        blob += p + b"\x00"
+    m.add_global(Global("ss_patterns", data=bytes(blob)))
+    m.add_global(Global("ss_skip", size=256 * 4))
+
+    f = FunctionBuilder(m, "ss_build_skip", ["pat", "plen"])
+    pat, plen = f.args
+    skip = f.ga("ss_skip")
+    with f.for_range(0, 256) as i:
+        f.store(plen, skip, f.lsl(i, 2))
+    last = f.sub(plen, 1)
+    with f.for_range(0, last) as i:
+        ch = f.load(pat, i, Width.BYTE)
+        dist = f.sub(last, i)
+        f.store(dist, skip, f.lsl(ch, 2))
+    f.ret()
+
+    f = FunctionBuilder(m, "ss_search", ["text", "tlen", "pat"])
+    text_r, tlen, pat = f.args
+    plen = f.call("strlen", [pat])
+    f.call("ss_build_skip", [pat, plen], dst=False)
+    skip = f.ga("ss_skip")
+    acc = f.li(0)
+    pos = f.li(0)
+    limit = f.sub(tlen, plen)
+    with f.loop_while(Cond.LEU, pos, limit):
+        j = f.sub(plen, 1)
+        matched = f.li(1)
+        with f.loop_while(Cond.GE, j, 0):
+            tc = f.load(text_r, f.add(pos, j), Width.BYTE)
+            pc = f.load(pat, j, Width.BYTE)
+            with f.if_then(Cond.NE, tc, pc):
+                f.li(0, dst=matched)
+                f.li(-1, dst=j)
+            with f.if_then(Cond.GE, j, 0):
+                f.sub(j, 1, dst=j)
+        with f.if_then(Cond.NE, matched, 0):
+            f.add(acc, pos, dst=acc)
+            f.mul(acc, 3, dst=acc)
+            f.add(acc, 1, dst=acc)
+        lastch = f.load(text_r, f.add(pos, f.sub(plen, 1)), Width.BYTE)
+        f.add(pos, f.load(skip, f.lsl(lastch, 2)), dst=pos)
+    f.ret(acc)
+
+    b = FunctionBuilder(m, "main", [])
+    text_g = b.ga("ss_text")
+    pats = b.ga("ss_patterns")
+    total = b.li(0)
+    for off in offsets:
+        r = b.call("ss_search", [text_g, b.li(len(text)), b.add(pats, off)])
+        b.eor(total, r, dst=total)
+        b.mul(total, 7, dst=total)
+        b.add(total, 13, dst=total)
+    b.ret(total)
+
+
+def _reference(scale):
+    text = _text(scale)
+    total = 0
+    for p in _patterns(scale):
+        plen = len(p)
+        skip = [plen] * 256
+        for i in range(plen - 1):
+            skip[p[i]] = plen - 1 - i
+        acc = 0
+        pos = 0
+        while pos <= len(text) - plen:
+            if text[pos : pos + plen] == p:
+                acc = ((acc + pos) * 3 + 1) & M32
+            pos += skip[text[pos + plen - 1]]
+        total = ((total ^ acc) * 7 + 13) & M32
+    return total
+
+
+WORKLOAD = Workload(
+    name="stringsearch",
+    category="office",
+    build=_build,
+    reference=_reference,
+    description="Boyer-Moore-Horspool multi-pattern text search",
+)

@@ -1,0 +1,149 @@
+"""``susan`` (automotive): SUSAN image smoothing + corner detection.
+
+The two MiBench susan modes that dominate its profile: a 3x3 integer
+smoothing pass, then the USAN corner pass — for every interior pixel,
+sum the brightness-similarity lookup table over the 37-pixel circular
+mask and report a corner response where the USAN area is below the
+geometric threshold.  The similarity LUT (exp of the squared brightness
+difference) is precomputed host-side exactly as susan precomputes it at
+startup.
+"""
+
+import math
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import random_bytes
+from repro.workloads.pyref import M32
+
+DIMS = {"small": (24, 24), "full": (44, 44)}
+BT = 20  # brightness threshold
+
+#: 37-pixel circular mask offsets (the classic SUSAN mask)
+MASK = [
+    (-3, -1), (-3, 0), (-3, 1),
+    (-2, -2), (-2, -1), (-2, 0), (-2, 1), (-2, 2),
+    (-1, -3), (-1, -2), (-1, -1), (-1, 0), (-1, 1), (-1, 2), (-1, 3),
+    (0, -3), (0, -2), (0, -1), (0, 0), (0, 1), (0, 2), (0, 3),
+    (1, -3), (1, -2), (1, -1), (1, 0), (1, 1), (1, 2), (1, 3),
+    (2, -2), (2, -1), (2, 0), (2, 1), (2, 2),
+    (3, -1), (3, 0), (3, 1),
+]
+G_THRESH = (37 * 100 * 3) // 4  # geometric threshold in LUT units
+
+
+def _lut():
+    # susan: 100 * exp(-((d/t)^6)) rounded, for |d| in 0..255
+    out = []
+    for d in range(256):
+        out.append(int(round(100.0 * math.exp(-((d / BT) ** 6)))))
+    return out
+
+
+def _image(scale):
+    w, h = DIMS[scale]
+    return random_bytes("susan", w * h)
+
+
+def _build(m, scale):
+    w, h = DIMS[scale]
+    img = _image(scale)
+    m.add_global(Global("su_img", data=img))
+    m.add_global(Global("su_smooth", size=w * h))
+    m.add_global(Global("su_lut", data=bytes(_lut())))
+
+    f = FunctionBuilder(m, "su_smooth_pass", [])
+    src = f.ga("su_img")
+    dst = f.ga("su_smooth")
+    # 3x3 box smoothing on the interior; borders copied
+    with f.for_range(0, h) as y:
+        row = f.mul(y, w)
+        with f.for_range(0, w) as x:
+            idx = f.add(row, x)
+            interior = f.li(1)
+            with f.if_then(Cond.EQ, y, 0):
+                f.li(0, dst=interior)
+            with f.if_then(Cond.EQ, y, h - 1):
+                f.li(0, dst=interior)
+            with f.if_then(Cond.EQ, x, 0):
+                f.li(0, dst=interior)
+            with f.if_then(Cond.EQ, x, w - 1):
+                f.li(0, dst=interior)
+            with f.if_else(Cond.NE, interior, 0) as otherwise:
+                total = f.li(0)
+                for dy in (-1, 0, 1):
+                    for dx in (-1, 0, 1):
+                        p = f.load(src, f.add(idx, dy * w + dx), Width.BYTE)
+                        f.add(total, p, dst=total)
+                # divide by 9 via the multiply-shift idiom (exact here)
+                f.store(f.lsr(f.mul(total, 7282), 16), dst, idx, Width.BYTE)
+                with otherwise:
+                    f.store(f.load(src, idx, Width.BYTE), dst, idx, Width.BYTE)
+    f.ret()
+
+    f = FunctionBuilder(m, "su_corners", [])
+    img_r = f.ga("su_smooth")
+    lut = f.ga("su_lut")
+    acc = f.li(0)
+    with f.for_range(3, h - 3) as y:
+        row = f.mul(y, w)
+        with f.for_range(3, w - 3) as x:
+            idx = f.add(row, x)
+            center = f.load(img_r, idx, Width.BYTE)
+            n = f.li(0)
+            for dy, dx in MASK:
+                p = f.load(img_r, f.add(idx, dy * w + dx), Width.BYTE)
+                d = f.sub(p, center)
+                d = f.call("abs_i32", [d])
+                f.add(n, f.load(lut, d, Width.BYTE), dst=n)
+            with f.if_then(Cond.LT, n, G_THRESH):
+                resp = f.rsb(n, G_THRESH)
+                f.mul(acc, 3, dst=acc)
+                f.add(acc, resp, dst=acc)
+                f.eor(acc, idx, dst=acc)
+    f.ret(acc)
+
+    f = FunctionBuilder(m, "abs_i32", ["x"])
+    x = f.arg("x")
+    with f.if_then(Cond.LT, x, 0):
+        f.ret(f.rsb(x, 0))
+    f.ret(x)
+
+    b = FunctionBuilder(m, "main", [])
+    b.call("su_smooth_pass", [], dst=False)
+    b.ret(b.call("su_corners", []))
+
+
+def _reference(scale):
+    w, h = DIMS[scale]
+    img = list(_image(scale))
+    lut = _lut()
+    smooth = list(img)
+    for y in range(1, h - 1):
+        for x in range(1, w - 1):
+            total = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    total += img[(y + dy) * w + (x + dx)]
+            smooth[y * w + x] = (total * 7282) >> 16
+    acc = 0
+    for y in range(3, h - 3):
+        for x in range(3, w - 3):
+            idx = y * w + x
+            center = smooth[idx]
+            n = 0
+            for dy, dx in MASK:
+                n += lut[abs(smooth[idx + dy * w + dx] - center)]
+            if n < G_THRESH:
+                acc = (acc * 3 + (G_THRESH - n)) & M32
+                acc ^= idx
+    return acc
+
+
+WORKLOAD = Workload(
+    name="susan",
+    category="automotive",
+    build=_build,
+    reference=_reference,
+    description="SUSAN smoothing + USAN corner response over a noise image",
+)

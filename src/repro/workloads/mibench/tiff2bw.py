@@ -1,0 +1,126 @@
+"""``tiff2bw`` (consumer): RGB → grayscale → 1-bit dithering + packing.
+
+Models the tiff2bw conversion pipeline: ITU-style luminance weighting
+(integer 77/151/28 >> 8), Floyd-Steinberg error diffusion down to one
+bit per pixel, and bit packing of the output plane.
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import random_bytes
+from repro.workloads.pyref import M32, s32
+
+DIMS = {"small": (24, 20), "full": (80, 64)}
+
+
+def _rgb(scale):
+    w, h = DIMS[scale]
+    return random_bytes("tiff2bw", w * h * 3)
+
+
+def _build(m, scale):
+    w, h = DIMS[scale]
+    rgb = _rgb(scale)
+    m.add_global(Global("tb_rgb", data=rgb))
+    m.add_global(Global("tb_gray", size=w * h * 4))   # word errors, signed
+    m.add_global(Global("tb_bits", size=(w * h + 7) // 8))
+
+    f = FunctionBuilder(m, "tb_to_gray", [])
+    rgb_g = f.ga("tb_rgb")
+    gray = f.ga("tb_gray")
+    with f.for_range(0, w * h) as i:
+        off = f.mul(i, 3)
+        r = f.load(rgb_g, off, Width.BYTE)
+        g = f.load(rgb_g, f.add(off, 1), Width.BYTE)
+        bch = f.load(rgb_g, f.add(off, 2), Width.BYTE)
+        lum = f.mul(r, 77)
+        lum = f.add(lum, f.mul(g, 151))
+        lum = f.add(lum, f.mul(bch, 28))
+        f.store(f.lsr(lum, 8), gray, f.lsl(i, 2))
+    f.ret()
+
+    f = FunctionBuilder(m, "tb_dither", [])
+    gray = f.ga("tb_gray")
+    bits = f.ga("tb_bits")
+    with f.for_range(0, h) as y:
+        row = f.mul(y, w)
+        with f.for_range(0, w) as x:
+            idx = f.add(row, x)
+            old = f.load(gray, f.lsl(idx, 2))
+            bit = f.select(Cond.GE, old, 128, 1, 0)
+            newv = f.select(Cond.NE, bit, 0, 255, 0)
+            err = f.sub(old, newv)
+            # distribute 7/16, 3/16, 5/16, 1/16 (Floyd-Steinberg)
+            def spread(cond_ok, off_idx, num):
+                with f.if_then(Cond.NE, cond_ok, 0):
+                    o = f.lsl(off_idx, 2)
+                    v = f.load(gray, o)
+                    part = f.asr(f.mul(err, num), 4)
+                    f.store(f.add(v, part), gray, o)
+
+            right_ok = f.select(Cond.LT, x, w - 1, 1, 0)
+            below_ok = f.select(Cond.LT, y, h - 1, 1, 0)
+            left_ok = f.select(Cond.GT, x, 0, 1, 0)
+            bl_ok = f.and_(below_ok, left_ok)
+            br_ok = f.and_(below_ok, right_ok)
+            spread(right_ok, f.add(idx, 1), 7)
+            spread(bl_ok, f.add(idx, w - 1), 3)
+            spread(below_ok, f.add(idx, w), 5)
+            spread(br_ok, f.add(idx, w + 1), 1)
+            byte_off = f.lsr(idx, 3)
+            shift = f.and_(idx, 7)
+            old_b = f.load(bits, byte_off, Width.BYTE)
+            f.store(f.orr(old_b, f.lsl(bit, shift)), bits, byte_off, Width.BYTE)
+    f.ret()
+
+    b = FunctionBuilder(m, "main", [])
+    b.call("tb_to_gray", [], dst=False)
+    b.call("tb_dither", [], dst=False)
+    bits = b.ga("tb_bits")
+    acc = b.li(0)
+    nbytes = (w * h + 7) // 8
+    with b.for_range(0, nbytes) as i:
+        v = b.load(bits, i, Width.BYTE)
+        b.mul(acc, 31, dst=acc)
+        b.add(acc, v, dst=acc)
+        b.eor(acc, i, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    w, h = DIMS[scale]
+    rgb = _rgb(scale)
+    gray = []
+    for i in range(w * h):
+        r, g, bch = rgb[3 * i], rgb[3 * i + 1], rgb[3 * i + 2]
+        gray.append(((r * 77 + g * 151 + bch * 28) >> 8) & M32)
+    bits = bytearray((w * h + 7) // 8)
+    for y in range(h):
+        for x in range(w):
+            idx = y * w + x
+            old = gray[idx]
+            bit = 1 if s32(old) >= 128 else 0
+            newv = 255 if bit else 0
+            err = (old - newv) & M32
+            def spread(ok, off, num):
+                if ok:
+                    part = s32((err * num) & M32) >> 4
+                    gray[off] = (gray[off] + part) & M32
+            spread(x < w - 1, idx + 1, 7)
+            spread(y < h - 1 and x > 0, idx + w - 1, 3)
+            spread(y < h - 1, idx + w, 5)
+            spread(y < h - 1 and x < w - 1, idx + w + 1, 1)
+            bits[idx >> 3] |= bit << (idx & 7)
+    acc = 0
+    for i, v in enumerate(bits):
+        acc = ((acc * 31 + v) ^ i) & M32
+    return acc
+
+
+WORKLOAD = Workload(
+    name="tiff2bw",
+    category="consumer",
+    build=_build,
+    reference=_reference,
+    description="RGB→gray→Floyd-Steinberg 1-bit dithering + bit packing",
+)

@@ -1,0 +1,263 @@
+"""``typeset`` (consumer): line breaking, hyphenation and justification.
+
+Models the typeset benchmark's core: proportional character widths, a
+greedy line filler, hyphenation at vowel-consonant boundaries when a
+word overflows the measure, full justification (distributing leftover
+width across inter-word gaps), and page breaking.  The checksum folds
+every line's used width, per-gap stretch and remainder, so any layout
+divergence is caught.
+"""
+
+from repro.ir import Cond, FunctionBuilder, Global, Width
+from repro.workloads.base import Workload
+from repro.workloads.data import ascii_text
+from repro.workloads.pyref import M32
+
+SIZES = {"small": 1500, "full": 15000}
+LINE_W = 600
+SPACE_W = 5
+HYPH_W = 4
+LINES_PER_PAGE = 30
+PAGE_MARK = 0x50A6E
+
+VOWELS = b"aeiou"
+
+
+def _widths():
+    w = [0] * 256
+    for c in range(32, 127):
+        w[c] = ((c * 7) % 9) + 4
+    return w
+
+
+def _classes():
+    cls = [0] * 256  # 0 other, 1 vowel, 2 consonant
+    for c in range(ord("a"), ord("z") + 1):
+        cls[c] = 1 if c in VOWELS else 2
+    return cls
+
+
+WIDTHS = _widths()
+CLASSES = _classes()
+
+
+def _text(scale):
+    return ascii_text("typeset", SIZES[scale]) + b"\x00"
+
+
+def _build(m, scale):
+    text = _text(scale)
+    m.add_global(Global("ts_text", data=text))
+    m.add_global(Global("ts_widths", data=bytes(WIDTHS)))
+    m.add_global(Global("ts_classes", data=bytes(CLASSES)))
+
+    # measure a word's width: sum of character widths over [ptr, ptr+len)
+    f = FunctionBuilder(m, "ts_measure", ["ptr", "length"])
+    ptr, length = f.args
+    widths = f.ga("ts_widths")
+    total = f.li(0)
+    with f.for_range(0, length) as i:
+        ch = f.load(ptr, i, Width.BYTE)
+        f.add(total, f.load(widths, ch, Width.BYTE), dst=total)
+    f.ret(total)
+
+    # find a hyphenation break: largest prefix ending at a vowel followed
+    # by a consonant whose width (plus the pending gap and hyphen) fits.
+    # Returns the prefix length, or 0.
+    f = FunctionBuilder(m, "ts_hyphen", ["ptr", "length", "avail"])
+    ptr, length, avail = f.args
+    widths = f.ga("ts_widths")
+    classes = f.ga("ts_classes")
+    best = f.li(0)
+    pw = f.li(0)
+    limit = f.sub(length, 2)
+    with f.for_range(0, limit) as i:
+        ch = f.load(ptr, i, Width.BYTE)
+        f.add(pw, f.load(widths, ch, Width.BYTE), dst=pw)
+        nxt = f.load(ptr, f.add(i, 1), Width.BYTE)
+        ccls = f.load(classes, ch, Width.BYTE)
+        ncls = f.load(classes, nxt, Width.BYTE)
+        with f.if_then(Cond.EQ, ccls, 1):
+            with f.if_then(Cond.EQ, ncls, 2):
+                fits = f.add(pw, HYPH_W)
+                with f.if_then(Cond.LEU, fits, avail):
+                    with f.if_then(Cond.GE, i, 1):
+                        f.add(i, 1, dst=best)
+    f.ret(best)
+
+    b = FunctionBuilder(m, "main", [])
+    text_g = b.ga("ts_text")
+    widths_g = b.ga("ts_widths")
+    acc = b.li(0)
+    pos = b.li(0)
+    line_used = b.li(0)
+    gaps = b.li(0)
+    line_no = b.li(0)
+
+    # justify-and-break helper emitted inline via a function
+    f = FunctionBuilder(m, "ts_break", ["used", "gaps", "acc", "line_no"])
+    used, gp, a, ln = f.args
+    extra = f.rsb(used, LINE_W)
+    per = f.li(0)
+    rem = f.mov(extra)
+    with f.if_then(Cond.GT, gp, 0):
+        f.call("__udiv", [extra, gp], dst=per)
+        f.call("__urem", [extra, gp], dst=rem)
+    f.mul(a, 31, dst=a)
+    f.add(a, used, dst=a)
+    f.eor(a, f.lsl(per, 8), dst=a)
+    f.add(a, rem, dst=a)
+    nl = f.add(ln, 1)
+    q = f.call("__urem", [nl, LINES_PER_PAGE])
+    with f.if_then(Cond.EQ, q, 0):
+        f.eor(a, PAGE_MARK, dst=a)
+    f.store(nl, f.ga("ts_lineno"))
+    f.ret(a)
+
+    m.add_global(Global("ts_lineno", size=4))
+
+    outer = b.new_block("words")
+    done = b.new_block("done")
+    word_blk = b.new_block("word")
+    scan_head = b.new_block("scan_head")
+    scan_chk = b.new_block("scan_chk")
+    scan_body = b.new_block("scan_body")
+    scan_done = b.new_block("scan_done")
+    ch = b.vreg("ch")
+    start = b.vreg("start")
+    b.br(outer)
+
+    b.at(outer)
+    # skip spaces
+    b.load(b.add(text_g, pos), 0, Width.BYTE, dst=ch)
+    with b.loop_while(Cond.EQ, ch, 32):
+        b.add(pos, 1, dst=pos)
+        b.load(b.add(text_g, pos), 0, Width.BYTE, dst=ch)
+    b.cbr(Cond.EQ, ch, 0, done, word_blk)
+
+    b.at(word_blk)
+    b.mov(pos, dst=start)
+    b.br(scan_head)
+    b.at(scan_head)
+    b.cbr(Cond.EQ, ch, 0, scan_done, scan_chk)
+    b.at(scan_chk)
+    b.cbr(Cond.EQ, ch, 32, scan_done, scan_body)
+    b.at(scan_body)
+    b.add(pos, 1, dst=pos)
+    b.load(b.add(text_g, pos), 0, Width.BYTE, dst=ch)
+    b.br(scan_head)
+
+    b.at(scan_done)
+    wlen = b.sub(pos, start)
+    wptr = b.add(text_g, start)
+    wwidth = b.call("ts_measure", [wptr, wlen])
+    lineno_g = b.ga("ts_lineno")
+    with b.if_else(Cond.EQ, line_used, 0) as otherwise:
+        b.min_(wwidth, b.li(LINE_W), signed=False, dst=line_used)
+        b.li(0, dst=gaps)
+        with otherwise:
+            fit = b.add(line_used, SPACE_W + 0)
+            b.add(fit, wwidth, dst=fit)
+            with b.if_else(Cond.LEU, fit, LINE_W) as otherwise2:
+                b.mov(fit, dst=line_used)
+                b.add(gaps, 1, dst=gaps)
+                with otherwise2:
+                    avail = b.sub(LINE_W, b.add(line_used, SPACE_W))
+                    with b.if_then(Cond.LT, avail, 0):
+                        b.li(0, dst=avail)
+                    split = b.call("ts_hyphen", [wptr, wlen, avail])
+                    with b.if_else(Cond.GE, split, 2) as otherwise3:
+                        pre_w = b.call("ts_measure", [wptr, split])
+                        b.add(line_used, b.add(pre_w, SPACE_W + HYPH_W), dst=line_used)
+                        b.add(gaps, 1, dst=gaps)
+                        b.call("ts_break", [line_used, gaps, acc, line_no], dst=acc)
+                        b.load(lineno_g, 0, dst=line_no)
+                        rest_w = b.sub(wwidth, pre_w)
+                        b.min_(rest_w, b.li(LINE_W), signed=False, dst=line_used)
+                        b.li(0, dst=gaps)
+                        with otherwise3:
+                            b.call("ts_break", [line_used, gaps, acc, line_no], dst=acc)
+                            b.load(lineno_g, 0, dst=line_no)
+                            b.min_(wwidth, b.li(LINE_W), signed=False, dst=line_used)
+                            b.li(0, dst=gaps)
+    b.br(outer)
+    b.at(done)
+    with b.if_then(Cond.GTU, line_used, 0):
+        b.call("ts_break", [line_used, gaps, acc, line_no], dst=acc)
+        b.load(b.ga("ts_lineno"), 0, dst=line_no)
+    b.eor(acc, line_no, dst=acc)
+    b.ret(acc)
+
+
+def _reference(scale):
+    text = _text(scale)
+    acc = 0
+    line_used = 0
+    gaps = 0
+    line_no = 0
+
+    def brk(used, gp, a, ln):
+        extra = LINE_W - used
+        per = extra // gp if gp else 0
+        rem = extra % gp if gp else extra
+        a = (a * 31 + used) & M32
+        a ^= (per << 8) & M32
+        a = (a + rem) & M32
+        ln += 1
+        if ln % LINES_PER_PAGE == 0:
+            a ^= PAGE_MARK
+        return a & M32, ln
+
+    pos = 0
+    while True:
+        while pos < len(text) and text[pos] == 32:
+            pos += 1
+        if text[pos] == 0:
+            break
+        start = pos
+        while text[pos] not in (0, 32):
+            pos += 1
+        word = text[start:pos]
+        wwidth = sum(WIDTHS[c] for c in word)
+        if line_used == 0:
+            line_used = min(wwidth, LINE_W)
+            gaps = 0
+        elif line_used + SPACE_W + wwidth <= LINE_W:
+            line_used += SPACE_W + wwidth
+            gaps += 1
+        else:
+            avail = max(0, LINE_W - (line_used + SPACE_W))
+            best = 0
+            pw = 0
+            for i in range(max(0, len(word) - 2)):
+                pw += WIDTHS[word[i]]
+                if (
+                    CLASSES[word[i]] == 1
+                    and CLASSES[word[i + 1]] == 2
+                    and pw + HYPH_W <= avail
+                    and i >= 1
+                ):
+                    best = i + 1
+            if best >= 2:
+                pre_w = sum(WIDTHS[c] for c in word[:best])
+                line_used += pre_w + SPACE_W + HYPH_W
+                gaps += 1
+                acc, line_no = brk(line_used, gaps, acc, line_no)
+                line_used = min(wwidth - pre_w, LINE_W)
+                gaps = 0
+            else:
+                acc, line_no = brk(line_used, gaps, acc, line_no)
+                line_used = min(wwidth, LINE_W)
+                gaps = 0
+    if line_used > 0:
+        acc, line_no = brk(line_used, gaps, acc, line_no)
+    return (acc ^ line_no) & M32
+
+
+WORKLOAD = Workload(
+    name="typeset",
+    category="consumer",
+    build=_build,
+    reference=_reference,
+    description="greedy line filling, hyphenation, justification, paging",
+)

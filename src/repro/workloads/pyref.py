@@ -1,0 +1,144 @@
+"""Pure-Python mirrors of the runtime library, for reference models.
+
+Workload reference implementations import these so their checksums match
+the IR/ARM execution bit for bit (32-bit wrap-around, truncating signed
+division, the exact Q15 sine table, the exact xorshift32 stream).
+"""
+
+import struct
+
+from repro.workloads import runtime as _rt
+
+M32 = 0xFFFFFFFF
+
+
+def u32(x):
+    return x & M32
+
+
+def s32(x):
+    x &= M32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+def add32(a, b):
+    return (a + b) & M32
+
+
+def sub32(a, b):
+    return (a - b) & M32
+
+
+def mul32(a, b):
+    return (a * b) & M32
+
+
+def lsl32(a, n):
+    return (a << n) & M32 if n < 32 else 0
+
+
+def lsr32(a, n):
+    return (a & M32) >> n if n < 32 else 0
+
+
+def asr32(a, n):
+    v = s32(a)
+    return u32(v >> n) if n < 32 else (M32 if v < 0 else 0)
+
+
+def udiv(n, d):
+    n &= M32
+    d &= M32
+    return 0 if d == 0 else n // d
+
+
+def urem(n, d):
+    n &= M32
+    d &= M32
+    return n if d == 0 else n % d
+
+
+def sdiv(n, d):
+    """Truncating signed division, matching the runtime's __sdiv."""
+    sn, sd = s32(n), s32(d)
+    if sd == 0:
+        return 0
+    q = abs(sn) // abs(sd)
+    if (sn < 0) != (sd < 0):
+        q = -q
+    return u32(q)
+
+
+def srem(n, d):
+    sn, sd = s32(n), s32(d)
+    if sd == 0:
+        return u32(sn)
+    r = abs(sn) % abs(sd)
+    if sn < 0:
+        r = -r
+    return u32(r)
+
+
+def isqrt(x):
+    x &= M32
+    res = 0
+    bit = 1 << 30
+    while bit > x:
+        bit >>= 2
+    while bit:
+        if x >= res + bit:
+            x -= res + bit
+            res = (res >> 1) + bit
+        else:
+            res >>= 1
+        bit >>= 2
+    return res
+
+
+_SIN_TABLE = None
+
+
+def sin_table():
+    global _SIN_TABLE
+    if _SIN_TABLE is None:
+        raw = _rt.sin_table_bytes()
+        _SIN_TABLE = list(struct.unpack("<%dh" % _rt.SIN_TABLE_SIZE, raw))
+    return _SIN_TABLE
+
+
+def sin_q15(idx):
+    return u32(sin_table()[idx & (_rt.SIN_TABLE_SIZE - 1)])
+
+
+def cos_q15(idx):
+    return sin_q15(idx + _rt.SIN_TABLE_SIZE // 4)
+
+
+class XorShift32:
+    """Mirror of the runtime xorshift32 PRNG (rand_next/srand)."""
+
+    DEFAULT_SEED = 0x2545F491
+
+    def __init__(self, seed=None):
+        if not seed:
+            seed = self.DEFAULT_SEED
+        self.state = u32(seed)
+
+    def next(self):
+        s = self.state
+        s ^= lsl32(s, 13)
+        s ^= lsr32(s, 17)
+        s ^= lsl32(s, 5)
+        self.state = s
+        return s & 0x7FFFFFFF
+
+
+def clz32(x):
+    x &= M32
+    if x == 0:
+        return 32
+    n = 0
+    while not x & 0x80000000:
+        x = (x << 1) & M32
+        n += 1
+    return n

@@ -1,0 +1,60 @@
+"""Workload registry: the benchmark roster and lookup helpers.
+
+The roster mirrors the paper's 21-benchmark MiBench subset (Section 5):
+``basicmath`` and ``gsm.encode`` are omitted as in the paper, ``gsm``
+is the decode direction, and ``adpcm`` appears in both directions in the
+code-size study.
+"""
+
+import importlib
+
+#: Benchmarks shown in the code-size comparison (Figure 5).
+CODE_SIZE_BENCHMARKS = [
+    "bitcount",
+    "qsort",
+    "susan",
+    "jpeg",
+    "lame",
+    "mad",
+    "tiff2bw",
+    "typeset",
+    "dijkstra",
+    "patricia",
+    "ispell",
+    "rsynth",
+    "stringsearch",
+    "blowfish",
+    "pgp",
+    "rijndael",
+    "sha",
+    "adpcm_enc",
+    "adpcm_dec",
+    "crc32",
+    "fft",
+    "gsm",
+]
+
+#: The 21 benchmarks used in the power study (Figures 3-4, 6-14).
+POWER_STUDY_BENCHMARKS = [name for name in CODE_SIZE_BENCHMARKS if name != "adpcm_dec"]
+
+_cache = {}
+
+
+def get_workload(name):
+    """Look up a workload by benchmark name; imports its module lazily."""
+    if name not in _cache:
+        if name not in CODE_SIZE_BENCHMARKS:
+            raise KeyError("unknown benchmark %r (see CODE_SIZE_BENCHMARKS)" % name)
+        module = importlib.import_module("repro.workloads.mibench.%s" % name)
+        _cache[name] = module.WORKLOAD
+    return _cache[name]
+
+
+def workload_names():
+    """All benchmark names, in roster order."""
+    return list(CODE_SIZE_BENCHMARKS)
+
+
+def all_workloads():
+    """All workloads, importing every kernel module."""
+    return [get_workload(name) for name in CODE_SIZE_BENCHMARKS]

@@ -1,0 +1,66 @@
+"""ARM condition-code semantics at the signed/unsigned boundaries.
+
+Each case funnels a comparison outcome through a conditional branch on
+the compiled binary, probing exactly the NZCV combinations (including
+signed overflow, where LT/GE depend on N != V) that a naive simulator
+gets wrong.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Cond, FunctionBuilder, Module
+from repro.ir.ops import evaluate_cond
+from repro.compiler import compile_arm
+from repro.sim.functional import ArmSimulator
+
+BOUNDARY = [
+    0, 1, 2, 0x7FFFFFFE, 0x7FFFFFFF, 0x80000000, 0x80000001, 0xFFFFFFFE, 0xFFFFFFFF,
+]
+
+
+def eval_on_arm(cases):
+    """cases: list of (cond, lhs, rhs); returns list of taken bits."""
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    acc = b.li(0)
+    for cond, lhs, rhs in cases:
+        bit = b.select(cond, b.li(lhs), b.li(rhs), 1, 0)
+        b.lsl(acc, 1, dst=acc)
+        b.orr(acc, bit, dst=acc)
+    b.ret(acc)
+    image = compile_arm(m)
+    out = ArmSimulator(image).run().exit_code
+    return [(out >> (len(cases) - 1 - i)) & 1 for i in range(len(cases))]
+
+
+@pytest.mark.parametrize("cond", list(Cond))
+def test_condition_at_boundaries(cond):
+    cases = [(cond, a, b) for a in BOUNDARY for b in BOUNDARY][:28]
+    got = eval_on_arm(cases)
+    expected = [1 if evaluate_cond(c, a, b) else 0 for c, a, b in cases]
+    assert got == expected, cond
+
+
+def test_signed_overflow_region():
+    """LT/GE at operands whose subtraction overflows (V flag territory)."""
+    cases = [
+        (Cond.LT, 0x80000000, 1),          # INT_MIN < 1  (sub overflows)
+        (Cond.LT, 0x7FFFFFFF, 0xFFFFFFFF),  # INT_MAX < -1 is false
+        (Cond.GE, 0x80000000, 0x7FFFFFFF),  # INT_MIN >= INT_MAX is false
+        (Cond.GT, 0x7FFFFFFF, 0x80000000),  # INT_MAX > INT_MIN
+        (Cond.LE, 0x80000000, 0x80000000),
+    ]
+    assert eval_on_arm(cases) == [1, 0, 0, 1, 1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(list(Cond)),
+              st.integers(0, 0xFFFFFFFF),
+              st.integers(0, 0xFFFFFFFF)),
+    min_size=1, max_size=20))
+def test_condition_property(cases):
+    got = eval_on_arm(cases)
+    expected = [1 if evaluate_cond(c, a, b) else 0 for c, a, b in cases]
+    assert got == expected

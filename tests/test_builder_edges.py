@@ -1,0 +1,161 @@
+"""Edge-case tests for the IR builder's structured control-flow helpers."""
+
+import pytest
+
+from repro.ir import (
+    Cond,
+    FunctionBuilder,
+    IRInterpreter,
+    Module,
+    Width,
+    verify_module,
+)
+from repro.compiler import compile_arm
+from repro.sim.functional import ArmSimulator
+
+
+def run(m, *args):
+    verify_module(m, entry="main")
+    golden = IRInterpreter(m).call("main", *args)
+    image = compile_arm(m)
+    sim = ArmSimulator(image).run()
+    assert sim.exit_code == golden
+    return golden
+
+
+def test_for_range_zero_and_negative_spans():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    acc = b.li(7)
+    with b.for_range(5, 5):
+        b.add(acc, 100, dst=acc)  # never runs
+    with b.for_range(5, 3):
+        b.add(acc, 100, dst=acc)  # never runs
+    b.ret(acc)
+    assert run(m) == 7
+
+
+def test_for_range_negative_step():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    acc = b.li(0)
+    with b.for_range(10, 0, step=-2) as i:
+        b.add(acc, i, dst=acc)
+    b.ret(acc)
+    assert run(m) == 10 + 8 + 6 + 4 + 2
+
+
+def test_for_range_unsigned_large_bounds():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    acc = b.li(0)
+    start = 0xFFFFFFFA
+    with b.for_range(b.li(start), b.li(0xFFFFFFFE), unsigned=True):
+        b.add(acc, 1, dst=acc)
+    b.ret(acc)
+    assert run(m) == 4
+
+
+def test_nested_if_else_diamonds():
+    m = Module("t")
+    b = FunctionBuilder(m, "classify", ["x"])
+    x = b.arg("x")
+    out = b.vreg()
+    with b.if_else(Cond.LT, x, 10) as outer_else:
+        with b.if_else(Cond.LT, x, 5) as inner_else:
+            b.li(1, dst=out)
+            with inner_else:
+                b.li(2, dst=out)
+        with outer_else:
+            with b.if_else(Cond.LT, x, 20) as inner2:
+                b.li(3, dst=out)
+                with inner2:
+                    b.li(4, dst=out)
+    b.ret(out)
+    main = FunctionBuilder(m, "main", [])
+    acc = main.li(0)
+    for v in (0, 7, 15, 99):
+        acc = main.add(main.mul(acc, 10), main.call("classify", [main.li(v)]))
+    main.ret(acc)
+    assert run(m) == 1234
+
+
+def test_if_else_requires_else_entry():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    with pytest.raises(ValueError):
+        with b.if_else(Cond.EQ, b.li(0), 0) as otherwise:
+            b.li(1)
+            # never entering `otherwise` is a builder-usage bug
+
+
+def test_ret_inside_if_then_skips_join_branch():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    x = b.li(3)
+    with b.if_then(Cond.EQ, x, 3):
+        b.ret(42)
+    b.ret(0)
+    assert run(m) == 42
+
+
+def test_select_with_immediate_arms():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    v = b.select(Cond.GT, b.li(5), 3, 111, 222)
+    w = b.select(Cond.GT, b.li(1), 3, 111, 222)
+    b.ret(b.add(v, w))
+    assert run(m) == 333
+
+
+def test_min_max_abs_helpers():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    a = b.li((-7) & 0xFFFFFFFF)
+    c = b.li(5)
+    r = b.add(b.min_(a, c), b.max_(a, c))          # -7 + 5
+    r = b.add(r, b.abs_(a))                         # + 7
+    r = b.add(r, b.min_(a, c, signed=False))        # + 5 (unsigned -7 is huge)
+    b.ret(r)
+    assert run(m) == ((-7 + 5 + 7 + 5) & 0xFFFFFFFF)
+
+
+def test_loop_while_zero_iterations():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    x = b.li(0)
+    with b.loop_while(Cond.NE, x, 0):
+        b.add(x, 1, dst=x)
+    b.ret(b.add(x, 9))
+    assert run(m) == 9
+
+
+def test_mixed_width_memory_round_trip():
+    from repro.ir import Global
+
+    m = Module("t")
+    m.add_global(Global("buf", size=32))
+    b = FunctionBuilder(m, "main", [])
+    buf = b.ga("buf")
+    b.store(0x11223344, buf, 0)
+    # overwrite the middle halfword, then a single byte
+    b.store(0xAABB, buf, 1, Width.HALF)
+    b.store(0xCC, buf, 3, Width.BYTE)
+    b.ret(b.load(buf, 0))
+    assert run(m) == 0xCCAABB44
+
+
+def test_deep_call_chain():
+    m = Module("t")
+    prev = None
+    for depth in range(12):
+        name = "f%d" % depth
+        f = FunctionBuilder(m, name, ["x"])
+        if prev is None:
+            f.ret(f.add(f.arg("x"), 1))
+        else:
+            f.ret(f.add(f.call(prev, [f.arg("x")]), 1))
+        prev = name
+    b = FunctionBuilder(m, "main", [])
+    b.ret(b.call(prev, [b.li(0)]))
+    assert run(m) == 12

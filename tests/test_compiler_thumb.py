@@ -1,0 +1,179 @@
+"""Thumb back-end tests: correctness and the expected code-size behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import Cond, FunctionBuilder, Global, IRInterpreter, Module, Width
+from repro.compiler import compile_arm, compile_thumb
+from repro.sim.functional.thumb_sim import ThumbSimulator
+from repro.isa.thumb import decode_thumb
+from repro.compiler.thumb_backend import thumb_const_pieces
+from repro.workloads import get_workload
+
+
+def run_thumb(module, expected=None):
+    golden = IRInterpreter(module).call("main")
+    image = compile_thumb(module)
+    result = ThumbSimulator(image).run()
+    assert result.exit_code == golden, (
+        "thumb exit %r != golden %r" % (result.exit_code, golden)
+    )
+    if expected is not None:
+        assert golden == expected & 0xFFFFFFFF
+    return image, result
+
+
+def test_return_constant():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    b.ret(99)
+    run_thumb(m, expected=99)
+
+
+def test_arithmetic_and_shifts():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    x = b.li(12345)
+    x = b.mul(x, 7)
+    x = b.eor(x, 0xA5)
+    x = b.lsl(x, 3)
+    x = b.lsr(x, 1)
+    x = b.sub(x, 1000)
+    b.ret(x)
+    run_thumb(m, expected=(((12345 * 7) ^ 0xA5) << 3 >> 1) - 1000)
+
+
+def test_large_constants():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    vals = [0x12345678, 0xFFFFFFFE, 0xFFFF0000, 0x00FF0000, 256, 255, 0]
+    acc = b.li(0)
+    for v in vals:
+        acc = b.eor(acc, b.li(v))
+        acc = b.add(acc, 0x1234)
+    b.ret(acc)
+    expected = 0
+    for v in vals:
+        expected = ((expected ^ v) + 0x1234) & 0xFFFFFFFF
+    run_thumb(m, expected=expected)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_const_pieces_cover_all_values(value):
+    pieces = thumb_const_pieces(value)
+    acc = 0
+    for kind, imm in pieces:
+        if kind == "mov":
+            acc = imm
+        elif kind == "add":
+            acc = (acc + imm) & 0xFFFFFFFF
+        elif kind == "lsl":
+            acc = (acc << imm) & 0xFFFFFFFF
+        elif kind == "neg":
+            acc = (-acc) & 0xFFFFFFFF
+        elif kind == "mvn":
+            acc = acc ^ 0xFFFFFFFF
+    assert acc == value
+    assert len(pieces) <= 7
+
+
+def test_calls_and_loops():
+    m = Module("t")
+    f = FunctionBuilder(m, "triple", ["x"])
+    f.ret(f.mul(f.arg("x"), 3))
+    b = FunctionBuilder(m, "main", [])
+    acc = b.li(0)
+    with b.for_range(0, 50) as i:
+        b.add(acc, b.call("triple", [i]), dst=acc)
+    b.ret(acc)
+    run_thumb(m, expected=3 * sum(range(50)))
+
+
+def test_memory_widths():
+    m = Module("t")
+    m.add_global(Global("buf", size=64))
+    b = FunctionBuilder(m, "main", [])
+    buf = b.ga("buf")
+    b.store(0xCAFEBABE, buf, 0)
+    b.store(0x91, buf, 5, Width.BYTE)
+    b.store(0x8123, buf, 6, Width.HALF)
+    w = b.load(buf, 0)
+    sb = b.load(buf, 5, Width.BYTE, signed=True)
+    sh = b.load(buf, 6, Width.HALF, signed=True)
+    ub = b.load(buf, 5, Width.BYTE)
+    uh = b.load(buf, 6, Width.HALF)
+    r = b.eor(w, sb)
+    r = b.eor(r, sh)
+    r = b.add(r, ub)
+    r = b.add(r, uh)
+    b.ret(r)
+    expected = (0xCAFEBABE ^ 0xFFFFFF91 ^ 0xFFFF8123) + 0x91 + 0x8123
+    run_thumb(m, expected=expected)
+
+
+def test_spilling_under_low_pressure_limit():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    vals = [b.li(3 * i + 1) for i in range(12)]  # far beyond 6 registers
+    acc = b.li(0)
+    for v in vals:
+        b.add(acc, v, dst=acc)
+    for v in vals:
+        b.mul(acc, 3, dst=acc)
+        b.eor(acc, v, dst=acc)
+    b.ret(acc)
+    golden = IRInterpreter(m).call("main")
+    image, result = run_thumb(m)
+    assert result.exit_code == golden
+
+
+def test_branch_relaxation_long_then_arm():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    x = b.li(1)
+    acc = b.li(0)
+    # a conditional branch over a very long straight-line region
+    with b.if_then(Cond.NE, x, 0):
+        for i in range(400):  # ~400+ halfwords of body
+            b.add(acc, i & 7, dst=acc)
+    b.ret(acc)
+    run_thumb(m, expected=sum(i & 7 for i in range(400)))
+
+
+def test_halfwords_decode_back():
+    wl = get_workload("crc32")
+    image = compile_thumb(wl.build_module("small"))
+    i = 0
+    while i < len(image.halfwords):
+        ins = image.instr_at[i]
+        assert ins is not None
+        nxt = image.halfwords[i + 1] if i + 1 < len(image.halfwords) else None
+        decoded = decode_thumb(image.halfwords[i], nxt)
+        assert type(decoded) is type(ins)
+        i += ins.size_halfwords
+
+
+@pytest.mark.parametrize("name", ["crc32", "bitcount", "qsort", "sha", "dijkstra"])
+def test_workloads_run_on_thumb(name):
+    wl = get_workload(name)
+    module = wl.build_module("small")
+    image = compile_thumb(module)
+    result = ThumbSimulator(image).run()
+    assert result.exit_code == wl.reference("small"), name
+
+
+@pytest.mark.parametrize("name", ["crc32", "bitcount", "qsort", "sha", "dijkstra"])
+def test_thumb_code_smaller_than_arm_but_more_instrs(name):
+    wl = get_workload(name)
+    arm = compile_arm(wl.build_module("small"))
+    thumb = compile_thumb(wl.build_module("small"))
+    # Thumb: smaller bytes, more instructions — the dual-ISA trade-off.
+    assert thumb.code_size < arm.code_size
+    arm_instrs = len(arm.words)
+    thumb_instrs = sum(1 for x in thumb.instr_at if x is not None)
+    # Thumb needs at least roughly as many instructions (its PUSH/POP
+    # multiple makes prologues denser, so allow a small deficit), but the
+    # byte footprint must land well above the ideal 50 %.
+    assert thumb_instrs > 0.9 * arm_instrs
+    ratio = thumb.code_size / arm.code_size
+    assert 0.50 < ratio < 0.90, "%s ratio %.3f" % (name, ratio)

@@ -1,0 +1,73 @@
+"""Trap-format coverage (paper §3.4): SWI beyond exit.
+
+The putc trap (SWI #1) is exercised on a hand-assembled ARM image, and
+then carried through synthesis/translation so the FITS Trap format's
+NUMBER field is covered too.
+"""
+
+import pytest
+
+from repro.isa.arm import DataProc, DPOp, Operand2Imm, Swi, encode_rotated_imm
+from repro.compiler.link import Image, CODE_BASE
+from repro.sim.functional import ArmSimulator
+from repro.sim.functional.fits_sim import FitsSimulator
+from repro.core import ArmProfile, synthesize, translate
+
+
+def hand_image(message=b"Hi!"):
+    instrs = []
+    for ch in message:
+        instrs.append(DataProc(DPOp.MOV, 0, 0, Operand2Imm(*encode_rotated_imm(ch))))
+        instrs.append(Swi(1))  # putc
+    instrs.append(DataProc(DPOp.MOV, 0, 0, Operand2Imm(0, 0)))
+    instrs.append(Swi(0))  # exit(0)
+    words = [i.encode() for i in instrs]
+    return Image(
+        name="console",
+        words=words,
+        instrs=instrs,
+        symbols={"_start": CODE_BASE},
+        func_of_index=["_start"] * len(instrs),
+        global_addr={},
+        data_bytes=b"",
+        data_base=CODE_BASE + 4 * len(instrs),
+        entry="_start",
+    )
+
+
+def test_arm_console_output():
+    image = hand_image(b"PowerFITS")
+    result = ArmSimulator(image).run()
+    assert result.exit_code == 0
+    assert result.console == b"PowerFITS"
+
+
+def test_fits_console_output():
+    image = hand_image(b"ok")
+    profile = ArmProfile.static_only(image)
+    synth = synthesize(profile)
+    result = FitsSimulator(synth.image).run()
+    assert result.exit_code == 0
+    assert result.console == b"ok"
+    # trap signatures made it into the synthesized opcode table
+    assert any(s.kind == "swi" for s in synth.isa.opcode_table.values())
+
+
+def test_unknown_swi_rejected():
+    from repro.sim.functional.arm_sim import SimulationError
+
+    instrs = [Swi(99)]
+    words = [i.encode() for i in instrs]
+    image = Image(
+        name="bad",
+        words=words,
+        instrs=instrs,
+        symbols={"_start": CODE_BASE},
+        func_of_index=["_start"],
+        global_addr={},
+        data_bytes=b"",
+        data_base=CODE_BASE + 4,
+        entry="_start",
+    )
+    with pytest.raises(SimulationError):
+        ArmSimulator(image).run()

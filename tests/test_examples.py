@@ -1,0 +1,57 @@
+"""The example scripts must keep working — run them in-process."""
+
+import io
+import os
+import sys
+import contextlib
+import importlib.util
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(filename, argv):
+    path = os.path.join(EXAMPLES, filename)
+    spec = importlib.util.spec_from_file_location("example_" + filename[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    out = io.StringIO()
+    try:
+        sys.argv = [filename] + argv
+        with contextlib.redirect_stdout(out):
+            spec.loader.exec_module(module)
+            module.main()
+    finally:
+        sys.argv = old_argv
+    return out.getvalue()
+
+
+def test_quickstart_runs():
+    text = run_example("quickstart.py", ["crc32", "small"])
+    assert "FITS" in text and "mapping" in text
+    assert "ARM16" in text and "FITS8" in text
+
+
+def test_custom_kernel_synthesis_runs():
+    text = run_example("custom_kernel_synthesis.py", [])
+    assert "decoder configuration" in text
+    assert "FITS ISA" in text
+    assert "expansion histogram" in text
+
+
+def test_cache_design_space_runs():
+    text = run_example("cache_design_space.py", ["crc32"])
+    assert "ARM miss/M" in text
+    # the sweep prints every size row
+    for size in ("2K", "4K", "8K", "16K", "32K"):
+        assert size in text
+
+
+def test_power_study_runs(tmp_path):
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path)
+    try:
+        text = run_example("power_study.py", ["small"])
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    assert "Figure 7" in text and "Figure 11" in text

@@ -1,0 +1,140 @@
+"""Property tests for the FITS encoder/decoder across geometries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.arm.model import Cond, DPOp, ShiftType
+from repro.isa.fits import (
+    FitsIsa,
+    FitsInstr,
+    OperationSpec,
+    OPRD_DICT,
+    OPRD_RAW,
+    OPRD_REG,
+    encode_fits,
+    decode_fits,
+    FitsDecodeError,
+)
+
+
+def make_isa(k_op=6, k_reg=3):
+    table = {
+        0: OperationSpec("ext", {"mode": "imm"}, name="ext"),
+        1: OperationSpec("ext", {"mode": "reg"}, name="extr"),
+        2: OperationSpec("dp3", {"op": DPOp.ADD, "mode": "imm"}, oprd_mode=OPRD_RAW, name="add3i"),
+        3: OperationSpec("dp3", {"op": DPOp.ADD, "mode": "reg"}, oprd_mode=OPRD_REG, name="add3r"),
+        4: OperationSpec("dp2", {"op": DPOp.EOR}, oprd_mode=OPRD_RAW, name="eor2i"),
+        5: OperationSpec("movi", oprd_mode=OPRD_RAW, name="movi"),
+        6: OperationSpec("cmp2", {"op": DPOp.CMP, "mode": "imm"}, oprd_mode=OPRD_RAW, name="cmp2i"),
+        7: OperationSpec("mem", {"load": True, "width": 4, "signed": False},
+                         oprd_mode=OPRD_RAW, name="ld4"),
+        8: OperationSpec("memsp", {"load": True}, name="ldsp"),
+        9: OperationSpec("b", {"cond": Cond.AL}, name="b"),
+        10: OperationSpec("bl", {}, name="bl"),
+        11: OperationSpec("ret", name="ret"),
+        12: OperationSpec("swi", name="swi"),
+        13: OperationSpec("spadj", name="spadj"),
+        14: OperationSpec("ldm", {"reglist": (4, 15)}, name="ldm.4_pc"),
+        15: OperationSpec("shifti", {"shift": ShiftType.LSL}, oprd_mode=OPRD_RAW, name="lsli"),
+    }
+    regmap = {r: r for r in range(16)}
+    return FitsIsa(k_op, k_reg, table, regmap, {"operate": [0xDEADBEEF], "mem": [-4]})
+
+
+@pytest.fixture(scope="module")
+def isa():
+    return make_isa()
+
+
+def test_field_widths(isa):
+    assert isa.wide_width == 10
+    assert isa.operate2_width == 7
+    assert isa.oprd_width == 4
+
+
+def test_round_trip_operate3(isa):
+    instr = FitsInstr(2, isa.opcode_table[2], {"rc": 5, "ra": 7, "oprd": 9})
+    half = encode_fits(isa, instr)
+    assert 0 <= half <= 0xFFFF
+    assert decode_fits(isa, half) == instr
+
+
+def test_round_trip_signed_branch(isa):
+    for disp in (-512, -1, 0, 511):
+        instr = FitsInstr(9, isa.opcode_table[9], {"value": disp})
+        back = decode_fits(isa, encode_fits(isa, instr))
+        assert back.fields["value"] == disp
+
+
+def test_branch_out_of_range_rejected(isa):
+    from repro.isa.fits.spec import FitsEncodingError
+
+    instr = FitsInstr(9, isa.opcode_table[9], {"value": 512})
+    with pytest.raises(FitsEncodingError):
+        encode_fits(isa, instr)
+
+
+def test_field_overflow_rejected(isa):
+    from repro.isa.fits.spec import FitsEncodingError
+
+    instr = FitsInstr(2, isa.opcode_table[2], {"rc": 8, "ra": 0, "oprd": 0})
+    with pytest.raises(FitsEncodingError):
+        encode_fits(isa, instr)
+
+
+def test_unknown_opcode_rejected(isa):
+    with pytest.raises(FitsDecodeError):
+        decode_fits(isa, 0xFFFF)  # opcode 63 not in table
+
+
+@given(
+    st.sampled_from([2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]),
+    st.integers(min_value=0, max_value=0x3FF),
+)
+def test_round_trip_property(opnum, raw):
+    isa = make_isa()
+    spec = isa.opcode_table[opnum]
+    layout = isa.field_layout(spec)
+    fields = {}
+    bits_used = 0
+    for name, width in layout:
+        value = (raw >> bits_used) & ((1 << width) - 1)
+        from repro.isa.fits.spec import SIGNED_WIDE
+
+        if spec.kind in SIGNED_WIDE and name == "value" and value >= (1 << (width - 1)):
+            value -= 1 << width
+        fields[name] = value
+        bits_used += width
+    instr = FitsInstr(opnum, spec, fields)
+    half = encode_fits(isa, instr)
+    assert decode_fits(isa, half) == instr
+
+
+@pytest.mark.parametrize("k_op,k_reg", [(4, 4), (5, 3), (6, 3), (7, 3), (6, 4)])
+def test_geometries_partition_sixteen_bits(k_op, k_reg):
+    isa = make_isa(6, 3)  # only for field formulas below
+    assert k_op + 2 * k_reg + (16 - k_op - 2 * k_reg) == 16
+    test = FitsIsa(k_op, k_reg, {0: OperationSpec("ret", name="ret")},
+                   {r: r for r in range(16)}, {})
+    assert test.wide_width == 16 - k_op
+    assert test.operate2_width == 16 - k_op - k_reg
+
+
+def test_opcode_space_enforced():
+    table = {i: OperationSpec("ret", name="r%d" % i) for i in range(17)}
+    with pytest.raises(ValueError):
+        FitsIsa(4, 4, table, {r: r for r in range(16)}, {})
+
+
+def test_dictionary_lookup(isa):
+    assert isa.dict_lookup("operate", 0) == 0xDEADBEEF
+    assert isa.dict_lookup("mem", 0) == -4
+    assert isa.dict_find("operate", 0xDEADBEEF, 16) == 0
+    assert isa.dict_find("operate", 0xDEADBEEF, 0) is None
+    assert isa.dict_find("mem", -4, 16) == 0
+
+
+def test_decoder_storage_grows_with_contents(isa):
+    small = FitsIsa(6, 3, {0: OperationSpec("ret", name="ret")},
+                    {r: r for r in range(16)}, {})
+    assert isa.decoder_storage_bits() > small.decoder_storage_bits()

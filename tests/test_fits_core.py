@@ -1,0 +1,111 @@
+"""End-to-end FITS tests: profile → synthesize → translate → execute.
+
+The acid test: every workload's FITS binary must run to completion on
+the FITS simulator and produce the same checksum as the ARM binary and
+the pure-Python reference — through the synthesized encodings, the
+programmable-decoder table, the immediate dictionaries and the
+ext-prefix machinery.
+"""
+
+import pytest
+
+from repro.compiler import compile_arm
+from repro.sim.functional import ArmSimulator
+from repro.sim.functional.fits_sim import FitsSimulator
+from repro.core import ArmProfile, synthesize, translate, SynthesisConfig
+from repro.workloads import get_workload
+
+WORKLOADS = ["crc32", "bitcount", "qsort", "sha", "dijkstra"]
+
+
+def fits_pipeline(name, scale="small", config=None):
+    """The paper's flow: FITS-tuned compile → profile → synthesize."""
+    wl = get_workload(name)
+    image = compile_arm(wl.build_module(scale), fits_tuned=True)
+    arm_result = ArmSimulator(image).run()
+    profile = ArmProfile.from_execution(image, arm_result)
+    result = synthesize(profile, config)
+    return wl, image, arm_result, profile, result
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_fits_executes_correctly(name):
+    wl, arm_image, arm_result, profile, synth = fits_pipeline(name)
+    fits_result = FitsSimulator(synth.image).run()
+    assert fits_result.exit_code == wl.reference("small") == arm_result.exit_code
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_fits_code_size_near_half(name):
+    _wl, arm_image, _res, _prof, synth = fits_pipeline(name)
+    ratio = synth.image.code_size / arm_image.code_size
+    assert 0.48 <= ratio <= 0.70, "%s ratio %.3f" % (name, ratio)
+
+
+def test_mapping_rates_are_high():
+    """Paper Figures 3-4: ~96 % static / ~98 % dynamic on average, with
+    per-benchmark floors (register-hungry kernels map less statically)."""
+    from repro.core.flow import fits_flow
+
+    statics, dynamics = [], []
+    for name in WORKLOADS:
+        wl = get_workload(name)
+        flow = fits_flow(wl.build_module("small"))
+        statics.append(flow.static_mapping)
+        dynamics.append(flow.dynamic_mapping)
+        assert flow.static_mapping > 0.70, (name, flow.static_mapping)
+        assert flow.dynamic_mapping > 0.85, (name, flow.dynamic_mapping)
+    assert sum(statics) / len(statics) > 0.88
+    assert sum(dynamics) / len(dynamics) > 0.93
+
+
+def test_expansion_histogram_shape():
+    _wl, _arm, _res, _prof, synth = fits_pipeline("crc32")
+    hist = synth.image.expansion_histogram()
+    assert set(hist) <= {1, 2, 3, 4, 5, 6, 7, 8}
+    # one-to-one dominates, and n=2 dominates the expansions (paper: n=2
+    # is almost always the case)
+    expansions = {n: c for n, c in hist.items() if n > 1}
+    if expansions:
+        assert hist[1] > sum(expansions.values()) * 3
+
+
+def test_synthesis_explores_geometries():
+    _wl, _arm, _res, _prof, synth = fits_pipeline("crc32")
+    assert len(synth.candidates) >= 2
+    tried = [c for c in synth.candidates if c[2] is not None]
+    assert tried, "no feasible geometry"
+    assert synth.score == min(c[2] for c in tried)
+
+
+def test_dictionaries_capture_hot_values():
+    _wl, _arm, _res, profile, synth = fits_pipeline("crc32")
+    isa = synth.isa
+    operate = synth.isa.dicts["operate"]
+    assert operate, "operate dictionary should not be empty for crc32"
+    # every dictionary value is one the raw three-operand field cannot hold
+    width = isa.oprd_width
+    assert all(not 0 <= v < (1 << width) for v in operate)
+    # dictionary entries come from the profile's immediate population
+    assert all(v in profile.imm_static["operate"] for v in operate)
+
+
+def test_no_dictionary_ablation_still_correct():
+    config = SynthesisConfig(use_dictionaries=False)
+    wl, _arm, _res, _prof, synth = fits_pipeline("crc32", config=config)
+    fits_result = FitsSimulator(synth.image).run()
+    assert fits_result.exit_code == wl.reference("small")
+    assert all(len(v) == 0 for v in synth.isa.dicts.values())
+
+
+def test_decoder_storage_accounting():
+    _wl, _arm, _res, _prof, synth = fits_pipeline("crc32")
+    bits = synth.isa.decoder_storage_bits()
+    assert 0 < bits < 64 * 1024 * 8  # sane: far below the I-cache itself
+
+
+def test_fits_trace_is_halfword_indexed():
+    _wl, _arm, _res, _prof, synth = fits_pipeline("crc32")
+    res = FitsSimulator(synth.image).run()
+    assert res.dynamic_instructions > 0
+    assert res.run_ends.max() < len(synth.image.halfwords)

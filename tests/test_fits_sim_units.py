@@ -1,0 +1,107 @@
+"""FITS simulator unit tests: decoder verification, atoms, disassembly."""
+
+import pytest
+
+from repro.ir import FunctionBuilder, Module, Cond
+from repro.workloads.runtime import runtime_module
+from repro.compiler.link import link_arm
+from repro.sim.functional import ArmSimulator
+from repro.sim.functional.arm_sim import SimulationError
+from repro.sim.functional.fits_sim import FitsSimulator, _atoms
+from repro.core import ArmProfile, synthesize
+from repro.isa.fits.disasm import disassemble_fits, disassemble_image
+from repro.isa.fits.codec import decode_fits
+
+
+@pytest.fixture(scope="module")
+def synth():
+    m = Module("t")
+    b = FunctionBuilder(m, "main", [])
+    acc = b.li(0)
+    with b.for_range(0, 12) as i:
+        b.eor(acc, b.mul(i, 0x12345), dst=acc)
+        b.add(acc, b.udiv(i, 3), dst=acc)
+    b.ret(acc)
+    m.merge(runtime_module(), allow_duplicates=True)
+    image = link_arm(m, callee_saved=(4, 5))
+    result = ArmSimulator(image).run()
+    profile = ArmProfile.from_execution(image, result)
+    out = synthesize(profile)
+    out.arm_exit = result.exit_code
+    return out
+
+
+def test_executes_correctly(synth):
+    result = FitsSimulator(synth.image).run()
+    assert result.exit_code == synth.arm_exit
+
+
+def test_decoder_verification_catches_tampering(synth):
+    image = synth.image
+    tampered = list(image.halfwords)
+    # flip a register-field bit in some mid-program instruction
+    victim = len(tampered) // 2
+    tampered[victim] ^= 0x0008
+    saved = image.halfwords
+    image.halfwords = tampered
+    try:
+        with pytest.raises(SimulationError):
+            FitsSimulator(image, verify_decode=True).run()
+    finally:
+        image.halfwords = saved
+
+
+def test_atoms_cover_all_halfwords(synth):
+    atoms = _atoms(synth.image)
+    covered = sum(a.length for a in atoms)
+    assert covered == len(synth.image.records)
+    for a in atoms:
+        assert a.consumer.spec.kind != "ext"
+        assert a.length >= 1
+
+
+def test_unit_map_is_consistent(synth):
+    image = synth.image
+    acc = 0
+    for start, size in zip(image.unit_start, image.unit_size):
+        assert start == acc
+        assert size >= 1
+        acc += size
+    assert acc == len(image.halfwords)
+
+
+def test_disassembler_covers_every_instruction(synth):
+    listing = disassemble_image(synth.image)
+    lines = listing.splitlines()
+    assert len(lines) == len(synth.image.halfwords)
+    # synthesized opcode names appear
+    assert any("movi" in ln or "add" in ln for ln in lines)
+
+
+def test_disassembler_resolves_dictionaries(synth):
+    isa = synth.isa
+    if isa.dicts["operate"]:
+        # find any dict-mode instruction in the stream and check the
+        # literal is printed resolved (an '=' marker)
+        for half in synth.image.halfwords:
+            instr = decode_fits(isa, half)
+            if instr.spec.oprd_mode == "dict":
+                assert "=" in disassemble_fits(isa, instr)
+                break
+
+
+def test_mapping_stats_bounds(synth):
+    image = synth.image
+    assert 0.0 < image.static_mapping_rate() <= 1.0
+    hist = image.expansion_histogram()
+    assert sum(hist.values()) == len(image.unit_size)
+    assert min(hist) >= 1
+
+
+def test_fits_addresses(synth):
+    image = synth.image
+    assert image.index_of_addr(image.addr_of_index(5)) == 5
+    with pytest.raises(ValueError):
+        image.index_of_addr(image.code_base + 1)  # odd address
+    with pytest.raises(ValueError):
+        image.index_of_addr(image.code_base - 2)

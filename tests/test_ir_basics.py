@@ -1,0 +1,228 @@
+"""Unit tests for the IR: builder, verifier, interpreter semantics."""
+
+import pytest
+
+from repro.ir import (
+    Cond,
+    FunctionBuilder,
+    IRInterpreter,
+    Module,
+    Op,
+    Global,
+    VerifyError,
+    Width,
+    verify_module,
+)
+
+
+def build_module(name="m"):
+    return Module(name)
+
+
+def test_builder_creates_entry_and_args():
+    m = build_module()
+    b = FunctionBuilder(m, "f", ["x", "y"])
+    assert b.func.num_args == 2
+    assert b.arg("x") is b.args[0]
+    b.ret(b.add(b.arg("x"), b.arg("y")))
+    verify_module(m)
+
+
+def test_interp_arithmetic_ops():
+    m = build_module()
+    b = FunctionBuilder(m, "f", ["x", "y"])
+    x, y = b.args
+    r = b.add(x, y)
+    r = b.mul(r, 3)
+    r = b.sub(r, 5)
+    b.ret(r)
+    interp = IRInterpreter(m)
+    assert interp.call("f", 10, 4) == (10 + 4) * 3 - 5
+
+
+@pytest.mark.parametrize(
+    "op,lhs,rhs,expected",
+    [
+        (Op.ADD, 0xFFFFFFFF, 1, 0),
+        (Op.SUB, 0, 1, 0xFFFFFFFF),
+        (Op.RSB, 1, 11, 10),
+        (Op.AND, 0xF0F0, 0x0FF0, 0x00F0),
+        (Op.ORR, 0xF000, 0x000F, 0xF00F),
+        (Op.EOR, 0xFFFF, 0x0F0F, 0xF0F0),
+        (Op.LSL, 1, 31, 0x80000000),
+        (Op.LSR, 0x80000000, 31, 1),
+        (Op.ASR, 0x80000000, 31, 0xFFFFFFFF),
+        (Op.MUL, 0x10000, 0x10000, 0),
+    ],
+)
+def test_interp_op_semantics(op, lhs, rhs, expected):
+    m = build_module()
+    b = FunctionBuilder(m, "f", ["x", "y"])
+    b.ret(b.bin(op, b.args[0], b.args[1]))
+    assert IRInterpreter(m).call("f", lhs, rhs) == expected
+
+
+@pytest.mark.parametrize(
+    "cond,lhs,rhs,expected",
+    [
+        (Cond.EQ, 5, 5, 1),
+        (Cond.NE, 5, 5, 0),
+        (Cond.LT, 0xFFFFFFFF, 0, 1),  # -1 < 0 signed
+        (Cond.LTU, 0xFFFFFFFF, 0, 0),
+        (Cond.GE, 0, 0xFFFFFFFF, 1),
+        (Cond.GEU, 0, 0xFFFFFFFF, 0),
+        (Cond.GT, 1, 0xFFFFFFFF, 1),
+        (Cond.LE, 0xFFFFFFFE, 0xFFFFFFFF, 1),
+    ],
+)
+def test_interp_cond_semantics(cond, lhs, rhs, expected):
+    m = build_module()
+    b = FunctionBuilder(m, "f", ["x", "y"])
+    b.ret(b.select(cond, b.args[0], b.args[1], 1, 0))
+    assert IRInterpreter(m).call("f", lhs, rhs) == expected
+
+
+def test_for_range_sums():
+    m = build_module()
+    b = FunctionBuilder(m, "f", ["n"])
+    total = b.li(0)
+    with b.for_range(0, b.arg("n")) as i:
+        b.add(total, i, dst=total)
+    b.ret(total)
+    assert IRInterpreter(m).call("f", 10) == 45
+    assert IRInterpreter(m).call("f", 0) == 0
+
+
+def test_loop_while_counts_bits():
+    m = build_module()
+    b = FunctionBuilder(m, "popcount", ["x"])
+    x = b.arg("x")
+    count = b.li(0)
+    with b.loop_while(Cond.NE, x, 0):
+        low = b.and_(x, 1)
+        b.add(count, low, dst=count)
+        b.lsr(x, 1, dst=x)
+    b.ret(count)
+    assert IRInterpreter(m).call("popcount", 0b1011011) == 5
+    assert IRInterpreter(m).call("popcount", 0) == 0
+    assert IRInterpreter(m).call("popcount", 0xFFFFFFFF) == 32
+
+
+def test_if_else_both_arms():
+    m = build_module()
+    b = FunctionBuilder(m, "f", ["x"])
+    r = b.vreg()
+    with b.if_else(Cond.LT, b.arg("x"), 10) as otherwise:
+        b.li(111, dst=r)
+        with otherwise:
+            b.li(222, dst=r)
+    b.ret(r)
+    interp = IRInterpreter(m)
+    assert interp.call("f", 3) == 111
+    assert interp.call("f", 30) == 222
+
+
+def test_globals_load_store_widths():
+    m = build_module()
+    m.add_global(Global("buf", size=64))
+    b = FunctionBuilder(m, "f", [])
+    base = b.ga("buf")
+    b.store(0xDEADBEEF, base, 0, Width.WORD)
+    b.store(0x7F, base, 8, Width.BYTE)
+    b.store(0x8001, base, 12, Width.HALF)
+    w = b.load(base, 0, Width.WORD)
+    lo = b.load(base, 0, Width.BYTE)
+    s = b.load(base, 12, Width.HALF, signed=True)
+    r = b.eor(w, lo)
+    r = b.eor(r, s)
+    b.ret(r)
+    expected = 0xDEADBEEF ^ 0xEF ^ 0xFFFF8001
+    assert IRInterpreter(m).call("f") == expected
+
+
+def test_global_initializer_and_padding():
+    m = build_module()
+    m.add_global(Global("tab", data=bytes(range(8)), size=16))
+    b = FunctionBuilder(m, "f", ["i"])
+    base = b.ga("tab")
+    b.ret(b.load(base, b.arg("i"), Width.BYTE))
+    interp = IRInterpreter(m)
+    assert interp.call("f", 3) == 3
+    assert interp.call("f", 12) == 0  # zero fill
+
+
+def test_calls_and_division_helpers():
+    m = build_module()
+    b = FunctionBuilder(m, "__udiv", ["a", "b"])
+    # cheating reference implementation for the test only
+    a, d = b.args
+    q = b.li(0)
+    with b.loop_while(Cond.GEU, a, d):
+        b.sub(a, d, dst=a)
+        b.add(q, 1, dst=q)
+    b.ret(q)
+
+    main = FunctionBuilder(m, "main", [])
+    b2 = main
+    b2.ret(b2.udiv(100, 7))
+    verify_module(m)
+    assert IRInterpreter(m).call("main") == 14
+
+
+def test_verify_rejects_unterminated_block():
+    m = build_module()
+    b = FunctionBuilder(m, "f", [])
+    b.li(1)
+    with pytest.raises(VerifyError):
+        verify_module(m)
+
+
+def test_verify_rejects_undefined_call():
+    m = build_module()
+    b = FunctionBuilder(m, "f", [])
+    b.call("nope", [])
+    b.ret()
+    with pytest.raises(VerifyError):
+        verify_module(m)
+
+
+def test_verify_rejects_unknown_global():
+    m = build_module()
+    b = FunctionBuilder(m, "f", [])
+    b.ga("missing")
+    b.ret()
+    with pytest.raises(VerifyError):
+        verify_module(m)
+
+
+def test_verify_rejects_unreachable_block():
+    m = build_module()
+    b = FunctionBuilder(m, "f", [])
+    b.ret()
+    dead = b.new_block("dead")
+    b.at(dead)
+    b.ret()
+    with pytest.raises(VerifyError):
+        verify_module(m)
+
+
+def test_emit_after_terminator_fails():
+    m = build_module()
+    b = FunctionBuilder(m, "f", [])
+    b.ret()
+    with pytest.raises(ValueError):
+        b.li(1)
+
+
+def test_module_merge_allows_duplicates_when_asked():
+    m1 = build_module("a")
+    FunctionBuilder(m1, "shared", []).ret(0)
+    m2 = build_module("b")
+    FunctionBuilder(m2, "shared", []).ret(1)
+    FunctionBuilder(m2, "extra", []).ret(2)
+    with pytest.raises(ValueError):
+        m1.merge(m2)
+    m1.merge(m2, allow_duplicates=True)
+    interp = IRInterpreter(m1)
+    assert interp.call("shared") == 0  # original kept
+    assert interp.call("extra") == 2

@@ -1,0 +1,221 @@
+"""Unit and property tests for the ARM ISA model (encode/decode/disasm)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.arm import (
+    Branch,
+    Cond,
+    DPOp,
+    DataProc,
+    DecodeError,
+    MemHalf,
+    MemWord,
+    Multiply,
+    Operand2Imm,
+    Operand2Reg,
+    ShiftType,
+    Swi,
+    decode,
+    decode_rotated_imm,
+    disassemble,
+    encode_rotated_imm,
+    is_encodable_imm,
+)
+
+
+# ----------------------------------------------------------------------
+# rotated immediates
+
+@pytest.mark.parametrize("value", [0, 1, 0xFF, 0x100, 0x3F0, 0xFF000000, 0xC0000034, 0x104])
+def test_encodable_values_round_trip(value):
+    rot, imm8 = encode_rotated_imm(value)
+    assert decode_rotated_imm(rot, imm8) == value
+
+
+@pytest.mark.parametrize("value", [0x101, 0x1FF, 0x12345678, 0xFFFFFFFF - 0x100])
+def test_unencodable_values(value):
+    assert encode_rotated_imm(value) is None
+    assert not is_encodable_imm(value)
+
+
+@given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=255))
+def test_rotated_imm_decode_encode_property(rot, imm8):
+    value = decode_rotated_imm(rot, imm8)
+    assert is_encodable_imm(value)
+    rot2, imm2 = encode_rotated_imm(value)
+    assert decode_rotated_imm(rot2, imm2) == value
+
+
+# ----------------------------------------------------------------------
+# encode/decode round trips
+
+def round_trip(instr):
+    word = instr.encode()
+    back = decode(word)
+    assert back.encode() == word, disassemble(instr)
+    return back
+
+
+def test_dataproc_imm_round_trip():
+    instr = DataProc(DPOp.ADD, rd=1, rn=2, operand2=Operand2Imm(*encode_rotated_imm(0xFF0)))
+    back = round_trip(instr)
+    assert back.op is DPOp.ADD and back.rd == 1 and back.rn == 2
+    assert back.operand2.value == 0xFF0
+
+
+def test_dataproc_reg_shift_round_trip():
+    instr = DataProc(
+        DPOp.ORR, rd=3, rn=4, operand2=Operand2Reg(5, ShiftType.ASR, 7), cond=Cond.NE
+    )
+    back = round_trip(instr)
+    assert back.cond is Cond.NE
+    assert back.operand2 == Operand2Reg(5, ShiftType.ASR, 7)
+
+
+def test_compare_sets_s_and_no_rd():
+    instr = DataProc(DPOp.CMP, rd=9, rn=1, operand2=Operand2Imm(0, 10))
+    assert instr.s and instr.rd == 0
+    back = round_trip(instr)
+    assert back.regs_written() == []
+
+
+def test_mov_ignores_rn():
+    instr = DataProc(DPOp.MOV, rd=1, rn=7, operand2=Operand2Imm(0, 42))
+    assert instr.rn == 0
+    round_trip(instr)
+
+
+def test_multiply_round_trip():
+    back = round_trip(Multiply(rd=2, rm=3, rs=4))
+    assert not back.accumulate
+    back = round_trip(Multiply(rd=2, rm=3, rs=4, rn=5, accumulate=True))
+    assert back.accumulate and back.rn == 5
+
+
+def test_multiply_rejects_rd_equals_rm():
+    with pytest.raises(ValueError):
+        Multiply(rd=3, rm=3, rs=4)
+
+
+@pytest.mark.parametrize("offset", [-4095, -1, 0, 1, 4095])
+def test_memword_imm_offsets(offset):
+    back = round_trip(MemWord(load=True, rd=0, rn=1, offset=offset))
+    assert back.offset == offset
+
+
+def test_memword_register_offset():
+    instr = MemWord(load=False, rd=0, rn=1, offset=Operand2Reg(2, ShiftType.LSL, 2), byte=True)
+    back = round_trip(instr)
+    assert back.byte and back.offset == Operand2Reg(2, ShiftType.LSL, 2)
+
+
+def test_memword_offset_range_checked():
+    with pytest.raises(ValueError):
+        MemWord(load=True, rd=0, rn=1, offset=4096)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(load=True, half=True, signed=False),   # ldrh
+        dict(load=True, half=True, signed=True),    # ldrsh
+        dict(load=True, half=False, signed=True),   # ldrsb
+        dict(load=False, half=True, signed=False),  # strh
+    ],
+)
+@pytest.mark.parametrize("offset", [-255, 0, 255])
+def test_memhalf_forms(kwargs, offset):
+    back = round_trip(MemHalf(rd=1, rn=2, offset=offset, **kwargs))
+    assert back.offset == offset
+    assert back.load == kwargs["load"]
+    assert back.signed == kwargs["signed"]
+
+
+def test_memhalf_rejects_bad_forms():
+    with pytest.raises(ValueError):
+        MemHalf(load=False, rd=0, rn=1, signed=True)  # signed store
+    with pytest.raises(ValueError):
+        MemHalf(load=True, rd=0, rn=1, half=False, signed=False)  # ldrb is MemWord
+    with pytest.raises(ValueError):
+        MemHalf(load=True, rd=0, rn=1, offset=256)
+
+
+@pytest.mark.parametrize("offset", [-(1 << 23), -1, 0, 1, (1 << 23) - 1])
+def test_branch_offsets(offset):
+    back = round_trip(Branch(offset, link=True, cond=Cond.LE))
+    assert back.offset == offset and back.link and back.cond is Cond.LE
+
+
+def test_branch_target_arithmetic():
+    assert Branch(0).target(0x100) == 0x108
+    assert Branch(-2).target(0x100) == 0x100
+    assert Branch(1).target(0x100) == 0x10C
+
+
+def test_swi_round_trip():
+    back = round_trip(Swi(0x42))
+    assert back.imm24 == 0x42
+
+
+def test_decode_rejects_nv_space():
+    with pytest.raises(DecodeError):
+        decode(0xF0000000)
+
+
+def test_decode_rejects_writeback():
+    word = MemWord(load=True, rd=0, rn=1, offset=4).encode() | (1 << 21)
+    with pytest.raises(DecodeError):
+        decode(word)
+
+
+# ----------------------------------------------------------------------
+# property: every instruction we can construct round-trips
+
+_dataproc_strategy = st.builds(
+    DataProc,
+    op=st.sampled_from(list(DPOp)),
+    rd=st.integers(0, 14),
+    rn=st.integers(0, 14),
+    operand2=st.one_of(
+        st.builds(Operand2Imm, st.integers(0, 15), st.integers(0, 255)),
+        st.builds(
+            Operand2Reg,
+            st.integers(0, 14),
+            st.sampled_from(list(ShiftType)),
+            st.integers(0, 31),
+        ),
+    ),
+    s=st.booleans(),
+    cond=st.sampled_from(list(Cond)),
+)
+
+
+@given(_dataproc_strategy)
+def test_dataproc_round_trip_property(instr):
+    word = instr.encode()
+    assert decode(word).encode() == word
+
+
+@given(
+    st.integers(0, 14),
+    st.integers(0, 14),
+    st.integers(-4095, 4095),
+    st.booleans(),
+    st.booleans(),
+)
+def test_memword_round_trip_property(rd, rn, offset, load, byte):
+    instr = MemWord(load=load, rd=rd, rn=rn, offset=offset, byte=byte)
+    word = instr.encode()
+    back = decode(word)
+    assert back.encode() == word
+    assert back.offset == offset
+
+
+def test_disassemble_smoke():
+    text = disassemble(DataProc(DPOp.ADD, 1, 2, Operand2Imm(0, 3)))
+    assert text == "add r1, r2, #0x3"
+    text = disassemble(MemWord(load=True, rd=0, rn=13, offset=8))
+    assert text == "ldr r0, [r13, #8]"
+    text = disassemble(Branch(-4, cond=Cond.NE), pc=0x1000)
+    assert text == "bne 0xff8"

@@ -1,0 +1,100 @@
+"""Linker tests: layout, relocation, limits, failure modes."""
+
+import pytest
+
+from repro.ir import FunctionBuilder, Global, Module, VerifyError
+from repro.compiler.link import link_arm, LinkError, CODE_BASE, DATA_LIMIT
+from repro.compiler.thumb_backend import link_thumb
+from repro.sim.functional import ArmSimulator
+
+
+def test_start_stub_is_first():
+    m = Module("t")
+    FunctionBuilder(m, "main", []).ret(1)
+    image = link_arm(m)
+    assert image.symbols["_start"] == CODE_BASE
+    assert image.func_of_index[0] == "_start"
+    assert image.entry == "main"
+
+
+def test_entry_function_follows_stub():
+    m = Module("t")
+    FunctionBuilder(m, "helper", []).ret(2)
+    FunctionBuilder(m, "main", []).ret(1)
+    image = link_arm(m)
+    assert image.symbols["main"] < image.symbols["helper"]
+
+
+def test_globals_are_laid_out_after_code_with_alignment():
+    m = Module("t")
+    m.add_global(Global("a", data=b"xyz"))           # 3 bytes
+    m.add_global(Global("b", data=b"\x01" * 8, align=8))
+    b = FunctionBuilder(m, "main", [])
+    pa = b.ga("a")
+    pb = b.ga("b")
+    b.ret(b.sub(pb, pa))
+    image = link_arm(m)
+    assert image.global_addr["a"] >= image.data_base
+    assert image.global_addr["b"] % 8 == 0
+    result = ArmSimulator(image).run()
+    assert result.exit_code == image.global_addr["b"] - image.global_addr["a"]
+
+
+def test_data_limit_enforced():
+    m = Module("t")
+    m.add_global(Global("huge", size=DATA_LIMIT))
+    FunctionBuilder(m, "main", []).ret(0)
+    with pytest.raises(LinkError):
+        link_arm(m)
+
+
+def test_missing_entry_rejected():
+    m = Module("t")
+    FunctionBuilder(m, "not_main", []).ret(0)
+    with pytest.raises(VerifyError):
+        link_arm(m)
+
+
+def test_memory_image_contents():
+    m = Module("t")
+    m.add_global(Global("tab", data=b"\xde\xad\xbe\xef"))
+    b = FunctionBuilder(m, "main", [])
+    b.ret(b.load(b.ga("tab")))
+    image = link_arm(m)
+    mem = image.initial_memory()
+    # code words present at the code base
+    assert mem[image.code_base : image.code_base + 4] == image.words[0].to_bytes(4, "little")
+    # data placed at the recorded global address
+    addr = image.global_addr["tab"]
+    assert mem[addr : addr + 4] == b"\xde\xad\xbe\xef"
+    # and the program reads it back
+    assert ArmSimulator(image).run().exit_code == 0xEFBEADDE
+
+
+def test_code_size_accounts_every_instruction():
+    m = Module("t")
+    FunctionBuilder(m, "main", []).ret(0)
+    image = link_arm(m)
+    assert image.code_size == 4 * len(image.words) == 4 * len(image.instrs)
+
+
+def test_thumb_linker_mirrors_arm_layout():
+    m = Module("t")
+    m.add_global(Global("tab", data=b"\x2a\x00\x00\x00"))
+    b = FunctionBuilder(m, "main", [])
+    b.ret(b.load(b.ga("tab")))
+    image = link_thumb(m)
+    assert image.symbols["_start"] == image.code_base
+    assert image.global_addr["tab"] >= image.data_base
+    from repro.sim.functional.thumb_sim import ThumbSimulator
+
+    assert ThumbSimulator(image).run().exit_code == 42
+
+
+def test_func_of_index_total():
+    m = Module("t")
+    FunctionBuilder(m, "main", []).ret(0)
+    FunctionBuilder(m, "aux", []).ret(1)
+    image = link_arm(m)
+    assert len(image.func_of_index) == len(image.words)
+    assert set(image.func_of_index) == {"_start", "main", "aux"}

@@ -1,0 +1,118 @@
+"""Profiler tests: signature extraction, immediate categories, rankings."""
+
+import pytest
+
+from repro.ir import Cond, FunctionBuilder, Global, Module, Width
+from repro.workloads.runtime import runtime_module
+from repro.compiler.link import link_arm
+from repro.sim.functional import ArmSimulator
+from repro.core import ArmProfile
+from repro.core.signatures import classify
+from repro.isa.arm.model import DPOp
+
+
+def profile_of(build, callee=(4, 5)):
+    m = Module("t")
+    build(m)
+    m.merge(runtime_module(), allow_duplicates=True)
+    image = link_arm(m, callee_saved=callee)
+    result = ArmSimulator(image).run()
+    return ArmProfile.from_execution(image, result)
+
+
+def test_signature_counts_cover_all_instructions():
+    def build(m):
+        b = FunctionBuilder(m, "main", [])
+        acc = b.li(0)
+        with b.for_range(0, 5) as i:
+            b.add(acc, i, dst=acc)
+        b.ret(acc)
+
+    p = profile_of(build)
+    assert sum(p.sig_static.values()) == len(p.image.instrs)
+    assert sum(p.sig_dynamic.values()) == int(p.exec_counts.sum()) if hasattr(p.exec_counts, "sum") else True
+
+
+def test_hot_signatures_rank_first():
+    def build(m):
+        b = FunctionBuilder(m, "main", [])
+        acc = b.li(0)
+        with b.for_range(0, 500):
+            b.eor(acc, 0x35, dst=acc)   # the hot operation
+        b.add(acc, 0x1000, dst=acc)     # a cold one
+        b.ret(acc)
+
+    p = profile_of(build)
+    eor_sig = ("dp3", DPOp.EOR, "imm")
+    assert p.sig_dynamic[eor_sig] >= 500
+    report = p.signature_report(top=5)
+    assert "EOR" in report
+
+
+def test_immediate_categories_split():
+    def build(m):
+        m.add_global(Global("buf", size=256))
+        b = FunctionBuilder(m, "main", [])
+        buf = b.ga("buf")
+        b.store(0x77, buf, 200)          # memory displacement 200
+        acc = b.load(buf, 200)
+        b.add(acc, 0xFF0, dst=acc)       # rotated-encodable operate immediate
+        b.add(acc, 0x5A5A, dst=acc)      # unencodable → MOV/ORR byte chunks
+        b.ret(acc)
+
+    p = profile_of(build)
+    assert 200 in p.imm_static["mem"]
+    assert 0xFF0 in p.imm_static["operate"]
+    # the unencodable immediate appears as its materialization chunks
+    assert 0x5A in p.imm_static["operate"]
+    assert 0x5A00 in p.imm_static["operate"]
+
+
+def test_register_ranking_is_total_permutation():
+    def build(m):
+        b = FunctionBuilder(m, "main", [])
+        b.ret(b.li(1))
+
+    p = profile_of(build)
+    ranking = p.register_ranking()
+    assert sorted(ranking) == list(range(16))
+
+
+def test_sp_excluded_from_field_pressure():
+    def build(m):
+        b = FunctionBuilder(m, "main", [])
+        vals = [b.li(i) for i in range(20)]  # heavy spilling → sp traffic
+        acc = b.li(0)
+        for v in vals:
+            b.add(acc, v, dst=acc)
+        b.ret(acc)
+
+    p = profile_of(build)
+    # sp-based transfers don't count toward sp's register-field pressure
+    assert p.reg_static[13] < p.reg_static[0] + p.reg_static[12] + 1000
+
+
+def test_branch_targets_resolved():
+    def build(m):
+        b = FunctionBuilder(m, "main", [])
+        acc = b.li(0)
+        with b.for_range(0, 3):
+            b.add(acc, 1, dst=acc)
+        b.ret(acc)
+
+    p = profile_of(build)
+    for idx, use in enumerate(p.uses):
+        if use.sig[0] in ("b", "bl"):
+            assert use.target_arm_index is not None
+            assert 0 <= use.target_arm_index < len(p.image.instrs)
+
+
+def test_classify_every_workload_instruction():
+    """Every instruction the back end can emit must classify."""
+    from repro.workloads import get_workload
+
+    wl = get_workload("gsm")
+    image = link_arm(wl.build_module("small"), callee_saved=(4, 5))
+    for i, ins in enumerate(image.instrs):
+        use = classify(ins, index=i, image=image)
+        assert use.sig

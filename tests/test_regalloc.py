@@ -1,0 +1,173 @@
+"""Unit tests for liveness analysis and linear-scan register allocation."""
+
+import pytest
+
+from repro.ir import Cond, FunctionBuilder, Module, Op
+from repro.compiler.liveness import analyze
+from repro.compiler.regalloc import (
+    allocate_registers,
+    build_intervals,
+    CALLER_SAVED,
+    CALLEE_SAVED,
+    SCRATCH0,
+    SCRATCH1,
+    SP,
+)
+
+
+def build(name="f", args=()):
+    m = Module("t")
+    return m, FunctionBuilder(m, name, args)
+
+
+def overlapping(a, b):
+    return a.start <= b.end and b.start <= a.end
+
+
+def assert_no_register_conflicts(alloc):
+    ivs = [iv for iv in alloc.intervals.values() if iv.reg is not None]
+    for i, a in enumerate(ivs):
+        for b in ivs[i + 1 :]:
+            if a.reg == b.reg:
+                assert not overlapping(a, b), (a, b)
+
+
+def test_simple_liveness():
+    m, b = build(args=["x"])
+    x = b.arg("x")
+    y = b.add(x, 1)
+    b.ret(y)
+    info = analyze(b.func)
+    # only arguments may be live into the entry block
+    assert info.live_in["entry"] <= {0}
+    assert info.num_positions == 2
+
+
+def test_liveness_rejects_undefined_reads():
+    m, b = build()
+    ghost = b.vreg("ghost")
+    b.ret(b.add(ghost, 1))
+    with pytest.raises(ValueError):
+        analyze(b.func)
+
+
+def test_loop_extends_intervals():
+    m, b = build()
+    total = b.li(0)
+    with b.for_range(0, 10) as i:
+        b.add(total, i, dst=total)
+    b.ret(total)
+    intervals, _calls, _hints, by_vid = build_intervals(b.func)
+    total_iv = by_vid[total.id]
+    # total is live across the loop back edge: its interval must span the
+    # whole loop body
+    assert total_iv.end - total_iv.start > 4
+
+
+def test_two_args_never_share_a_register():
+    # regression: both args live at instruction 0 (one dies there)
+    m, b = build(args=["key", "i"])
+    key, i = b.args
+    sh = b.rsb(i, 31)
+    b.ret(b.and_(b.lsr(key, sh), 1))
+    alloc = allocate_registers(b.func)
+    assert alloc.location(key) != alloc.location(i)
+    assert_no_register_conflicts(alloc)
+
+
+def test_call_crossing_values_get_callee_saved():
+    m, b = build()
+    FunctionBuilder(m, "g", []).ret(0)
+    live = b.li(42)
+    b.call("g", [])
+    b.ret(b.add(live, 1))
+    alloc = allocate_registers(b.func)
+    kind, reg = alloc.location(live)
+    assert kind == "s" or reg in CALLEE_SAVED
+
+
+def test_value_consumed_by_call_can_be_caller_saved():
+    m, b = build()
+    FunctionBuilder(m, "g", ["x"]).ret(0)
+    v = b.li(7)
+    b.call("g", [v])
+    b.ret(0)
+    alloc = allocate_registers(b.func)
+    # not required, but permitted — and the common outcome
+    kind, _reg = alloc.location(v)
+    assert kind in ("r", "s")
+    assert_no_register_conflicts(alloc)
+
+
+def test_pressure_forces_spills_without_conflicts():
+    m, b = build()
+    vals = [b.li(i) for i in range(30)]
+    acc = b.li(0)
+    for v in vals:
+        b.add(acc, v, dst=acc)
+    for v in vals:
+        b.eor(acc, v, dst=acc)
+    b.ret(acc)
+    alloc = allocate_registers(b.func)
+    assert alloc.num_slots > 0
+    assert_no_register_conflicts(alloc)
+    # spilled slots are all distinct
+    slots = [iv.slot for iv in alloc.intervals.values() if iv.slot is not None]
+    assert len(slots) == len(set(slots))
+
+
+def test_restricted_pools_are_respected():
+    m, b = build()
+    vals = [b.li(i) for i in range(10)]
+    acc = b.li(0)
+    for v in vals:
+        b.add(acc, v, dst=acc)
+    for v in vals:
+        b.eor(acc, v, dst=acc)
+    b.ret(acc)
+    alloc = allocate_registers(b.func, caller_saved=(0, 1), callee_saved=(4,))
+    for iv in alloc.intervals.values():
+        if iv.reg is not None:
+            assert iv.reg in (0, 1, 4)
+    assert_no_register_conflicts(alloc)
+
+
+def test_scratches_and_sp_never_allocated():
+    m, b = build()
+    vals = [b.li(i) for i in range(25)]
+    acc = b.li(0)
+    for v in vals:
+        b.add(acc, v, dst=acc)
+    b.ret(acc)
+    alloc = allocate_registers(b.func)
+    for iv in alloc.intervals.values():
+        assert iv.reg not in (SCRATCH0, SCRATCH1, SP, 15)
+
+
+def test_coalescing_hint_produces_two_op_shapes():
+    m, b = build(args=["x"])
+    x = b.arg("x")
+    # chain of ops where each lhs dies at its use: ideal coalescing chain
+    a = b.add(x, 1)
+    c = b.mul(a, 3)
+    d = b.eor(c, 0x55)
+    b.ret(d)
+    alloc = allocate_registers(b.func)
+    # the chain should collapse onto very few registers
+    regs = {alloc.location(v) for v in (x, a, c, d)}
+    assert len(regs) <= 2
+
+
+def test_hot_loop_values_survive_spilling():
+    """The loop induction variable must not be the spill victim."""
+    m, b = build()
+    cold = [b.li(100 + i) for i in range(14)]  # cold long-lived values
+    total = b.li(0)
+    with b.for_range(0, 50) as i:
+        b.add(total, i, dst=total)
+    for v in cold:
+        b.add(total, v, dst=total)
+    b.ret(total)
+    alloc = allocate_registers(b.func)
+    # with loop-weighted spill costs, total and i stay in registers
+    assert alloc.location(total)[0] == "r"

@@ -1,0 +1,121 @@
+"""Synthesizer unit tests: mandatory coverage, config knobs, geometry search."""
+
+import pytest
+
+from repro.ir import Cond, FunctionBuilder, Module
+from repro.workloads.runtime import runtime_module
+from repro.compiler.link import link_arm
+from repro.sim.functional import ArmSimulator
+from repro.sim.functional.fits_sim import FitsSimulator
+from repro.core import ArmProfile, synthesize, SynthesisConfig
+from repro.isa.fits.spec import OPRD_DICT, OPRD_RAW
+
+
+def profile_for(build, callee=(4, 5)):
+    m = Module("t")
+    build(m)
+    m.merge(runtime_module(), allow_duplicates=True)
+    image = link_arm(m, callee_saved=callee)
+    result = ArmSimulator(image).run()
+    return ArmProfile.from_execution(image, result), result
+
+
+def small_program(m):
+    b = FunctionBuilder(m, "main", [])
+    acc = b.li(0)
+    with b.for_range(0, 25) as i:
+        b.eor(acc, b.mul(i, 3), dst=acc)
+        b.add(acc, 0x12345, dst=acc)
+    b.ret(acc)
+
+
+def test_every_signature_gets_a_path():
+    profile, _res = profile_for(small_program)
+    synth = synthesize(profile)
+    # the translation existing at all proves totality; check mandatory ops
+    kinds = {spec.kind for spec in synth.isa.opcode_table.values()}
+    assert {"ext", "swi", "ret", "bl", "b"} <= kinds
+
+
+def test_opcode_table_fits_the_space():
+    profile, _res = profile_for(small_program)
+    synth = synthesize(profile)
+    assert len(synth.isa.opcode_table) <= (1 << synth.isa.k_op)
+    # opcode numbers are dense from zero (a real decoder table)
+    assert sorted(synth.isa.opcode_table) == list(range(len(synth.isa.opcode_table)))
+
+
+def test_regmap_is_a_permutation():
+    profile, _res = profile_for(small_program)
+    synth = synthesize(profile)
+    assert sorted(synth.isa.regmap.keys()) == list(range(16))
+    assert sorted(synth.isa.regmap.values()) == list(range(16))
+
+
+def test_dictionaries_respect_budget():
+    profile, _res = profile_for(small_program)
+    config = SynthesisConfig(dict_budgets={"operate": 4, "mem": 2})
+    synth = synthesize(profile, config)
+    assert len(synth.isa.dicts["operate"]) <= 4
+    assert len(synth.isa.dicts["mem"]) <= 2
+    fits_result = FitsSimulator(synth.image).run()
+    assert fits_result.exit_code is not None
+
+
+def test_no_ais_ablation_still_translates():
+    profile, res = profile_for(small_program)
+    base = synthesize(profile)
+    no_ais = synthesize(profile, SynthesisConfig(use_ais=False))
+    # AIS opcodes only ever help
+    assert len(no_ais.isa.opcode_table) <= len(base.isa.opcode_table)
+    assert FitsSimulator(no_ais.image).run().exit_code == res.exit_code
+    # and without them the mapping cannot improve
+    assert no_ais.image.static_mapping_rate() <= base.image.static_mapping_rate() + 1e-9
+
+
+def test_no_dictionary_ablation_costs_code_size():
+    def build(m):
+        b = FunctionBuilder(m, "main", [])
+        acc = b.li(0)
+        with b.for_range(0, 30):
+            b.eor(acc, 0xDEAD0001, dst=acc)  # unencodable hot immediate
+            b.eor(acc, 0xBEEF0203, dst=acc)
+        b.ret(acc)
+
+    profile, res = profile_for(build)
+    with_dict = synthesize(profile)
+    without = synthesize(profile, SynthesisConfig(use_dictionaries=False))
+    assert FitsSimulator(without.image).run().exit_code == res.exit_code
+    assert len(without.image.halfwords) >= len(with_dict.image.halfwords)
+
+
+def test_two_op_threshold_changes_forms():
+    def build(m):
+        b = FunctionBuilder(m, "main", [])
+        acc = b.li(0)
+        with b.for_range(0, 10):
+            b.add(acc, 5, dst=acc)  # all two-operand shaped
+        b.ret(acc)
+
+    profile, _res = profile_for(build)
+    always3 = synthesize(profile, SynthesisConfig(two_op_threshold=1.01))
+    always2 = synthesize(profile, SynthesisConfig(two_op_threshold=0.0))
+    names3 = {s.name for s in always3.isa.opcode_table.values()}
+    names2 = {s.name for s in always2.isa.opcode_table.values()}
+    assert "add3i" in names3 and "add2i" not in names3
+    assert "add2i" in names2 and "add3i" not in names2
+
+
+def test_candidate_geometries_are_scored():
+    profile, _res = profile_for(small_program)
+    synth = synthesize(profile)
+    tried = [c for c in synth.candidates if c[2] is not None]
+    assert len(tried) >= 2
+    assert synth.score == min(c[2] for c in tried)
+
+
+def test_single_geometry_config():
+    profile, res = profile_for(small_program)
+    synth = synthesize(profile, SynthesisConfig(geometries=((6, 3),)))
+    assert (synth.isa.k_op, synth.isa.k_reg) == (6, 3)
+    assert FitsSimulator(synth.image).run().exit_code == res.exit_code

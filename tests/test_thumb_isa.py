@@ -1,0 +1,147 @@
+"""Thumb ISA encode/decode round-trip tests (unit + property)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.thumb import (
+    TAdjustSp,
+    TAlu,
+    TAluOp,
+    TAddSub,
+    TBranch,
+    TBranchLink,
+    TCond,
+    TCondBranch,
+    TLoadStoreImm,
+    TLoadStoreReg,
+    TLoadStoreSpRel,
+    TMovCmpAddSubImm,
+    TPushPop,
+    TShiftImm,
+    TSwi,
+    decode_thumb,
+    ThumbDecodeError,
+    disassemble_thumb,
+)
+
+
+def round_trip(instr):
+    encoded = instr.encode()
+    if isinstance(encoded, tuple):
+        back = decode_thumb(encoded[0], encoded[1])
+    else:
+        back = decode_thumb(encoded)
+    assert type(back) is type(instr)
+    assert back.encode() == encoded, disassemble_thumb(instr)
+    return back
+
+
+@given(st.sampled_from(["lsl", "lsr", "asr"]), st.integers(0, 7), st.integers(0, 7),
+       st.integers(0, 31))
+def test_shift_imm_round_trip(op, rd, rm, imm5):
+    back = round_trip(TShiftImm(op, rd, rm, imm5))
+    assert (back.op, back.rd, back.rm, back.imm5) == (op, rd, rm, imm5)
+
+
+@given(st.booleans(), st.integers(0, 7), st.integers(0, 7), st.integers(0, 7),
+       st.booleans())
+def test_addsub_round_trip(sub, rd, rn, value, imm):
+    back = round_trip(TAddSub(sub, rd, rn, value, imm=imm))
+    assert back.sub == sub and back.value == value and back.imm == imm
+
+
+@given(st.sampled_from(["mov", "cmp", "add", "sub"]), st.integers(0, 7),
+       st.integers(0, 255))
+def test_format3_round_trip(op, rd, imm8):
+    back = round_trip(TMovCmpAddSubImm(op, rd, imm8))
+    assert (back.op, back.rd, back.imm8) == (op, rd, imm8)
+
+
+@given(st.sampled_from(list(TAluOp)), st.integers(0, 7), st.integers(0, 7))
+def test_alu_round_trip(op, rd, rm):
+    back = round_trip(TAlu(op, rd, rm))
+    assert back.op is op
+
+
+@pytest.mark.parametrize("width,max_off", [(4, 124), (2, 62), (1, 31)])
+def test_loadstore_imm_extremes(width, max_off):
+    for load in (True, False):
+        for off in (0, max_off):
+            back = round_trip(TLoadStoreImm(load, 1, 2, off, width=width))
+            assert back.offset == off and back.width == width
+
+
+def test_loadstore_imm_alignment_checked():
+    with pytest.raises(ValueError):
+        TLoadStoreImm(True, 0, 0, 2, width=4)
+    with pytest.raises(ValueError):
+        TLoadStoreImm(True, 0, 0, 128, width=4)
+
+
+@given(st.booleans(), st.integers(0, 7), st.integers(0, 7), st.integers(0, 7),
+       st.sampled_from([(4, False), (2, False), (1, False), (2, True), (1, True)]))
+def test_loadstore_reg_round_trip(load, rd, rn, rm, ws):
+    width, signed = ws
+    if signed and not load:
+        load = True  # signed stores don't exist
+    back = round_trip(TLoadStoreReg(load, rd, rn, rm, width=width, signed=signed))
+    assert back.width == width and back.signed == signed
+
+
+@given(st.booleans(), st.integers(0, 7), st.integers(0, 255))
+def test_sp_relative_round_trip(load, rd, slot):
+    back = round_trip(TLoadStoreSpRel(load, rd, slot * 4))
+    assert back.offset == slot * 4
+
+
+@given(st.integers(-127, 127))
+def test_adjust_sp_round_trip(words):
+    back = round_trip(TAdjustSp(words * 4))
+    assert back.delta == words * 4
+
+
+@given(st.lists(st.integers(0, 7), max_size=8), st.booleans(), st.booleans())
+def test_pushpop_round_trip(regs, pop, extra):
+    back = round_trip(TPushPop(pop, regs, extra=extra))
+    assert back.reglist == sorted(set(regs)) and back.extra == extra
+
+
+@given(st.sampled_from(list(TCond)), st.integers(-128, 127))
+def test_cond_branch_round_trip(cond, off):
+    back = round_trip(TCondBranch(cond, off))
+    assert back.cond is cond and back.offset == off
+
+
+@given(st.integers(-1024, 1023))
+def test_branch_round_trip(off):
+    assert round_trip(TBranch(off)).offset == off
+
+
+@given(st.integers(-(1 << 21), (1 << 21) - 1))
+def test_bl_round_trip(off):
+    assert round_trip(TBranchLink(off)).offset == off
+
+
+def test_bl_needs_second_halfword():
+    hi, _lo = TBranchLink(100).encode()
+    with pytest.raises(ThumbDecodeError):
+        decode_thumb(hi, None)
+    with pytest.raises(ThumbDecodeError):
+        decode_thumb(hi, 0x0000)  # not a lo half
+
+
+def test_swi_round_trip():
+    assert round_trip(TSwi(0)).imm8 == 0
+    assert round_trip(TSwi(255)).imm8 == 255
+
+
+def test_branch_targets():
+    assert TBranch(0).target_index(10) == 12
+    assert TCondBranch(TCond.EQ, -2).target_index(10) == 10
+    assert TBranchLink(5).target_index(10) == 17
+
+
+def test_disassembler_smoke():
+    assert disassemble_thumb(TMovCmpAddSubImm("mov", 1, 42)) == "mov r1, #42"
+    assert disassemble_thumb(TPushPop(False, [4, 5], extra=True)) == "push {r4, r5, lr}"
+    assert disassemble_thumb(TAlu(TAluOp.MUL, 2, 3)) == "mul r2, r3"

@@ -1,0 +1,92 @@
+"""Workload validation: every kernel must produce its reference checksum
+both under the IR interpreter and on the compiled ARM image."""
+
+import pytest
+
+from repro.ir import IRInterpreter
+from repro.compiler import compile_arm
+from repro.sim.functional import ArmSimulator
+from repro.workloads import get_workload, workload_names
+
+IMPLEMENTED = workload_names()  # all 22 benchmarks
+
+
+@pytest.mark.parametrize("name", IMPLEMENTED)
+def test_ir_interpreter_matches_reference(name):
+    wl = get_workload(name)
+    module = wl.build_module("small")
+    got = IRInterpreter(module, max_steps=50_000_000).call("main")
+    assert got == wl.reference("small"), name
+
+
+@pytest.mark.parametrize("name", IMPLEMENTED)
+def test_arm_simulation_matches_reference(name):
+    wl = get_workload(name)
+    image = compile_arm(wl.build_module("small"))
+    result = ArmSimulator(image).run()
+    assert result.exit_code == wl.reference("small"), name
+
+
+@pytest.mark.parametrize("name", IMPLEMENTED)
+def test_trace_shape_is_consistent(name):
+    wl = get_workload(name)
+    image = compile_arm(wl.build_module("small"))
+    result = ArmSimulator(image).run()
+    assert result.num_runs > 0
+    assert (result.run_ends >= result.run_starts).all()
+    counts = result.exec_counts()
+    assert counts.sum() == result.dynamic_instructions
+    # _start executed exactly once
+    assert counts[0] == 1
+    # taken transfers can never exceed executions
+    assert (result.taken_counts() <= counts).all()
+
+
+@pytest.mark.parametrize("name", IMPLEMENTED)
+def test_build_is_deterministic(name):
+    """Two builds of the same workload produce identical binaries."""
+    wl = get_workload(name)
+    a = compile_arm(wl.build_module("small"))
+    b = compile_arm(wl.build_module("small"))
+    assert a.words == b.words
+    assert a.data_bytes == b.data_bytes
+
+
+@pytest.mark.parametrize("name", IMPLEMENTED)
+def test_full_scale_is_larger_than_small(name):
+    """The evaluation scale must do strictly more dynamic work."""
+    wl = get_workload(name)
+    small = compile_arm(wl.build_module("small"))
+    full = compile_arm(wl.build_module("full"))
+    # code stays the same order (a few workloads unroll per input unit)...
+    assert small.code_size * 0.8 <= full.code_size <= small.code_size * 4
+    # ...and the data inputs grow
+    assert len(full.data_bytes) >= len(small.data_bytes)
+
+
+def test_roster_matches_paper():
+    """22 benchmarks in the code-size study; 21 in the power study."""
+    from repro.workloads import POWER_STUDY_BENCHMARKS, CODE_SIZE_BENCHMARKS
+
+    assert len(CODE_SIZE_BENCHMARKS) == 22
+    assert len(POWER_STUDY_BENCHMARKS) == 21
+    assert "gsm" in POWER_STUDY_BENCHMARKS          # decode kept
+    assert "basicmath" not in CODE_SIZE_BENCHMARKS  # dropped, as in the paper
+    categories = {get_workload(n).category for n in CODE_SIZE_BENCHMARKS}
+    assert categories == {
+        "automotive", "consumer", "network", "office", "security", "telecomm",
+    }
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        get_workload("basicmath")
+
+
+def test_unknown_scale_rejected():
+    from repro.workloads import WorkloadError
+
+    with pytest.raises(WorkloadError):
+        get_workload("crc32").build_module("huge")
+    with pytest.raises(WorkloadError):
+        get_workload("crc32").reference("huge")
