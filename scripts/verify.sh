@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus an instrumentation smoke test.
+#
+# 1. Runs the full pytest suite (the repo's tier-1 gate).
+# 2. Runs one benchmark with observability enabled (REPRO_OBS=jsonl:...)
+#    into a throwaway cache, then greps the event stream and the cached
+#    run manifest for all five pipeline stage names, so a regression
+#    that silently drops a stage's spans fails fast.
+# 3. Renders the observability report CLI over the smoke cache.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 pytest =="
+python -m pytest -x -q
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== observability smoke run (crc32, small) =="
+REPRO_CACHE_DIR="$tmp/cache" REPRO_OBS="jsonl:$tmp/obs.jsonl" python - <<'EOF'
+from repro.harness.runner import collect
+collect(scale="small", names=["crc32"], verbose=True)
+EOF
+
+manifest="$tmp/cache/crc32-small.json"
+[ -f "$manifest" ] || { echo "FAIL: cached summary $manifest not written"; exit 1; }
+
+for stage in compile profile synthesize translate simulate; do
+    grep -q "stage.$stage" "$tmp/obs.jsonl" \
+        || { echo "FAIL: no stage.$stage spans in obs stream"; exit 1; }
+    grep -q "\"$stage\"" "$manifest" \
+        || { echo "FAIL: stage $stage missing from run manifest"; exit 1; }
+done
+echo "all five pipeline stages present in manifest and event stream"
+
+echo "== observability report =="
+python -m repro.obs.report --cache-dir "$tmp/cache"
+
+echo "verify OK"

@@ -20,6 +20,7 @@ Quick start::
 See ``examples/`` and ``benchmarks/`` for the full experiment flow.
 """
 
+from repro import obs
 from repro.compiler import compile_arm, compile_thumb, Image
 from repro.sim.functional import ArmSimulator
 from repro.sim.functional.thumb_sim import ThumbSimulator
@@ -34,6 +35,7 @@ from repro.workloads import get_workload, workload_names, all_workloads
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "compile_arm",
     "compile_thumb",
     "Image",

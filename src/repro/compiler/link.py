@@ -16,6 +16,7 @@ literal sequences an embedded linker would emit.
 """
 
 from repro.ir.verify import verify_module
+from repro.obs import core as obs
 from repro.isa.arm import (
     Branch,
     DataProc,
@@ -112,6 +113,11 @@ def link_arm(module, entry="main", callee_saved=None):
     ``callee_saved`` is forwarded to the per-function compiler (the
     FITS-aware register-budget mode).
     """
+    with obs.span("stage.compile", isa="arm", module=module.name):
+        return _link_arm(module, entry, callee_saved)
+
+
+def _link_arm(module, entry, callee_saved):
     verify_module(module, entry=entry)
     codes = [make_start_stub(entry)]
     names = ["_start"]
@@ -183,6 +189,10 @@ def link_arm(module, entry="main", callee_saved=None):
         func_of_index.extend([code.name] * len(code.instrs))
 
     words = [ins.encode() for ins in instrs]
+    if obs.enabled:
+        obs.counter("compile.arm.images")
+        obs.counter("compile.arm.instructions", len(instrs))
+        obs.counter("compile.arm.data_bytes", len(data))
     return Image(
         name=module.name,
         words=words,

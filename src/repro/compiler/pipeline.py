@@ -1,6 +1,7 @@
 """One-call compile entry points for the two baseline ISAs."""
 
 from repro.compiler.link import link_arm
+from repro.obs import core as obs
 
 
 #: Callee-saved pool of the FITS-aware compilation mode: r0-r6 plus the
@@ -19,11 +20,13 @@ def compile_arm(module, entry="main", fits_tuned=False):
     against spill frequency during synthesis).
     """
     callee = FITS_CALLEE_SAVED if fits_tuned else None
-    return link_arm(module, entry=entry, callee_saved=callee)
+    with obs.span("compile.arm", module=module.name, fits_tuned=fits_tuned):
+        return link_arm(module, entry=entry, callee_saved=callee)
 
 
 def compile_thumb(module, entry="main"):
     """Compile and link ``module`` to a Thumb image (16-bit baseline)."""
     from repro.compiler.thumb_backend import link_thumb
 
-    return link_thumb(module, entry=entry)
+    with obs.span("compile.thumb", module=module.name):
+        return link_thumb(module, entry=entry)

@@ -17,6 +17,7 @@ import bisect
 
 from repro.compiler.liveness import analyze
 from repro.ir.instructions import Bin, Mov, VReg
+from repro.obs import core as obs
 
 #: ARM register roles used by both back ends.
 CALLER_SAVED = (0, 1, 2, 3)
@@ -178,6 +179,7 @@ def build_intervals(func):
     return intervals, calls, hints, by_vid
 
 
+@obs.timed("regalloc.allocate")
 def allocate_registers(func, caller_saved=CALLER_SAVED, callee_saved=CALLEE_SAVED):
     """Run linear scan for ``func``; returns an :class:`Allocation`.
 
@@ -187,7 +189,8 @@ def allocate_registers(func, caller_saved=CALLER_SAVED, callee_saved=CALLEE_SAVE
     where Thumb's higher register pressure comes from.
     """
     CALLER_SAVED_, CALLEE_SAVED_ = tuple(caller_saved), tuple(callee_saved)
-    intervals, _calls, hints, by_vid = build_intervals(func)
+    with obs.span("regalloc.build_intervals", func=func.name):
+        intervals, _calls, hints, by_vid = build_intervals(func)
     active = []  # sorted by end
     free = {r: True for r in CALLER_SAVED_ + CALLEE_SAVED_}
     next_slot = [0]
@@ -249,4 +252,9 @@ def allocate_registers(func, caller_saved=CALLER_SAVED, callee_saved=CALLEE_SAVE
         else:
             iv.slot = spill_slot()
 
+    if obs.enabled:
+        obs.counter("regalloc.functions")
+        obs.counter("regalloc.intervals", len(intervals))
+        obs.counter("regalloc.spills", next_slot[0])
+        obs.observe("regalloc.spills_per_function", next_slot[0])
     return Allocation(func, intervals, next_slot[0])

@@ -28,6 +28,7 @@ from repro.ir.instructions import (
     Ret,
 )
 from repro.ir.verify import verify_module
+from repro.obs import core as obs
 from repro.isa.thumb import (
     TAdjustSp,
     TAlu,
@@ -605,6 +606,11 @@ class ThumbImage:
 
 def link_thumb(module, entry="main"):
     """Compile every function with the Thumb back end and link an image."""
+    with obs.span("stage.compile", isa="thumb", module=module.name):
+        return _link_thumb(module, entry)
+
+
+def _link_thumb(module, entry):
     verify_module(module, entry=entry)
     # _start stub: bl entry; swi 0
     start = ThumbFunctionCode("_start")
@@ -673,6 +679,9 @@ def link_thumb(module, entry="main"):
                 halfwords.append(item.encode())
                 instr_at.append(item)
 
+    if obs.enabled:
+        obs.counter("compile.thumb.images")
+        obs.counter("compile.thumb.halfwords", len(halfwords))
     return ThumbImage(
         name=module.name,
         halfwords=halfwords,

@@ -11,6 +11,7 @@ translates under each budget and keeps the cheapest total
 """
 
 from repro.compiler.link import link_arm
+from repro.obs import core as obs
 from repro.sim.functional import ArmSimulator
 from repro.sim.functional.fits_sim import FitsSimulator
 from repro.core.profiler import ArmProfile
@@ -75,12 +76,15 @@ def fits_flow(module, entry="main", budgets=DEFAULT_BUDGETS, config=None,
     """
     attempts = []
     for budget in budgets:
-        arm_image = link_arm(module, entry=entry, callee_saved=budget)
-        arm_result = ArmSimulator(arm_image, max_instructions=max_instructions).run()
-        profile = ArmProfile.from_execution(arm_image, arm_result)
-        synthesis = synthesize(profile, config)
-        cost = _fits_cost(synthesis, arm_result.exec_counts())
-        mapping = synthesis.image.dynamic_mapping_rate(arm_result.exec_counts())
+        with obs.span("flow.attempt", module=module.name,
+                      budget=list(budget) if budget else None):
+            arm_image = link_arm(module, entry=entry, callee_saved=budget)
+            arm_result = ArmSimulator(arm_image, max_instructions=max_instructions).run()
+            profile = ArmProfile.from_execution(arm_image, arm_result)
+            synthesis = synthesize(profile, config)
+            cost = _fits_cost(synthesis, arm_result.exec_counts())
+            mapping = synthesis.image.dynamic_mapping_rate(arm_result.exec_counts())
+        obs.counter("flow.attempts")
         attempts.append((cost, mapping, budget, arm_image, arm_result, profile, synthesis))
     # minimize fetched halfwords, but within a 10 % cost band prefer the
     # attempt with the best dynamic mapping (the paper's headline metric)
@@ -89,6 +93,10 @@ def fits_flow(module, entry="main", budgets=DEFAULT_BUDGETS, config=None,
     _cost, _mapping, budget, arm_image, arm_result, profile, synthesis = max(
         eligible, key=lambda a: a[1]
     )
+    if obs.enabled:
+        obs.counter("flow.runs")
+        obs.gauge("flow.selected_budget", list(budget) if budget else None)
+        obs.observe("flow.dynamic_mapping", _mapping)
     fits_result = FitsSimulator(synthesis.image, max_instructions=2 * max_instructions).run()
     if fits_result.exit_code != arm_result.exit_code:
         raise AssertionError(

@@ -9,6 +9,7 @@ synthesis.
 from collections import Counter, defaultdict
 
 from repro.core.signatures import classify
+from repro.obs import core as obs
 
 
 class ArmProfile:
@@ -53,20 +54,30 @@ class ArmProfile:
     @classmethod
     def from_execution(cls, image, result):
         """Profile an image using a completed functional simulation."""
-        uses = [
-            classify(instr, index=i, image=image)
-            for i, instr in enumerate(image.instrs)
-        ]
-        return cls(image, uses, result.exec_counts())
+        with obs.span("stage.profile", image=image.name, mode="dynamic"):
+            uses = [
+                classify(instr, index=i, image=image)
+                for i, instr in enumerate(image.instrs)
+            ]
+            profile = cls(image, uses, result.exec_counts())
+        if obs.enabled:
+            obs.counter("profile.runs")
+            obs.counter("profile.signatures", len(profile.sig_static))
+        return profile
 
     @classmethod
     def static_only(cls, image):
         """Profile with no dynamic weights (static synthesis fallback)."""
-        uses = [
-            classify(instr, index=i, image=image)
-            for i, instr in enumerate(image.instrs)
-        ]
-        return cls(image, uses, [0] * len(image.instrs))
+        with obs.span("stage.profile", image=image.name, mode="static"):
+            uses = [
+                classify(instr, index=i, image=image)
+                for i, instr in enumerate(image.instrs)
+            ]
+            profile = cls(image, uses, [0] * len(image.instrs))
+        if obs.enabled:
+            obs.counter("profile.runs")
+            obs.counter("profile.signatures", len(profile.sig_static))
+        return profile
 
     # ------------------------------------------------------------------
 

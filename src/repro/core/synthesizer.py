@@ -20,6 +20,7 @@ from collections import Counter
 
 from repro.isa.arm.model import Cond
 from repro.isa.fits.spec import FitsIsa, OperationSpec, OPRD_DICT, OPRD_RAW, OPRD_REG
+from repro.obs import core as obs
 from repro.core.immediates import build_dictionaries, raw_operate_ok, raw_mem_ok
 from repro.core.translator import translate, TranslationError
 
@@ -78,15 +79,22 @@ class _Geometry:
 
 def synthesize(profile, config=None):
     """Synthesize the best FITS ISA for a profiled application."""
+    with obs.span("stage.synthesize", image=profile.image.name):
+        return _synthesize(profile, config)
+
+
+def _synthesize(profile, config):
     config = config or SynthesisConfig()
     best = None
     candidates = []
     for k_op, k_reg in config.geometries:
         try:
-            isa = _synthesize_candidate(profile, k_op, k_reg, config)
-            image = translate(profile.image, isa, uses=profile.uses)
+            with obs.span("synthesize.candidate", k_op=k_op, k_reg=k_reg):
+                isa = _synthesize_candidate(profile, k_op, k_reg, config)
+                image = translate(profile.image, isa, uses=profile.uses)
         except (_Infeasible, TranslationError):
             candidates.append((k_op, k_reg, None))
+            obs.counter("synthesize.candidates_infeasible")
             continue
         score = _score(profile, image, config)
         candidates.append((k_op, k_reg, score))
@@ -95,6 +103,11 @@ def synthesize(profile, config=None):
     if best is None:
         raise TranslationError("no feasible FITS geometry for %s" % profile.image.name)
     score, isa, image = best
+    if obs.enabled:
+        obs.counter("synthesize.runs")
+        obs.counter("synthesize.candidates", len(candidates))
+        obs.gauge("synthesize.selected_geometry", [isa.k_op, isa.k_reg])
+        obs.observe("synthesize.score", score)
     return SynthesisResult(isa, image, score, candidates)
 
 

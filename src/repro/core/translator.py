@@ -25,6 +25,7 @@ from repro.isa.fits.spec import (
 )
 from repro.isa.fits.codec import encode_fits
 from repro.core.signatures import classify, Use, SP, LR
+from repro.obs import core as obs
 
 
 class TranslationError(Exception):
@@ -631,6 +632,12 @@ class FitsImage:
 
 def translate(arm_image, isa, uses=None):
     """Translate an ARM image through a synthesized FITS ISA."""
+    with obs.span("stage.translate", image=arm_image.name,
+                  k_op=isa.k_op, k_reg=isa.k_reg):
+        return _translate(arm_image, isa, uses)
+
+
+def _translate(arm_image, isa, uses=None):
     if uses is None:
         uses = [classify(ins, index=i, image=arm_image) for i, ins in enumerate(arm_image.instrs)]
     planner = _Planner(isa)
@@ -684,4 +691,12 @@ def translate(arm_image, isa, uses=None):
     for plan in plans:
         records.extend(plan)
     halfwords = [encode_fits(isa, rec) for rec in records]
+    if obs.enabled:
+        ones = sum(1 for n in sizes if n == 1)
+        obs.counter("translate.runs")
+        obs.counter("translate.arm_instructions", len(sizes))
+        obs.counter("translate.one_to_one", ones)
+        obs.counter("translate.one_to_n", len(sizes) - ones)
+        obs.counter("translate.halfwords", len(halfwords))
+        obs.observe("translate.max_expansion", max(sizes) if sizes else 0)
     return FitsImage(arm_image, isa, halfwords, records, starts, sizes)

@@ -6,16 +6,25 @@ figures consume:
 * ARM / Thumb / FITS code sizes and ARM→FITS mapping rates,
 * timing and cache-power results for the four simulated configurations
   — ARM16, ARM8, FITS16, FITS8 (ISA × I-cache size, Section 5),
-* chip-level power per configuration (calibrated to the ARM16 baseline).
+* chip-level power per configuration (calibrated to the ARM16 baseline),
+* a **run manifest**: schema/cache versions, per-stage wall-clock spans
+  (compile / profile / synthesize / translate / simulate) and every
+  observability counter the run produced, cross-checked for consistency
+  between the cache model and the power model's inputs.
 
 Summaries are plain dicts cached as JSON under ``.bench_cache/`` so the
 figure scripts and pytest benchmarks never recompute a benchmark that
-has already been simulated at the same scale.
+has already been simulated at the same scale.  Cached blobs embed their
+``cache_version`` and manifest schema; stale blobs are skipped with a
+warning and recomputed — no manual filename bookkeeping required.
 """
 
 import json
 import os
+import sys
+import time
 
+from repro import obs
 from repro.compiler import compile_arm, compile_thumb
 from repro.sim.functional import ArmSimulator
 from repro.sim.functional.thumb_sim import ThumbSimulator
@@ -33,15 +42,72 @@ CONFIGS = [
     ("FITS8", "fits", 8 * 1024),
 ]
 
-CACHE_VERSION = 7  # bump to invalidate cached summaries
+#: Bump when the summary layout changes.  The version is stored *inside*
+#: each cached blob (alongside the obs schema version) and checked on
+#: load, so stale caches invalidate themselves instead of relying on a
+#: version-suffixed filename.
+CACHE_VERSION = 8
+
+
+def _repo_root():
+    """Repository (or package-install) root, independent of the CWD."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    probe = here
+    for _ in range(8):
+        if any(
+            os.path.exists(os.path.join(probe, marker))
+            for marker in ("pyproject.toml", "setup.py", ".git")
+        ):
+            return probe
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    # src/repro/harness/runner.py → the directory containing src/
+    return os.path.dirname(os.path.dirname(os.path.dirname(here)))
 
 
 def _cache_dir():
+    """Resolve the summary cache directory.
+
+    ``REPRO_CACHE_DIR`` (with ``~`` expanded) wins; otherwise the cache
+    lives under the repository root — never the caller's CWD, so cache
+    hits don't depend on where pytest was launched.
+    """
     root = os.environ.get("REPRO_CACHE_DIR")
-    if root is None:
-        root = os.path.join(os.getcwd(), ".bench_cache")
+    if root:
+        root = os.path.expanduser(root)
+    else:
+        root = os.path.join(_repo_root(), ".bench_cache")
     os.makedirs(root, exist_ok=True)
     return root
+
+
+def _cache_path(name, scale):
+    return os.path.join(_cache_dir(), "%s-%s.json" % (name, scale))
+
+
+def _load_cached(path):
+    """Load one cached summary; None (with a warning) when stale/corrupt."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    manifest = data.get("manifest") or {}
+    cache_version = manifest.get("cache_version")
+    schema = manifest.get("schema")
+    if cache_version != CACHE_VERSION or schema != obs.SCHEMA_VERSION:
+        print(
+            "warning: stale benchmark cache %s (cache v%s schema v%s, "
+            "want v%d/v%d) — recomputing" % (
+                os.path.basename(path), cache_version, schema,
+                CACHE_VERSION, obs.SCHEMA_VERSION,
+            ),
+            file=sys.stderr,
+        )
+        return None
+    return data
 
 
 class BenchmarkSummary:
@@ -57,6 +123,11 @@ class BenchmarkSummary:
     def name(self):
         return self.data["name"]
 
+    @property
+    def manifest(self):
+        """The run manifest (versions, per-stage timings, counters)."""
+        return self.data.get("manifest", {})
+
     def config(self, label):
         return self.data["configs"][label]
 
@@ -70,7 +141,71 @@ class BenchmarkSummary:
 
 
 def run_benchmark(name, scale="full", verbose=False):
-    """Run the full study for one benchmark; returns a summary dict."""
+    """Run the full study for one benchmark; returns a summary dict.
+
+    The summary always carries a run manifest: when observability is not
+    globally enabled, an aggregate-only window (no event sink, so no I/O
+    and no per-opcode sampling) is opened just for the duration of this
+    run — the instrumentation it activates is stage/function-granular
+    and costs well under a percent of a run.
+    """
+    was_enabled = obs.core.enabled
+    if not was_enabled:
+        obs.enable(sink=None)
+    marker = obs.mark()
+    t0 = time.perf_counter()
+    try:
+        summary = _run_benchmark(name, scale, verbose)
+        window = obs.since(marker)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    wall = time.perf_counter() - t0
+
+    counters = window["counters"]
+    _check_cache_power_consistency(name, counters)
+    manifest = {
+        "schema": obs.SCHEMA_VERSION,
+        "cache_version": CACHE_VERSION,
+        "benchmark": name,
+        "scale": scale,
+        "wall_seconds": wall,
+        "stages": obs.stage_timings(window["spans"]),
+        "spans": window["spans"],
+        "counters": counters,
+        "gauges": window["gauges"],
+        "distributions": window["distributions"],
+    }
+    summary["manifest"] = manifest
+    obs.emit({"kind": "manifest", "benchmark": name, "manifest": manifest})
+    return summary
+
+
+def _check_cache_power_consistency(name, counters):
+    """The power model must consume exactly the cache model's numbers.
+
+    Over one ``run_benchmark`` window every timing report is evaluated by
+    the power model exactly once, so the I-cache event totals published
+    by :class:`~repro.sim.cache.model.SetAssociativeCache` and the input
+    totals published by the power model must agree.
+    """
+    pairs = [
+        ("cache.icache.misses", "power.icache.misses"),
+        ("cache.icache.accesses", "power.icache.line_accesses"),
+    ]
+    for cache_key, power_key in pairs:
+        if counters.get(cache_key, 0) != counters.get(power_key, 0):
+            raise AssertionError(
+                "%s: observability mismatch %s=%s vs %s=%s — the power "
+                "model consumed different cache statistics than the cache "
+                "model produced" % (
+                    name, cache_key, counters.get(cache_key, 0),
+                    power_key, counters.get(power_key, 0),
+                )
+            )
+
+
+def _run_benchmark(name, scale, verbose):
     wl = get_workload(name)
     arm_image = compile_arm(wl.build_module(scale))
     arm_result = ArmSimulator(arm_image).run()
@@ -106,6 +241,7 @@ def run_benchmark(name, scale="full", verbose=False):
             "ipc": timing.ipc,
             "seconds": timing.seconds,
             "icache_requests": timing.icache_requests,
+            "icache_line_accesses": timing.icache_line_accesses,
             "icache_misses": timing.icache_misses,
             "mpm": timing.icache_misses_per_million,
             "dcache_accesses": timing.dcache_accesses,
@@ -154,15 +290,53 @@ def collect(scale="full", names=None, verbose=False, use_cache=True):
         names = CODE_SIZE_BENCHMARKS
     out = {}
     for name in names:
-        path = os.path.join(_cache_dir(), "%s-%s-v%d.json" % (name, scale, CACHE_VERSION))
+        path = _cache_path(name, scale)
         data = None
         if use_cache and os.path.exists(path):
-            with open(path) as fh:
-                data = json.load(fh)
+            data = _load_cached(path)
+            if data is not None:
+                obs.counter("harness.cache_hits")
         if data is None:
+            obs.counter("harness.cache_misses")
             data = run_benchmark(name, scale, verbose=verbose)
             if use_cache:
                 with open(path, "w") as fh:
                     json.dump(data, fh)
         out[name] = BenchmarkSummary(data)
     return out
+
+
+def aggregate_manifests(summaries):
+    """Fold many run manifests into one per-stage/counter aggregate.
+
+    ``summaries`` is an iterable of :class:`BenchmarkSummary` (or raw
+    summary dicts).  Returns per-stage totals (count, seconds), summed
+    counters, total wall-clock, and the per-benchmark stage rows —
+    everything ``python -m repro.obs.report`` prints.
+    """
+    stages = {}
+    counters = {}
+    per_benchmark = {}
+    wall = 0.0
+    for summary in summaries:
+        data = summary.data if hasattr(summary, "data") else summary
+        manifest = data.get("manifest") or {}
+        name = manifest.get("benchmark", data.get("name", "?"))
+        per_benchmark[name] = {
+            "scale": manifest.get("scale"),
+            "wall_seconds": manifest.get("wall_seconds", 0.0),
+            "stages": manifest.get("stages", {}),
+        }
+        wall += manifest.get("wall_seconds", 0.0)
+        for stage, row in (manifest.get("stages") or {}).items():
+            agg = stages.setdefault(stage, {"count": 0, "seconds": 0.0})
+            agg["count"] += row.get("count", 0)
+            agg["seconds"] += row.get("seconds", 0.0)
+        for key, value in (manifest.get("counters") or {}).items():
+            counters[key] = counters.get(key, 0) + value
+    return {
+        "benchmarks": per_benchmark,
+        "stages": stages,
+        "counters": counters,
+        "wall_seconds": wall,
+    }

@@ -1,0 +1,76 @@
+"""Lightweight, dependency-free observability for the PowerFITS pipeline.
+
+Three primitives — spans (nested wall-clock timing), counters/gauges/
+distributions, and pluggable sinks — instrument every layer of the
+compile → profile → synthesize → translate → simulate/power flow.  See
+:mod:`repro.obs.core` for the API and the ``REPRO_OBS`` environment
+switch, and run ``python -m repro.obs.report`` for per-benchmark and
+per-stage timing/counter tables over cached run manifests.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable(obs.MemorySink())
+    with obs.span("stage.compile"):
+        ...
+    obs.counter("regalloc.spills", 3)
+    print(obs.snapshot()["spans"])
+"""
+
+from repro.obs.core import (
+    SCHEMA_VERSION,
+    STAGES,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    configure_from_env,
+    counter,
+    disable,
+    emit,
+    enable,
+    gauge,
+    mark,
+    observe,
+    opcode_sampling,
+    reset,
+    since,
+    snapshot,
+    span,
+    stage_timings,
+    timed,
+)
+from repro.obs import core
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STAGES",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "configure_from_env",
+    "core",
+    "counter",
+    "disable",
+    "emit",
+    "enable",
+    "enabled",
+    "gauge",
+    "mark",
+    "observe",
+    "opcode_sampling",
+    "reset",
+    "since",
+    "snapshot",
+    "span",
+    "stage_timings",
+    "timed",
+]
+
+
+def __getattr__(name):
+    # ``obs.enabled`` must always reflect the live flag in core, not a
+    # stale import-time copy.
+    if name == "enabled":
+        return core.enabled
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -1,0 +1,339 @@
+"""Observability primitives: spans, counters/gauges/distributions, sinks.
+
+The whole pipeline (compile → profile → synthesize → translate →
+simulate/power) is instrumented with these three primitives:
+
+* :func:`span` — nested wall-clock timing, usable as a context manager
+  or (via :func:`timed`) a decorator.  Spans aggregate by name (count,
+  total seconds, max seconds) and optionally stream one event per exit
+  to the configured sink.
+* :func:`counter` / :func:`gauge` / :func:`observe` — monotonic counts,
+  last-value gauges, and min/max/total distributions.
+* sinks — :class:`MemorySink` for tests, :class:`JsonlSink` for runs,
+  or ``None`` for aggregate-only collection (the runner's manifests).
+
+Everything is gated on the module-level :data:`enabled` flag so the hot
+simulator loops pay a single attribute load + branch when observability
+is off; instrumentation sits at stage/function/run granularity, never
+per-instruction.
+
+Configuration comes from the environment at import time:
+
+* ``REPRO_OBS=jsonl:<path>`` — enable, stream events to a JSONL file;
+* ``REPRO_OBS=memory`` (or ``1``/``on``) — enable, keep events in memory;
+* ``REPRO_OBS_OPCODES=1`` — additionally collect per-opcode dynamic
+  histograms from the functional simulators (the sampling knob; this is
+  the one collection whose cost scales with static code size).
+"""
+
+import functools
+import json
+import os
+import time
+
+#: Version of the snapshot/manifest layout.  Bump when the shape of
+#: ``snapshot()``/``since()`` output changes; cached run manifests carry
+#: it and are invalidated on mismatch.
+SCHEMA_VERSION = 1
+
+#: The canonical five pipeline stages, in flow order.  Span names
+#: ``stage.<name>`` aggregate everything attributed to each stage.
+STAGES = ("compile", "profile", "synthesize", "translate", "simulate")
+
+#: Fast global gate.  Read directly (``if core.enabled:``) from hot-ish
+#: call sites; mutate only through :func:`enable` / :func:`disable`.
+enabled = False
+
+_sink = None
+_opcode_sampling = False
+_depth = 0
+_counters = {}
+_gauges = {}
+_dists = {}     # name -> [count, total, min, max]
+_span_agg = {}  # name -> [count, total_seconds, max_seconds]
+
+
+class NullSink:
+    """Swallows every event (useful to exercise the streaming path)."""
+
+    def emit(self, event):
+        pass
+
+    def close(self):
+        pass
+
+
+class MemorySink:
+    """Keeps emitted events in a list — the test sink."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def close(self):
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON object per event to a file."""
+
+    def __init__(self, path):
+        self.path = os.path.expanduser(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(self.path, "a")
+
+    def emit(self, event):
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self):
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def enable(sink=None, opcode_sampling=False):
+    """Turn collection on.  ``sink=None`` means aggregate-only."""
+    global enabled, _sink, _opcode_sampling
+    _sink = sink
+    _opcode_sampling = opcode_sampling
+    enabled = True
+
+
+def disable():
+    """Turn collection off and close the sink (aggregates are kept)."""
+    global enabled, _sink, _opcode_sampling
+    if _sink is not None:
+        _sink.close()
+    _sink = None
+    _opcode_sampling = False
+    enabled = False
+
+
+def reset():
+    """Clear every aggregate (counters, gauges, distributions, spans)."""
+    _counters.clear()
+    _gauges.clear()
+    _dists.clear()
+    _span_agg.clear()
+
+
+def sink():
+    return _sink
+
+
+def opcode_sampling():
+    """True when per-opcode histograms should be collected."""
+    return enabled and _opcode_sampling
+
+
+def configure_from_env(env=None):
+    """Apply ``REPRO_OBS`` / ``REPRO_OBS_OPCODES``; returns True if enabled."""
+    env = os.environ if env is None else env
+    spec = env.get("REPRO_OBS", "").strip()
+    if not spec or spec == "0" or spec.lower() == "off":
+        return False
+    sampling = env.get("REPRO_OBS_OPCODES", "").strip() not in ("", "0")
+    if spec.startswith("jsonl:"):
+        enable(JsonlSink(spec[len("jsonl:"):]), opcode_sampling=sampling)
+    elif spec.lower() in ("1", "on", "memory", "mem"):
+        enable(MemorySink(), opcode_sampling=sampling)
+    else:
+        raise ValueError(
+            "unrecognized REPRO_OBS=%r (expected jsonl:<path>, memory, or 0)" % spec
+        )
+    return True
+
+
+# ----------------------------------------------------------------------
+# spans
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "_t0")
+
+    def __init__(self, name, attrs):
+        self.name = name
+        self.attrs = attrs
+        self._t0 = None
+
+    def __enter__(self):
+        global _depth
+        _depth += 1
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _depth
+        seconds = time.perf_counter() - self._t0
+        _depth -= 1
+        agg = _span_agg.get(self.name)
+        if agg is None:
+            _span_agg[self.name] = [1, seconds, seconds]
+        else:
+            agg[0] += 1
+            agg[1] += seconds
+            if seconds > agg[2]:
+                agg[2] = seconds
+        if _sink is not None:
+            event = {"kind": "span", "name": self.name,
+                     "seconds": seconds, "depth": _depth}
+            if exc_type is not None:
+                event["error"] = exc_type.__name__
+            if self.attrs:
+                event["attrs"] = self.attrs
+            _sink.emit(event)
+        return False
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def span(name, **attrs):
+    """Context manager timing one region; no-op singleton when disabled."""
+    if not enabled:
+        return _NOOP_SPAN
+    return _Span(name, attrs or None)
+
+
+def timed(name):
+    """Decorator form of :func:`span`."""
+    def wrap(fn):
+        @functools.wraps(fn)
+        def inner(*args, **kwargs):
+            if not enabled:
+                return fn(*args, **kwargs)
+            with _Span(name, None):
+                return fn(*args, **kwargs)
+        return inner
+    return wrap
+
+
+# ----------------------------------------------------------------------
+# counters / gauges / distributions
+
+
+def counter(name, value=1):
+    """Add ``value`` to the monotonic counter ``name``."""
+    if not enabled:
+        return
+    _counters[name] = _counters.get(name, 0) + value
+
+
+def gauge(name, value):
+    """Record the latest value of ``name``."""
+    if not enabled:
+        return
+    _gauges[name] = value
+
+
+def observe(name, value):
+    """Fold ``value`` into the distribution ``name`` (count/total/min/max)."""
+    if not enabled:
+        return
+    d = _dists.get(name)
+    if d is None:
+        _dists[name] = [1, value, value, value]
+    else:
+        d[0] += 1
+        d[1] += value
+        if value < d[2]:
+            d[2] = value
+        if value > d[3]:
+            d[3] = value
+
+
+def emit(event):
+    """Send one raw event dict to the sink (no-op without a sink)."""
+    if _sink is not None:
+        _sink.emit(event)
+
+
+# ----------------------------------------------------------------------
+# snapshots and windows
+
+
+def _span_dict(agg):
+    return {"count": agg[0], "seconds": agg[1], "max_seconds": agg[2]}
+
+
+def _dist_dict(d):
+    return {"count": d[0], "total": d[1], "min": d[2], "max": d[3]}
+
+
+def snapshot():
+    """Cumulative aggregates as plain JSON-serializable dicts."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "counters": dict(_counters),
+        "gauges": dict(_gauges),
+        "distributions": {k: _dist_dict(v) for k, v in _dists.items()},
+        "spans": {k: _span_dict(v) for k, v in _span_agg.items()},
+    }
+
+
+def mark():
+    """Opaque marker of the current totals, for :func:`since`."""
+    return (
+        dict(_counters),
+        {k: list(v) for k, v in _span_agg.items()},
+        {k: list(v) for k, v in _dists.items()},
+    )
+
+
+def since(marker):
+    """Delta snapshot (counters, spans, distributions) since ``marker``."""
+    counters0, spans0, dists0 = marker
+    counters = {}
+    for name, value in _counters.items():
+        d = value - counters0.get(name, 0)
+        if d:
+            counters[name] = d
+    spans = {}
+    for name, agg in _span_agg.items():
+        prev = spans0.get(name, (0, 0.0, 0.0))
+        if agg[0] != prev[0]:
+            spans[name] = {"count": agg[0] - prev[0],
+                           "seconds": agg[1] - prev[1]}
+    dists = {}
+    for name, d in _dists.items():
+        prev = dists0.get(name)
+        if prev is None:
+            dists[name] = _dist_dict(d)
+        elif d[0] != prev[0]:
+            dists[name] = {"count": d[0] - prev[0], "total": d[1] - prev[1],
+                           "min": d[2], "max": d[3]}
+    return {
+        "schema": SCHEMA_VERSION,
+        "counters": counters,
+        "gauges": dict(_gauges),
+        "distributions": dists,
+        "spans": spans,
+    }
+
+
+def stage_timings(spans):
+    """Extract ``{stage: {count, seconds}}`` rows from a span-delta dict."""
+    out = {}
+    for stage in STAGES:
+        row = spans.get("stage." + stage)
+        if row is not None:
+            out[stage] = {"count": row["count"],
+                          "seconds": row["seconds"]}
+    return out
+
+
+configure_from_env()

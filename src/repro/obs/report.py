@@ -1,0 +1,186 @@
+"""Observability report CLI over cached run manifests.
+
+Run::
+
+    python -m repro.obs.report [--scale SCALE] [--cache-dir DIR]
+                               [--counters N] [benchmark ...]
+
+Reads the run manifests embedded in ``.bench_cache/*.json`` summaries
+(written by :mod:`repro.harness.runner`) and prints, without
+recomputing anything:
+
+* per-benchmark wall-clock and per-stage timing rows for the five
+  pipeline stages (compile / profile / synthesize / translate /
+  simulate),
+* an aggregate per-stage table with a slowest-stage ranking,
+* the top counters (instructions simulated, cache hits/misses/fills,
+  translation 1-to-1 vs 1-to-n, register spills, ...).
+
+With ``--jsonl PATH`` it instead summarizes a span/event stream written
+via ``REPRO_OBS=jsonl:<path>``.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+from repro.obs.core import SCHEMA_VERSION, STAGES
+
+
+def _fmt_seconds(seconds):
+    if seconds >= 1.0:
+        return "%8.2f s " % seconds
+    return "%8.2f ms" % (seconds * 1e3)
+
+
+def _load_manifests(cache_dir, scale, names):
+    """(name → manifest) for every cached summary matching the filters."""
+    manifests = {}
+    for path in sorted(glob.glob(os.path.join(cache_dir, "*.json"))):
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        manifest = data.get("manifest")
+        if not manifest:
+            continue
+        name = manifest.get("benchmark", data.get("name"))
+        if scale and manifest.get("scale") != scale:
+            continue
+        if names and name not in names:
+            continue
+        manifests[name] = manifest
+    return manifests
+
+
+def render_manifests(manifests, top_counters=24):
+    """Render the per-benchmark / per-stage / counter tables as text."""
+    lines = []
+    header = "%-14s %6s %11s " % ("benchmark", "scale", "wall")
+    header += " ".join("%11s" % s for s in STAGES)
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    stage_totals = {s: [0, 0.0] for s in STAGES}
+    counters = {}
+    for name in sorted(manifests):
+        m = manifests[name]
+        stages = m.get("stages", {})
+        row = "%-14s %6s %11s " % (
+            name, m.get("scale", "?"), _fmt_seconds(m.get("wall_seconds", 0.0)))
+        cells = []
+        for stage in STAGES:
+            entry = stages.get(stage)
+            if entry is None:
+                cells.append("%11s" % "-")
+            else:
+                cells.append("%11s" % _fmt_seconds(entry["seconds"]).strip())
+                stage_totals[stage][0] += entry.get("count", 0)
+                stage_totals[stage][1] += entry["seconds"]
+        lines.append(row + " ".join(cells))
+        for key, value in (m.get("counters") or {}).items():
+            counters[key] = counters.get(key, 0) + value
+
+    lines.append("")
+    lines.append("per-stage totals (slowest first):")
+    ranked = sorted(stage_totals.items(), key=lambda kv: kv[1][1], reverse=True)
+    total_s = sum(v[1] for _s, v in ranked) or 1.0
+    for stage, (count, seconds) in ranked:
+        lines.append(
+            "  %-11s %12s  %5.1f %%  (%d spans)"
+            % (stage, _fmt_seconds(seconds).strip(), 100.0 * seconds / total_s, count)
+        )
+
+    if counters:
+        lines.append("")
+        lines.append("top counters:")
+        ranked_counters = sorted(
+            counters.items(), key=lambda kv: kv[1], reverse=True)[:top_counters]
+        for key, value in ranked_counters:
+            lines.append("  %-36s %16s" % (key, "{:,}".format(value)))
+    return "\n".join(lines)
+
+
+def render_jsonl(path, top_counters=24):
+    """Summarize a JSONL event stream (spans aggregated by name)."""
+    spans = {}
+    manifests = {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            kind = event.get("kind")
+            if kind == "span":
+                agg = spans.setdefault(event["name"], [0, 0.0, 0.0])
+                agg[0] += 1
+                agg[1] += event.get("seconds", 0.0)
+                if event.get("seconds", 0.0) > agg[2]:
+                    agg[2] = event["seconds"]
+            elif kind == "manifest":
+                manifests[event.get("benchmark", "?")] = event.get("manifest", {})
+    lines = ["spans in %s (by total time):" % path]
+    for name, (count, seconds, max_s) in sorted(
+        spans.items(), key=lambda kv: kv[1][1], reverse=True
+    ):
+        lines.append(
+            "  %-28s %12s  n=%-7d max %s"
+            % (name, _fmt_seconds(seconds).strip(), count, _fmt_seconds(max_s).strip())
+        )
+    if manifests:
+        lines.append("")
+        lines.append(render_manifests(manifests, top_counters=top_counters))
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Per-benchmark and per-stage observability report "
+        "(schema v%d) over cached run manifests." % SCHEMA_VERSION,
+    )
+    parser.add_argument("names", nargs="*", help="benchmark names to include")
+    parser.add_argument("--scale", default=None, help="only this scale")
+    parser.add_argument("--cache-dir", default=None,
+                        help="summary cache dir (default: REPRO_CACHE_DIR "
+                        "or <repo>/.bench_cache)")
+    parser.add_argument("--jsonl", default=None,
+                        help="summarize a REPRO_OBS=jsonl:<path> event "
+                        "stream instead of cached manifests")
+    parser.add_argument("--counters", type=int, default=24,
+                        help="how many counters to print (default 24)")
+    args = parser.parse_args(argv)
+
+    if args.jsonl:
+        print(render_jsonl(args.jsonl, top_counters=args.counters))
+        return 0
+
+    if args.cache_dir:
+        cache_dir = os.path.expanduser(args.cache_dir)
+    else:
+        from repro.harness.runner import _cache_dir
+
+        cache_dir = _cache_dir()
+    manifests = _load_manifests(cache_dir, args.scale, set(args.names))
+    if not manifests:
+        print("no cached run manifests under %s (run a benchmark first, "
+              "e.g. python -m repro.harness.report small)" % cache_dir)
+        return 1
+    print(render_manifests(manifests, top_counters=args.counters))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; silence the shutdown flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

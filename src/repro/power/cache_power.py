@@ -8,6 +8,7 @@ decomposition.
 
 import math
 
+from repro.obs import core as obs
 from repro.power.technology import TechnologyParams
 
 
@@ -129,6 +130,19 @@ class CachePowerModel:
             self.fill_energy / fill_cycles + self.read_energy,
         )
         peak_w = leakage_w + (self.cycle_energy + words_per_cycle * worst_access) * t.frequency_hz
+
+        if obs.enabled:
+            # Publish the exact event counts this evaluation consumed.
+            # They must agree with the cache model's own counters
+            # (``cache.icache.*``) over any window in which every timing
+            # report is evaluated exactly once — the harness manifest
+            # cross-checks the two.
+            obs.counter("power.evaluations")
+            obs.counter("power.icache.requests", timing.icache_requests)
+            obs.counter("power.icache.line_accesses",
+                        getattr(timing, "icache_line_accesses", 0))
+            obs.counter("power.icache.misses", timing.icache_misses)
+            obs.counter("power.icache.fill_cycles", timing.icache_misses * fill_cycles)
 
         detail = {
             "read_energy": self.read_energy,

@@ -4,7 +4,16 @@ Used line-granular: the timing model deduplicates sequential requests to
 the same line, so :meth:`SetAssociativeCache.access_line` is called once
 per distinct line touched, which both matches how a line buffer behaves
 and keeps the pure-Python simulation fast.
+
+Event counts (accesses, misses/fills, compulsory misses, evictions) are
+first-class outputs: :meth:`SetAssociativeCache.stats` returns them as a
+dict and :meth:`SetAssociativeCache.publish` feeds them to
+:mod:`repro.obs` — the same numbers the timing report carries into the
+power model, so observability counters, timing reports and power inputs
+can be cross-checked.
 """
+
+from repro.obs import core as obs
 
 
 class CacheGeometry:
@@ -100,6 +109,26 @@ class SetAssociativeCache:
         """
         denom = accesses if accesses is not None else self.accesses
         return 1e6 * self.misses / denom if denom else 0.0
+
+    def stats(self):
+        """Event counts as a plain dict (fills == misses: every miss
+        allocates its line in this write-allocate model)."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.accesses - self.misses,
+            "misses": self.misses,
+            "fills": self.misses,
+            "compulsory_misses": self.compulsory_misses,
+            "evictions": self.evictions,
+        }
+
+    def publish(self, prefix):
+        """Add this cache's event counts to the obs counters under
+        ``<prefix>.<event>`` (e.g. ``cache.icache.misses``)."""
+        if not obs.enabled:
+            return
+        for key, value in self.stats().items():
+            obs.counter("%s.%s" % (prefix, key), value)
 
     def __repr__(self):
         return "<Cache %r acc=%d miss=%d>" % (self.geometry, self.accesses, self.misses)

@@ -26,7 +26,8 @@ from repro.isa.arm.model import (
     Swi,
     COMPARE_OPS,
 )
-from repro.sim.functional.trace import ExecutionResult, TraceBuilder
+from repro.obs import core as obs
+from repro.sim.functional.trace import ExecutionResult, TraceBuilder, publish_result
 
 M32 = 0xFFFFFFFF
 
@@ -55,6 +56,14 @@ class ArmSimulator:
     def run(self):
         """Simulate from ``_start`` until the exit SWI; returns
         :class:`~repro.sim.functional.trace.ExecutionResult`."""
+        if not obs.enabled:
+            return self._run()
+        with obs.span("stage.simulate", isa="arm", image=self.image.name):
+            result = self._run()
+        publish_result("sim.arm", result)
+        return result
+
+    def _run(self):
         image = self.image
         regs = [0] * 16
         regs[13] = image.stack_top

@@ -17,7 +17,8 @@ import struct
 from repro.isa.arm.model import Cond, DPOp, ShiftType
 from repro.isa.fits.spec import OPRD_DICT, OPRD_RAW, OPRD_REG
 from repro.isa.fits.codec import decode_fits
-from repro.sim.functional.trace import ExecutionResult, TraceBuilder
+from repro.obs import core as obs
+from repro.sim.functional.trace import ExecutionResult, TraceBuilder, publish_result
 from repro.sim.functional.arm_sim import SimulationError, _cond_checker
 
 M32 = 0xFFFFFFFF
@@ -32,6 +33,14 @@ class FitsSimulator:
         self.verify_decode = verify_decode
 
     def run(self):
+        if not obs.enabled:
+            return self._run()
+        with obs.span("stage.simulate", isa="fits", image=self.image.name):
+            result = self._run()
+        publish_result("sim.fits", result)
+        return result
+
+    def _run(self):
         image = self.image
         regs = [0] * 16
         regs[13] = image.stack_top

@@ -26,7 +26,8 @@ from repro.isa.thumb.model import (
     TShiftImm,
     TSwi,
 )
-from repro.sim.functional.trace import ExecutionResult, TraceBuilder
+from repro.obs import core as obs
+from repro.sim.functional.trace import ExecutionResult, TraceBuilder, publish_result
 from repro.sim.functional.arm_sim import SimulationError
 
 M32 = 0xFFFFFFFF
@@ -40,6 +41,14 @@ class ThumbSimulator:
         self.max_instructions = max_instructions
 
     def run(self):
+        if not obs.enabled:
+            return self._run()
+        with obs.span("stage.simulate", isa="thumb", image=self.image.name):
+            result = self._run()
+        publish_result("sim.thumb", result)
+        return result
+
+    def _run(self):
         image = self.image
         regs = [0] * 16
         regs[13] = image.stack_top

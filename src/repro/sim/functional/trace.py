@@ -12,6 +12,8 @@ from array import array
 
 import numpy as np
 
+from repro.obs import core as obs
+
 
 class ExecutionResult:
     """Everything a completed functional simulation produced.
@@ -94,3 +96,48 @@ class TraceBuilder:
         self.mem_addrs = array("L")
         self.mem_is_store = array("b")
         self.console = bytearray()
+
+
+def _instr_kind(ins):
+    """Histogram label for one static instruction (opcode over class)."""
+    if ins is None:
+        return "cont"  # continuation halfword (Thumb BL low half)
+    op = getattr(ins, "op", None)
+    name = getattr(op, "name", None)
+    if name:
+        return name
+    return type(ins).__name__
+
+
+def publish_result(prefix, result):
+    """Feed one completed simulation into the observability layer.
+
+    Called by every functional simulator after a run: records trace-level
+    counters and — behind the ``REPRO_OBS_OPCODES`` sampling knob, since
+    this walk is O(static instructions) — a per-opcode histogram of
+    dynamic execution counts.
+    """
+    if not obs.enabled:
+        return
+    obs.counter(prefix + ".executions")
+    obs.counter(prefix + ".instructions", result.dynamic_instructions)
+    obs.counter(prefix + ".runs", result.num_runs)
+    obs.counter(prefix + ".mem_accesses", len(result.mem_addrs))
+    if not obs.opcode_sampling():
+        return
+    image = result.image
+    static = getattr(image, "instrs", None)
+    if static is None:
+        static = getattr(image, "instr_at", None)
+    if static is None:
+        static = getattr(image, "records", None)
+    if static is None:
+        return
+    counts = result.exec_counts()
+    hist = {}
+    for i, ins in enumerate(static):
+        kind = _instr_kind(ins)
+        hist[kind] = hist.get(kind, 0) + int(counts[i])
+    for kind, count in sorted(hist.items()):
+        if count:
+            obs.counter("%s.opcode.%s" % (prefix, kind), count)

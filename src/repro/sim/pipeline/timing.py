@@ -21,6 +21,7 @@ counts and Hamming toggles on the instruction bus (real encodings).
 
 import numpy as np
 
+from repro.obs import core as obs
 from repro.sim.cache.model import CacheGeometry, SetAssociativeCache
 from repro.sim.pipeline.meta import arm_meta, fits_meta, FLAGS
 
@@ -206,6 +207,13 @@ def simulate_timing(result, icache_bytes, config=None, meta=None):
     Returns:
         :class:`TimingReport`.
     """
+    with obs.span("stage.simulate", phase="timing",
+                  image=getattr(result.image, "name", "?"),
+                  icache_bytes=icache_bytes):
+        return _simulate_timing(result, icache_bytes, config, meta)
+
+
+def _simulate_timing(result, icache_bytes, config=None, meta=None):
     config = config or TimingConfig()
     image = result.image
     if meta is None:
@@ -304,6 +312,14 @@ def simulate_timing(result, icache_bytes, config=None, meta=None):
         + dcache.misses * config.dcache_miss_penalty
     )
     instructions = result.dynamic_instructions
+
+    if obs.enabled:
+        icache.publish("cache.icache")
+        dcache.publish("cache.dcache")
+        obs.counter("timing.simulations")
+        obs.counter("timing.unique_runs", len(uniq))
+        obs.counter("timing.cycles", int(cycles))
+        obs.observe("timing.runs_per_simulation", len(starts))
 
     return TimingReport(
         image=image,

@@ -1,0 +1,335 @@
+"""Observability tests: spans, counters, sinks, manifests, report CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.report import main as report_main, render_manifests
+from repro.sim.cache import CacheGeometry, SetAssociativeCache
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts disabled with empty aggregates."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# ----------------------------------------------------------------------
+# spans
+
+
+def test_span_nesting_records_depth_and_aggregates():
+    sink = obs.MemorySink()
+    obs.enable(sink)
+    with obs.span("outer"):
+        with obs.span("inner"):
+            pass
+        with obs.span("inner"):
+            pass
+    spans = obs.snapshot()["spans"]
+    assert spans["outer"]["count"] == 1
+    assert spans["inner"]["count"] == 2
+    assert spans["outer"]["seconds"] >= spans["inner"]["seconds"]
+    assert spans["inner"]["max_seconds"] <= spans["inner"]["seconds"]
+    # events: inner exits first (depth 1), outer last (depth 0)
+    names = [(e["name"], e["depth"]) for e in sink.events]
+    assert names == [("inner", 1), ("inner", 1), ("outer", 0)]
+
+
+def test_span_exception_safety():
+    sink = obs.MemorySink()
+    obs.enable(sink)
+    with pytest.raises(ValueError):
+        with obs.span("outer"):
+            with obs.span("failing"):
+                raise ValueError("boom")
+    spans = obs.snapshot()["spans"]
+    # both spans closed and aggregated despite the exception
+    assert spans["failing"]["count"] == 1
+    assert spans["outer"]["count"] == 1
+    failing = [e for e in sink.events if e["name"] == "failing"][0]
+    assert failing["error"] == "ValueError"
+    # depth collapsed back to zero: a fresh span starts at depth 0
+    with obs.span("after"):
+        pass
+    after = [e for e in sink.events if e["name"] == "after"][0]
+    assert after["depth"] == 0
+
+
+def test_timed_decorator():
+    obs.enable(obs.MemorySink())
+
+    @obs.timed("work")
+    def work(x):
+        return x + 1
+
+    assert work(1) == 2
+    assert work(2) == 3
+    assert obs.snapshot()["spans"]["work"]["count"] == 2
+
+
+def test_span_attrs_reach_sink():
+    sink = obs.MemorySink()
+    obs.enable(sink)
+    with obs.span("stage.compile", isa="arm", module="m"):
+        pass
+    event = sink.events[0]
+    assert event["attrs"] == {"isa": "arm", "module": "m"}
+
+
+# ----------------------------------------------------------------------
+# counters / gauges / distributions
+
+
+def test_counter_aggregation():
+    obs.enable(obs.MemorySink())
+    obs.counter("hits")
+    obs.counter("hits", 4)
+    obs.counter("misses", 2)
+    obs.gauge("budget", [4, 5])
+    obs.observe("latency", 3.0)
+    obs.observe("latency", 1.0)
+    obs.observe("latency", 2.0)
+    snap = obs.snapshot()
+    assert snap["counters"] == {"hits": 5, "misses": 2}
+    assert snap["gauges"] == {"budget": [4, 5]}
+    dist = snap["distributions"]["latency"]
+    assert dist == {"count": 3, "total": 6.0, "min": 1.0, "max": 3.0}
+
+
+def test_mark_since_window_deltas():
+    obs.enable(obs.MemorySink())
+    obs.counter("n", 10)
+    with obs.span("s"):
+        pass
+    marker = obs.mark()
+    obs.counter("n", 5)
+    obs.counter("fresh", 1)
+    with obs.span("s"):
+        pass
+    delta = obs.since(marker)
+    assert delta["counters"] == {"n": 5, "fresh": 1}
+    assert delta["spans"]["s"]["count"] == 1
+    assert delta["schema"] == obs.SCHEMA_VERSION
+
+
+def test_noop_fast_path_adds_no_entries():
+    assert not obs.core.enabled
+    obs.counter("nope")
+    obs.gauge("nope", 1)
+    obs.observe("nope", 1.0)
+    with obs.span("nope"):
+        pass
+    snap = obs.snapshot()
+    assert snap["counters"] == {}
+    assert snap["gauges"] == {}
+    assert snap["distributions"] == {}
+    assert snap["spans"] == {}
+    # the disabled span is a shared singleton — no allocation per call
+    assert obs.span("a") is obs.span("b")
+
+
+# ----------------------------------------------------------------------
+# sinks and env configuration
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "events.jsonl"
+    obs.enable(obs.JsonlSink(str(path)))
+    with obs.span("stage.compile", isa="arm"):
+        pass
+    obs.counter("hits", 3)
+    obs.emit({"kind": "manifest", "benchmark": "crc32",
+              "manifest": {"counters": obs.snapshot()["counters"]}})
+    obs.disable()
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [e["kind"] for e in events] == ["span", "manifest"]
+    assert events[0]["name"] == "stage.compile"
+    assert events[0]["seconds"] >= 0
+    assert events[1]["manifest"]["counters"] == {"hits": 3}
+
+
+def test_configure_from_env_jsonl(tmp_path):
+    path = tmp_path / "obs.jsonl"
+    assert obs.configure_from_env({"REPRO_OBS": "jsonl:%s" % path})
+    assert obs.core.enabled and not obs.opcode_sampling()
+    with obs.span("x"):
+        pass
+    obs.disable()
+    assert path.exists() and "x" in path.read_text()
+
+
+def test_configure_from_env_memory_and_sampling():
+    assert obs.configure_from_env({"REPRO_OBS": "memory", "REPRO_OBS_OPCODES": "1"})
+    assert obs.core.enabled and obs.opcode_sampling()
+
+
+def test_configure_from_env_off_and_bad():
+    assert not obs.configure_from_env({})
+    assert not obs.configure_from_env({"REPRO_OBS": "0"})
+    with pytest.raises(ValueError):
+        obs.configure_from_env({"REPRO_OBS": "bogus-spec"})
+
+
+# ----------------------------------------------------------------------
+# cache model statistics surface
+
+
+def test_cache_stats_and_publish():
+    cache = SetAssociativeCache(CacheGeometry(1024, block_bytes=32, associativity=2))
+    for line in (0, 1, 0, 2):
+        cache.access_line(line)
+    stats = cache.stats()
+    assert stats["accesses"] == 4
+    assert stats["misses"] == 3
+    assert stats["hits"] == 1
+    assert stats["fills"] == stats["misses"]
+    assert stats["compulsory_misses"] == 3
+    obs.enable(obs.MemorySink())
+    cache.publish("cache.test")
+    counters = obs.snapshot()["counters"]
+    assert counters["cache.test.accesses"] == 4
+    assert counters["cache.test.misses"] == 3
+
+
+# ----------------------------------------------------------------------
+# runner integration: manifests, provenance, aggregation
+
+
+@pytest.fixture()
+def cache_env(tmp_path):
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path)
+    try:
+        yield tmp_path
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+
+
+def test_manifest_matches_cache_model_totals(cache_env):
+    from repro.harness import collect, CONFIGS
+    from repro.harness.runner import CACHE_VERSION
+
+    data = collect(scale="small", names=["crc32"])
+    summary = data["crc32"]
+    manifest = summary.manifest
+    assert manifest["cache_version"] == CACHE_VERSION
+    assert manifest["schema"] == obs.SCHEMA_VERSION
+    assert manifest["wall_seconds"] > 0
+
+    # all five pipeline stages timed
+    assert set(manifest["stages"]) == set(obs.STAGES)
+    for row in manifest["stages"].values():
+        assert row["count"] > 0 and row["seconds"] > 0
+
+    # the manifest's cache counters equal the CacheGeometry model totals
+    # recorded per configuration (4 simulate_timing calls per run)
+    counters = manifest["counters"]
+    line_accesses = sum(
+        summary.config(label)["icache_line_accesses"] for label, _i, _s in CONFIGS
+    )
+    misses = sum(summary.config(label)["icache_misses"] for label, _i, _s in CONFIGS)
+    assert counters["cache.icache.accesses"] == line_accesses
+    assert counters["cache.icache.misses"] == misses
+    assert counters["cache.icache.hits"] == line_accesses - misses
+
+    # ... and the power model consumed exactly the cache model's numbers
+    assert counters["power.icache.line_accesses"] == line_accesses
+    assert counters["power.icache.misses"] == misses
+
+    # instruction counters present from every simulator
+    assert counters["sim.arm.instructions"] > 0
+    assert counters["sim.thumb.instructions"] > 0
+    assert counters["sim.fits.instructions"] > 0
+    assert counters["translate.one_to_one"] > counters["translate.one_to_n"]
+
+
+def test_stale_cache_blob_recomputed_with_warning(cache_env, capsys):
+    from repro.harness import collect
+
+    first = collect(scale="small", names=["crc32"])
+    path = cache_env / "crc32-small.json"
+    assert path.exists()
+
+    blob = json.loads(path.read_text())
+    blob["manifest"]["cache_version"] = -1
+    blob["static_mapping"] = 0.0  # poison: must not survive the reload
+    path.write_text(json.dumps(blob))
+
+    second = collect(scale="small", names=["crc32"])
+    err = capsys.readouterr().err
+    assert "stale benchmark cache" in err
+    assert second["crc32"]["static_mapping"] == first["crc32"]["static_mapping"]
+    # the recomputed blob was rewritten with current provenance
+    refreshed = json.loads(path.read_text())
+    assert refreshed["manifest"]["cache_version"] != -1
+
+
+def test_cache_dir_independent_of_cwd(tmp_path, monkeypatch):
+    from repro.harness.runner import _cache_dir
+
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.chdir(tmp_path)
+    resolved = _cache_dir()
+    assert not resolved.startswith(str(tmp_path))
+    # expanduser applied to the env override
+    monkeypatch.setenv("HOME", str(tmp_path))
+    monkeypatch.setenv("REPRO_CACHE_DIR", "~/bench")
+    assert _cache_dir() == str(tmp_path / "bench")
+
+
+def test_aggregate_manifests(cache_env):
+    from repro.harness import collect
+    from repro.harness.runner import aggregate_manifests
+
+    data = collect(scale="small", names=["crc32", "sha"])
+    agg = aggregate_manifests(data.values())
+    assert set(agg["benchmarks"]) == {"crc32", "sha"}
+    assert set(agg["stages"]) == set(obs.STAGES)
+    assert agg["wall_seconds"] > 0
+    assert agg["counters"]["sim.arm.instructions"] > 0
+
+
+def test_report_cli_renders_all_stages(cache_env, capsys):
+    from repro.harness import collect
+
+    collect(scale="small", names=["crc32"])
+    assert report_main(["--cache-dir", str(cache_env)]) == 0
+    out = capsys.readouterr().out
+    for stage in obs.STAGES:
+        assert stage in out
+    assert "crc32" in out
+    assert "per-stage totals" in out
+    assert "top counters" in out
+
+
+def test_report_render_empty():
+    assert "benchmark" in render_manifests({})
+
+
+def test_opcode_sampling_histogram(cache_env):
+    from repro.workloads import get_workload
+    from repro.compiler import compile_arm
+    from repro.sim.functional import ArmSimulator
+
+    obs.enable(obs.MemorySink(), opcode_sampling=True)
+    wl = get_workload("crc32")
+    image = compile_arm(wl.build_module("small"))
+    ArmSimulator(image).run()
+    counters = obs.snapshot()["counters"]
+    opcode_keys = [k for k in counters if k.startswith("sim.arm.opcode.")]
+    assert opcode_keys, "sampling knob on -> per-opcode histogram collected"
+    assert sum(counters[k] for k in opcode_keys) == counters["sim.arm.instructions"]
+
+    # knob off -> no histogram
+    obs.disable()
+    obs.reset()
+    obs.enable(obs.MemorySink(), opcode_sampling=False)
+    ArmSimulator(image).run()
+    counters = obs.snapshot()["counters"]
+    assert not any(k.startswith("sim.arm.opcode.") for k in counters)
