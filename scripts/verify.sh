@@ -38,4 +38,35 @@ echo "all five pipeline stages present in manifest and event stream"
 echo "== observability report =="
 python -m repro.obs.report --cache-dir "$tmp/cache"
 
+
+echo "== DSE smoke sweep (2 benchmarks x 4 points, --jobs 2) =="
+dse_store="$tmp/dse"
+python -m repro.dse sweep --preset smoke --benchmarks crc32,sha \
+    --scale small --jobs 2 --store "$dse_store" | tee "$tmp/sweep1.txt"
+grep -q "evaluated: 8" "$tmp/sweep1.txt" \
+    || { echo "FAIL: first sweep did not evaluate 8 points"; exit 1; }
+grep -q "failed:    0" "$tmp/sweep1.txt" \
+    || { echo "FAIL: sweep reported failures"; exit 1; }
+
+echo "== DSE resume (must evaluate zero new points) =="
+python -m repro.dse sweep --preset smoke --benchmarks crc32,sha \
+    --scale small --jobs 2 --store "$dse_store" --resume | tee "$tmp/sweep2.txt"
+grep -q "evaluated: 0" "$tmp/sweep2.txt" \
+    || { echo "FAIL: resumed sweep re-evaluated points"; exit 1; }
+grep -q "skipped:   8" "$tmp/sweep2.txt" \
+    || { echo "FAIL: resumed sweep did not skip all 8 points"; exit 1; }
+
+echo "== DSE frontier (must be non-empty) =="
+python -m repro.dse frontier --store "$dse_store" | tee "$tmp/frontier.txt"
+grep -q "FITS" "$tmp/frontier.txt" \
+    || { echo "FAIL: frontier is empty / lost the paper configs"; exit 1; }
+grep -Eq "aggregate frontier \([1-9][0-9]* points" "$tmp/frontier.txt" \
+    || { echo "FAIL: aggregate frontier is empty"; exit 1; }
+
+echo "== DSE per-point observability report =="
+python -m repro.obs.report --dse "$dse_store" --counters 8 > "$tmp/dse-report.txt"
+head -20 "$tmp/dse-report.txt"
+grep -q "benchmark/point" "$tmp/dse-report.txt" \
+    || { echo "FAIL: DSE observability report missing per-point table"; exit 1; }
+
 echo "verify OK"

@@ -1,0 +1,60 @@
+"""Design-space exploration over (ISA × I-cache geometry × technology).
+
+The paper evaluates four hand-picked configurations; this package
+treats them as four points in a joint design space and searches the
+rest of it:
+
+* :mod:`repro.dse.space` — declarative :class:`DesignSpace` /
+  :class:`DesignPoint` model with stable content-hash ids, grid and
+  named-preset constructors (``paper4`` is the published experiment);
+* :mod:`repro.dse.scheduler` — a multiprocessing worker pool with a
+  resumable on-disk result store, per-task timeout, bounded retry and
+  crash isolation (also drives ``harness.collect(jobs=N)``);
+* :mod:`repro.dse.pareto` — dominance filtering and per-benchmark /
+  aggregate Pareto frontiers over configurable objective tuples;
+* ``python -m repro.dse sweep|frontier|report`` — the CLI.
+
+Typical use::
+
+    from repro.dse import DesignSpace, preset, sweep, frontier_report
+    from repro.dse.store import ResultStore
+
+    store = ResultStore("/tmp/dse")
+    sweep(preset("paper4"), ["crc32", "sha"], scale="small",
+          jobs=4, store=store)
+    report = frontier_report(list(store.iter_results()))
+"""
+
+from repro.dse.pareto import (
+    DEFAULT_OBJECTIVES,
+    dominates,
+    frontier_report,
+    parse_objectives,
+    pareto_front,
+)
+from repro.dse.scheduler import run_tasks, sweep
+from repro.dse.space import (
+    DesignPoint,
+    DesignSpace,
+    PAPER_LABELS,
+    PRESETS,
+    preset,
+)
+from repro.dse.store import ResultStore, atomic_write_json
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "DesignPoint",
+    "DesignSpace",
+    "PAPER_LABELS",
+    "PRESETS",
+    "ResultStore",
+    "atomic_write_json",
+    "dominates",
+    "frontier_report",
+    "pareto_front",
+    "parse_objectives",
+    "preset",
+    "run_tasks",
+    "sweep",
+]

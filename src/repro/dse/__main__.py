@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.dse``."""
+
+import sys
+
+from repro.dse.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Evaluate one (benchmark, design point) pair.
+
+This is the DSE worker's unit of work: build/compile the workload for
+the point's ISA, run it to completion on the matching functional
+simulator (checksums validated against the pure-Python reference), then
+drive the trace through the timing model and the cache power model at
+the point's cache geometry / tech node / fetch width.
+
+The per-ISA functional work (compile + simulate, and for FITS the whole
+synthesis flow) dominates the cost and is independent of the cache
+axes, so it is memoized per ``(benchmark, scale, isa)``: a worker
+evaluating many cache geometries for one benchmark compiles and
+simulates each ISA once.  The memo is deliberately scoped to one
+benchmark at a time (sweep tasks are grouped by benchmark) to bound
+memory.
+
+For the paper's four configurations, the evaluation path below is
+*exactly* the harness's path — ``simulate_timing(result, size)`` with
+the default :class:`TimingConfig` and ``CachePowerModel(CacheGeometry
+(size))`` — so FITS16/FITS8 numbers reproduce bit-identically through
+the scheduler (an acceptance criterion the test suite asserts).
+"""
+
+import time
+
+from repro import obs
+from repro.compiler import compile_arm, compile_thumb
+from repro.core.flow import fits_flow
+from repro.dse.space import DesignPoint
+from repro.dse.store import RESULT_SCHEMA
+from repro.power import CachePowerModel
+from repro.power.technology import tech_node
+from repro.sim.cache import CacheGeometry
+from repro.sim.functional import ArmSimulator
+from repro.sim.functional.thumb_sim import ThumbSimulator
+from repro.sim.pipeline import TimingConfig, simulate_timing
+from repro.workloads import get_workload
+
+#: (benchmark, scale, isa) → (image, ExecutionResult).  Kept to a single
+#: benchmark's entries at a time — see :func:`_functional`.
+_FUNC_CACHE = {}
+
+
+def clear_cache():
+    _FUNC_CACHE.clear()
+
+
+def _functional(name, scale, isa):
+    """Compile + functionally simulate one (benchmark, scale, isa)."""
+    key = (name, scale, isa)
+    hit = _FUNC_CACHE.get(key)
+    if hit is not None:
+        return hit
+    # new benchmark → drop the previous benchmark's traces
+    for old in [k for k in _FUNC_CACHE if k[0] != name or k[1] != scale]:
+        del _FUNC_CACHE[old]
+
+    wl = get_workload(name)
+    module = wl.build_module(scale)
+    if isa == "arm":
+        image = compile_arm(module)
+        result = ArmSimulator(image).run()
+    elif isa == "thumb":
+        image = compile_thumb(module)
+        result = ThumbSimulator(image).run()
+    elif isa == "fits":
+        flow = fits_flow(module)
+        image, result = flow.fits_image, flow.fits_result
+    else:
+        raise ValueError("unknown ISA %r" % (isa,))
+    if result.exit_code != wl.reference(scale):
+        raise AssertionError(
+            "%s/%s: %s checksum mismatch (%r != %r)"
+            % (name, scale, isa, result.exit_code, wl.reference(scale))
+        )
+    _FUNC_CACHE[key] = (image, result)
+    return image, result
+
+
+def _is_paper_default(point):
+    """True when the point's non-size axes match the paper's defaults."""
+    return (point.associativity == 32 and point.block_bytes == 32
+            and point.tech == "350nm" and point.fetch_bits == 32)
+
+
+def evaluate_point(benchmark, point, scale="full"):
+    """Full evaluation of one design point on one benchmark.
+
+    Returns the result-store blob: point echo, metrics, and a run
+    manifest (per-stage timings + counters) mirroring the harness's.
+    """
+    if not isinstance(point, DesignPoint):
+        point = DesignPoint.from_dict(point)
+
+    was_enabled = obs.core.enabled
+    if not was_enabled:
+        obs.enable(sink=None)
+    marker = obs.mark()
+    t0 = time.perf_counter()
+    try:
+        with obs.span("stage.dse.point", benchmark=benchmark,
+                      point=point.point_id):
+            metrics = _evaluate(benchmark, point, scale)
+        window = obs.since(marker)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    wall = time.perf_counter() - t0
+
+    counters = window["counters"]
+    for cache_key, power_key in (
+        ("cache.icache.misses", "power.icache.misses"),
+        ("cache.icache.accesses", "power.icache.line_accesses"),
+    ):
+        if counters.get(cache_key, 0) != counters.get(power_key, 0):
+            raise AssertionError(
+                "%s %s: %s=%s vs %s=%s — power model consumed different "
+                "cache statistics than the cache model produced"
+                % (benchmark, point.point_id, cache_key,
+                   counters.get(cache_key, 0), power_key,
+                   counters.get(power_key, 0))
+            )
+
+    return {
+        "schema": RESULT_SCHEMA,
+        "benchmark": benchmark,
+        "scale": scale,
+        "point": point.to_dict(),
+        "metrics": metrics,
+        "manifest": {
+            "schema": obs.SCHEMA_VERSION,
+            "benchmark": benchmark,
+            "scale": scale,
+            "point": point.point_id,
+            "label": point.label,
+            "wall_seconds": wall,
+            "stages": obs.stage_timings(window["spans"]),
+            "counters": window["counters"],
+        },
+    }
+
+
+def _evaluate(benchmark, point, scale):
+    image, result = _functional(benchmark, scale, point.isa)
+    tech = tech_node(point.tech)
+    if _is_paper_default(point):
+        # The harness's exact call shape: default TimingConfig and
+        # geometry arguments, so floats match bit for bit.
+        timing = simulate_timing(result, point.icache_bytes)
+        power = CachePowerModel(CacheGeometry(point.icache_bytes)).evaluate(timing)
+    else:
+        config = TimingConfig(
+            icache_block=point.block_bytes,
+            icache_assoc=point.associativity,
+            frequency_hz=tech.frequency_hz,
+        )
+        timing = simulate_timing(result, point.icache_bytes, config)
+        power = CachePowerModel(
+            point.geometry(), tech, fetch_bits=point.fetch_bits
+        ).evaluate(timing)
+
+    sw, internal, leak = power.breakdown()
+    return {
+        "code_size": image.code_size,
+        "instructions": timing.instructions,
+        "cycles": timing.cycles,
+        "ipc": timing.ipc,
+        "seconds": timing.seconds,
+        "icache_requests": timing.icache_requests,
+        "icache_line_accesses": timing.icache_line_accesses,
+        "icache_misses": timing.icache_misses,
+        "mpm": timing.icache_misses_per_million,
+        "dcache_accesses": timing.dcache_accesses,
+        "dcache_misses": timing.dcache_misses,
+        "switching_w": power.switching_w,
+        "internal_w": power.internal_w,
+        "leakage_w": power.leakage_w,
+        "total_w": power.total_w,
+        "peak_w": power.peak_w,
+        "switching_j": power.switching_j,
+        "internal_j": power.internal_j,
+        "leakage_j": power.leakage_j,
+        "icache_energy_j": power.energy_j,
+        "frac_switching": sw,
+        "frac_internal": internal,
+        "frac_leakage": leak,
+    }

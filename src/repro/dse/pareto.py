@@ -1,0 +1,176 @@
+"""Pareto-dominance analysis over sweep results.
+
+Objectives are ``(metric_key, direction)`` pairs, parsed from specs
+like ``"min:icache_energy_j,max:ipc,min:code_size"`` — the default
+triple is the paper's implicit trade: I-cache energy down, performance
+up, code size down.  Dominance is the standard multi-objective partial
+order: ``a`` dominates ``b`` when it is at least as good on every
+objective and strictly better on at least one.
+
+Two frontier views:
+
+* per-benchmark — which configurations are undominated for one
+  workload;
+* aggregate — rows for the same design point are first folded across
+  benchmarks (sums for extensive metrics such as energy/cycles/code
+  size, means for intensive ones such as IPC), then the frontier is
+  taken over the folded rows.  Only points evaluated on *every*
+  benchmark in the store participate, so a partially-swept point can't
+  win on a subset of easy workloads.
+"""
+
+MIN, MAX = "min", "max"
+
+#: The default objective triple (see module docstring).
+DEFAULT_OBJECTIVES = (
+    ("icache_energy_j", MIN),
+    ("ipc", MAX),
+    ("code_size", MIN),
+)
+
+#: Metrics folded by summing in the aggregate view; everything else is
+#: averaged.
+_EXTENSIVE = {
+    "icache_energy_j", "switching_j", "internal_j", "leakage_j",
+    "code_size", "cycles", "instructions", "seconds",
+    "icache_requests", "icache_line_accesses", "icache_misses",
+    "dcache_accesses", "dcache_misses",
+}
+
+
+def parse_objectives(spec):
+    """Parse ``"min:key,max:key,..."`` into objective tuples."""
+    if not spec:
+        return DEFAULT_OBJECTIVES
+    objectives = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" not in part:
+            raise ValueError(
+                "bad objective %r (expected min:<metric> or max:<metric>)" % part
+            )
+        direction, key = part.split(":", 1)
+        direction = direction.strip().lower()
+        if direction not in (MIN, MAX):
+            raise ValueError("bad objective direction %r in %r" % (direction, part))
+        objectives.append((key.strip(), direction))
+    if not objectives:
+        raise ValueError("empty objective spec %r" % spec)
+    return tuple(objectives)
+
+
+def objective_vector(metrics, objectives):
+    """The row's objective values, oriented so smaller is always better."""
+    out = []
+    for key, direction in objectives:
+        value = metrics[key]
+        out.append(value if direction == MIN else -value)
+    return tuple(out)
+
+
+def dominates(a, b, objectives=DEFAULT_OBJECTIVES):
+    """True when metrics ``a`` Pareto-dominates metrics ``b``."""
+    va = objective_vector(a, objectives)
+    vb = objective_vector(b, objectives)
+    return all(x <= y for x, y in zip(va, vb)) and any(
+        x < y for x, y in zip(va, vb)
+    )
+
+
+def pareto_front(rows, objectives=DEFAULT_OBJECTIVES, metrics_of=None):
+    """The non-dominated subset of ``rows`` (input order preserved).
+
+    ``metrics_of`` maps a row to its metrics dict (default: the row
+    itself, or its ``"metrics"`` entry when present).  Duplicate
+    objective vectors are kept once (first occurrence wins).
+    """
+    if metrics_of is None:
+        def metrics_of(row):
+            return row.get("metrics", row) if isinstance(row, dict) else row
+
+    vectors = [objective_vector(metrics_of(r), objectives) for r in rows]
+    front = []
+    seen = set()
+    for i, vi in enumerate(vectors):
+        if vi in seen:
+            continue
+        dominated = False
+        for j, vj in enumerate(vectors):
+            if i == j:
+                continue
+            if all(x <= y for x, y in zip(vj, vi)) and any(
+                x < y for x, y in zip(vj, vi)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(rows[i])
+            seen.add(vi)
+    return front
+
+
+def group_results(results):
+    """Index result blobs: benchmark → point_id → blob (last wins)."""
+    by_bench = {}
+    for blob in results:
+        by_bench.setdefault(blob["benchmark"], {})[blob["point"]["id"]] = blob
+    return by_bench
+
+
+def aggregate_rows(results):
+    """Fold result blobs across benchmarks into one row per point.
+
+    Returns rows ``{"point": ..., "benchmarks": n, "metrics": ...}``
+    for every point evaluated on all benchmarks present in ``results``.
+    """
+    by_bench = group_results(results)
+    if not by_bench:
+        return []
+    benches = sorted(by_bench)
+    common = set(by_bench[benches[0]])
+    for bench in benches[1:]:
+        common &= set(by_bench[bench])
+
+    rows = []
+    for pid in sorted(common):
+        blobs = [by_bench[b][pid] for b in benches]
+        folded = {}
+        keys = blobs[0]["metrics"].keys()
+        for key in keys:
+            values = [blob["metrics"][key] for blob in blobs]
+            if key in _EXTENSIVE:
+                folded[key] = sum(values)
+            else:
+                folded[key] = sum(values) / len(values)
+        rows.append({
+            "point": blobs[0]["point"],
+            "benchmarks": len(benches),
+            "metrics": folded,
+        })
+    return rows
+
+
+def frontier_report(results, objectives=DEFAULT_OBJECTIVES):
+    """Per-benchmark and aggregate frontiers over result blobs.
+
+    Returns::
+
+        {
+          "objectives": [["icache_energy_j", "min"], ...],
+          "aggregate": [row, ...],           # folded rows on the frontier
+          "per_benchmark": {bench: [blob, ...]},
+        }
+    """
+    by_bench = group_results(results)
+    per_benchmark = {}
+    for bench, by_point in sorted(by_bench.items()):
+        blobs = [by_point[pid] for pid in sorted(by_point)]
+        per_benchmark[bench] = pareto_front(blobs, objectives)
+    aggregate = pareto_front(aggregate_rows(results), objectives)
+    return {
+        "objectives": [list(o) for o in objectives],
+        "aggregate": aggregate,
+        "per_benchmark": per_benchmark,
+    }

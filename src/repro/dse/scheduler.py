@@ -1,0 +1,274 @@
+"""Parallel sweep scheduler: process-per-task with resume and isolation.
+
+Two layers:
+
+* :func:`run_tasks` — a generic ``multiprocessing`` task runner.  Each
+  task runs in its own child process (fork where available), so a
+  crashing or runaway task can never take the pool down; the parent
+  enforces a per-task timeout (``terminate`` + bounded requeue) and a
+  bounded retry count.  Task results must flow through the filesystem
+  (the result store's atomic writes), never through pipes — which is
+  exactly what makes sweeps resumable and crash-safe.
+
+* :func:`sweep` — the DSE orchestration: diff the design space against
+  the store's completed keys (``resume``), group the pending
+  (benchmark, point) pairs into per-benchmark chunks so workers reuse
+  their functional-simulation memo, and fan the chunks out over
+  :func:`run_tasks`.  Workers re-check the store before each point, so
+  a retried chunk re-evaluates only what its crashed predecessor did
+  not finish.
+
+Progress is reported through :mod:`repro.obs` (``stage.dse.*`` spans,
+``dse.*`` counters) and each stored blob embeds a per-point manifest.
+
+The same pool runs the flagship harness:
+:func:`repro.harness.runner.collect` builds one task per benchmark and
+hands them to :func:`run_tasks`, parallelizing the paper's 21-benchmark
+study with the identical isolation/retry semantics.
+"""
+
+import math
+import multiprocessing
+import sys
+import time
+import traceback
+
+from repro import obs
+from repro.dse.evaluate import evaluate_point
+from repro.dse.store import ResultStore
+
+
+def _context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+def _child_main(worker, payload):
+    """Child-process entry: run the task, exit 1 on any failure."""
+    try:
+        worker(payload)
+    except SystemExit:
+        raise
+    except BaseException:
+        traceback.print_exc(file=sys.stderr)
+        sys.exit(1)
+
+
+class TaskResult:
+    """Outcome of one task: payload, attempts used, final status."""
+
+    __slots__ = ("payload", "attempts", "ok", "error", "seconds")
+
+    def __init__(self, payload, attempts, ok, error, seconds):
+        self.payload = payload
+        self.attempts = attempts
+        self.ok = ok
+        self.error = error
+        self.seconds = seconds
+
+
+def run_tasks(worker, payloads, jobs=1, timeout=None, retries=1,
+              label="task", progress=None):
+    """Run ``worker(payload)`` for every payload; returns TaskResults.
+
+    Args:
+        worker: picklable module-level function; must persist its own
+            results (e.g. via :class:`~repro.dse.store.ResultStore`).
+        jobs: max concurrent child processes; ``jobs <= 1`` runs
+            in-process (no fork), which is what tests use.
+        timeout: per-attempt wall-clock limit in seconds (None = no limit).
+        retries: how many *re*-tries a failed/timed-out task gets.
+        progress: optional callback ``progress(task_result)`` invoked in
+            the parent as each task reaches a final status.
+
+    One task's crash, exception, or timeout never aborts the rest; the
+    failure is recorded on its :class:`TaskResult` and (after the retry
+    budget) the sweep moves on.
+    """
+    results = []
+
+    def finish(result):
+        results.append(result)
+        obs.counter("dse.tasks.%s" % ("completed" if result.ok else "failed"))
+        if progress is not None:
+            progress(result)
+
+    if jobs is None or jobs <= 1:
+        for payload in payloads:
+            t0 = time.perf_counter()
+            attempts = 0
+            ok, error = False, None
+            while attempts <= retries and not ok:
+                attempts += 1
+                try:
+                    worker(payload)
+                    ok, error = True, None
+                except BaseException as exc:  # isolate, record, move on
+                    error = "%s: %s" % (type(exc).__name__, exc)
+                    if attempts <= retries:
+                        obs.counter("dse.tasks.retried")
+            finish(TaskResult(payload, attempts, ok, error,
+                              time.perf_counter() - t0))
+        return results
+
+    ctx = _context()
+    queue = [(payload, 1) for payload in payloads]
+    queue.reverse()  # pop() then serves payloads in order
+    running = {}  # proc -> (payload, attempt, t_start)
+
+    def reap(proc, failed_reason=None):
+        payload, attempt, t_start = running.pop(proc)
+        seconds = time.perf_counter() - t_start
+        if failed_reason is None and proc.exitcode == 0:
+            finish(TaskResult(payload, attempt, True, None, seconds))
+            return
+        error = failed_reason or ("exit code %s" % proc.exitcode)
+        if attempt <= retries:
+            obs.counter("dse.tasks.retried")
+            queue.append((payload, attempt + 1))
+        else:
+            finish(TaskResult(payload, attempt, False, error, seconds))
+
+    try:
+        while queue or running:
+            while queue and len(running) < jobs:
+                payload, attempt = queue.pop()
+                proc = ctx.Process(target=_child_main, args=(worker, payload))
+                proc.start()
+                running[proc] = (payload, attempt, time.perf_counter())
+            time.sleep(0.02)
+            now = time.perf_counter()
+            for proc in list(running):
+                payload, attempt, t_start = running[proc]
+                if not proc.is_alive():
+                    proc.join()
+                    reap(proc)
+                elif timeout is not None and now - t_start > timeout:
+                    proc.terminate()
+                    proc.join()
+                    reap(proc, failed_reason="timeout after %.1fs" % timeout)
+    finally:
+        for proc in running:
+            proc.terminate()
+            proc.join()
+    return results
+
+
+# ----------------------------------------------------------------------
+# the DSE sweep proper
+
+
+def _sweep_worker(payload):
+    """Evaluate one chunk of points for one benchmark (child process)."""
+    store = ResultStore(payload["store"])
+    benchmark = payload["benchmark"]
+    scale = payload["scale"]
+    hard_failures = 0
+    for point in payload["points"]:
+        pid = point["id"]
+        if store.has(benchmark, pid):  # finished by a previous attempt
+            continue
+        try:
+            with obs.span("stage.dse.task", benchmark=benchmark, point=pid):
+                result = evaluate_point(benchmark, point, scale)
+        except BaseException as exc:
+            store.save_failure(benchmark, pid, "%s: %s" % (type(exc).__name__, exc))
+            traceback.print_exc(file=sys.stderr)
+            hard_failures += 1
+            continue
+        store.save(result)
+    if hard_failures:
+        raise SystemExit(1)
+
+
+def _chunk_tasks(pending, store_root, scale, jobs):
+    """Group pending (benchmark, point) pairs into per-benchmark chunks.
+
+    Chunks never mix benchmarks (workers memoize functional simulations
+    per benchmark), and each benchmark's points are split so the task
+    count comfortably exceeds the worker count.
+    """
+    by_bench = {}
+    for benchmark, point in pending:
+        by_bench.setdefault(benchmark, []).append(point)
+    target_tasks = max(1, (jobs or 1) * 2)
+    chunk_size = max(1, math.ceil(len(pending) / target_tasks))
+    payloads = []
+    for benchmark in sorted(by_bench):
+        points = by_bench[benchmark]
+        for i in range(0, len(points), chunk_size):
+            payloads.append({
+                "store": store_root,
+                "benchmark": benchmark,
+                "scale": scale,
+                "points": [p.to_dict() for p in points[i:i + chunk_size]],
+            })
+    return payloads
+
+
+def sweep(space, benchmarks, scale="small", jobs=1, store=None, resume=True,
+          timeout_per_point=None, retries=1, verbose=False):
+    """Run (or resume) a design-space sweep; returns a summary dict.
+
+    ``store`` is a :class:`ResultStore` or a directory path.  With
+    ``resume`` (the default) every (benchmark, point) already present in
+    the store is skipped — a re-run over a complete store evaluates
+    exactly zero points.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    benchmarks = list(benchmarks)
+    store.write_space(space, benchmarks, scale)
+
+    done = store.completed_keys() if resume else set()
+    pairs = [(b, p) for b in benchmarks for p in space]
+    pending = [(b, p) for (b, p) in pairs if (b, p.point_id) not in done]
+    skipped = len(pairs) - len(pending)
+    obs.counter("dse.points.skipped", skipped)
+
+    t0 = time.perf_counter()
+    task_results = []
+    if pending:
+        payloads = _chunk_tasks(pending, store.root, scale, jobs)
+        timeout = None
+        if timeout_per_point is not None:
+            timeout = timeout_per_point * max(len(p["points"]) for p in payloads)
+
+        def report(result):
+            if verbose:
+                state = "ok" if result.ok else "FAILED (%s)" % result.error
+                print("  dse: %s x%d points %s in %.1fs" % (
+                    result.payload["benchmark"], len(result.payload["points"]),
+                    state, result.seconds), file=sys.stderr)
+
+        with obs.span("stage.dse.sweep", space=space.name, scale=scale,
+                      jobs=jobs, pending=len(pending)):
+            task_results = run_tasks(
+                _sweep_worker, payloads, jobs=jobs, timeout=timeout,
+                retries=retries, label="dse", progress=report,
+            )
+
+    now_done = store.completed_keys()
+    evaluated = len(now_done - done)
+    failed = [(b, p.point_id) for (b, p) in pending
+              if (b, p.point_id) not in now_done]
+    obs.counter("dse.points.evaluated", evaluated)
+    obs.counter("dse.points.failed", len(failed))
+
+    return {
+        "space": space.name,
+        "scale": scale,
+        "benchmarks": benchmarks,
+        "store": store.root,
+        "jobs": jobs,
+        "total": len(pairs),
+        "evaluated": evaluated,
+        "skipped": skipped,
+        "failed": failed,
+        "failures": store.failures(),
+        "tasks": len(task_results),
+        "task_retries": sum(r.attempts - 1 for r in task_results),
+        "wall_seconds": time.perf_counter() - t0,
+    }

@@ -1,0 +1,256 @@
+"""Declarative design-space model: points, grids, named presets.
+
+A :class:`DesignPoint` is one joint (ISA × I-cache geometry × process
+node × fetch width) configuration — the axes the paper's premise says
+must be co-designed but that its evaluation pins to four hand-picked
+values.  Points are value objects with a stable content-hash identity
+(:attr:`DesignPoint.point_id`), so a result store can be keyed by *what
+was evaluated* rather than by list position, and a sweep resumed after
+any reordering or crash still recognizes its completed work.
+
+:class:`DesignSpace` is an ordered, duplicate-free collection of valid
+points with grid and named-preset constructors.  The paper's four
+configurations (ARM16 / ARM8 / FITS16 / FITS8) are the ``paper4``
+preset; ``python -m repro.dse sweep --preset paper4`` therefore
+reproduces the published experiment through the exploration engine.
+"""
+
+import hashlib
+import itertools
+import json
+
+from repro.power.technology import TECH_NODES
+from repro.sim.cache.model import CacheGeometry
+
+#: Bump when the point layout changes: the hash covers this, so stores
+#: written under an older layout are never silently reinterpreted.
+POINT_SCHEMA = 1
+
+ISAS = ("arm", "thumb", "fits")
+FETCH_BITS = (16, 32, 64)
+
+
+class DesignPoint:
+    """One immutable configuration in the joint design space."""
+
+    __slots__ = ("isa", "icache_bytes", "associativity", "block_bytes",
+                 "tech", "fetch_bits", "_id")
+
+    def __init__(self, isa, icache_bytes, associativity=32, block_bytes=32,
+                 tech="350nm", fetch_bits=32):
+        self.isa = isa
+        self.icache_bytes = icache_bytes
+        self.associativity = associativity
+        self.block_bytes = block_bytes
+        self.tech = tech
+        self.fetch_bits = fetch_bits
+        self._id = None
+        self.validate()
+
+    def validate(self):
+        """Raise ValueError unless every axis value is usable downstream."""
+        if self.isa not in ISAS:
+            raise ValueError("unknown ISA %r (known: %s)" % (self.isa, "/".join(ISAS)))
+        if self.tech not in TECH_NODES:
+            raise ValueError(
+                "unknown tech node %r (known: %s)"
+                % (self.tech, ", ".join(sorted(TECH_NODES)))
+            )
+        if self.fetch_bits not in FETCH_BITS:
+            raise ValueError(
+                "fetch width %r not in %r" % (self.fetch_bits, FETCH_BITS)
+            )
+        # CacheGeometry owns the geometric constraints (power-of-two
+        # blocks/sets, divisibility, positive associativity).
+        self.geometry()
+
+    def geometry(self):
+        return CacheGeometry(self.icache_bytes, self.block_bytes, self.associativity)
+
+    def to_dict(self):
+        return {
+            "schema": POINT_SCHEMA,
+            "isa": self.isa,
+            "icache_bytes": self.icache_bytes,
+            "associativity": self.associativity,
+            "block_bytes": self.block_bytes,
+            "tech": self.tech,
+            "fetch_bits": self.fetch_bits,
+            "id": self.point_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        point = cls(
+            isa=data["isa"],
+            icache_bytes=data["icache_bytes"],
+            associativity=data.get("associativity", 32),
+            block_bytes=data.get("block_bytes", 32),
+            tech=data.get("tech", "350nm"),
+            fetch_bits=data.get("fetch_bits", 32),
+        )
+        want = data.get("id")
+        if want is not None and want != point.point_id:
+            raise ValueError(
+                "design-point hash mismatch: stored %s, recomputed %s "
+                "(point layout changed?)" % (want, point.point_id)
+            )
+        return point
+
+    @property
+    def point_id(self):
+        """Stable content hash of the point (12 hex chars)."""
+        if self._id is None:
+            payload = json.dumps(
+                [POINT_SCHEMA, self.isa, self.icache_bytes, self.associativity,
+                 self.block_bytes, self.tech, self.fetch_bits],
+                separators=(",", ":"),
+            )
+            self._id = hashlib.sha256(payload.encode("ascii")).hexdigest()[:12]
+        return self._id
+
+    @property
+    def label(self):
+        """Compact human-readable identity, e.g. ``fits-16K-32w-32B``."""
+        parts = [
+            self.isa,
+            "%dK" % (self.icache_bytes // 1024) if self.icache_bytes % 1024 == 0
+            else "%dB" % self.icache_bytes,
+            "%dw" % self.associativity,
+            "%dB" % self.block_bytes,
+        ]
+        if self.tech != "350nm":
+            parts.append(self.tech)
+        if self.fetch_bits != 32:
+            parts.append("f%d" % self.fetch_bits)
+        return "-".join(parts)
+
+    def _key(self):
+        return (self.isa, self.icache_bytes, self.associativity,
+                self.block_bytes, self.tech, self.fetch_bits)
+
+    def __eq__(self, other):
+        return isinstance(other, DesignPoint) and self._key() == other._key()
+
+    def __hash__(self):
+        return hash(self._key())
+
+    def __repr__(self):
+        return "<DesignPoint %s %s>" % (self.point_id, self.label)
+
+
+class DesignSpace:
+    """An ordered, de-duplicated set of valid design points."""
+
+    def __init__(self, name, points):
+        self.name = name
+        seen = set()
+        self.points = []
+        for p in points:
+            if p.point_id not in seen:
+                seen.add(p.point_id)
+                self.points.append(p)
+
+    def __len__(self):
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def point(self, point_id):
+        for p in self.points:
+            if p.point_id == point_id:
+                return p
+        raise KeyError("no point %r in space %r" % (point_id, self.name))
+
+    def to_dict(self):
+        return {
+            "schema": POINT_SCHEMA,
+            "name": self.name,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["name"], [DesignPoint.from_dict(d) for d in data["points"]])
+
+    @classmethod
+    def grid(cls, name="grid", isas=("arm", "fits"), sizes=(8192, 16384),
+             assocs=(32,), blocks=(32,), techs=("350nm",), fetch_bits=(32,)):
+        """Cross product of the axes; invalid geometry combos are dropped.
+
+        Returns the space; the number of dropped combinations is
+        available as ``space.dropped``.
+        """
+        points = []
+        dropped = 0
+        for isa, size, assoc, block, tech, fetch in itertools.product(
+            isas, sizes, assocs, blocks, techs, fetch_bits
+        ):
+            try:
+                points.append(DesignPoint(isa, size, assoc, block, tech, fetch))
+            except ValueError:
+                dropped += 1
+        space = cls(name, points)
+        space.dropped = dropped
+        return space
+
+    def __repr__(self):
+        return "<DesignSpace %s: %d points>" % (self.name, len(self.points))
+
+
+def _paper4_points():
+    """The paper's four configurations as design points (Section 5)."""
+    return [
+        DesignPoint("arm", 16 * 1024),    # ARM16
+        DesignPoint("arm", 8 * 1024),     # ARM8
+        DesignPoint("fits", 16 * 1024),   # FITS16
+        DesignPoint("fits", 8 * 1024),    # FITS8
+    ]
+
+
+#: Paper-config labels by point id, for reports that want to say
+#: "this swept point *is* FITS16".
+PAPER_LABELS = {
+    p.point_id: label
+    for p, label in zip(_paper4_points(), ("ARM16", "ARM8", "FITS16", "FITS8"))
+}
+
+
+def _presets():
+    return {
+        # The published experiment, exactly.
+        "paper4": lambda: DesignSpace("paper4", _paper4_points()),
+        # Tiny sweep for CI: the paper points (so results can be
+        # cross-checked bit-identically against the harness).
+        "smoke": lambda: DesignSpace("smoke", _paper4_points()),
+        # All three ISAs across the size axis.
+        "isa-size": lambda: DesignSpace.grid(
+            "isa-size", isas=ISAS, sizes=(4096, 8192, 16384, 32768)),
+        # Cache geometry at the paper's 16 KB size.
+        "geometry": lambda: DesignSpace.grid(
+            "geometry", isas=("arm", "fits"), sizes=(16384,),
+            assocs=(1, 2, 4, 32), blocks=(16, 32, 64)),
+        # Process node × fetch width interaction.
+        "tech": lambda: DesignSpace.grid(
+            "tech", isas=("arm", "fits"), sizes=(8192, 16384),
+            techs=tuple(sorted(TECH_NODES)), fetch_bits=(16, 32)),
+        # The big joint space.
+        "full": lambda: DesignSpace.grid(
+            "full", isas=ISAS, sizes=(4096, 8192, 16384, 32768),
+            assocs=(1, 2, 4, 32), blocks=(16, 32, 64),
+            techs=tuple(sorted(TECH_NODES))),
+    }
+
+
+PRESETS = tuple(sorted(_presets()))
+
+
+def preset(name):
+    """Instantiate a named preset space; raises KeyError on unknown."""
+    table = _presets()
+    try:
+        factory = table[name]
+    except KeyError:
+        raise KeyError("unknown preset %r (known: %s)" % (name, ", ".join(PRESETS)))
+    return factory()

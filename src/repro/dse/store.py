@@ -1,0 +1,159 @@
+"""Resumable on-disk result store for design-space sweeps.
+
+Layout (one directory per sweep)::
+
+    <store>/
+        space.json                     # the swept DesignSpace + sweep args
+        results/<bench>--<pid>.json    # one blob per completed evaluation
+        failures/<bench>--<pid>.json   # last error per failed evaluation
+
+Results are keyed by ``(benchmark, point_id)`` where the point id is the
+point's content hash — restarting a sweep (``--resume``, the default)
+skips everything already on disk, regardless of task order, process
+crashes, or how the space was re-declared.  Every write goes through a
+same-directory temp file + ``os.replace`` so parallel workers and
+Ctrl-C can never leave a torn blob behind; a torn/garbage blob from an
+older run is treated as absent and re-evaluated.
+"""
+
+import json
+import os
+import tempfile
+
+#: Bump when the result-blob layout changes; stale blobs are skipped
+#: (and re-evaluated) rather than misread.
+RESULT_SCHEMA = 1
+
+
+def atomic_write_json(path, data):
+    """Write JSON to ``path`` atomically (same-directory temp + replace)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=parent, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(data, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Directory-backed store of per-(benchmark, point) result blobs."""
+
+    def __init__(self, root):
+        self.root = os.path.expanduser(root)
+        self.results_dir = os.path.join(self.root, "results")
+        self.failures_dir = os.path.join(self.root, "failures")
+
+    # -- store metadata -------------------------------------------------
+
+    @property
+    def space_path(self):
+        return os.path.join(self.root, "space.json")
+
+    def write_space(self, space, benchmarks, scale):
+        meta = space.to_dict()
+        meta["benchmarks"] = list(benchmarks)
+        meta["scale"] = scale
+        atomic_write_json(self.space_path, meta)
+
+    def read_space(self):
+        """The stored space metadata dict, or None when absent/torn."""
+        try:
+            with open(self.space_path) as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    # -- result keys ----------------------------------------------------
+
+    @staticmethod
+    def key(benchmark, point_id):
+        return "%s--%s" % (benchmark, point_id)
+
+    def result_path(self, benchmark, point_id):
+        return os.path.join(self.results_dir, self.key(benchmark, point_id) + ".json")
+
+    def failure_path(self, benchmark, point_id):
+        return os.path.join(self.failures_dir, self.key(benchmark, point_id) + ".json")
+
+    # -- results --------------------------------------------------------
+
+    def has(self, benchmark, point_id):
+        return self.load(benchmark, point_id) is not None
+
+    def load(self, benchmark, point_id):
+        """One result blob, or None when missing/torn/stale."""
+        try:
+            with open(self.result_path(benchmark, point_id)) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if data.get("schema") != RESULT_SCHEMA:
+            return None
+        return data
+
+    def save(self, result):
+        """Persist one evaluation blob (atomic); clears any failure mark."""
+        benchmark = result["benchmark"]
+        point_id = result["point"]["id"]
+        atomic_write_json(self.result_path(benchmark, point_id), result)
+        try:
+            os.unlink(self.failure_path(benchmark, point_id))
+        except OSError:
+            pass
+
+    def save_failure(self, benchmark, point_id, error):
+        atomic_write_json(
+            self.failure_path(benchmark, point_id),
+            {"schema": RESULT_SCHEMA, "benchmark": benchmark,
+             "point_id": point_id, "error": str(error)},
+        )
+
+    def iter_results(self):
+        """Yield every valid result blob (sorted by file name)."""
+        try:
+            names = sorted(os.listdir(self.results_dir))
+        except OSError:
+            return
+        for fname in names:
+            if not fname.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.results_dir, fname)) as fh:
+                    data = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            if data.get("schema") != RESULT_SCHEMA:
+                continue
+            yield data
+
+    def completed_keys(self):
+        """Set of ``(benchmark, point_id)`` pairs with a valid result."""
+        done = set()
+        for data in self.iter_results():
+            done.add((data["benchmark"], data["point"]["id"]))
+        return done
+
+    def failures(self):
+        """List of failure record dicts (empty when none)."""
+        out = []
+        try:
+            names = sorted(os.listdir(self.failures_dir))
+        except OSError:
+            return out
+        for fname in names:
+            try:
+                with open(os.path.join(self.failures_dir, fname)) as fh:
+                    out.append(json.load(fh))
+            except (OSError, ValueError):
+                continue
+        return out
+
+    def __repr__(self):
+        return "<ResultStore %s>" % self.root

@@ -22,6 +22,7 @@ warning and recomputed — no manual filename bookkeeping required.
 import json
 import os
 import sys
+import tempfile
 import time
 
 from repro import obs
@@ -284,24 +285,82 @@ def _run_benchmark(name, scale, verbose):
     return summary
 
 
-def collect(scale="full", names=None, verbose=False, use_cache=True):
-    """All benchmark summaries (cached); returns name → BenchmarkSummary."""
+def _atomic_write_json(path, data):
+    """Same-directory temp file + ``os.replace``: readers of the cache
+    never see a torn blob, whether the writer is one of many parallel
+    workers or a run interrupted by Ctrl-C."""
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=parent, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(data, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _collect_task(payload):
+    """Worker for parallel :func:`collect`: run one benchmark, cache it.
+
+    Results travel through the on-disk cache (atomic writes), never
+    through pipes — the same resumable-store discipline the DSE
+    scheduler uses, so a crashed or timed-out worker just leaves its
+    benchmark uncached for the retry.
+    """
+    name, scale, verbose = payload["name"], payload["scale"], payload["verbose"]
+    data = run_benchmark(name, scale, verbose=verbose)
+    _atomic_write_json(_cache_path(name, scale), data)
+
+
+def collect(scale="full", names=None, verbose=False, use_cache=True, jobs=1):
+    """All benchmark summaries (cached); returns name → BenchmarkSummary.
+
+    With ``jobs > 1`` (and ``use_cache``), uncached benchmarks are
+    evaluated in parallel on the DSE scheduler's process pool
+    (:func:`repro.dse.scheduler.run_tasks`): one isolated worker per
+    benchmark, results landing in the shared cache via atomic writes,
+    with the pool's crash-isolation and retry semantics.
+    """
     if names is None:
         names = CODE_SIZE_BENCHMARKS
-    out = {}
-    for name in names:
+
+    def cached(name):
         path = _cache_path(name, scale)
-        data = None
         if use_cache and os.path.exists(path):
-            data = _load_cached(path)
-            if data is not None:
-                obs.counter("harness.cache_hits")
-        if data is None:
+            return _load_cached(path)
+        return None
+
+    out = {}
+    if jobs and jobs > 1 and use_cache:
+        missing = [n for n in names if cached(n) is None]
+        if missing:
+            from repro.dse.scheduler import run_tasks
+
+            payloads = [{"name": n, "scale": scale, "verbose": verbose}
+                        for n in missing]
+            with obs.span("stage.dse.collect", scale=scale, jobs=jobs,
+                          benchmarks=len(missing)):
+                results = run_tasks(_collect_task, payloads, jobs=jobs,
+                                    label="collect")
+            errors = ["%s (%s)" % (r.payload["name"], r.error)
+                      for r in results if not r.ok]
+            if errors:
+                raise RuntimeError(
+                    "parallel collect failed for: %s" % ", ".join(errors))
+
+    for name in names:
+        data = cached(name)
+        if data is not None:
+            obs.counter("harness.cache_hits")
+        else:
             obs.counter("harness.cache_misses")
             data = run_benchmark(name, scale, verbose=verbose)
             if use_cache:
-                with open(path, "w") as fh:
-                    json.dump(data, fh)
+                _atomic_write_json(_cache_path(name, scale), data)
         out[name] = BenchmarkSummary(data)
     return out
 

@@ -17,7 +17,9 @@ recomputing anything:
   translation 1-to-1 vs 1-to-n, register spills, ...).
 
 With ``--jsonl PATH`` it instead summarizes a span/event stream written
-via ``REPRO_OBS=jsonl:<path>``.
+via ``REPRO_OBS=jsonl:<path>``; with ``--dse STORE`` it renders the
+per-(benchmark, design point) stage timings embedded in a design-space
+exploration result store (``python -m repro.dse sweep``).
 """
 
 import argparse
@@ -104,6 +106,74 @@ def render_manifests(manifests, top_counters=24):
     return "\n".join(lines)
 
 
+def render_dse(store_root, top_counters=24):
+    """Per-point stage-timing table over a DSE result store.
+
+    Reads the per-point manifests embedded in a
+    :class:`repro.dse.store.ResultStore` (written by
+    ``python -m repro.dse sweep``) and renders one row per
+    (benchmark, design point) alongside the same per-stage totals and
+    counter ranking the per-benchmark view prints.  Points that reused
+    a worker's memoized compile/profile work show only the stages they
+    actually ran (typically ``simulate``).
+    """
+    from repro.dse.store import ResultStore
+
+    rows = {}
+    for blob in ResultStore(store_root).iter_results():
+        manifest = blob.get("manifest") or {}
+        label = manifest.get("label") or blob["point"]["id"]
+        key = "%s %s" % (blob["benchmark"], label)
+        rows[key] = manifest
+
+    if not rows:
+        return "no DSE results under %s (run python -m repro.dse sweep)" % store_root
+
+    lines = []
+    width = max(28, max(len(k) for k in rows) + 2)
+    header = "%-*s %6s %11s " % (width, "benchmark/point", "scale", "wall")
+    header += " ".join("%11s" % s for s in STAGES)
+    lines.append(header)
+    lines.append("-" * len(header))
+    stage_totals = {s: [0, 0.0] for s in STAGES}
+    counters = {}
+    for key in sorted(rows):
+        m = rows[key]
+        row = "%-*s %6s %11s " % (
+            width, key, m.get("scale", "?"),
+            _fmt_seconds(m.get("wall_seconds", 0.0)))
+        cells = []
+        for stage in STAGES:
+            entry = (m.get("stages") or {}).get(stage)
+            if entry is None:
+                cells.append("%11s" % "-")
+            else:
+                cells.append("%11s" % _fmt_seconds(entry["seconds"]).strip())
+                stage_totals[stage][0] += entry.get("count", 0)
+                stage_totals[stage][1] += entry["seconds"]
+        lines.append(row + " ".join(cells))
+        for ckey, value in (m.get("counters") or {}).items():
+            counters[ckey] = counters.get(ckey, 0) + value
+
+    lines.append("")
+    lines.append("per-stage totals (slowest first):")
+    ranked = sorted(stage_totals.items(), key=lambda kv: kv[1][1], reverse=True)
+    total_s = sum(v[1] for _s, v in ranked) or 1.0
+    for stage, (count, seconds) in ranked:
+        lines.append(
+            "  %-11s %12s  %5.1f %%  (%d spans)"
+            % (stage, _fmt_seconds(seconds).strip(), 100.0 * seconds / total_s, count)
+        )
+    if counters:
+        lines.append("")
+        lines.append("top counters:")
+        ranked_counters = sorted(
+            counters.items(), key=lambda kv: kv[1], reverse=True)[:top_counters]
+        for key, value in ranked_counters:
+            lines.append("  %-36s %16s" % (key, "{:,}".format(value)))
+    return "\n".join(lines)
+
+
 def render_jsonl(path, top_counters=24):
     """Summarize a JSONL event stream (spans aggregated by name)."""
     spans = {}
@@ -154,12 +224,21 @@ def main(argv=None):
     parser.add_argument("--jsonl", default=None,
                         help="summarize a REPRO_OBS=jsonl:<path> event "
                         "stream instead of cached manifests")
+    parser.add_argument("--dse", default=None, metavar="STORE",
+                        help="render per-point stage timings from a DSE "
+                        "result store (python -m repro.dse sweep) instead "
+                        "of cached benchmark manifests")
     parser.add_argument("--counters", type=int, default=24,
                         help="how many counters to print (default 24)")
     args = parser.parse_args(argv)
 
     if args.jsonl:
         print(render_jsonl(args.jsonl, top_counters=args.counters))
+        return 0
+
+    if args.dse:
+        print(render_dse(os.path.expanduser(args.dse),
+                         top_counters=args.counters))
         return 0
 
     if args.cache_dir:

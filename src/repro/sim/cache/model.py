@@ -20,13 +20,23 @@ class CacheGeometry:
     """Size/organization of one cache (the SA-1100 I-cache defaults)."""
 
     def __init__(self, size_bytes, block_bytes=32, associativity=32):
+        if not isinstance(size_bytes, int) or size_bytes <= 0:
+            raise ValueError("cache size must be a positive integer, got %r" % (size_bytes,))
+        if not isinstance(block_bytes, int) or block_bytes <= 0 or (
+            block_bytes & (block_bytes - 1)
+        ):
+            raise ValueError(
+                "block size must be a positive power of two, got %r" % (block_bytes,)
+            )
+        if not isinstance(associativity, int) or associativity <= 0:
+            raise ValueError(
+                "associativity must be a positive integer, got %r" % (associativity,)
+            )
         if size_bytes % (block_bytes * associativity):
             raise ValueError(
                 "size %d not divisible by block*assoc %d"
                 % (size_bytes, block_bytes * associativity)
             )
-        if block_bytes & (block_bytes - 1):
-            raise ValueError("block size must be a power of two")
         self.size_bytes = size_bytes
         self.block_bytes = block_bytes
         self.associativity = associativity

@@ -114,6 +114,112 @@ def _arm_one(ins, idx, image):
     raise TypeError("no timing metadata for %r" % (ins,))
 
 
+def thumb_meta(image):
+    """Metadata for every halfword slot of a Thumb image.
+
+    Thumb traces index halfword slots; ``bl`` occupies two slots and its
+    low half (``instr_at[i] is None``) never starts or ends a run, so it
+    gets an empty slot meta like a FITS ``ext`` prefix.
+    """
+    out = []
+    for idx, ins in enumerate(image.instr_at):
+        out.append(_thumb_one(ins, idx))
+    return out
+
+
+def _thumb_one(ins, idx):
+    from repro.isa.thumb.model import (
+        TAdjustSp,
+        TAlu,
+        TAluOp,
+        TAddSub,
+        TBranch,
+        TBranchLink,
+        TCondBranch,
+        THiReg,
+        TLoadStoreImm,
+        TLoadStoreReg,
+        TLoadStoreSpRel,
+        TMovCmpAddSubImm,
+        TPushPop,
+        TShiftImm,
+        TSwi,
+    )
+
+    if ins is None:  # low half of a bl pair
+        return InstrMeta()
+    if isinstance(ins, TShiftImm):
+        return InstrMeta(reads=[ins.rm], writes=[ins.rd])
+    if isinstance(ins, TAddSub):
+        reads = [ins.rn] if ins.imm else [ins.rn, ins.value]
+        return InstrMeta(reads=reads, writes=[ins.rd])
+    if isinstance(ins, TMovCmpAddSubImm):
+        if ins.op == "mov":
+            return InstrMeta(writes=[ins.rd])
+        if ins.op == "cmp":
+            return InstrMeta(reads=[ins.rd], writes=[FLAGS])
+        return InstrMeta(reads=[ins.rd], writes=[ins.rd])
+    if isinstance(ins, TAlu):
+        if ins.op in (TAluOp.TST, TAluOp.CMP, TAluOp.CMN):
+            return InstrMeta(reads=[ins.rd, ins.rm], writes=[FLAGS])
+        if ins.op in (TAluOp.NEG, TAluOp.MVN):
+            return InstrMeta(reads=[ins.rm], writes=[ins.rd])
+        if ins.op == TAluOp.MUL:
+            return InstrMeta(reads=[ins.rd, ins.rm], writes=[ins.rd],
+                             latency=LAT_MUL, is_mul=True, extra_cycles=1)
+        return InstrMeta(reads=[ins.rd, ins.rm], writes=[ins.rd])
+    if isinstance(ins, THiReg):
+        if ins.op == "bx":
+            return InstrMeta(reads=[ins.rm], is_control=True)
+        if ins.op == "cmp":
+            return InstrMeta(reads=[ins.rd, ins.rm], writes=[FLAGS])
+        reads = [ins.rm] if ins.op == "mov" else [ins.rd, ins.rm]
+        if ins.rd == 15:
+            return InstrMeta(reads=reads, writes=[], is_control=True)
+        return InstrMeta(reads=reads, writes=[ins.rd])
+    if isinstance(ins, (TLoadStoreImm, TLoadStoreReg)):
+        bases = [ins.rn, ins.rm] if isinstance(ins, TLoadStoreReg) else [ins.rn]
+        reads = bases if ins.load else bases + [ins.rd]
+        return InstrMeta(
+            reads=reads, writes=[ins.rd] if ins.load else [],
+            latency=LAT_LOAD if ins.load else LAT_ALU,
+            is_mem=True, is_store=not ins.load,
+        )
+    if isinstance(ins, TLoadStoreSpRel):
+        reads = [13] if ins.load else [13, ins.rd]
+        return InstrMeta(
+            reads=reads, writes=[ins.rd] if ins.load else [],
+            latency=LAT_LOAD if ins.load else LAT_ALU,
+            is_mem=True, is_store=not ins.load,
+        )
+    if isinstance(ins, TAdjustSp):
+        return InstrMeta(reads=[13], writes=[13])
+    if isinstance(ins, TPushPop):
+        n = len(ins.reglist) + int(ins.extra)
+        if ins.pop:
+            control = ins.extra  # pop {.., pc}
+            return InstrMeta(
+                reads=[13], writes=[13] + list(ins.reglist),
+                latency=LAT_LOAD, is_mem=True, is_control=control,
+                extra_cycles=max(0, n - 1),
+            )
+        reads = [13] + list(ins.reglist) + ([14] if ins.extra else [])
+        return InstrMeta(reads=reads, writes=[13], is_mem=True, is_store=True,
+                         extra_cycles=max(0, n - 1))
+    if isinstance(ins, TCondBranch):
+        return InstrMeta(
+            reads=[FLAGS], is_control=True, is_cond_branch=True,
+            is_backward=ins.offset < 0,
+        )
+    if isinstance(ins, TBranch):
+        return InstrMeta(is_control=True, is_backward=ins.offset < 0)
+    if isinstance(ins, TBranchLink):
+        return InstrMeta(writes=[14], is_control=True)
+    if isinstance(ins, TSwi):
+        return InstrMeta(is_control=True, extra_cycles=2)
+    raise TypeError("no timing metadata for %r" % (ins,))
+
+
 def fits_meta(image):
     """Metadata for every halfword of a FITS image.
 

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.obs import core as obs
 from repro.sim.cache.model import CacheGeometry, SetAssociativeCache
-from repro.sim.pipeline.meta import arm_meta, fits_meta, FLAGS
+from repro.sim.pipeline.meta import arm_meta, fits_meta, thumb_meta, FLAGS
 
 
 class TimingConfig:
@@ -102,9 +102,12 @@ class TimingReport:
 def metadata_for(image):
     """Pick the metadata adapter matching the image's ISA."""
     from repro.core.translator import FitsImage
+    from repro.compiler.thumb_backend import ThumbImage
 
     if isinstance(image, FitsImage):
         return fits_meta(image)
+    if isinstance(image, ThumbImage):
+        return thumb_meta(image)
     return arm_meta(image)
 
 

@@ -1,0 +1,120 @@
+"""Cache model across swept geometries (the DSE grid's edge cases).
+
+The design-space explorer sweeps associativity and block size — axes
+the paper pinned to the SA-1100's 32-way/32-byte organization — so the
+model is exercised here at direct-mapped, 2-way and fully-associative
+organizations and 16/64-byte blocks: stats invariants on random traces,
+LRU eviction order on hand-built traces, and the constructor's
+validation of the degenerate values a generated grid can produce.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.cache.model import CacheGeometry, SetAssociativeCache
+
+GEOMETRIES = [
+    (1024, 16, 1),     # direct-mapped, 16-byte blocks
+    (1024, 32, 2),     # 2-way
+    (2048, 64, 2),     # 64-byte blocks
+    (512, 32, 16),     # fully associative (one set)
+    (16 * 1024, 32, 32),  # the paper's I-cache
+]
+
+
+@pytest.mark.parametrize("size,block,assoc", GEOMETRIES)
+def test_stats_invariants_on_random_trace(size, block, assoc):
+    geom = CacheGeometry(size, block, assoc)
+    cache = SetAssociativeCache(geom)
+    rng = random.Random(1234)
+    lines = [rng.randrange(0, 4 * geom.num_blocks) for _ in range(5000)]
+    for line in lines:
+        cache.access_line(line)
+    stats = cache.stats()
+    assert stats["accesses"] == 5000
+    assert stats["hits"] + stats["misses"] == stats["accesses"]
+    assert stats["fills"] == stats["misses"]
+    assert stats["compulsory_misses"] == len(set(lines))
+    assert stats["compulsory_misses"] <= stats["misses"]
+    # every miss fills a block; blocks not evicted are still resident
+    assert stats["misses"] - stats["evictions"] <= geom.num_blocks
+
+
+@pytest.mark.parametrize("size,block,assoc", GEOMETRIES)
+def test_line_of_matches_block_size(size, block, assoc):
+    geom = CacheGeometry(size, block, assoc)
+    assert geom.line_of(0) == 0
+    assert geom.line_of(block - 1) == 0
+    assert geom.line_of(block) == 1
+    assert geom.line_of(7 * block + 3) == 7
+
+
+def test_direct_mapped_conflicts():
+    geom = CacheGeometry(1024, 32, 1)  # 32 sets
+    cache = SetAssociativeCache(geom)
+    a, b = 5, 5 + geom.num_sets  # same set, different tags
+    for line in (a, b, a, b):
+        assert not cache.access_line(line)  # every access conflicts
+    assert cache.misses == 4
+    assert cache.compulsory_misses == 2
+    assert cache.evictions == 3
+    # a hit right after the fill
+    assert cache.access_line(b)
+
+
+def test_two_way_lru_eviction_order():
+    geom = CacheGeometry(1024, 32, 2)  # 16 sets, 2 ways
+    cache = SetAssociativeCache(geom)
+    s = geom.num_sets
+    a, b, c = 3, 3 + s, 3 + 2 * s  # same set
+    cache.access_line(a)
+    cache.access_line(b)
+    assert cache.access_line(a)        # a is now most-recent
+    cache.access_line(c)               # evicts b (LRU), not a
+    assert cache.contains_line(a)
+    assert cache.contains_line(c)
+    assert not cache.contains_line(b)
+    cache.access_line(b)               # evicts a (LRU after c touch? no: a older than c)
+    assert cache.contains_line(c)
+    assert not cache.contains_line(a)
+    assert cache.evictions == 2
+
+
+def test_fully_associative_capacity_then_evict():
+    geom = CacheGeometry(512, 32, 16)  # one set of 16 ways
+    assert geom.num_sets == 1
+    cache = SetAssociativeCache(geom)
+    for line in range(16):
+        cache.access_line(line)
+    assert cache.evictions == 0
+    for line in range(16):  # all resident, any order
+        assert cache.contains_line(line)
+    cache.access_line(1)       # make line 0 the LRU
+    cache.access_line(99)      # evicts line 0
+    assert cache.evictions == 1
+    assert not cache.contains_line(0)
+    assert cache.contains_line(99)
+
+
+@pytest.mark.parametrize("size,block,assoc", [
+    (1024, 24, 1),    # non-power-of-two block
+    (1024, 0, 1),     # zero block
+    (1024, -32, 1),   # negative block
+    (1024, 32, 0),    # zero ways
+    (1024, 32, -2),   # negative ways
+    (0, 32, 1),       # empty cache
+    (-1024, 32, 1),   # negative size
+    (1000, 32, 1),    # size not divisible by block*assoc
+    (96, 32, 1),      # set count not a power of two
+])
+def test_invalid_geometry_raises(size, block, assoc):
+    with pytest.raises(ValueError):
+        CacheGeometry(size, block, assoc)
+
+
+def test_non_integer_axes_raise():
+    with pytest.raises(ValueError):
+        CacheGeometry(1024, 32, 2.5)
+    with pytest.raises(ValueError):
+        CacheGeometry(1024.0, 32, 2)

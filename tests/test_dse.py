@@ -1,0 +1,372 @@
+"""Design-space exploration subsystem tests.
+
+Covers the declarative space model (content-hash ids, grids, presets,
+validation), Pareto dominance and frontier extraction, the resumable
+result store (atomic writes, torn-blob tolerance), the scheduler
+(serial + parallel, resume-skips-completed, failure isolation, per-task
+timeout), the CLI, and the acceptance criterion that the paper's four
+configurations reproduce bit-identically through the DSE path.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.dse import pareto
+from repro.dse.evaluate import evaluate_point
+from repro.dse.scheduler import run_tasks, sweep
+from repro.dse.space import (
+    DesignPoint,
+    DesignSpace,
+    PAPER_LABELS,
+    preset,
+)
+from repro.dse.store import ResultStore, atomic_write_json
+from repro.harness.runner import run_benchmark
+
+BENCH = "crc32"
+
+
+# ----------------------------------------------------------------------
+# space
+
+
+def test_point_id_is_stable_content_hash():
+    a = DesignPoint("fits", 16 * 1024)
+    b = DesignPoint("fits", 16 * 1024)
+    assert a.point_id == b.point_id
+    assert a == b
+    c = DesignPoint("fits", 8 * 1024)
+    assert a.point_id != c.point_id
+    for variant in (
+        DesignPoint("arm", 16 * 1024),
+        DesignPoint("fits", 16 * 1024, associativity=2),
+        DesignPoint("fits", 16 * 1024, block_bytes=16),
+        DesignPoint("fits", 16 * 1024, tech="180nm"),
+        DesignPoint("fits", 16 * 1024, fetch_bits=16),
+    ):
+        assert variant.point_id != a.point_id
+
+
+def test_point_round_trip_and_hash_check():
+    p = DesignPoint("thumb", 8192, associativity=4, block_bytes=16,
+                    tech="250nm", fetch_bits=16)
+    q = DesignPoint.from_dict(p.to_dict())
+    assert q == p and q.point_id == p.point_id
+    tampered = p.to_dict()
+    tampered["icache_bytes"] = 16384  # id no longer matches content
+    with pytest.raises(ValueError):
+        DesignPoint.from_dict(tampered)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"isa": "mips", "icache_bytes": 8192},
+    {"isa": "arm", "icache_bytes": 8192, "tech": "90nm"},
+    {"isa": "arm", "icache_bytes": 8192, "fetch_bits": 48},
+    {"isa": "arm", "icache_bytes": 8192, "block_bytes": 24},
+    {"isa": "arm", "icache_bytes": 8192, "associativity": 0},
+    {"isa": "arm", "icache_bytes": 3000},
+])
+def test_point_validation_rejects(kwargs):
+    with pytest.raises(ValueError):
+        DesignPoint(**kwargs)
+
+
+def test_grid_drops_invalid_combos_and_dedups():
+    space = DesignSpace.grid(
+        isas=("arm",), sizes=(1024, 16384), assocs=(1, 32), blocks=(32, 64))
+    # 1024B x 32-way x 64B blocks is not constructible (2048 > 1024)
+    assert space.dropped == 1
+    assert len(space) == 7
+    ids = [p.point_id for p in space]
+    assert len(ids) == len(set(ids))
+
+
+def test_paper4_preset_matches_harness_configs():
+    space = preset("paper4")
+    assert len(space) == 4
+    labels = [PAPER_LABELS[p.point_id] for p in space]
+    assert labels == ["ARM16", "ARM8", "FITS16", "FITS8"]
+    with pytest.raises(KeyError):
+        preset("nonsense")
+
+
+# ----------------------------------------------------------------------
+# pareto
+
+
+def _m(energy, ipc, size):
+    return {"icache_energy_j": energy, "ipc": ipc, "code_size": size}
+
+
+def test_dominates_partial_order():
+    a, b = _m(1.0, 2.0, 100), _m(2.0, 1.0, 200)
+    assert pareto.dominates(a, b)
+    assert not pareto.dominates(b, a)
+    # incomparable: each wins one objective
+    c = _m(0.5, 0.5, 100)
+    assert not pareto.dominates(a, c) and not pareto.dominates(c, a)
+    # equal rows don't dominate each other
+    assert not pareto.dominates(a, dict(a))
+
+
+def test_pareto_front_extraction():
+    rows = [
+        {"metrics": _m(1.0, 2.0, 100)},   # on the front
+        {"metrics": _m(2.0, 1.0, 200)},   # dominated by row 0
+        {"metrics": _m(0.5, 1.0, 300)},   # on the front (cheapest energy)
+        {"metrics": _m(1.0, 2.0, 100)},   # duplicate vector: kept once
+        {"metrics": _m(0.9, 2.5, 400)},   # on the front (best ipc)
+    ]
+    front = pareto.pareto_front(rows)
+    assert [rows.index(r) for r in front] == [0, 2, 4]
+
+
+def test_parse_objectives():
+    objs = pareto.parse_objectives("min:cycles, max:ipc")
+    assert objs == (("cycles", "min"), ("ipc", "max"))
+    assert pareto.parse_objectives(None) == pareto.DEFAULT_OBJECTIVES
+    with pytest.raises(ValueError):
+        pareto.parse_objectives("cycles")
+    with pytest.raises(ValueError):
+        pareto.parse_objectives("best:cycles")
+
+
+def _blob(bench, point, energy, ipc, size):
+    return {"benchmark": bench, "point": point.to_dict(),
+            "metrics": _m(energy, ipc, size)}
+
+
+def test_aggregate_rows_requires_full_coverage():
+    p1 = DesignPoint("arm", 8192)
+    p2 = DesignPoint("fits", 8192)
+    results = [
+        _blob("crc32", p1, 1.0, 1.0, 100),
+        _blob("sha", p1, 3.0, 2.0, 100),
+        _blob("crc32", p2, 9.0, 9.0, 100),  # p2 missing on sha
+    ]
+    rows = pareto.aggregate_rows(results)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["point"]["id"] == p1.point_id
+    assert row["metrics"]["icache_energy_j"] == 4.0   # extensive: summed
+    assert row["metrics"]["ipc"] == 1.5               # intensive: averaged
+    assert row["metrics"]["code_size"] == 200
+
+
+# ----------------------------------------------------------------------
+# store
+
+
+def test_store_round_trip_and_torn_blob(tmp_path):
+    store = ResultStore(str(tmp_path / "s"))
+    p = DesignPoint("arm", 8192)
+    blob = {"schema": 1, "benchmark": "crc32", "scale": "small",
+            "point": p.to_dict(), "metrics": _m(1.0, 1.0, 10), "manifest": {}}
+    assert not store.has("crc32", p.point_id)
+    store.save(blob)
+    assert store.has("crc32", p.point_id)
+    assert store.load("crc32", p.point_id) == blob
+    assert store.completed_keys() == {("crc32", p.point_id)}
+    # torn/garbage blobs read as absent, not as crashes
+    with open(store.result_path("crc32", "deadbeef0000"), "w") as fh:
+        fh.write('{"schema": 1, "benchm')
+    assert store.load("crc32", "deadbeef0000") is None
+    assert store.completed_keys() == {("crc32", p.point_id)}
+    # failures round-trip and are cleared by a later success
+    store.save_failure("crc32", p.point_id, "boom")
+    assert store.failures()[0]["error"] == "boom"
+    store.save(blob)
+    assert store.failures() == []
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "x.json"
+    atomic_write_json(str(path), {"v": 1})
+    atomic_write_json(str(path), {"v": 2})
+    assert json.loads(path.read_text()) == {"v": 2}
+    assert os.listdir(tmp_path) == ["x.json"]
+
+
+# ----------------------------------------------------------------------
+# generic task runner
+
+
+def _ok_worker(payload):
+    pass
+
+
+def _flaky_worker(payload):
+    if payload["fail"]:
+        raise RuntimeError("task %s exploded" % payload["n"])
+
+
+def _slow_worker(payload):
+    time.sleep(payload.get("sleep", 0))
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_run_tasks_isolates_failures(jobs):
+    payloads = [{"n": i, "fail": i == 1} for i in range(4)]
+    results = run_tasks(_flaky_worker, payloads, jobs=jobs, retries=1)
+    by_n = {r.payload["n"]: r for r in results}
+    assert len(by_n) == 4
+    assert not by_n[1].ok and by_n[1].attempts == 2
+    for n in (0, 2, 3):
+        assert by_n[n].ok
+
+
+def test_run_tasks_timeout_kills_and_moves_on():
+    payloads = [{"sleep": 30}, {"sleep": 0}]
+    t0 = time.perf_counter()
+    results = run_tasks(_slow_worker, payloads, jobs=2, timeout=0.5, retries=0)
+    assert time.perf_counter() - t0 < 10
+    by_sleep = {r.payload["sleep"]: r for r in results}
+    assert not by_sleep[30].ok and "timeout" in by_sleep[30].error
+    assert by_sleep[0].ok
+
+
+# ----------------------------------------------------------------------
+# sweeps (real evaluations, small scale, one benchmark)
+
+
+@pytest.fixture(scope="module")
+def paper_sweep(tmp_path_factory):
+    """A completed serial paper4 sweep over one benchmark."""
+    root = str(tmp_path_factory.mktemp("dse_store"))
+    summary = sweep(preset("paper4"), [BENCH], scale="small", jobs=1, store=root)
+    return root, summary
+
+
+def test_sweep_completes_and_resumes_with_zero_work(paper_sweep):
+    root, summary = paper_sweep
+    assert summary["evaluated"] == 4
+    assert summary["failed"] == []
+    again = sweep(preset("paper4"), [BENCH], scale="small", jobs=1, store=root)
+    assert again["evaluated"] == 0
+    assert again["skipped"] == 4
+    assert again["tasks"] == 0
+
+
+def test_sweep_results_bit_identical_to_harness(paper_sweep, tmp_path):
+    root, _summary = paper_sweep
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path)
+    try:
+        reference = run_benchmark(BENCH, "small")
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    store = ResultStore(root)
+    seen = set()
+    for blob in store.iter_results():
+        label = PAPER_LABELS[blob["point"]["id"]]
+        seen.add(label)
+        config = reference["configs"][label]
+        metrics = blob["metrics"]
+        for field in ("cycles", "instructions", "ipc", "seconds",
+                      "icache_requests", "icache_line_accesses",
+                      "icache_misses", "mpm", "dcache_accesses",
+                      "dcache_misses", "switching_w", "internal_w",
+                      "leakage_w", "total_w", "peak_w"):
+            assert metrics[field] == config[field], (label, field)
+        assert metrics["icache_energy_j"] == config["total_j"], label
+    assert seen == {"ARM16", "ARM8", "FITS16", "FITS8"}
+
+
+def test_frontier_over_sweep_contains_undominated_paper_point(paper_sweep):
+    root, _summary = paper_sweep
+    results = list(ResultStore(root).iter_results())
+    report = pareto.frontier_report(results)
+    front = report["per_benchmark"][BENCH]
+    assert front
+    # every frontier point dominates or ties every point on each
+    # objective-by-objective basis; in particular nothing dominates it
+    for row in front:
+        for other in results:
+            assert not pareto.dominates(other["metrics"], row["metrics"])
+    # the aggregate view over one benchmark matches the per-benchmark one
+    agg_ids = {r["point"]["id"] for r in report["aggregate"]}
+    assert agg_ids == {r["point"]["id"] for r in front}
+
+
+def test_sweep_manifests_have_stage_timings(paper_sweep):
+    root, _summary = paper_sweep
+    for blob in ResultStore(root).iter_results():
+        manifest = blob["manifest"]
+        assert manifest["wall_seconds"] > 0
+        assert "simulate" in manifest["stages"]
+        assert manifest["counters"]["cache.icache.misses"] == \
+            manifest["counters"]["power.icache.misses"]
+
+
+def test_obs_report_renders_dse_store(paper_sweep):
+    from repro.obs.report import render_dse
+
+    root, _summary = paper_sweep
+    text = render_dse(root)
+    assert "fits-16K-32w-32B" in text
+    assert "simulate" in text
+    assert "per-stage totals" in text
+
+
+def test_parallel_sweep_matches_serial(paper_sweep, tmp_path):
+    root, _summary = paper_sweep
+    par_root = str(tmp_path / "par")
+    summary = sweep(preset("paper4"), [BENCH], scale="small", jobs=2,
+                    store=par_root)
+    assert summary["evaluated"] == 4 and summary["failed"] == []
+    serial = {b["point"]["id"]: b["metrics"]
+              for b in ResultStore(root).iter_results()}
+    parallel = {b["point"]["id"]: b["metrics"]
+                for b in ResultStore(par_root).iter_results()}
+    assert serial == parallel
+
+
+def test_thumb_points_evaluate(tmp_path):
+    blob = evaluate_point(BENCH, DesignPoint("thumb", 8 * 1024), scale="small")
+    metrics = blob["metrics"]
+    assert metrics["cycles"] > 0 and 0 < metrics["ipc"] < 2
+    assert metrics["icache_energy_j"] > 0
+    arm = evaluate_point(BENCH, DesignPoint("arm", 8 * 1024), scale="small")
+    # Thumb's raison d'être: smaller code than ARM
+    assert metrics["code_size"] < arm["metrics"]["code_size"]
+
+
+def test_cli_sweep_frontier_report(tmp_path, capsys):
+    from repro.dse.cli import main
+
+    store = str(tmp_path / "cli")
+    rc = main(["sweep", "--preset", "paper4", "--benchmarks", BENCH,
+               "--scale", "small", "--jobs", "1", "--store", store])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "evaluated: 4" in out
+
+    rc = main(["frontier", "--store", store, "--json"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["per_benchmark"][BENCH]
+    labels = {PAPER_LABELS.get(r["point"]["id"])
+              for r in report["per_benchmark"][BENCH]}
+    assert labels <= {"ARM16", "ARM8", "FITS16", "FITS8"}
+
+    rc = main(["report", "--store", store])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "4 points" in out and "benchmark/point" in out
+
+
+def test_collect_parallel_uses_pool_and_atomic_cache(tmp_path):
+    from repro.harness import collect
+
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path)
+    try:
+        data = collect(scale="small", names=[BENCH, "sha"], jobs=2)
+        assert set(data) == {BENCH, "sha"}
+        again = collect(scale="small", names=[BENCH, "sha"], jobs=2)
+        assert {n: s.data for n, s in data.items()} == \
+            {n: s.data for n, s in again.items()}
+        assert not [f for f in os.listdir(tmp_path) if f.startswith(".tmp-")]
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
