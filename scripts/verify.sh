@@ -69,4 +69,38 @@ head -20 "$tmp/dse-report.txt"
 grep -q "benchmark/point" "$tmp/dse-report.txt" \
     || { echo "FAIL: DSE observability report missing per-point table"; exit 1; }
 
+echo "== trajectory record + paper-golden gates (paper4 points, smoke scale) =="
+hist="$tmp/trajectory.jsonl"
+REPRO_COMMIT=verify-smoke python -m repro.obs.regress record \
+    --from-dse "$dse_store" --store "$hist" | tee "$tmp/record1.txt"
+grep -q "recorded 8 new" "$tmp/record1.txt" \
+    || { echo "FAIL: DSE->trajectory bridge did not record 8 points"; exit 1; }
+REPRO_COMMIT=verify-smoke python -m repro.obs.regress record \
+    --cache-dir "$tmp/cache" --store "$hist" > /dev/null
+python -m repro.obs.regress check --store "$hist" | tee "$tmp/golden.txt"
+grep -q " 0 fail" "$tmp/golden.txt" \
+    || { echo "FAIL: golden gates reported failures"; exit 1; }
+
+echo "== regression diff (unchanged re-run must be clean) =="
+REPRO_COMMIT=verify-smoke python -m repro.obs.regress record \
+    --from-dse "$dse_store" --store "$hist" | tee "$tmp/record2.txt"
+grep -q "recorded 0 new" "$tmp/record2.txt" \
+    || { echo "FAIL: unchanged re-record was not deduplicated"; exit 1; }
+python -m repro.obs.regress diff --store "$hist" | tee "$tmp/diff.txt"
+grep -q "0 regressions" "$tmp/diff.txt" \
+    || { echo "FAIL: diff flagged regressions on an unchanged re-run"; exit 1; }
+
+echo "== Chrome trace-event export =="
+python -m repro.obs.regress export-trace --jsonl "$tmp/obs.jsonl" \
+    --out "$tmp/trace.json"
+python - "$tmp/trace.json" <<'EOF'
+import json, sys
+from repro.obs.trace_export import validate_trace
+trace = json.load(open(sys.argv[1]))
+validate_trace(trace)
+names = {e["name"] for e in trace["traceEvents"]}
+assert any(n.startswith("stage.") for n in names), names
+print("trace valid: %d events" % len(trace["traceEvents"]))
+EOF
+
 echo "verify OK"

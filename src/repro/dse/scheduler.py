@@ -45,9 +45,18 @@ def _context():
         return multiprocessing.get_context("spawn")
 
 
-def _child_main(worker, payload):
-    """Child-process entry: run the task, exit 1 on any failure."""
+def _child_main(worker, payload, obs_spec=None):
+    """Child-process entry: run the task, exit 1 on any failure.
+
+    ``obs_spec`` (from :func:`repro.obs.core.export_spec`) reproduces
+    the parent's observability configuration in the worker — without
+    it, a parent that enabled obs programmatically (or a spawn-context
+    child whose import-time environment lost ``REPRO_OBS``) would run
+    its points dark and produce manifests without opcode sampling.
+    """
     try:
+        if obs_spec is not None:
+            obs.apply_spec(obs_spec)
         worker(payload)
     except SystemExit:
         raise
@@ -114,6 +123,7 @@ def run_tasks(worker, payloads, jobs=1, timeout=None, retries=1,
         return results
 
     ctx = _context()
+    obs_spec = obs.export_spec()
     queue = [(payload, 1) for payload in payloads]
     queue.reverse()  # pop() then serves payloads in order
     running = {}  # proc -> (payload, attempt, t_start)
@@ -135,7 +145,8 @@ def run_tasks(worker, payloads, jobs=1, timeout=None, retries=1,
         while queue or running:
             while queue and len(running) < jobs:
                 payload, attempt = queue.pop()
-                proc = ctx.Process(target=_child_main, args=(worker, payload))
+                proc = ctx.Process(target=_child_main,
+                                   args=(worker, payload, obs_spec))
                 proc.start()
                 running[proc] = (payload, attempt, time.perf_counter())
             time.sleep(0.02)

@@ -140,6 +140,22 @@ class ResultStore:
             done.add((data["benchmark"], data["point"]["id"]))
         return done
 
+    def to_trajectory_records(self, commit=None, scale=None, names=None):
+        """Bridge this sweep's results into metrics-trajectory records.
+
+        Returns the :mod:`repro.obs.regress` records for every valid
+        result blob, so DSE sweeps feed the same append-only commit
+        history (``bench_history/trajectory.jsonl``) as harness runs::
+
+            store = ResultStore(root)
+            TrajectoryStore().append(store.to_trajectory_records())
+        """
+        from repro.obs.regress import current_commit, records_from_dse_store
+
+        if commit is None:
+            commit = current_commit()
+        return records_from_dse_store(self, commit, scale=scale, names=names)
+
     def failures(self):
         """List of failure record dicts (empty when none)."""
         out = []

@@ -141,7 +141,29 @@ class BenchmarkSummary:
         return 1.0 - value / base
 
 
-def run_benchmark(name, scale="full", verbose=False):
+def _record_trajectory(summaries, record_trajectory):
+    """Append trajectory records for the given summaries (opt-in hook).
+
+    ``record_trajectory`` is falsy (off), True (default store under
+    ``bench_history/``), or a path to the trajectory JSONL.  Returns
+    the (added, skipped) counts from the store.
+    """
+    from repro.obs.regress import (
+        TrajectoryStore,
+        current_commit,
+        records_from_summary,
+    )
+
+    path = record_trajectory if isinstance(record_trajectory, str) else None
+    store = TrajectoryStore(path)
+    commit = current_commit()
+    records = []
+    for summary in summaries:
+        records.extend(records_from_summary(summary, commit))
+    return store.append(records)
+
+
+def run_benchmark(name, scale="full", verbose=False, record_trajectory=False):
     """Run the full study for one benchmark; returns a summary dict.
 
     The summary always carries a run manifest: when observability is not
@@ -149,6 +171,10 @@ def run_benchmark(name, scale="full", verbose=False):
     and no per-opcode sampling) is opened just for the duration of this
     run — the instrumentation it activates is stage/function-granular
     and costs well under a percent of a run.
+
+    With ``record_trajectory`` (False, True, or a JSONL path) the run's
+    headline metrics are also appended to the metrics trajectory store
+    keyed by the current git commit (see :mod:`repro.obs.regress`).
     """
     was_enabled = obs.core.enabled
     if not was_enabled:
@@ -179,6 +205,8 @@ def run_benchmark(name, scale="full", verbose=False):
     }
     summary["manifest"] = manifest
     obs.emit({"kind": "manifest", "benchmark": name, "manifest": manifest})
+    if record_trajectory:
+        _record_trajectory([summary], record_trajectory)
     return summary
 
 
@@ -316,7 +344,8 @@ def _collect_task(payload):
     _atomic_write_json(_cache_path(name, scale), data)
 
 
-def collect(scale="full", names=None, verbose=False, use_cache=True, jobs=1):
+def collect(scale="full", names=None, verbose=False, use_cache=True, jobs=1,
+            record_trajectory=False):
     """All benchmark summaries (cached); returns name → BenchmarkSummary.
 
     With ``jobs > 1`` (and ``use_cache``), uncached benchmarks are
@@ -324,6 +353,12 @@ def collect(scale="full", names=None, verbose=False, use_cache=True, jobs=1):
     (:func:`repro.dse.scheduler.run_tasks`): one isolated worker per
     benchmark, results landing in the shared cache via atomic writes,
     with the pool's crash-isolation and retry semantics.
+
+    With ``record_trajectory`` (False, True, or a JSONL path) every
+    collected summary — cached or fresh — is appended to the metrics
+    trajectory store keyed by the current git commit; duplicates of
+    already-recorded (commit, benchmark, config) triples are skipped by
+    the store, so repeated collects never inflate the history.
     """
     if names is None:
         names = CODE_SIZE_BENCHMARKS
@@ -362,6 +397,8 @@ def collect(scale="full", names=None, verbose=False, use_cache=True, jobs=1):
             if use_cache:
                 _atomic_write_json(_cache_path(name, scale), data)
         out[name] = BenchmarkSummary(data)
+    if record_trajectory:
+        _record_trajectory(out.values(), record_trajectory)
     return out
 
 

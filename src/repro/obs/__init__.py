@@ -24,11 +24,13 @@ from repro.obs.core import (
     JsonlSink,
     MemorySink,
     NullSink,
+    apply_spec,
     configure_from_env,
     counter,
     disable,
     emit,
     enable,
+    export_spec,
     gauge,
     mark,
     observe,
@@ -48,6 +50,7 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "NullSink",
+    "apply_spec",
     "configure_from_env",
     "core",
     "counter",
@@ -55,6 +58,7 @@ __all__ = [
     "emit",
     "enable",
     "enabled",
+    "export_spec",
     "gauge",
     "mark",
     "observe",

@@ -26,6 +26,7 @@ Configuration comes from the environment at import time:
   the one collection whose cost scales with static code size).
 """
 
+import atexit
 import functools
 import json
 import os
@@ -52,6 +53,13 @@ _gauges = {}
 _dists = {}     # name -> [count, total, min, max]
 _span_agg = {}  # name -> [count, total_seconds, max_seconds]
 
+#: Process-local time origin for streamed span events.  Span events
+#: carry ``ts`` (start offset in seconds since this epoch), which is
+#: what lets :mod:`repro.obs.trace_export` reconstruct a timeline
+#: without re-running anything.
+_EPOCH = time.perf_counter()
+_atexit_registered = False
+
 
 class NullSink:
     """Swallows every event (useful to exercise the streaming path)."""
@@ -77,7 +85,14 @@ class MemorySink:
 
 
 class JsonlSink:
-    """Appends one JSON object per event to a file."""
+    """Appends one JSON object per event to a file.
+
+    Usable as a context manager (``with JsonlSink(path) as sink:``), and
+    every emit is a single flushed ``write`` so concurrent workers
+    appending to one file never interleave partial lines.  The active
+    sink is additionally closed via ``atexit`` (see :func:`enable`) so
+    trailing events survive a run that exits mid-stream.
+    """
 
     def __init__(self, path):
         self.path = os.path.expanduser(path)
@@ -87,20 +102,42 @@ class JsonlSink:
         self._fh = open(self.path, "a")
 
     def emit(self, event):
+        if self._fh.closed:
+            return
         self._fh.write(json.dumps(event, sort_keys=True) + "\n")
         self._fh.flush()
 
     def close(self):
         if not self._fh.closed:
+            self._fh.flush()
             self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+def _close_sink_at_exit():
+    """``atexit`` hook: flush/close whatever sink is live at shutdown."""
+    if _sink is not None:
+        try:
+            _sink.close()
+        except Exception:
+            pass
 
 
 def enable(sink=None, opcode_sampling=False):
     """Turn collection on.  ``sink=None`` means aggregate-only."""
-    global enabled, _sink, _opcode_sampling
+    global enabled, _sink, _opcode_sampling, _atexit_registered
     _sink = sink
     _opcode_sampling = opcode_sampling
     enabled = True
+    if not _atexit_registered:
+        atexit.register(_close_sink_at_exit)
+        _atexit_registered = True
 
 
 def disable():
@@ -148,6 +185,53 @@ def configure_from_env(env=None):
     return True
 
 
+def export_spec():
+    """Picklable description of the current configuration.
+
+    Returns None when disabled; otherwise a dict a worker process can
+    hand to :func:`apply_spec` to reproduce the parent's observability
+    setup (sink kind, JSONL path, opcode-sampling flag).  This is how
+    :func:`repro.dse.scheduler.run_tasks` propagates ``REPRO_OBS`` into
+    children, which otherwise start with whatever the *import-time*
+    environment said — i.e. disabled whenever the parent enabled
+    observability programmatically.
+    """
+    if not enabled:
+        return None
+    if isinstance(_sink, JsonlSink):
+        kind, path = "jsonl", _sink.path
+    elif isinstance(_sink, MemorySink):
+        kind, path = "memory", None
+    elif _sink is None:
+        kind, path = "aggregate", None
+    else:
+        kind, path = "null", None
+    return {"kind": kind, "path": path, "opcodes": _opcode_sampling}
+
+
+def apply_spec(spec):
+    """Recreate the configuration described by :func:`export_spec`.
+
+    ``None`` disables.  A JSONL spec reopens the same file in append
+    mode — emits are single flushed writes, so many workers can share
+    one stream.
+    """
+    if spec is None:
+        if enabled:
+            disable()
+        return
+    kind = spec.get("kind")
+    sampling = bool(spec.get("opcodes"))
+    if kind == "jsonl":
+        enable(JsonlSink(spec["path"]), opcode_sampling=sampling)
+    elif kind == "memory":
+        enable(MemorySink(), opcode_sampling=sampling)
+    elif kind == "null":
+        enable(NullSink(), opcode_sampling=sampling)
+    else:
+        enable(sink=None, opcode_sampling=sampling)
+
+
 # ----------------------------------------------------------------------
 # spans
 
@@ -180,7 +264,8 @@ class _Span:
                 agg[2] = seconds
         if _sink is not None:
             event = {"kind": "span", "name": self.name,
-                     "seconds": seconds, "depth": _depth}
+                     "seconds": seconds, "depth": _depth,
+                     "ts": self._t0 - _EPOCH, "pid": os.getpid()}
             if exc_type is not None:
                 event["error"] = exc_type.__name__
             if self.attrs:

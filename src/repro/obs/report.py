@@ -119,17 +119,24 @@ def render_dse(store_root, top_counters=24):
     """
     from repro.dse.store import ResultStore
 
+    store = ResultStore(store_root)
     rows = {}
-    for blob in ResultStore(store_root).iter_results():
+    for blob in store.iter_results():
         manifest = blob.get("manifest") or {}
         label = manifest.get("label") or blob["point"]["id"]
         key = "%s %s" % (blob["benchmark"], label)
         rows[key] = manifest
 
     if not rows:
-        return "no DSE results under %s (run python -m repro.dse sweep)" % store_root
+        return None
 
     lines = []
+    for record in store.failures():
+        lines.append("warning: skipping failed point %s %s: %s" % (
+            record.get("benchmark"), record.get("point_id"),
+            record.get("error")))
+    if lines:
+        lines.append("")
     width = max(28, max(len(k) for k in rows) + 2)
     header = "%-*s %6s %11s " % (width, "benchmark/point", "scale", "wall")
     header += " ".join("%11s" % s for s in STAGES)
@@ -175,7 +182,7 @@ def render_dse(store_root, top_counters=24):
 
 
 def render_jsonl(path, top_counters=24):
-    """Summarize a JSONL event stream (spans aggregated by name)."""
+    """Summarize a JSONL event stream; None when empty/span-free."""
     spans = {}
     manifests = {}
     with open(path) as fh:
@@ -196,6 +203,8 @@ def render_jsonl(path, top_counters=24):
                     agg[2] = event["seconds"]
             elif kind == "manifest":
                 manifests[event.get("benchmark", "?")] = event.get("manifest", {})
+    if not spans and not manifests:
+        return None
     lines = ["spans in %s (by total time):" % path]
     for name, (count, seconds, max_s) in sorted(
         spans.items(), key=lambda kv: kv[1][1], reverse=True
@@ -233,12 +242,30 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     if args.jsonl:
-        print(render_jsonl(args.jsonl, top_counters=args.counters))
+        try:
+            text = render_jsonl(args.jsonl, top_counters=args.counters)
+        except OSError as exc:
+            print("error: cannot read event stream %s (%s) — run with "
+                  "REPRO_OBS=jsonl:<path> first" % (args.jsonl, exc),
+                  file=sys.stderr)
+            return 1
+        if text is None:
+            print("error: no span or manifest events in %s (was the run "
+                  "started with REPRO_OBS=jsonl:<path>?)" % args.jsonl,
+                  file=sys.stderr)
+            return 1
+        print(text)
         return 0
 
     if args.dse:
-        print(render_dse(os.path.expanduser(args.dse),
-                         top_counters=args.counters))
+        store_root = os.path.expanduser(args.dse)
+        text = render_dse(store_root, top_counters=args.counters)
+        if text is None:
+            print("error: no DSE results under %s (run "
+                  "`python -m repro.dse sweep` first)" % store_root,
+                  file=sys.stderr)
+            return 1
+        print(text)
         return 0
 
     if args.cache_dir:
@@ -249,8 +276,9 @@ def main(argv=None):
         cache_dir = _cache_dir()
     manifests = _load_manifests(cache_dir, args.scale, set(args.names))
     if not manifests:
-        print("no cached run manifests under %s (run a benchmark first, "
-              "e.g. python -m repro.harness.report small)" % cache_dir)
+        print("error: no cached run manifests under %s (run a benchmark "
+              "first, e.g. python -m repro.harness.report small)" % cache_dir,
+              file=sys.stderr)
         return 1
     print(render_manifests(manifests, top_counters=args.counters))
     return 0

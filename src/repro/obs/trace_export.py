@@ -1,0 +1,122 @@
+"""Chrome trace-event export of ``REPRO_OBS=jsonl:`` span streams.
+
+Converts the span events streamed by :class:`repro.obs.core.JsonlSink`
+into the Trace Event Format understood by ``chrome://tracing`` and
+https://ui.perfetto.dev, so a pipeline run (or a whole parallel DSE
+sweep) can be inspected as a flamegraph: one track per process, spans
+nested by their real start/duration.
+
+Span events carry ``ts`` (start offset in seconds since the emitting
+process's observability epoch) and ``pid``; each becomes one complete
+("ph": "X") event with microsecond ``ts``/``dur``.  Events from older
+streams that lack ``ts`` are laid out sequentially per process — the
+durations and nesting remain faithful, only the gaps are synthetic.
+Manifest events become instant ("ph": "i") markers carrying the
+benchmark name.
+"""
+
+import json
+
+
+def _span_to_event(event, fallback_clock):
+    """One obs span event -> one trace 'X' event (times in µs)."""
+    pid = event.get("pid", 1)
+    seconds = float(event.get("seconds", 0.0))
+    ts = event.get("ts")
+    if ts is None:
+        # Legacy stream: synthesize a sequential timeline per process.
+        ts = fallback_clock.get(pid, 0.0)
+        fallback_clock[pid] = ts + seconds
+    out = {
+        "name": event.get("name", "?"),
+        "ph": "X",
+        "pid": pid,
+        "tid": pid,
+        "ts": ts * 1e6,
+        "dur": seconds * 1e6,
+        "cat": "obs",
+    }
+    args = {}
+    if event.get("attrs"):
+        args.update(event["attrs"])
+    if event.get("error"):
+        args["error"] = event["error"]
+    if event.get("depth") is not None:
+        args["depth"] = event["depth"]
+    if args:
+        out["args"] = args
+    return out
+
+
+def iter_events(path):
+    """Yield parsed obs events from a JSONL stream, skipping garbage."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(event, dict):
+                yield event
+
+
+def export_trace(path):
+    """Read one obs JSONL stream; return a trace-event JSON dict."""
+    trace_events = []
+    fallback_clock = {}
+    last_ts = {}
+    for event in iter_events(path):
+        kind = event.get("kind")
+        if kind == "span":
+            out = _span_to_event(event, fallback_clock)
+            last_ts[out["pid"]] = max(
+                last_ts.get(out["pid"], 0.0), out["ts"] + out["dur"])
+            trace_events.append(out)
+        elif kind == "manifest":
+            pid = event.get("pid", 1)
+            trace_events.append({
+                "name": "manifest %s" % event.get("benchmark", "?"),
+                "ph": "i",
+                "s": "p",
+                "pid": pid,
+                "tid": pid,
+                "ts": last_ts.get(pid, 0.0),
+                "cat": "obs",
+            })
+    # Stable render order: by process, then start time.
+    trace_events.sort(key=lambda e: (e["pid"], e["ts"]))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "stream": path},
+    }
+
+
+def validate_trace(trace):
+    """Raise ValueError unless ``trace`` is well-formed trace-event JSON.
+
+    Checks the properties Chrome/Perfetto rely on: a ``traceEvents``
+    list, per-event ``name``/``ph``/``pid``/``ts``, non-negative
+    durations on complete events, and JSON serializability.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be a dict with a traceEvents list")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for event in events:
+        for field in ("name", "ph", "pid", "ts"):
+            if field not in event:
+                raise ValueError("trace event missing %r: %r" % (field, event))
+        if event["ph"] == "X":
+            if event.get("dur", -1) < 0:
+                raise ValueError("complete event with negative/missing dur: "
+                                 "%r" % (event,))
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ValueError("event ts must be a non-negative number: "
+                             "%r" % (event,))
+    json.dumps(trace)  # must round-trip
+    return True

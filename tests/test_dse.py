@@ -207,6 +207,42 @@ def _slow_worker(payload):
     time.sleep(payload.get("sleep", 0))
 
 
+def _spec_probe_worker(payload):
+    """Write the worker's effective obs configuration to a file."""
+    import json
+
+    from repro import obs
+
+    spec = obs.export_spec() or {}
+    with open(payload["out"], "w") as fh:
+        json.dump({"enabled": obs.core.enabled, "spec": spec}, fh)
+
+
+def test_run_tasks_propagates_obs_config_to_workers(tmp_path):
+    """Workers inherit the parent's *programmatic* obs configuration.
+
+    The parent enables observability without touching REPRO_OBS, so a
+    child that only ran import-time configuration would start dark.
+    """
+    from repro import obs
+
+    stream = str(tmp_path / "sweep.jsonl")
+    out = str(tmp_path / "probe.json")
+    obs.enable(obs.JsonlSink(stream), opcode_sampling=True)
+    try:
+        results = run_tasks(_spec_probe_worker, [{"out": out}], jobs=2)
+    finally:
+        obs.disable()
+        obs.reset()
+    assert all(r.ok for r in results)
+    with open(out) as fh:
+        probe = json.load(fh)
+    assert probe["enabled"]
+    assert probe["spec"]["kind"] == "jsonl"
+    assert probe["spec"]["path"] == stream
+    assert probe["spec"]["opcodes"] is True
+
+
 @pytest.mark.parametrize("jobs", [1, 2])
 def test_run_tasks_isolates_failures(jobs):
     payloads = [{"n": i, "fail": i == 1} for i in range(4)]

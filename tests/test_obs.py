@@ -333,3 +333,113 @@ def test_opcode_sampling_histogram(cache_env):
     ArmSimulator(image).run()
     counters = obs.snapshot()["counters"]
     assert not any(k.startswith("sim.arm.opcode.") for k in counters)
+
+
+# ----------------------------------------------------------------------
+# sink lifecycle (context manager, atexit) and spec propagation
+
+
+def test_jsonl_sink_context_manager(tmp_path):
+    path = tmp_path / "cm.jsonl"
+    with obs.JsonlSink(str(path)) as sink:
+        sink.emit({"kind": "span", "name": "x", "seconds": 0.1})
+    assert sink._fh.closed
+    # emit after close is a silent no-op, not a crash
+    sink.emit({"kind": "span", "name": "y", "seconds": 0.1})
+    events = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [e["name"] for e in events] == ["x"]
+
+
+def test_enable_registers_atexit_close(tmp_path):
+    import atexit
+
+    from repro.obs import core
+
+    path = tmp_path / "atexit.jsonl"
+    obs.enable(obs.JsonlSink(str(path)))
+    assert core._atexit_registered
+    with obs.span("tail"):
+        pass
+    # simulate interpreter shutdown: the hook flushes and closes the
+    # live sink so trailing events are on disk
+    core._close_sink_at_exit()
+    assert "tail" in path.read_text()
+    # double-close (hook then disable) is safe
+    obs.disable()
+    atexit.unregister(core._close_sink_at_exit)
+    core._atexit_registered = False
+
+
+def test_span_events_carry_ts_and_pid(tmp_path):
+    sink = obs.MemorySink()
+    obs.enable(sink)
+    with obs.span("outer"):
+        with obs.span("inner"):
+            pass
+    inner, outer = sink.events
+    assert inner["pid"] == outer["pid"] == os.getpid()
+    assert outer["ts"] <= inner["ts"]  # outer started first
+    assert inner["ts"] + inner["seconds"] <= outer["ts"] + outer["seconds"] + 1e-3
+
+
+def test_export_apply_spec_round_trip(tmp_path):
+    assert obs.export_spec() is None  # disabled
+
+    obs.enable(obs.JsonlSink(str(tmp_path / "s.jsonl")), opcode_sampling=True)
+    spec = obs.export_spec()
+    assert spec == {"kind": "jsonl", "path": str(tmp_path / "s.jsonl"),
+                    "opcodes": True}
+    obs.disable()
+    obs.apply_spec(spec)
+    assert obs.core.enabled and obs.opcode_sampling()
+    assert isinstance(obs.core.sink(), obs.JsonlSink)
+    obs.disable()
+
+    obs.enable(sink=None)
+    assert obs.export_spec() == {"kind": "aggregate", "path": None,
+                                 "opcodes": False}
+    obs.apply_spec(obs.export_spec())
+    assert obs.core.enabled and obs.core.sink() is None
+
+    obs.apply_spec(None)
+    assert not obs.core.enabled
+
+
+# ----------------------------------------------------------------------
+# report CLI failure modes
+
+
+def test_report_cli_jsonl_missing_and_empty(tmp_path, capsys):
+    assert report_main(["--jsonl", str(tmp_path / "missing.jsonl")]) == 1
+    assert "error" in capsys.readouterr().err
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert report_main(["--jsonl", str(empty)]) == 1
+    assert "no span or manifest events" in capsys.readouterr().err
+
+
+def test_report_cli_empty_cache_and_dse(tmp_path, capsys):
+    assert report_main(["--cache-dir", str(tmp_path)]) == 1
+    assert "no cached run manifests" in capsys.readouterr().err
+    assert report_main(["--dse", str(tmp_path / "nostore")]) == 1
+    assert "no DSE results" in capsys.readouterr().err
+
+
+def test_report_cli_dse_warns_on_failed_points(tmp_path, capsys):
+    from repro.dse.space import DesignPoint
+    from repro.dse.store import ResultStore
+
+    store = ResultStore(str(tmp_path / "dse"))
+    point = DesignPoint("arm", 8192)
+    store.save({
+        "schema": 1, "benchmark": "crc32", "scale": "small",
+        "point": point.to_dict(),
+        "metrics": {"ipc": 0.9},
+        "manifest": {"label": point.label, "wall_seconds": 0.4,
+                     "stages": {"simulate": {"count": 1, "seconds": 0.2}}},
+    })
+    store.save_failure("sha", "feedbeefcafe", "ValueError: boom")
+    assert report_main(["--dse", store.root]) == 0
+    out = capsys.readouterr().out
+    assert "warning: skipping failed point sha feedbeefcafe" in out
+    assert "crc32" in out
