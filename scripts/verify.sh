@@ -18,6 +18,10 @@ python -m pytest -x -q
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
+# hermetic persistent trace store for everything below (the pytest run
+# above isolates its own via tests/conftest.py)
+export REPRO_TRACE_CACHE="$tmp/trace_cache"
+
 echo "== observability smoke run (crc32, small) =="
 REPRO_CACHE_DIR="$tmp/cache" REPRO_OBS="jsonl:$tmp/obs.jsonl" python - <<'EOF'
 from repro.harness.runner import collect
@@ -56,6 +60,31 @@ grep -q "evaluated: 0" "$tmp/sweep2.txt" \
 grep -q "skipped:   8" "$tmp/sweep2.txt" \
     || { echo "FAIL: resumed sweep did not skip all 8 points"; exit 1; }
 
+echo "== persistent trace store (second sweep must be served warm) =="
+dse_store2="$tmp/dse2"
+python -m repro.dse sweep --preset smoke --benchmarks crc32,sha \
+    --scale small --jobs 2 --store "$dse_store2" | tee "$tmp/sweep3.txt"
+grep -q "evaluated: 8" "$tmp/sweep3.txt" \
+    || { echo "FAIL: warm sweep did not evaluate 8 points"; exit 1; }
+python - "$dse_store" "$dse_store2" <<'EOF'
+import sys
+from repro.dse.store import ResultStore
+
+cold = {(b["benchmark"], b["point"]["id"]): b
+        for b in ResultStore(sys.argv[1]).iter_results()}
+warm = {(b["benchmark"], b["point"]["id"]): b
+        for b in ResultStore(sys.argv[2]).iter_results()}
+assert cold and set(cold) == set(warm), "sweeps evaluated different points"
+hits = sum(b["manifest"]["counters"].get("trace_store.hit", 0)
+           for b in warm.values())
+assert hits > 0, "second sweep never hit the persistent trace store"
+for key, blob in cold.items():
+    assert blob["metrics"] == warm[key]["metrics"], \
+        "warm-trace metrics diverged for %s/%s" % key
+print("trace store: %d hits, %d points bit-identical cold vs warm"
+      % (hits, len(cold)))
+EOF
+
 echo "== DSE frontier (must be non-empty) =="
 python -m repro.dse frontier --store "$dse_store" | tee "$tmp/frontier.txt"
 grep -q "FITS" "$tmp/frontier.txt" \
@@ -89,6 +118,21 @@ grep -q "recorded 0 new" "$tmp/record2.txt" \
 python -m repro.obs.regress diff --store "$hist" | tee "$tmp/diff.txt"
 grep -q "0 regressions" "$tmp/diff.txt" \
     || { echo "FAIL: diff flagged regressions on an unchanged re-run"; exit 1; }
+
+echo "== pipeline micro-benchmark (warm-trace sweep, trajectory record) =="
+REPRO_COMMIT=verify-smoke python -m repro.bench --reps 2 \
+    --out "$tmp/BENCH_pipeline.json" --record-trajectory --store "$hist" \
+    | tee "$tmp/bench.txt"
+grep -q "trajectory: 1 added" "$tmp/bench.txt" \
+    || { echo "FAIL: bench run not recorded into the trajectory store"; exit 1; }
+python - "$tmp/BENCH_pipeline.json" <<'EOF'
+import json, sys
+blob = json.load(open(sys.argv[1]))
+assert blob["points"] >= 8, blob["points"]
+assert blob["speedup"] > 1.0, \
+    "one-pass sweep slower than per-point LRU (%.2fx)" % blob["speedup"]
+print("bench: %d points, %.2fx sweep speedup" % (blob["points"], blob["speedup"]))
+EOF
 
 echo "== Chrome trace-event export =="
 python -m repro.obs.regress export-trace --jsonl "$tmp/obs.jsonl" \

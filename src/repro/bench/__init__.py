@@ -1,0 +1,115 @@
+"""Pipeline micro-benchmarks (``python -m repro.bench``).
+
+Measures the wall-clock cost of the simulate stage on a smoke preset
+and writes ``BENCH_pipeline.json`` at the repo root:
+
+* ``timing_sim_s`` — one cold :func:`simulate_timing` call (geometry-
+  invariant precomputation included), the paper-default configuration;
+* ``sweep_baseline_s`` — a multi-geometry cache sweep evaluated the
+  pre-batching way: one full per-point LRU timing simulation per cache
+  point, nothing shared between points;
+* ``sweep_fast_s`` — the same sweep through
+  :func:`~repro.sim.pipeline.simulate_timing_multi`: one shared
+  precomputation plus a single stack-distance pass answering every
+  geometry at once.
+
+Each measurement is repeated ``reps`` times and the median is reported,
+so one scheduler hiccup cannot skew the result.  ``--record-trajectory``
+appends the numbers (under the drift-checked ``bench.`` metric prefix)
+to the trajectory store for cross-commit tracking.
+"""
+
+import json
+import os
+import statistics
+import time
+
+from repro.compiler import compile_arm
+from repro.sim.functional import ArmSimulator, cached_run
+from repro.sim.pipeline import TimingConfig, simulate_timing, simulate_timing_multi
+from repro.workloads import get_workload
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: the default sweep: 18 cache points (6 sizes x 3 associativities) on
+#: one ISA — comfortably above the >= 8-point floor the acceptance
+#: criterion asks for, and the shape a DSE cache sweep actually has.
+DEFAULT_SIZES = (1024, 2048, 4096, 8192, 16384, 32768)
+DEFAULT_ASSOCS = (1, 2, 4)
+
+
+def _median_of(fn, reps):
+    samples = []
+    for _rep in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def _cold(result):
+    """Drop every per-trace timing memo, as if the trace were fresh."""
+    result.__dict__.pop("_timing_precomps", None)
+
+
+def bench_pipeline(benchmark="crc32", scale="small", reps=5,
+                   sizes=DEFAULT_SIZES, assocs=DEFAULT_ASSOCS):
+    """Run the micro-benchmark; returns the result blob (not yet on disk)."""
+    wl = get_workload(benchmark)
+    image = compile_arm(wl.build_module(scale))
+    # warm trace: the persistent store serves repeat functional runs
+    result = cached_run("arm", image, ArmSimulator(image).run,
+                        benchmark=benchmark, scale=scale)
+    if result.exit_code != wl.reference(scale):
+        raise AssertionError("%s: checksum mismatch" % benchmark)
+
+    specs = [(size, TimingConfig(icache_assoc=assoc))
+             for size in sizes for assoc in assocs]
+
+    def timing_sim():
+        _cold(result)
+        simulate_timing(result, 16 * 1024)
+
+    def sweep_baseline():
+        # the pre-batching cost model: every point pays the full
+        # geometry-invariant precomputation and its own LRU simulation
+        for size, config in specs:
+            _cold(result)
+            simulate_timing(result, size, config)
+
+    def sweep_fast():
+        _cold(result)
+        simulate_timing_multi(result, specs)
+
+    timing_sim_s = _median_of(timing_sim, reps)
+    sweep_baseline_s = _median_of(sweep_baseline, reps)
+    sweep_fast_s = _median_of(sweep_fast, reps)
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": benchmark,
+        "scale": scale,
+        "isa": "arm",
+        "points": len(specs),
+        "reps": reps,
+        "dynamic_instructions": result.dynamic_instructions,
+        "timing_sim_s": timing_sim_s,
+        "sweep_baseline_s": sweep_baseline_s,
+        "sweep_fast_s": sweep_fast_s,
+        "speedup": sweep_baseline_s / sweep_fast_s if sweep_fast_s else 0.0,
+        "recorded_at": time.time(),
+    }
+
+
+def default_output_path():
+    from repro.harness.runner import _repo_root
+
+    return os.path.join(_repo_root(), "BENCH_pipeline.json")
+
+
+def write_blob(blob, path):
+    tmp = path + ".tmp.%d" % os.getpid()
+    with open(tmp, "w") as fh:
+        json.dump(blob, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)

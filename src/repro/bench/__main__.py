@@ -1,0 +1,70 @@
+"""CLI for the pipeline micro-benchmarks; see the package docstring."""
+
+import argparse
+import sys
+
+from repro.bench import (
+    DEFAULT_ASSOCS,
+    DEFAULT_SIZES,
+    bench_pipeline,
+    default_output_path,
+    write_blob,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Measure simulate-stage wall-clock (single timing run "
+        "and multi-geometry sweep) and write BENCH_pipeline.json.",
+    )
+    parser.add_argument("--benchmark", default="crc32")
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--reps", type=int, default=5,
+                        help="repetitions per measurement; median reported")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: <repo>/BENCH_pipeline.json)")
+    parser.add_argument("--record-trajectory", action="store_true",
+                        help="append the numbers to the trajectory store "
+                        "(bench.* metrics, source=bench)")
+    parser.add_argument("--store", default=None,
+                        help="trajectory store path override")
+    args = parser.parse_args(argv)
+
+    blob = bench_pipeline(benchmark=args.benchmark, scale=args.scale,
+                          reps=args.reps)
+    out = args.out or default_output_path()
+    write_blob(blob, out)
+
+    print("bench: %s/%s, %d cache points, %d reps" % (
+        blob["benchmark"], blob["scale"], blob["points"], blob["reps"]))
+    print("  timing sim (cold):      %8.1f ms" % (1e3 * blob["timing_sim_s"]))
+    print("  sweep, per-point LRU:   %8.1f ms" % (1e3 * blob["sweep_baseline_s"]))
+    print("  sweep, one-pass stack:  %8.1f ms" % (1e3 * blob["sweep_fast_s"]))
+    print("  speedup:                %8.2fx" % blob["speedup"])
+    print("wrote %s" % out)
+
+    if args.record_trajectory:
+        from repro.obs.regress import TrajectoryStore, current_commit, make_record
+
+        store = TrajectoryStore(args.store)
+        record = make_record(
+            current_commit(), blob["benchmark"], blob["scale"],
+            point_id="bench_pipeline", label="bench-pipeline",
+            metrics={
+                "bench.timing_sim_s": blob["timing_sim_s"],
+                "bench.sweep_baseline_s": blob["sweep_baseline_s"],
+                "bench.sweep_fast_s": blob["sweep_fast_s"],
+                "bench.speedup": blob["speedup"],
+            },
+            wall_seconds=blob["timing_sim_s"],
+            source="bench",
+        )
+        added, skipped = store.append([record])
+        print("trajectory: %d added, %d skipped (%s)" % (
+            added, skipped, store.path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@ translates under each budget and keeps the cheapest total
 
 from repro.compiler.link import link_arm
 from repro.obs import core as obs
-from repro.sim.functional import ArmSimulator
+from repro.sim.functional import ArmSimulator, cached_run
 from repro.sim.functional.fits_sim import FitsSimulator
 from repro.core.profiler import ArmProfile
 from repro.core.synthesizer import synthesize
@@ -79,7 +79,9 @@ def fits_flow(module, entry="main", budgets=DEFAULT_BUDGETS, config=None,
         with obs.span("flow.attempt", module=module.name,
                       budget=list(budget) if budget else None):
             arm_image = link_arm(module, entry=entry, callee_saved=budget)
-            arm_result = ArmSimulator(arm_image, max_instructions=max_instructions).run()
+            arm_result = cached_run(
+                "arm", arm_image,
+                ArmSimulator(arm_image, max_instructions=max_instructions).run)
             profile = ArmProfile.from_execution(arm_image, arm_result)
             synthesis = synthesize(profile, config)
             cost = _fits_cost(synthesis, arm_result.exec_counts())
@@ -97,7 +99,9 @@ def fits_flow(module, entry="main", budgets=DEFAULT_BUDGETS, config=None,
         obs.counter("flow.runs")
         obs.gauge("flow.selected_budget", list(budget) if budget else None)
         obs.observe("flow.dynamic_mapping", _mapping)
-    fits_result = FitsSimulator(synthesis.image, max_instructions=2 * max_instructions).run()
+    fits_result = cached_run(
+        "fits", synthesis.image,
+        FitsSimulator(synthesis.image, max_instructions=2 * max_instructions).run)
     if fits_result.exit_code != arm_result.exit_code:
         raise AssertionError(
             "FITS execution diverged from ARM (exit %r vs %r)"

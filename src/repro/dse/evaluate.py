@@ -12,13 +12,22 @@ axes, so it is memoized per ``(benchmark, scale, isa)``: a worker
 evaluating many cache geometries for one benchmark compiles and
 simulates each ISA once.  The memo is deliberately scoped to one
 benchmark at a time (sweep tasks are grouped by benchmark) to bound
-memory.
+memory.  Across processes and sessions the persistent trace store
+(:mod:`repro.sim.functional.store`) removes the functional simulation
+entirely on a warm cache.
 
-For the paper's four configurations, the evaluation path below is
-*exactly* the harness's path — ``simulate_timing(result, size)`` with
-the default :class:`TimingConfig` and ``CachePowerModel(CacheGeometry
-(size))`` — so FITS16/FITS8 numbers reproduce bit-identically through
-the scheduler (an acceptance criterion the test suite asserts).
+Cache points are further batched by :func:`evaluate_points`: all points
+of one ``(benchmark, scale, isa)`` share the geometry-invariant timing
+precomputation and a single stack-distance pass per block size
+(:class:`~repro.sim.pipeline.TimingBatch`), instead of one full LRU
+simulation per point.
+
+For the paper's four configurations, the single-point evaluation path
+below is *exactly* the harness's path — ``simulate_timing(result,
+size)`` with the default :class:`TimingConfig` and
+``CachePowerModel(CacheGeometry(size))`` — and the batched path is
+bit-identical to it (asserted by the test suite), so FITS16/FITS8
+numbers reproduce bit-identically through the scheduler.
 """
 
 import time
@@ -31,9 +40,9 @@ from repro.dse.store import RESULT_SCHEMA
 from repro.power import CachePowerModel
 from repro.power.technology import tech_node
 from repro.sim.cache import CacheGeometry
-from repro.sim.functional import ArmSimulator
+from repro.sim.functional import ArmSimulator, cached_run
 from repro.sim.functional.thumb_sim import ThumbSimulator
-from repro.sim.pipeline import TimingConfig, simulate_timing
+from repro.sim.pipeline import TimingBatch, TimingConfig, simulate_timing
 from repro.workloads import get_workload
 
 #: (benchmark, scale, isa) → (image, ExecutionResult).  Kept to a single
@@ -59,10 +68,12 @@ def _functional(name, scale, isa):
     module = wl.build_module(scale)
     if isa == "arm":
         image = compile_arm(module)
-        result = ArmSimulator(image).run()
+        result = cached_run("arm", image, ArmSimulator(image).run,
+                            benchmark=name, scale=scale)
     elif isa == "thumb":
         image = compile_thumb(module)
-        result = ThumbSimulator(image).run()
+        result = cached_run("thumb", image, ThumbSimulator(image).run,
+                            benchmark=name, scale=scale)
     elif isa == "fits":
         flow = fits_flow(module)
         image, result = flow.fits_image, flow.fits_result
@@ -83,15 +94,63 @@ def _is_paper_default(point):
             and point.tech == "350nm" and point.fetch_bits == 32)
 
 
-def evaluate_point(benchmark, point, scale="full"):
-    """Full evaluation of one design point on one benchmark.
+def _point_config(point):
+    """The :class:`TimingConfig` the classic per-point path would use."""
+    if _is_paper_default(point):
+        return TimingConfig()
+    return TimingConfig(
+        icache_block=point.block_bytes,
+        icache_assoc=point.associativity,
+        frequency_hz=tech_node(point.tech).frequency_hz,
+    )
 
-    Returns the result-store blob: point echo, metrics, and a run
-    manifest (per-stage timings + counters) mirroring the harness's.
+
+def _power_for(point, timing):
+    """The cache power model at one point, matching the harness's call
+    shape exactly for paper-default points (bit-for-bit floats)."""
+    if _is_paper_default(point):
+        return CachePowerModel(CacheGeometry(point.icache_bytes)).evaluate(timing)
+    return CachePowerModel(
+        point.geometry(), tech_node(point.tech), fetch_bits=point.fetch_bits
+    ).evaluate(timing)
+
+
+def _metrics(image, timing, power):
+    sw, internal, leak = power.breakdown()
+    return {
+        "code_size": image.code_size,
+        "instructions": timing.instructions,
+        "cycles": timing.cycles,
+        "ipc": timing.ipc,
+        "seconds": timing.seconds,
+        "icache_requests": timing.icache_requests,
+        "icache_line_accesses": timing.icache_line_accesses,
+        "icache_misses": timing.icache_misses,
+        "mpm": timing.icache_misses_per_million,
+        "dcache_accesses": timing.dcache_accesses,
+        "dcache_misses": timing.dcache_misses,
+        "switching_w": power.switching_w,
+        "internal_w": power.internal_w,
+        "leakage_w": power.leakage_w,
+        "total_w": power.total_w,
+        "peak_w": power.peak_w,
+        "switching_j": power.switching_j,
+        "internal_j": power.internal_j,
+        "leakage_j": power.leakage_j,
+        "icache_energy_j": power.energy_j,
+        "frac_switching": sw,
+        "frac_internal": internal,
+        "frac_leakage": leak,
+    }
+
+
+def _finish(benchmark, point, scale, compute):
+    """Run ``compute()`` in its own obs window and package the blob.
+
+    Shared by the single-point and batched paths, so both produce
+    identical result blobs: point echo, metrics, and a run manifest
+    (per-stage timings + counters) mirroring the harness's.
     """
-    if not isinstance(point, DesignPoint):
-        point = DesignPoint.from_dict(point)
-
     was_enabled = obs.core.enabled
     if not was_enabled:
         obs.enable(sink=None)
@@ -100,7 +159,7 @@ def evaluate_point(benchmark, point, scale="full"):
     try:
         with obs.span("stage.dse.point", benchmark=benchmark,
                       point=point.point_id):
-            metrics = _evaluate(benchmark, point, scale)
+            metrics = compute()
         window = obs.since(marker)
     finally:
         if not was_enabled:
@@ -140,48 +199,67 @@ def evaluate_point(benchmark, point, scale="full"):
     }
 
 
+def evaluate_point(benchmark, point, scale="full"):
+    """Full evaluation of one design point on one benchmark."""
+    if not isinstance(point, DesignPoint):
+        point = DesignPoint.from_dict(point)
+    return _finish(benchmark, point, scale,
+                   lambda: _evaluate(benchmark, point, scale))
+
+
 def _evaluate(benchmark, point, scale):
     image, result = _functional(benchmark, scale, point.isa)
-    tech = tech_node(point.tech)
-    if _is_paper_default(point):
-        # The harness's exact call shape: default TimingConfig and
-        # geometry arguments, so floats match bit for bit.
-        timing = simulate_timing(result, point.icache_bytes)
-        power = CachePowerModel(CacheGeometry(point.icache_bytes)).evaluate(timing)
-    else:
-        config = TimingConfig(
-            icache_block=point.block_bytes,
-            icache_assoc=point.associativity,
-            frequency_hz=tech.frequency_hz,
-        )
-        timing = simulate_timing(result, point.icache_bytes, config)
-        power = CachePowerModel(
-            point.geometry(), tech, fetch_bits=point.fetch_bits
-        ).evaluate(timing)
+    timing = simulate_timing(result, point.icache_bytes, _point_config(point))
+    return _metrics(image, timing, _power_for(point, timing))
 
-    sw, internal, leak = power.breakdown()
-    return {
-        "code_size": image.code_size,
-        "instructions": timing.instructions,
-        "cycles": timing.cycles,
-        "ipc": timing.ipc,
-        "seconds": timing.seconds,
-        "icache_requests": timing.icache_requests,
-        "icache_line_accesses": timing.icache_line_accesses,
-        "icache_misses": timing.icache_misses,
-        "mpm": timing.icache_misses_per_million,
-        "dcache_accesses": timing.dcache_accesses,
-        "dcache_misses": timing.dcache_misses,
-        "switching_w": power.switching_w,
-        "internal_w": power.internal_w,
-        "leakage_w": power.leakage_w,
-        "total_w": power.total_w,
-        "peak_w": power.peak_w,
-        "switching_j": power.switching_j,
-        "internal_j": power.internal_j,
-        "leakage_j": power.leakage_j,
-        "icache_energy_j": power.energy_j,
-        "frac_switching": sw,
-        "frac_internal": internal,
-        "frac_leakage": leak,
-    }
+
+def evaluate_points(benchmark, points, scale="full"):
+    """Evaluate many design points of one benchmark, batched.
+
+    Points are grouped by ISA; each group shares one functional
+    simulation (memo + persistent trace store) and one
+    :class:`~repro.sim.pipeline.TimingBatch` — i.e. one stack-distance
+    pass per distinct block size instead of a full LRU simulation per
+    point.  The shared passes run lazily inside the group's *first*
+    point window, so every point manifest still records a ``simulate``
+    stage and consistent cache/power counters.
+
+    Yields ``(point, blob, error)`` in input order within each ISA
+    group; exactly one of ``blob`` / ``error`` is set per point.
+    """
+    pts = [p if isinstance(p, DesignPoint) else DesignPoint.from_dict(p)
+           for p in points]
+    groups = {}
+    for p in pts:
+        groups.setdefault(p.isa, []).append(p)
+
+    for isa, group in groups.items():
+        state = {}
+
+        def shared(isa=isa, group=group, state=state):
+            if "error" in state:
+                raise state["error"]
+            if "batch" not in state:
+                try:
+                    image, result = _functional(benchmark, scale, isa)
+                    specs = [(p.icache_bytes, _point_config(p)) for p in group]
+                    state["image"] = image
+                    state["batch"] = TimingBatch(result, specs)
+                except Exception as exc:
+                    state["error"] = exc
+                    raise
+            return state["image"], state["batch"]
+
+        def compute(point, shared=shared):
+            image, batch = shared()
+            timing = batch.report(point.icache_bytes, _point_config(point))
+            return _metrics(image, timing, _power_for(point, timing))
+
+        for point in group:
+            try:
+                blob = _finish(benchmark, point, scale,
+                               lambda point=point: compute(point))
+            except Exception as exc:
+                yield point, None, exc
+            else:
+                yield point, blob, None

@@ -34,7 +34,7 @@ import time
 import traceback
 
 from repro import obs
-from repro.dse.evaluate import evaluate_point
+from repro.dse.evaluate import evaluate_points
 from repro.dse.store import ResultStore
 
 
@@ -172,24 +172,30 @@ def run_tasks(worker, payloads, jobs=1, timeout=None, retries=1,
 
 
 def _sweep_worker(payload):
-    """Evaluate one chunk of points for one benchmark (child process)."""
+    """Evaluate one chunk of points for one benchmark (child process).
+
+    Points that survive the resume check are streamed through
+    :func:`evaluate_points`, so the whole chunk shares one functional
+    simulation and one stack-distance pass per (ISA, block size); each
+    result is persisted as it is yielded, preserving crash-safe resume.
+    """
     store = ResultStore(payload["store"])
     benchmark = payload["benchmark"]
     scale = payload["scale"]
+    pending = [p for p in payload["points"]
+               if not store.has(benchmark, p["id"])]  # resume check
     hard_failures = 0
-    for point in payload["points"]:
-        pid = point["id"]
-        if store.has(benchmark, pid):  # finished by a previous attempt
-            continue
-        try:
-            with obs.span("stage.dse.task", benchmark=benchmark, point=pid):
-                result = evaluate_point(benchmark, point, scale)
-        except BaseException as exc:
-            store.save_failure(benchmark, pid, "%s: %s" % (type(exc).__name__, exc))
-            traceback.print_exc(file=sys.stderr)
-            hard_failures += 1
-            continue
-        store.save(result)
+    with obs.span("stage.dse.task", benchmark=benchmark, points=len(pending)):
+        for point, result, error in evaluate_points(benchmark, pending, scale):
+            if error is not None:
+                store.save_failure(
+                    benchmark, point.point_id,
+                    "%s: %s" % (type(error).__name__, error))
+                traceback.print_exception(
+                    type(error), error, error.__traceback__, file=sys.stderr)
+                hard_failures += 1
+                continue
+            store.save(result)
     if hard_failures:
         raise SystemExit(1)
 

@@ -27,7 +27,7 @@ import time
 
 from repro import obs
 from repro.compiler import compile_arm, compile_thumb
-from repro.sim.functional import ArmSimulator
+from repro.sim.functional import ArmSimulator, cached_run
 from repro.sim.functional.thumb_sim import ThumbSimulator
 from repro.sim.pipeline import simulate_timing
 from repro.sim.cache import CacheGeometry
@@ -237,12 +237,15 @@ def _check_cache_power_consistency(name, counters):
 def _run_benchmark(name, scale, verbose):
     wl = get_workload(name)
     arm_image = compile_arm(wl.build_module(scale))
-    arm_result = ArmSimulator(arm_image).run()
+    arm_result = cached_run("arm", arm_image, ArmSimulator(arm_image).run,
+                            benchmark=name, scale=scale)
     if arm_result.exit_code != wl.reference(scale):
         raise AssertionError("%s: ARM checksum mismatch" % name)
 
     thumb_image = compile_thumb(wl.build_module(scale))
-    thumb_result = ThumbSimulator(thumb_image).run()
+    thumb_result = cached_run("thumb", thumb_image,
+                              ThumbSimulator(thumb_image).run,
+                              benchmark=name, scale=scale)
     if thumb_result.exit_code != wl.reference(scale):
         raise AssertionError("%s: Thumb checksum mismatch" % name)
 

@@ -37,6 +37,41 @@ def _fmt_seconds(seconds):
     return "%8.2f ms" % (seconds * 1e3)
 
 
+def _counter_family(name):
+    """Grouping key for one counter: its first dotted segment, or the
+    first two for ``cache.*`` (``cache.icache`` vs ``cache.stack`` are
+    different subsystems)."""
+    parts = name.split(".")
+    if parts[0] == "cache" and len(parts) > 2:
+        return ".".join(parts[:2])
+    return parts[0]
+
+
+def _render_counters(counters, top_counters=24):
+    """The counter section: a by-value top-N ranking plus a per-family
+    roll-up, so low-volume families (``cache.stack.*``,
+    ``trace_store.*``) are never silently dropped by the ranking cut."""
+    lines = ["top counters:"]
+    ranked = sorted(counters.items(), key=lambda kv: kv[1],
+                    reverse=True)[:top_counters]
+    for key, value in ranked:
+        lines.append("  %-36s %16s" % (key, "{:,}".format(value)))
+    shown = {key for key, _value in ranked}
+    families = {}
+    for key, value in counters.items():
+        families.setdefault(_counter_family(key), []).append((key, value))
+    lines.append("")
+    lines.append("counter families:")
+    for family in sorted(families):
+        entries = families[family]
+        total = sum(value for _key, value in entries)
+        hidden = sum(1 for key, _value in entries if key not in shown)
+        note = ", %d below top-%d cut" % (hidden, top_counters) if hidden else ""
+        lines.append("  %-20s %16s  (%d counters%s)"
+                     % (family, "{:,}".format(total), len(entries), note))
+    return lines
+
+
 def _load_manifests(cache_dir, scale, names):
     """(name → manifest) for every cached summary matching the filters."""
     manifests = {}
@@ -98,11 +133,7 @@ def render_manifests(manifests, top_counters=24):
 
     if counters:
         lines.append("")
-        lines.append("top counters:")
-        ranked_counters = sorted(
-            counters.items(), key=lambda kv: kv[1], reverse=True)[:top_counters]
-        for key, value in ranked_counters:
-            lines.append("  %-36s %16s" % (key, "{:,}".format(value)))
+        lines.extend(_render_counters(counters, top_counters))
     return "\n".join(lines)
 
 
@@ -173,11 +204,7 @@ def render_dse(store_root, top_counters=24):
         )
     if counters:
         lines.append("")
-        lines.append("top counters:")
-        ranked_counters = sorted(
-            counters.items(), key=lambda kv: kv[1], reverse=True)[:top_counters]
-        for key, value in ranked_counters:
-            lines.append("  %-36s %16s" % (key, "{:,}".format(value)))
+        lines.extend(_render_counters(counters, top_counters))
     return "\n".join(lines)
 
 

@@ -1,5 +1,22 @@
-"""Cache models (set-associative, LRU) and their statistics."""
+"""Cache models (set-associative, LRU) and their statistics.
 
-from repro.sim.cache.model import CacheGeometry, SetAssociativeCache
+:class:`SetAssociativeCache` is the reference model (one geometry per
+pass); :mod:`repro.sim.cache.stack` computes the same event counts for
+every ``(size, associativity)`` pair sharing a block size in one pass.
+"""
 
-__all__ = ["CacheGeometry", "SetAssociativeCache"]
+from repro.sim.cache.model import CacheGeometry, SetAssociativeCache, publish_stats
+from repro.sim.cache.stack import (
+    StackDistanceProfile,
+    expand_line_spans,
+    profile_lines,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "SetAssociativeCache",
+    "StackDistanceProfile",
+    "expand_line_spans",
+    "profile_lines",
+    "publish_stats",
+]

@@ -16,6 +16,17 @@ can be cross-checked.
 from repro.obs import core as obs
 
 
+def publish_stats(prefix, stats):
+    """Add one cache-stats dict to the obs counters under
+    ``<prefix>.<event>`` — shared by the live model and the
+    stack-distance / timing-precompute fast paths, so every path feeds
+    the observability layer identically."""
+    if not obs.enabled:
+        return
+    for key, value in stats.items():
+        obs.counter("%s.%s" % (prefix, key), value)
+
+
 class CacheGeometry:
     """Size/organization of one cache (the SA-1100 I-cache defaults)."""
 
@@ -135,10 +146,7 @@ class SetAssociativeCache:
     def publish(self, prefix):
         """Add this cache's event counts to the obs counters under
         ``<prefix>.<event>`` (e.g. ``cache.icache.misses``)."""
-        if not obs.enabled:
-            return
-        for key, value in self.stats().items():
-            obs.counter("%s.%s" % (prefix, key), value)
+        publish_stats(prefix, self.stats())
 
     def __repr__(self):
         return "<Cache %r acc=%d miss=%d>" % (self.geometry, self.accesses, self.misses)

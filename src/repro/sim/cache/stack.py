@@ -1,0 +1,267 @@
+"""One-pass multi-geometry LRU analysis (Mattson stack distances).
+
+:class:`~repro.sim.cache.model.SetAssociativeCache` answers "how many
+misses?" for *one* geometry per pass over the line trace, so a design
+sweep over G cache points costs G full simulations.  This module
+computes the exact same event counts for **every** ``(size,
+associativity)`` pair sharing a block size in a single pass, using the
+classic stack-distance construction (Mattson et al. 1970, extended to
+set-associative bit-selection caches by Hill & Smith 1989):
+
+* Maintain the lines in LRU order (an unbounded "stack"; lines are
+  never removed, only moved to the top).
+* On a reuse of line ``x``, the lines above ``x`` on the stack are
+  exactly the distinct lines touched since the previous access to
+  ``x``.  For a cache with ``2^k`` sets (bit-selection indexing), the
+  ones that *conflict* with ``x`` are those agreeing with ``x`` in the
+  low ``k`` bits; with LRU replacement the access hits iff fewer than
+  ``associativity`` of them intervened.
+* First touches are compulsory misses in every geometry.
+
+One stack walk per access yields the conflict count for every set count
+at once — per stack entry ``y`` we histogram the number of trailing
+bits in which ``y`` agrees with ``x``; a suffix sum over that histogram
+is the conflict count for every ``k``.  Evictions fall out analytically:
+occupancy of a set only ever grows, so the fills that do *not* evict are
+exactly the first ``min(distinct lines mapping to the set, assoc)``
+fills, and ``evictions = misses - Σ_s min(D_s, assoc)``.
+
+Equivalence conditions (all guaranteed by
+:class:`~repro.sim.cache.model.CacheGeometry` and asserted bit-identical
+against the reference model by ``tests/test_stack.py``): power-of-two
+set counts with bit-selection indexing, true LRU replacement, no
+invalidations, and a shared block size.
+
+The trace-side helpers are vectorized with numpy (span expansion,
+consecutive-duplicate folding, final per-geometry tallies); the stack
+walk itself is a tight pure-Python loop whose cost is the reuse depth —
+for instruction streams that depth is small, and the pass replaces one
+full LRU simulation *per geometry* with a single shared one.
+"""
+
+import numpy as np
+
+from repro.obs import core as obs
+from repro.sim.cache.model import CacheGeometry
+
+
+def expand_line_spans(start_lines, end_lines):
+    """Flatten inclusive line spans into one line-access sequence.
+
+    ``start_lines[i] .. end_lines[i]`` (inclusive) are the cache lines a
+    straight-line run touches in ascending order.  Pure-numpy
+    replacement for the nested ``for line in range(a, b + 1)`` loop.
+    """
+    ls = np.asarray(start_lines, dtype=np.int64)
+    le = np.asarray(end_lines, dtype=np.int64)
+    lengths = le - ls + 1
+    total = int(lengths.sum())
+    if total == len(ls):  # every run stays within one line
+        return ls.copy()
+    starts = np.repeat(ls, lengths)
+    # position within each span: global index minus the span's offset
+    span_offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    return starts + (np.arange(total, dtype=np.int64) - span_offsets)
+
+
+class StackDistanceProfile:
+    """Exact LRU event counts for every profiled ``(size, assoc)`` pair.
+
+    Produced by :func:`profile_lines`; :meth:`stats` answers any
+    geometry whose set count and associativity were covered by the
+    profiling pass with the same dict
+    :meth:`~repro.sim.cache.model.SetAssociativeCache.stats` returns.
+    """
+
+    def __init__(self, block_bytes, accesses, distinct_lines, counts_by_k, amax):
+        self.block_bytes = block_bytes
+        self.accesses = accesses
+        self.distinct_lines = distinct_lines  # np.int64, one entry per line
+        self._counts = counts_by_k            # k -> np.int64[amax + 1]
+        self.amax = amax
+
+    @property
+    def compulsory_misses(self):
+        return len(self.distinct_lines)
+
+    def covers(self, geometry):
+        k = geometry.num_sets.bit_length() - 1
+        return (geometry.block_bytes == self.block_bytes
+                and k in self._counts
+                and geometry.associativity <= self.amax)
+
+    def misses(self, geometry):
+        """Exact LRU miss count for one covered geometry."""
+        if not self.covers(geometry):
+            raise ValueError(
+                "geometry %r not covered by this profile (block %d, "
+                "set counts %s, assoc <= %d)"
+                % (geometry, self.block_bytes,
+                   sorted(1 << k for k in self._counts), self.amax)
+            )
+        row = self._counts[geometry.num_sets.bit_length() - 1]
+        conflicts = int(row[geometry.associativity:].sum())
+        return self.compulsory_misses + conflicts
+
+    def stats(self, geometry):
+        """Event counts for one geometry, bit-identical to the dict a
+        :class:`~repro.sim.cache.model.SetAssociativeCache` fed the same
+        line sequence would return from ``stats()``."""
+        misses = self.misses(geometry)
+        # Non-evicting fills: set occupancy only grows, so the first
+        # min(D_s, assoc) fills of each set land in free ways and every
+        # later fill evicts.
+        per_set = np.bincount(
+            (self.distinct_lines & (geometry.num_sets - 1)).astype(np.int64),
+            minlength=geometry.num_sets,
+        )
+        free_fills = int(np.minimum(per_set, geometry.associativity).sum())
+        return {
+            "accesses": self.accesses,
+            "hits": self.accesses - misses,
+            "misses": misses,
+            "fills": misses,
+            "compulsory_misses": self.compulsory_misses,
+            "evictions": misses - free_fills,
+        }
+
+    def __repr__(self):
+        return "<StackDistanceProfile %d accesses, %d lines, %dB blocks>" % (
+            self.accesses, self.compulsory_misses, self.block_bytes)
+
+
+def _trailing_agreement(xor, cap):
+    """Trailing bits in which two distinct lines agree (capped)."""
+    t = (xor & -xor).bit_length() - 1
+    return t if t < cap else cap
+
+
+def profile_lines(lines, geometries):
+    """One stack-distance pass answering every geometry at once.
+
+    Args:
+        lines: line-number sequence (any int sequence / numpy array).
+        geometries: :class:`CacheGeometry` instances sharing one block
+            size; their set counts and associativities bound what the
+            returned profile can answer.
+
+    Returns:
+        :class:`StackDistanceProfile`.
+    """
+    geometries = list(geometries)
+    if not geometries:
+        raise ValueError("profile_lines needs at least one geometry")
+    block = geometries[0].block_bytes
+    for g in geometries:
+        if g.block_bytes != block:
+            raise ValueError(
+                "geometries mix block sizes (%d vs %d): stack-distance "
+                "profiles are exact only at a fixed block size"
+                % (block, g.block_bytes)
+            )
+    ks = sorted({g.num_sets.bit_length() - 1 for g in geometries})
+    kmax = ks[-1]
+    amax = max(g.associativity for g in geometries)
+
+    arr = np.asarray(lines, dtype=np.int64)
+    accesses = len(arr)
+    if accesses and int(arr.min()) < 0:
+        raise ValueError("line numbers must be non-negative")
+    # Consecutive repeats of one line hit in every geometry (zero
+    # intervening lines) and leave the LRU stack unchanged — fold them
+    # out vectorized before the Python walk.
+    if accesses > 1:
+        keep = np.empty(accesses, dtype=bool)
+        keep[0] = True
+        np.not_equal(arr[1:], arr[:-1], out=keep[1:])
+        folded = accesses - int(keep.sum())
+        if folded:
+            arr = arr[keep]
+    else:
+        folded = 0
+
+    # counts[i][c]: accesses whose conflict count at 2^ks[i] sets is c
+    # (capped at amax — every queried associativity is <= amax, so the
+    # cap never changes a hit/miss verdict).
+    rows = [[0] * (amax + 1) for _ in ks]
+    nk = len(ks)
+    # tmap[t]: how many of the queried ks an entry with trailing
+    # agreement t conflicts at (ks is ascending, so they form a prefix)
+    tmap = [sum(1 for k in ks if k <= t) for t in range(kmax + 1)]
+    cnts = [0] * nk  # reused per-access buffer: cnts[j-1] += 1 means
+    #                  "one more entry conflicting at the first j ks"
+
+    stack = []   # LRU stack, top at the end; -1 = tombstone
+    pos = {}     # line -> current index in ``stack``
+    tombs = 0
+    # reuse depths are tiny for loop traces (the common case) but a few
+    # accesses walk thousands of entries — those switch to numpy
+    _VEC_DEPTH = 48
+    with obs.span("cache.stack.pass", accesses=accesses,
+                  geometries=len(geometries)):
+        for x in arr.tolist():
+            p = pos.get(x)
+            if p is None:  # first touch: compulsory in every geometry
+                pos[x] = len(stack)
+                stack.append(x)
+                continue
+            i = len(stack) - 1
+            if i - p <= _VEC_DEPTH:
+                while i > p:
+                    y = stack[i]
+                    if y >= 0:
+                        xor = x ^ y
+                        t = (xor & -xor).bit_length() - 1
+                        j = tmap[t] if t < kmax else nk
+                        if j:
+                            cnts[j - 1] += 1
+                    i -= 1
+            else:
+                seg = np.asarray(stack[p + 1:], dtype=np.int64)
+                seg = seg[seg >= 0]
+                if len(seg):
+                    xor = seg ^ x
+                    t = np.bitwise_count((xor & -xor) - 1)  # trailing zeros
+                    np.minimum(t, kmax, out=t, casting="unsafe")
+                    jhist = np.bincount(
+                        np.take(tmap, t), minlength=nk + 1)
+                    for j in range(1, nk + 1):
+                        if jhist[j]:
+                            cnts[j - 1] += int(jhist[j])
+            # suffix-accumulate: conflicts at ks[j] = entries agreeing
+            # with x in >= ks[j] trailing bits
+            run = 0
+            for j in range(nk - 1, -1, -1):
+                run += cnts[j]
+                cnts[j] = 0
+                rows[j][run if run < amax else amax] += 1
+            stack[p] = -1
+            tombs += 1
+            pos[x] = len(stack)
+            stack.append(x)
+            if tombs > (len(stack) >> 1) and len(stack) > 512:
+                stack = [y for y in stack if y >= 0]
+                pos = {y: i for i, y in enumerate(stack)}
+                tombs = 0
+
+    # folded duplicates are conflict-count-0 accesses in every geometry
+    if folded:
+        for row in rows:
+            row[0] += folded
+
+    distinct = np.fromiter(pos.keys(), dtype=np.int64, count=len(pos))
+    counts_by_k = {k: np.asarray(row, dtype=np.int64)
+                   for k, row in zip(ks, rows)}
+    if obs.enabled:
+        obs.counter("cache.stack.passes")
+        obs.counter("cache.stack.accesses", accesses)
+        obs.counter("cache.stack.folded_repeats", folded)
+        obs.counter("cache.stack.distinct_lines", len(pos))
+        obs.counter("cache.stack.geometries", len(geometries))
+    return StackDistanceProfile(block, accesses, distinct, counts_by_k, amax)
+
+
+def profile_for_sizes(lines, sizes, associativity=32, block_bytes=32):
+    """Convenience wrapper: profile one assoc across many sizes."""
+    geoms = [CacheGeometry(size, block_bytes, associativity) for size in sizes]
+    return profile_lines(lines, geoms)

@@ -10,5 +10,21 @@ configuration.
 
 from repro.sim.functional.trace import ExecutionResult
 from repro.sim.functional.arm_sim import ArmSimulator, SimulationError
+from repro.sim.functional.store import (
+    TraceStore,
+    cached_run,
+    code_version_hash,
+    get_store,
+    image_fingerprint,
+)
 
-__all__ = ["ExecutionResult", "ArmSimulator", "SimulationError"]
+__all__ = [
+    "ExecutionResult",
+    "ArmSimulator",
+    "SimulationError",
+    "TraceStore",
+    "cached_run",
+    "code_version_hash",
+    "get_store",
+    "image_fingerprint",
+]

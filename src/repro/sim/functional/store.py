@@ -1,0 +1,233 @@
+"""Persistent store for functional-simulation traces.
+
+The functional simulators are deterministic: the trace produced by
+running an image depends only on the image contents and the simulator
+code.  The in-memory memo in :mod:`repro.dse.evaluate` already exploits
+that *within* one worker process — this module extends it across
+processes and sessions by serializing run-compressed
+:class:`~repro.sim.functional.trace.ExecutionResult` traces to
+compressed ``.npz`` files (plus a JSON manifest) under a shared
+``trace_cache/`` directory.
+
+Keying and versioning:
+
+* each entry is keyed by a content hash of the executed image (code
+  stream, data segment, layout constants) — *not* by benchmark name, so
+  e.g. the identical ARM image simulated once per synthesis budget in
+  ``fits_flow`` is fetched from the store after its first run;
+* the manifest records a code-version hash over the functional-simulator
+  sources; on mismatch the entry is skipped with a warning (same policy
+  as the bench cache) so stale traces can never leak across simulator
+  changes.
+
+Writes are atomic (temp file + ``os.replace``), and the ``.npz`` payload
+lands before its manifest — a missing manifest means the entry does not
+exist.  Set ``REPRO_TRACE_CACHE`` to relocate the store, or to ``0`` /
+``off`` to disable it.
+"""
+
+import hashlib
+import io
+import json
+import os
+import sys
+
+import numpy as np
+
+from repro.obs import core as obs
+from repro.sim.functional.trace import ExecutionResult, publish_result
+
+SCHEMA = "repro.trace/v1"
+
+#: modules whose source text participates in the code-version hash —
+#: anything that could change what a functional simulation produces.
+_VERSIONED_MODULES = (
+    "repro.sim.functional.trace",
+    "repro.sim.functional.arm_sim",
+    "repro.sim.functional.thumb_sim",
+    "repro.sim.functional.fits_sim",
+)
+
+_code_hash = None
+
+
+def code_version_hash():
+    """Content hash over the functional-simulator sources (memoized)."""
+    global _code_hash
+    if _code_hash is None:
+        h = hashlib.sha256()
+        base = os.path.dirname(os.path.abspath(__file__))
+        for mod in _VERSIONED_MODULES:
+            path = os.path.join(base, mod.rsplit(".", 1)[1] + ".py")
+            h.update(mod.encode())
+            try:
+                with open(path, "rb") as f:
+                    h.update(f.read())
+            except OSError:
+                h.update(b"<missing>")
+        _code_hash = h.hexdigest()[:16]
+    return _code_hash
+
+
+def image_fingerprint(image):
+    """Content hash of one executable image (any supported ISA)."""
+    h = hashlib.sha256()
+    if hasattr(image, "halfwords"):
+        h.update(b"halfwords")
+        h.update(np.asarray(image.halfwords, dtype=np.uint32).tobytes())
+    else:
+        h.update(b"words")
+        h.update(np.asarray(image.words, dtype=np.uint32).tobytes())
+    for attr in ("code_base", "data_base", "memory_size", "stack_top"):
+        h.update(b"|%d" % getattr(image, attr, 0))
+    h.update(b"|" + str(getattr(image, "entry", "")).encode())
+    h.update(b"|" + bytes(getattr(image, "data_bytes", b"")))
+    isa = getattr(image, "isa", None)
+    if isa is not None and hasattr(isa, "opcode_table"):
+        # FITS halfwords only mean something through the synthesized
+        # decoder configuration — fold it into the identity.
+        desc = (
+            isa.k_op,
+            isa.k_reg,
+            sorted((num, spec.key()) for num, spec in isa.opcode_table.items()),
+            sorted(isa.regmap.items()),
+            sorted((cat, tuple(vals)) for cat, vals in isa.dicts.items()),
+        )
+        h.update(b"|isa" + repr(desc).encode())
+    return h.hexdigest()[:24]
+
+
+class TraceStore:
+    """One directory of content-addressed functional traces."""
+
+    def __init__(self, root):
+        self.root = root
+
+    def _paths(self, key):
+        return (os.path.join(self.root, key + ".npz"),
+                os.path.join(self.root, key + ".json"))
+
+    def load(self, image):
+        """The stored :class:`ExecutionResult` for ``image``, or None.
+
+        Returns None when the entry is absent or was produced by a
+        different simulator code version (skip-and-warn).
+        """
+        key = image_fingerprint(image)
+        npz_path, man_path = self._paths(key)
+        if not os.path.exists(man_path):
+            return None
+        try:
+            with open(man_path) as f:
+                manifest = json.load(f)
+        except (OSError, ValueError):
+            return None
+        if manifest.get("schema") != SCHEMA:
+            return None
+        if manifest.get("code_hash") != code_version_hash():
+            print(
+                "trace store: skipping %s (simulator code changed: %s != %s)"
+                % (key, manifest.get("code_hash"), code_version_hash()),
+                file=sys.stderr,
+            )
+            return None
+        try:
+            with np.load(npz_path) as data:
+                result = ExecutionResult(
+                    image=image,
+                    exit_code=int(manifest["exit_code"]),
+                    run_starts=data["run_starts"],
+                    run_ends=data["run_ends"],
+                    mem_addrs=data["mem_addrs"],
+                    mem_is_store=data["mem_is_store"],
+                    console=data["console"].tobytes(),
+                    memory=bytearray(data["memory"].tobytes()),
+                )
+        except (OSError, KeyError, ValueError):
+            return None
+        return result
+
+    def save(self, image, result, **manifest_extra):
+        """Persist one trace; atomic, payload before manifest."""
+        key = image_fingerprint(image)
+        npz_path, man_path = self._paths(key)
+        os.makedirs(self.root, exist_ok=True)
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            run_starts=np.asarray(result.run_starts, dtype=np.int64),
+            run_ends=np.asarray(result.run_ends, dtype=np.int64),
+            mem_addrs=np.asarray(result.mem_addrs, dtype=np.uint32),
+            mem_is_store=np.asarray(result.mem_is_store, dtype=np.uint8),
+            console=np.frombuffer(bytes(result.console), dtype=np.uint8),
+            memory=np.frombuffer(bytes(result.memory), dtype=np.uint8),
+        )
+        manifest = {
+            "schema": SCHEMA,
+            "image_hash": key,
+            "code_hash": code_version_hash(),
+            "image_name": getattr(image, "name", "?"),
+            "exit_code": int(result.exit_code),
+            "num_runs": int(result.num_runs),
+            "dynamic_instructions": int(result.dynamic_instructions),
+        }
+        manifest.update(manifest_extra)
+        tmp = npz_path + ".tmp.%d" % os.getpid()
+        with open(tmp, "wb") as f:
+            f.write(buf.getvalue())
+        os.replace(tmp, npz_path)
+        tmp = man_path + ".tmp.%d" % os.getpid()
+        with open(tmp, "w") as f:
+            json.dump(manifest, f, indent=1, sort_keys=True)
+        os.replace(tmp, man_path)
+        return key
+
+
+def _repo_root():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.abspath(os.path.join(here, "..", "..", "..", ".."))
+
+
+def get_store():
+    """The process-wide trace store, or None when disabled.
+
+    ``REPRO_TRACE_CACHE`` overrides the location (``0`` / ``off`` / empty
+    disables); the default is ``<repo>/trace_cache``.
+    """
+    env = os.environ.get("REPRO_TRACE_CACHE")
+    if env is not None:
+        if env.strip().lower() in ("", "0", "off", "none"):
+            return None
+        return TraceStore(env)
+    return TraceStore(os.path.join(_repo_root(), "trace_cache"))
+
+
+def cached_run(kind, image, runner, **manifest_extra):
+    """Run ``runner()`` through the persistent trace store.
+
+    On a store hit the functional simulation is skipped entirely; on a
+    miss the fresh result is persisted for every later process/session.
+    ``kind`` labels the manifest (e.g. ``"arm"``, ``"fits"``) and the
+    ``trace_store.{hit,miss}`` obs counters.
+    """
+    store = get_store()
+    if store is None:
+        return runner()
+    result = store.load(image)
+    if result is not None:
+        obs.counter("trace_store.hit")
+        obs.counter("trace_store.hit.%s" % kind)
+        # trace-level counters stay present whether warm or cold, so
+        # manifests from cached and fresh runs remain comparable
+        publish_result("sim." + kind, result)
+        return result
+    with obs.span("trace_store.fill", kind=kind,
+                  image=getattr(image, "name", "?")):
+        result = runner()
+    obs.counter("trace_store.miss")
+    obs.counter("trace_store.miss.%s" % kind)
+    try:
+        store.save(image, result, kind=kind, **manifest_extra)
+    except OSError as exc:
+        print("trace store: save failed (%s)" % exc, file=sys.stderr)
+    return result

@@ -1,5 +1,21 @@
 """Dual-issue in-order timing model (SA-1100-like core)."""
 
-from repro.sim.pipeline.timing import TimingConfig, TimingReport, simulate_timing
+from repro.sim.pipeline.timing import (
+    TimingBatch,
+    TimingConfig,
+    TimingPrecomp,
+    TimingReport,
+    precompute_timing,
+    simulate_timing,
+    simulate_timing_multi,
+)
 
-__all__ = ["TimingConfig", "TimingReport", "simulate_timing"]
+__all__ = [
+    "TimingBatch",
+    "TimingConfig",
+    "TimingPrecomp",
+    "TimingReport",
+    "precompute_timing",
+    "simulate_timing",
+    "simulate_timing_multi",
+]

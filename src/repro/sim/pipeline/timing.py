@@ -22,7 +22,8 @@ counts and Hamming toggles on the instruction bus (real encodings).
 import numpy as np
 
 from repro.obs import core as obs
-from repro.sim.cache.model import CacheGeometry, SetAssociativeCache
+from repro.sim.cache.model import CacheGeometry, SetAssociativeCache, publish_stats
+from repro.sim.cache.stack import expand_line_spans, profile_lines
 from repro.sim.pipeline.meta import arm_meta, fits_meta, thumb_meta, FLAGS
 
 
@@ -198,6 +199,200 @@ def _run_cycles(start, end, meta, issue_width):
     return cycle
 
 
+def _core_signature(config):
+    """The :class:`TimingConfig` axes the geometry-invariant phase
+    depends on.  I-cache size/assoc/block and the miss penalties are
+    applied at report assembly, and frequency only scales seconds —
+    everything listed here changes base issue cycles, control-flow
+    penalties, or the D-cache simulation."""
+    return (config.issue_width, config.mispredict_penalty,
+            config.taken_redirect_penalty, config.indirect_penalty,
+            config.dcache_bytes, config.dcache_block, config.dcache_assoc)
+
+
+class TimingPrecomp:
+    """Geometry-invariant phase of one timing simulation.
+
+    Everything :func:`simulate_timing` derives that does not depend on
+    the I-cache geometry: instruction metadata, the fetch-word view,
+    per-unique-run base cycles and end-of-run penalties, fetch
+    request/toggle totals, the not-taken penalty, and the
+    (config-fixed) D-cache simulation.  Instances are memoized per
+    ``(ExecutionResult, core-config signature)`` on the result object
+    (see :func:`precompute_timing`), so evaluating another cache point
+    for the same trace costs only the I-cache phase plus O(1) assembly.
+    """
+
+    def __init__(self, result, config, meta):
+        self.result = result
+        self.meta = meta
+        fetch = self.fetch = _FetchGeometry(result.image)
+
+        starts = result.run_starts
+        ends = result.run_ends
+        n_static = len(meta)
+        keys = starts * n_static + ends
+        uniq, inverse, counts = np.unique(keys, return_inverse=True,
+                                          return_counts=True)
+        u_start = (uniq // n_static).astype(np.int64)
+        u_end = (uniq % n_static).astype(np.int64)
+        self.num_unique = len(uniq)
+        self.num_runs = int(len(starts))
+
+        # --- per-unique-run quantities ---------------------------------
+        base_cycles = np.empty(len(uniq), dtype=np.int64)
+        end_penalty = np.empty(len(uniq), dtype=np.int64)
+        for k in range(len(uniq)):
+            s, e = int(u_start[k]), int(u_end[k])
+            base_cycles[k] = _run_cycles(s, e, meta, config.issue_width)
+            m = meta[e]
+            if m.is_cond_branch:
+                end_penalty[k] = (
+                    config.taken_redirect_penalty if m.is_backward
+                    else config.mispredict_penalty
+                )
+            elif m.is_control:
+                # unconditional branch / call: redirect bubble; returns
+                # and pc-loads: indirect penalty
+                end_penalty[k] = config.indirect_penalty
+            else:
+                end_penalty[k] = 0
+
+        u_ws = (u_start * fetch.instr_bytes) // 4
+        u_we = (u_end * fetch.instr_bytes) // 4
+        u_requests = u_we - u_ws + 1
+        u_toggles = fetch.toggle_prefix[u_we + 1] - fetch.toggle_prefix[u_ws + 1]
+
+        self.total_base = int(np.dot(base_cycles, counts))
+        self.total_taken_penalty = int(np.dot(end_penalty, counts))
+        self.icache_requests = int(np.dot(u_requests, counts))
+        fetch_toggles = int(np.dot(u_toggles, counts))
+
+        # --- boundary toggles (between the last word of run k and the
+        # first word of run k+1) ----------------------------------------
+        ws_seq = u_ws[inverse]
+        we_seq = u_we[inverse]
+        if len(ws_seq) > 1:
+            xors = fetch.words[we_seq[:-1]] ^ fetch.words[ws_seq[1:]]
+            boundary = _popcount_u32(xors)
+            fetch_toggles += int(boundary.sum())
+            max_boundary = int(boundary.max())
+        else:
+            max_boundary = 0
+        self.fetch_toggles = fetch_toggles
+        self.max_fetch_toggles = max(fetch.max_word_toggles, max_boundary)
+
+        # --- not-taken penalties (backward not-taken mispredicts) ------
+        exec_counts = result.exec_counts()
+        taken_counts = result.taken_counts()
+        nt_penalty = 0
+        for i, m in enumerate(meta):
+            if m.is_cond_branch:
+                not_taken = int(exec_counts[i]) - int(taken_counts[i])
+                if not_taken > 0:
+                    if m.is_backward:
+                        nt_penalty += not_taken * config.mispredict_penalty
+        self.total_nt_penalty = nt_penalty
+
+        # --- D-cache (identical for every I-cache point) ---------------
+        dcache = SetAssociativeCache(config.dcache_geometry())
+        daccess = dcache.access_line
+        dshift = config.dcache_block.bit_length() - 1
+        for line in (result.mem_addrs >> np.uint32(dshift)).tolist():
+            daccess(line)
+        self.dcache_stats = dcache.stats()
+
+        #: block_bytes -> flat I-cache line-access sequence (np.int64)
+        self._lines = {}
+
+    def lines_for(self, block_bytes):
+        """The I-cache line-access sequence at one block size (memoized,
+        vectorized span expansion — order matters and is preserved)."""
+        lines = self._lines.get(block_bytes)
+        if lines is None:
+            fetch = self.fetch
+            shift = block_bytes.bit_length() - 1
+            ls = ((self.result.run_starts * fetch.instr_bytes + fetch.code_base)
+                  >> shift).astype(np.int64)
+            le = ((self.result.run_ends * fetch.instr_bytes + fetch.code_base)
+                  >> shift).astype(np.int64)
+            lines = self._lines[block_bytes] = expand_line_spans(ls, le)
+        return lines
+
+
+def precompute_timing(result, config=None, meta=None):
+    """The memoized geometry-invariant phase for one (trace, config).
+
+    Cached on the result object keyed by the config's core signature, so
+    repeated :func:`simulate_timing` calls (different cache sizes, the
+    harness's four configurations, a DSE chunk) share one scoreboard
+    walk, fetch analysis, and D-cache simulation.  An explicitly passed
+    ``meta`` bypasses the cache (the memo could not tell two metadata
+    vectors apart).
+    """
+    config = config or TimingConfig()
+    if meta is not None:
+        return TimingPrecomp(result, config, meta)
+    sig = _core_signature(config)
+    cache = getattr(result, "_timing_precomps", None)
+    if cache is None:
+        cache = result._timing_precomps = {}
+    pre = cache.get(sig)
+    if pre is None:
+        with obs.span("stage.simulate", phase="precompute",
+                      image=getattr(result.image, "name", "?")):
+            pre = cache[sig] = TimingPrecomp(result, config,
+                                             metadata_for(result.image))
+        obs.counter("timing.precomputations")
+    else:
+        obs.counter("timing.precomp_hits")
+    return pre
+
+
+def _assemble_report(pre, config, icache_bytes, icache_stats):
+    """Fold I-cache stats into a precomputation: the geometry-dependent
+    phase, shared by the reference path and the stack-distance path."""
+    result = pre.result
+    cycles = (
+        pre.total_base
+        + pre.total_taken_penalty
+        + pre.total_nt_penalty
+        + icache_stats["misses"] * config.icache_miss_penalty
+        + pre.dcache_stats["misses"] * config.dcache_miss_penalty
+    )
+
+    if obs.enabled:
+        publish_stats("cache.icache", icache_stats)
+        publish_stats("cache.dcache", pre.dcache_stats)
+        obs.counter("timing.simulations")
+        obs.counter("timing.unique_runs", pre.num_unique)
+        obs.counter("timing.cycles", int(cycles))
+        obs.observe("timing.runs_per_simulation", pre.num_runs)
+
+    return TimingReport(
+        image=result.image,
+        config=config,
+        icache_bytes=icache_bytes,
+        instructions=result.dynamic_instructions,
+        cycles=int(cycles),
+        base_cycles=pre.total_base,
+        frequency_hz=config.frequency_hz,
+        icache_requests=pre.icache_requests,
+        icache_line_accesses=icache_stats["accesses"],
+        icache_misses=icache_stats["misses"],
+        icache_compulsory=icache_stats["compulsory_misses"],
+        dcache_accesses=pre.dcache_stats["accesses"],
+        dcache_misses=pre.dcache_stats["misses"],
+        fetch_toggles=pre.fetch_toggles,
+        max_fetch_toggles=pre.max_fetch_toggles,
+        taken_transfers=pre.num_runs,
+        fetch_word_bits=32,
+        max_words_per_cycle=max(1, (config.issue_width * pre.fetch.instr_bytes) // 4),
+        instr_bytes=pre.fetch.instr_bytes,
+        code_lines=(len(pre.fetch.words) * 4 + config.icache_block - 1) // config.icache_block,
+    )
+
+
 def simulate_timing(result, icache_bytes, config=None, meta=None):
     """Simulate timing + fetch activity for one execution trace.
 
@@ -218,131 +413,93 @@ def simulate_timing(result, icache_bytes, config=None, meta=None):
 
 def _simulate_timing(result, icache_bytes, config=None, meta=None):
     config = config or TimingConfig()
-    image = result.image
-    if meta is None:
-        meta = metadata_for(image)
-    fetch = _FetchGeometry(image)
+    pre = precompute_timing(result, config, meta)
 
-    starts = result.run_starts
-    ends = result.run_ends
-    n_static = len(meta)
-    keys = starts * n_static + ends
-    uniq, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
-    u_start = (uniq // n_static).astype(np.int64)
-    u_end = (uniq % n_static).astype(np.int64)
-
-    # --- per-unique-run quantities -------------------------------------
-    base_cycles = np.empty(len(uniq), dtype=np.int64)
-    end_penalty = np.empty(len(uniq), dtype=np.int64)
-    for k in range(len(uniq)):
-        s, e = int(u_start[k]), int(u_end[k])
-        base_cycles[k] = _run_cycles(s, e, meta, config.issue_width)
-        m = meta[e]
-        if m.is_cond_branch:
-            end_penalty[k] = (
-                config.taken_redirect_penalty if m.is_backward else config.mispredict_penalty
-            )
-        elif m.is_control:
-            # unconditional branch / call: redirect bubble; returns and
-            # pc-loads: indirect penalty
-            end_penalty[k] = config.indirect_penalty
-        else:
-            end_penalty[k] = 0
-
-    u_ws = np.array([fetch.word_index(int(s)) for s in u_start], dtype=np.int64)
-    u_we = np.array([fetch.word_index(int(e)) for e in u_end], dtype=np.int64)
-    u_requests = u_we - u_ws + 1
-    u_toggles = np.array(
-        [fetch.internal_toggles(int(ws), int(we)) for ws, we in zip(u_ws, u_we)],
-        dtype=np.int64,
-    )
-
-    total_base = int(np.dot(base_cycles, counts))
-    total_taken_penalty = int(np.dot(end_penalty, counts))
-    icache_requests = int(np.dot(u_requests, counts))
-    fetch_toggles = int(np.dot(u_toggles, counts))
-
-    # --- boundary toggles (between the last word of run k and the first
-    # word of run k+1) ---------------------------------------------------
-    ws_seq = u_ws[inverse]
-    we_seq = u_we[inverse]
-    if len(ws_seq) > 1:
-        xors = fetch.words[we_seq[:-1]] ^ fetch.words[ws_seq[1:]]
-        boundary = _popcount_u32(xors)
-        fetch_toggles += int(boundary.sum())
-        max_boundary = int(boundary.max())
-    else:
-        max_boundary = 0
-
-    # --- not-taken penalties (backward not-taken mispredicts) -----------
-    exec_counts = result.exec_counts()
-    taken_counts = result.taken_counts()
-    nt_penalty = 0
-    for i, m in enumerate(meta):
-        if m.is_cond_branch:
-            not_taken = int(exec_counts[i]) - int(taken_counts[i])
-            if not_taken > 0:
-                if m.is_backward:
-                    nt_penalty += not_taken * config.mispredict_penalty
-    total_nt_penalty = nt_penalty
-
-    # --- I-cache line simulation (order matters) -------------------------
-    shift = config.icache_block.bit_length() - 1
-    instr_per_line = config.icache_block // fetch.instr_bytes
-    ls_seq = ((starts * fetch.instr_bytes + fetch.code_base) >> shift).astype(np.int64)
-    le_seq = ((ends * fetch.instr_bytes + fetch.code_base) >> shift).astype(np.int64)
+    # --- I-cache line simulation over the reference LRU model ----------
     icache = SetAssociativeCache(config.icache_geometry(icache_bytes))
     access = icache.access_line
-    for a, b in zip(ls_seq.tolist(), le_seq.tolist()):
-        if a == b:
-            access(a)
-        else:
-            for line in range(a, b + 1):
-                access(line)
+    for line in pre.lines_for(config.icache_block).tolist():
+        access(line)
 
-    # --- D-cache ---------------------------------------------------------
-    dcache = SetAssociativeCache(config.dcache_geometry())
-    daccess = dcache.access_line
-    dshift = config.dcache_block.bit_length() - 1
-    for line in (result.mem_addrs >> np.uint32(dshift)).tolist():
-        daccess(line)
+    return _assemble_report(pre, config, icache_bytes, icache.stats())
 
-    cycles = (
-        total_base
-        + total_taken_penalty
-        + total_nt_penalty
-        + icache.misses * config.icache_miss_penalty
-        + dcache.misses * config.dcache_miss_penalty
-    )
-    instructions = result.dynamic_instructions
 
-    if obs.enabled:
-        icache.publish("cache.icache")
-        dcache.publish("cache.dcache")
-        obs.counter("timing.simulations")
-        obs.counter("timing.unique_runs", len(uniq))
-        obs.counter("timing.cycles", int(cycles))
-        obs.observe("timing.runs_per_simulation", len(starts))
+class TimingBatch:
+    """Multi-geometry timing evaluation over one shared analysis pass.
 
-    return TimingReport(
-        image=image,
-        config=config,
-        icache_bytes=icache_bytes,
-        instructions=instructions,
-        cycles=int(cycles),
-        base_cycles=total_base,
-        frequency_hz=config.frequency_hz,
-        icache_requests=icache_requests,
-        icache_line_accesses=icache.accesses,
-        icache_misses=icache.misses,
-        icache_compulsory=icache.compulsory_misses,
-        dcache_accesses=dcache.accesses,
-        dcache_misses=dcache.misses,
-        fetch_toggles=fetch_toggles,
-        max_fetch_toggles=max(fetch.max_word_toggles, max_boundary),
-        taken_transfers=int(len(starts)),
-        fetch_word_bits=32,
-        max_words_per_cycle=max(1, (config.issue_width * fetch.instr_bytes) // 4),
-        instr_bytes=fetch.instr_bytes,
-        code_lines=(len(fetch.words) * 4 + config.icache_block - 1) // config.icache_block,
-    )
+    Declared up front with every ``(icache_bytes, config)`` pair the
+    caller will ask for; the first :meth:`report` call triggers the
+    shared work (the geometry-invariant precomputation plus one
+    stack-distance pass per distinct block size) and every report then
+    assembles in O(1).  Reports are bit-identical to
+    ``simulate_timing(result, size, config)`` — the stack kernel's
+    equivalence to the reference LRU model is property-tested in
+    ``tests/test_stack.py``.
+    """
+
+    def __init__(self, result, specs, meta=None):
+        self.result = result
+        self._meta = meta
+        self.specs = [(int(size), config or TimingConfig())
+                      for size, config in specs]
+        if not self.specs:
+            raise ValueError("TimingBatch needs at least one (size, config) spec")
+        sigs = {_core_signature(config) for _size, config in self.specs}
+        if len(sigs) > 1:
+            raise ValueError(
+                "TimingBatch specs mix core configs (%d distinct issue/"
+                "penalty/D-cache signatures) — batch per signature instead"
+                % len(sigs)
+            )
+        self._sig = sigs.pop()
+        self._profiles = {}  # block_bytes -> StackDistanceProfile
+        self._pre = None
+
+    def _precomp(self):
+        if self._pre is None:
+            self._pre = precompute_timing(self.result, self.specs[0][1],
+                                          self._meta)
+        return self._pre
+
+    def _profile(self, block_bytes):
+        profile = self._profiles.get(block_bytes)
+        if profile is None:
+            geometries = [config.icache_geometry(size)
+                          for size, config in self.specs
+                          if config.icache_block == block_bytes]
+            pre = self._precomp()
+            with obs.span("stage.simulate", phase="stack",
+                          image=getattr(self.result.image, "name", "?"),
+                          block=block_bytes, geometries=len(geometries)):
+                profile = profile_lines(pre.lines_for(block_bytes), geometries)
+            self._profiles[block_bytes] = profile
+        return profile
+
+    def report(self, icache_bytes, config=None):
+        """The :class:`TimingReport` for one declared cache point."""
+        config = config or TimingConfig()
+        if _core_signature(config) != self._sig:
+            raise ValueError(
+                "report() config does not match this batch's core signature"
+            )
+        with obs.span("stage.simulate", phase="timing",
+                      image=getattr(self.result.image, "name", "?"),
+                      icache_bytes=icache_bytes):
+            profile = self._profile(config.icache_block)
+            stats = profile.stats(config.icache_geometry(icache_bytes))
+            return _assemble_report(self._precomp(), config, icache_bytes, stats)
+
+
+def simulate_timing_multi(result, specs, meta=None):
+    """Timing reports for many cache points of one trace in one pass.
+
+    ``specs`` is a sequence of ``(icache_bytes, TimingConfig-or-None)``
+    pairs sharing a core signature (see :func:`_core_signature`).
+    Returns one :class:`TimingReport` per spec, in order, bit-identical
+    to calling :func:`simulate_timing` per spec — at the cost of a
+    single geometry-invariant precomputation plus one stack-distance
+    pass per distinct block size, instead of a full LRU simulation per
+    point.
+    """
+    batch = TimingBatch(result, specs, meta=meta)
+    return [batch.report(size, config) for size, config in batch.specs]

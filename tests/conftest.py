@@ -1,0 +1,23 @@
+"""Shared test configuration.
+
+Points the persistent functional-trace store at a session-scoped temp
+directory so test runs never read or write the repo-level
+``trace_cache/`` (individual tests still override ``REPRO_TRACE_CACHE``
+for their own isolation).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    if "REPRO_TRACE_CACHE" in os.environ:
+        yield
+        return
+    os.environ["REPRO_TRACE_CACHE"] = str(tmp_path_factory.mktemp("trace_cache"))
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_TRACE_CACHE", None)
