@@ -6,7 +6,13 @@
 #    into a throwaway cache, then greps the event stream and the cached
 #    run manifest for all five pipeline stage names, so a regression
 #    that silently drops a stage's spans fails fast.
-# 3. Renders the observability report CLI over the smoke cache.
+# 3. Renders the observability report CLI over the smoke cache (and
+#    checks the sim.engine.* counter family is surfaced).
+# 4. Block-engine gate: block vs closure bit-identity smoke across all
+#    three ISAs, plus a full pipeline run under REPRO_SIM_ENGINE=closure
+#    (the always-available fallback path).
+# 5. DSE sweeps, trajectory/golden gates, and the micro-benchmark,
+#    which must show the block engine >= 2x on >= 2 benchmarks.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,7 +46,54 @@ done
 echo "all five pipeline stages present in manifest and event stream"
 
 echo "== observability report =="
-python -m repro.obs.report --cache-dir "$tmp/cache"
+python -m repro.obs.report --cache-dir "$tmp/cache" | tee "$tmp/report.txt"
+grep -q "sim.engine" "$tmp/report.txt" \
+    || { echo "FAIL: sim.engine.* counter family missing from obs report"; exit 1; }
+
+echo "== block-engine equivalence smoke (block vs closure, all ISAs) =="
+python - <<'EOF'
+import numpy as np
+from repro.compiler import compile_arm, compile_thumb
+from repro.core.flow import fits_flow
+from repro.sim.functional import ArmSimulator
+from repro.sim.functional.fits_sim import FitsSimulator
+from repro.sim.functional.thumb_sim import ThumbSimulator
+from repro.workloads import get_workload
+
+for name in ("crc32", "qsort"):
+    wl = get_workload(name)
+    runs = {
+        "arm": lambda e: ArmSimulator(
+            compile_arm(wl.build_module("small")), engine=e).run(),
+        "thumb": lambda e: ThumbSimulator(
+            compile_thumb(wl.build_module("small")), engine=e).run(),
+        "fits": lambda e: FitsSimulator(
+            fits_flow(wl.build_module("small")).fits_image, engine=e).run(),
+    }
+    for isa, run in runs.items():
+        a, b = run("block"), run("closure")
+        assert a.exit_code == b.exit_code, (name, isa)
+        for f in ("run_starts", "run_ends", "mem_addrs", "mem_is_store"):
+            assert np.array_equal(getattr(a, f), getattr(b, f)), (name, isa, f)
+        assert a.console == b.console and bytes(a.memory) == bytes(b.memory)
+        print("  %s/%s: block == closure (%d instrs)"
+              % (name, isa, a.dynamic_instructions))
+print("block engine bit-identical to closure engine")
+EOF
+
+echo "== closure-engine fallback smoke (REPRO_SIM_ENGINE=closure) =="
+REPRO_CACHE_DIR="$tmp/cache-closure" REPRO_SIM_ENGINE=closure python - <<'EOF'
+from repro.sim.functional import selected_engine
+assert selected_engine() == "closure"
+from repro.harness.runner import collect
+collect(scale="small", names=["crc32"], verbose=True)
+EOF
+python - "$tmp/cache-closure/crc32-small.json" <<'EOF'
+import json, sys
+manifest = json.load(open(sys.argv[1]))["manifest"]
+assert manifest["sim_engine"] == "closure", manifest.get("sim_engine")
+print("closure fallback ran; manifest records sim_engine=closure")
+EOF
 
 
 echo "== DSE smoke sweep (2 benchmarks x 4 points, --jobs 2) =="
@@ -119,19 +172,30 @@ python -m repro.obs.regress diff --store "$hist" | tee "$tmp/diff.txt"
 grep -q "0 regressions" "$tmp/diff.txt" \
     || { echo "FAIL: diff flagged regressions on an unchanged re-run"; exit 1; }
 
-echo "== pipeline micro-benchmark (warm-trace sweep, trajectory record) =="
-REPRO_COMMIT=verify-smoke python -m repro.bench --reps 2 \
+echo "== pipeline micro-benchmark (cache sweep + cold sim, trajectory record) =="
+REPRO_COMMIT=verify-smoke python -m repro.bench --reps 2 --sim-reps 3 \
     --out "$tmp/BENCH_pipeline.json" --record-trajectory --store "$hist" \
     | tee "$tmp/bench.txt"
-grep -q "trajectory: 1 added" "$tmp/bench.txt" \
-    || { echo "FAIL: bench run not recorded into the trajectory store"; exit 1; }
+grep -q "trajectory: 4 added" "$tmp/bench.txt" \
+    || { echo "FAIL: bench sections not recorded into the trajectory store"; exit 1; }
 python - "$tmp/BENCH_pipeline.json" <<'EOF'
 import json, sys
 blob = json.load(open(sys.argv[1]))
-assert blob["points"] >= 8, blob["points"]
-assert blob["speedup"] > 1.0, \
-    "one-pass sweep slower than per-point LRU (%.2fx)" % blob["speedup"]
-print("bench: %d points, %.2fx sweep speedup" % (blob["points"], blob["speedup"]))
+assert blob["schema"] == "repro.bench/v2", blob.get("schema")
+sweeps = [s for s in blob["sections"] if s["kind"] == "sweep"]
+sims = [s for s in blob["sections"] if s["kind"] == "sim"]
+assert sweeps and sweeps[0]["points"] >= 8, sweeps
+assert sweeps[0]["speedup"] > 1.0, \
+    "one-pass sweep slower than per-point LRU (%.2fx)" % sweeps[0]["speedup"]
+assert len(sims) >= 2, "expected >=2 cold-sim sections"
+fast = [s for s in sims if s["speedup"] >= 2.0]
+assert len(fast) >= 2, "block engine <2x on all but %d benchmarks: %s" % (
+    len(fast), ["%s=%.2fx" % (s["benchmark"], s["speedup"]) for s in sims])
+print("bench: %d cache points, %.2fx sweep speedup" % (
+    sweeps[0]["points"], sweeps[0]["speedup"]))
+for s in sims:
+    print("bench: %s/%s cold sim %.2fx (block vs closure)" % (
+        s["benchmark"], s["isa"], s["speedup"]))
 EOF
 
 echo "== Chrome trace-event export =="

@@ -1,17 +1,25 @@
 """Pipeline micro-benchmarks (``python -m repro.bench``).
 
-Measures the wall-clock cost of the simulate stage on a smoke preset
-and writes ``BENCH_pipeline.json`` at the repo root:
+Measures the wall-clock cost of the simulate stage and writes
+``BENCH_pipeline.json`` at the repo root.  The blob (schema
+``repro.bench/v2``) is a list of *sections*, one measurement unit each:
 
-* ``timing_sim_s`` — one cold :func:`simulate_timing` call (geometry-
-  invariant precomputation included), the paper-default configuration;
-* ``sweep_baseline_s`` — a multi-geometry cache sweep evaluated the
-  pre-batching way: one full per-point LRU timing simulation per cache
-  point, nothing shared between points;
-* ``sweep_fast_s`` — the same sweep through
-  :func:`~repro.sim.pipeline.simulate_timing_multi`: one shared
-  precomputation plus a single stack-distance pass answering every
-  geometry at once.
+``sweep`` section (one per benchmark)
+    The cache-sweep cost model comparison from PR 4: one cold
+    :func:`simulate_timing` call (``timing_sim_s``), a multi-geometry
+    sweep evaluated the pre-batching way — one full per-point LRU
+    timing simulation per cache point (``sweep_baseline_s``) — and the
+    same sweep through
+    :func:`~repro.sim.pipeline.simulate_timing_multi` — one shared
+    precomputation plus a single stack-distance pass answering every
+    geometry at once (``sweep_fast_s``).
+
+``sim`` section (one per benchmark x ISA)
+    Cold functional simulation, block-compiled engine vs the classic
+    per-instruction closure loop (``block_s`` / ``closure_s`` and
+    their ratio ``speedup``).  Every repetition builds a fresh
+    simulator, so block codegen cost is *included* — this is the
+    cold-trace cost a DSE sweep actually pays on a store miss.
 
 Each measurement is repeated ``reps`` times and the median is reported,
 so one scheduler hiccup cannot skew the result.  ``--record-trajectory``
@@ -24,18 +32,31 @@ import os
 import statistics
 import time
 
-from repro.compiler import compile_arm
+from repro.compiler import compile_arm, compile_thumb
 from repro.sim.functional import ArmSimulator, cached_run
+from repro.sim.functional.thumb_sim import ThumbSimulator
 from repro.sim.pipeline import TimingConfig, simulate_timing, simulate_timing_multi
 from repro.workloads import get_workload
 
-BENCH_SCHEMA = "repro.bench/v1"
+BENCH_SCHEMA = "repro.bench/v2"
 
 #: the default sweep: 18 cache points (6 sizes x 3 associativities) on
 #: one ISA — comfortably above the >= 8-point floor the acceptance
 #: criterion asks for, and the shape a DSE cache sweep actually has.
 DEFAULT_SIZES = (1024, 2048, 4096, 8192, 16384, 32768)
 DEFAULT_ASSOCS = (1, 2, 4)
+
+#: default multi-benchmark set: two loop-dominated workloads where
+#: block compilation shines, plus the paper's canonical crc32.
+DEFAULT_BENCHMARKS = ("crc32", "sha", "bitcount")
+
+#: cold-sim sections run at full scale: the block engine's codegen cost
+#: must amortize over a realistic dynamic instruction count, exactly as
+#: it does on a trace-store miss during a DSE sweep.
+DEFAULT_SIM_SCALE = "full"
+
+_SIMULATORS = {"arm": (compile_arm, ArmSimulator),
+               "thumb": (compile_thumb, ThumbSimulator)}
 
 
 def _median_of(fn, reps):
@@ -52,9 +73,9 @@ def _cold(result):
     result.__dict__.pop("_timing_precomps", None)
 
 
-def bench_pipeline(benchmark="crc32", scale="small", reps=5,
-                   sizes=DEFAULT_SIZES, assocs=DEFAULT_ASSOCS):
-    """Run the micro-benchmark; returns the result blob (not yet on disk)."""
+def bench_sweep_section(benchmark, scale="small", reps=5,
+                        sizes=DEFAULT_SIZES, assocs=DEFAULT_ASSOCS):
+    """One ``sweep`` section: cache-sweep cost, batched vs per-point."""
     wl = get_workload(benchmark)
     image = compile_arm(wl.build_module(scale))
     # warm trace: the persistent store serves repeat functional runs
@@ -86,7 +107,7 @@ def bench_pipeline(benchmark="crc32", scale="small", reps=5,
     sweep_fast_s = _median_of(sweep_fast, reps)
 
     return {
-        "schema": BENCH_SCHEMA,
+        "kind": "sweep",
         "benchmark": benchmark,
         "scale": scale,
         "isa": "arm",
@@ -97,7 +118,55 @@ def bench_pipeline(benchmark="crc32", scale="small", reps=5,
         "sweep_baseline_s": sweep_baseline_s,
         "sweep_fast_s": sweep_fast_s,
         "speedup": sweep_baseline_s / sweep_fast_s if sweep_fast_s else 0.0,
+    }
+
+
+def bench_sim_section(benchmark, isa="arm", scale=DEFAULT_SIM_SCALE, reps=3):
+    """One ``sim`` section: cold functional sim, block vs closure."""
+    compiler, simulator = _SIMULATORS[isa]
+    wl = get_workload(benchmark)
+    image = compiler(wl.build_module(scale))
+    expected = wl.reference(scale)
+    checked = simulator(image, engine="block").run()
+    if checked.exit_code != expected:
+        raise AssertionError("%s/%s: checksum mismatch" % (benchmark, isa))
+
+    block_s = _median_of(
+        lambda: simulator(image, engine="block").run(), reps)
+    closure_s = _median_of(
+        lambda: simulator(image, engine="closure").run(), reps)
+    return {
+        "kind": "sim",
+        "benchmark": benchmark,
+        "isa": isa,
+        "scale": scale,
+        "reps": reps,
+        "dynamic_instructions": checked.dynamic_instructions,
+        "block_s": block_s,
+        "closure_s": closure_s,
+        "speedup": closure_s / block_s if block_s else 0.0,
+    }
+
+
+def bench_pipeline(benchmarks=DEFAULT_BENCHMARKS, scale="small", reps=5,
+                   sim_scale=DEFAULT_SIM_SCALE, sim_reps=3, isas=("arm",),
+                   sizes=DEFAULT_SIZES, assocs=DEFAULT_ASSOCS):
+    """Run every section; returns the v2 blob (not yet on disk).
+
+    The sweep section runs once (on the first benchmark — it measures
+    the cache-model batching, which is ISA- and benchmark-agnostic);
+    sim sections run for every (benchmark, ISA) pair.
+    """
+    sections = [bench_sweep_section(benchmarks[0], scale=scale, reps=reps,
+                                    sizes=sizes, assocs=assocs)]
+    for benchmark in benchmarks:
+        for isa in isas:
+            sections.append(bench_sim_section(
+                benchmark, isa=isa, scale=sim_scale, reps=sim_reps))
+    return {
+        "schema": BENCH_SCHEMA,
         "recorded_at": time.time(),
+        "sections": sections,
     }
 
 

@@ -4,8 +4,8 @@ import argparse
 import sys
 
 from repro.bench import (
-    DEFAULT_ASSOCS,
-    DEFAULT_SIZES,
+    DEFAULT_BENCHMARKS,
+    DEFAULT_SIM_SCALE,
     bench_pipeline,
     default_output_path,
     write_blob,
@@ -15,13 +15,25 @@ from repro.bench import (
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Measure simulate-stage wall-clock (single timing run "
-        "and multi-geometry sweep) and write BENCH_pipeline.json.",
+        description="Measure simulate-stage wall-clock (cache sweep cost "
+        "model and cold functional sim, block vs closure engine) and "
+        "write BENCH_pipeline.json.",
     )
-    parser.add_argument("--benchmark", default="crc32")
-    parser.add_argument("--scale", default="small")
+    parser.add_argument("--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
+                        help="comma-separated benchmark list "
+                        "(default: %(default)s)")
+    parser.add_argument("--isas", default="arm",
+                        help="comma-separated ISAs for the sim sections "
+                        "(arm, thumb; default: arm)")
+    parser.add_argument("--scale", default="small",
+                        help="workload scale for the sweep section")
+    parser.add_argument("--sim-scale", default=DEFAULT_SIM_SCALE,
+                        help="workload scale for the sim sections "
+                        "(default: %(default)s)")
     parser.add_argument("--reps", type=int, default=5,
-                        help="repetitions per measurement; median reported")
+                        help="repetitions per sweep measurement; median")
+    parser.add_argument("--sim-reps", type=int, default=3,
+                        help="repetitions per sim measurement; median")
     parser.add_argument("--out", default=None,
                         help="output path (default: <repo>/BENCH_pipeline.json)")
     parser.add_argument("--record-trajectory", action="store_true",
@@ -31,36 +43,71 @@ def main(argv=None):
                         help="trajectory store path override")
     args = parser.parse_args(argv)
 
-    blob = bench_pipeline(benchmark=args.benchmark, scale=args.scale,
-                          reps=args.reps)
+    benchmarks = tuple(b.strip() for b in args.benchmarks.split(",") if b.strip())
+    isas = tuple(i.strip() for i in args.isas.split(",") if i.strip())
+    blob = bench_pipeline(benchmarks=benchmarks, scale=args.scale,
+                          reps=args.reps, sim_scale=args.sim_scale,
+                          sim_reps=args.sim_reps, isas=isas)
     out = args.out or default_output_path()
     write_blob(blob, out)
 
-    print("bench: %s/%s, %d cache points, %d reps" % (
-        blob["benchmark"], blob["scale"], blob["points"], blob["reps"]))
-    print("  timing sim (cold):      %8.1f ms" % (1e3 * blob["timing_sim_s"]))
-    print("  sweep, per-point LRU:   %8.1f ms" % (1e3 * blob["sweep_baseline_s"]))
-    print("  sweep, one-pass stack:  %8.1f ms" % (1e3 * blob["sweep_fast_s"]))
-    print("  speedup:                %8.2fx" % blob["speedup"])
+    for section in blob["sections"]:
+        if section["kind"] == "sweep":
+            print("sweep: %s/%s, %d cache points, %d reps" % (
+                section["benchmark"], section["scale"],
+                section["points"], section["reps"]))
+            print("  timing sim (cold):      %8.1f ms"
+                  % (1e3 * section["timing_sim_s"]))
+            print("  sweep, per-point LRU:   %8.1f ms"
+                  % (1e3 * section["sweep_baseline_s"]))
+            print("  sweep, one-pass stack:  %8.1f ms"
+                  % (1e3 * section["sweep_fast_s"]))
+            print("  speedup:                %8.2fx" % section["speedup"])
+        else:
+            print("sim: %s/%s/%s, %d instrs, %d reps" % (
+                section["benchmark"], section["isa"], section["scale"],
+                section["dynamic_instructions"], section["reps"]))
+            print("  block engine (cold):    %8.1f ms"
+                  % (1e3 * section["block_s"]))
+            print("  closure engine (cold):  %8.1f ms"
+                  % (1e3 * section["closure_s"]))
+            print("  speedup:                %8.2fx" % section["speedup"])
     print("wrote %s" % out)
 
     if args.record_trajectory:
         from repro.obs.regress import TrajectoryStore, current_commit, make_record
 
         store = TrajectoryStore(args.store)
-        record = make_record(
-            current_commit(), blob["benchmark"], blob["scale"],
-            point_id="bench_pipeline", label="bench-pipeline",
-            metrics={
-                "bench.timing_sim_s": blob["timing_sim_s"],
-                "bench.sweep_baseline_s": blob["sweep_baseline_s"],
-                "bench.sweep_fast_s": blob["sweep_fast_s"],
-                "bench.speedup": blob["speedup"],
-            },
-            wall_seconds=blob["timing_sim_s"],
-            source="bench",
-        )
-        added, skipped = store.append([record])
+        commit = current_commit()
+        records = []
+        for section in blob["sections"]:
+            if section["kind"] == "sweep":
+                records.append(make_record(
+                    commit, section["benchmark"], section["scale"],
+                    point_id="bench_pipeline", label="bench-pipeline",
+                    metrics={
+                        "bench.timing_sim_s": section["timing_sim_s"],
+                        "bench.sweep_baseline_s": section["sweep_baseline_s"],
+                        "bench.sweep_fast_s": section["sweep_fast_s"],
+                        "bench.speedup": section["speedup"],
+                    },
+                    wall_seconds=section["timing_sim_s"],
+                    source="bench",
+                ))
+            else:
+                records.append(make_record(
+                    commit, section["benchmark"], section["scale"],
+                    point_id="bench_sim_%s" % section["isa"],
+                    label="bench-sim-%s" % section["isa"],
+                    metrics={
+                        "bench.sim.block_s": section["block_s"],
+                        "bench.sim.closure_s": section["closure_s"],
+                        "bench.sim.speedup": section["speedup"],
+                    },
+                    wall_seconds=section["block_s"],
+                    source="bench",
+                ))
+        added, skipped = store.append(records)
         print("trajectory: %d added, %d skipped (%s)" % (
             added, skipped, store.path))
     return 0

@@ -35,6 +35,7 @@ import time
 from repro import obs
 from repro.compiler import compile_arm, compile_thumb
 from repro.core.flow import fits_flow
+from repro.sim.functional import selected_engine
 from repro.dse.space import DesignPoint
 from repro.dse.store import RESULT_SCHEMA
 from repro.power import CachePowerModel
@@ -192,6 +193,7 @@ def _finish(benchmark, point, scale, compute):
             "scale": scale,
             "point": point.point_id,
             "label": point.label,
+            "sim_engine": selected_engine(),
             "wall_seconds": wall,
             "stages": obs.stage_timings(window["spans"]),
             "counters": window["counters"],

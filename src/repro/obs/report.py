@@ -40,10 +40,14 @@ def _fmt_seconds(seconds):
 def _counter_family(name):
     """Grouping key for one counter: its first dotted segment, or the
     first two for ``cache.*`` (``cache.icache`` vs ``cache.stack`` are
-    different subsystems)."""
+    different subsystems) and ``sim.engine.*`` (the block-compiled
+    execution engine's codegen/fallback counters, distinct from the
+    per-trace ``sim.*`` volume counters)."""
     parts = name.split(".")
     if parts[0] == "cache" and len(parts) > 2:
         return ".".join(parts[:2])
+    if parts[0] == "sim" and len(parts) > 2 and parts[1] == "engine":
+        return "sim.engine"
     return parts[0]
 
 

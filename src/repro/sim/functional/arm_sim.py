@@ -1,11 +1,13 @@
-"""Functional ARM simulator with pre-decoded (closure-compiled) execution.
+"""Functional ARM simulator with pre-decoded execution.
 
-Each static instruction is compiled once into a small Python closure that
-mutates the machine state and returns the next instruction index; the
-main loop then just chains closures, recording a run boundary whenever
-control transfers.  This is the standard trick for getting tolerable
-speed out of a pure-Python ISS and it also keeps the semantics of each
-instruction in one readable place.
+Each static instruction is compiled once into a small Python closure
+that mutates the machine state and returns the next instruction index;
+execution is then driven by :mod:`repro.sim.functional.engine` — either
+the classic closure-chaining loop (``REPRO_SIM_ENGINE=closure``) or the
+default block engine, which additionally ``exec()``-compiles straight-
+line stretches into single generated functions using the per-
+instruction source templates in :func:`_emit` (the closures stay as the
+always-available fallback).
 """
 
 import struct
@@ -27,17 +29,15 @@ from repro.isa.arm.model import (
     COMPARE_OPS,
 )
 from repro.obs import core as obs
-from repro.sim.functional.trace import ExecutionResult, TraceBuilder, publish_result
+from repro.sim.functional import engine
+from repro.sim.functional.engine import Emitted, SimulationError, cond_expr, emit_mem
+from repro.sim.functional.trace import TraceBuilder, publish_result
 
 M32 = 0xFFFFFFFF
 
 #: SWI numbers understood by the simulator.
 SWI_EXIT = 0
 SWI_PUTC = 1
-
-
-class SimulationError(Exception):
-    """Raised on bad control flow, memory faults, or instruction limits."""
 
 
 class ArmSimulator:
@@ -47,11 +47,14 @@ class ArmSimulator:
         image: :class:`repro.compiler.link.Image`.
         max_instructions: dynamic instruction budget (guards against
             runaway workloads).
+        engine: execution engine override (``"block"``/``"closure"``);
+            None defers to ``REPRO_SIM_ENGINE``.
     """
 
-    def __init__(self, image, max_instructions=200_000_000):
+    def __init__(self, image, max_instructions=200_000_000, engine=None):
         self.image = image
         self.max_instructions = max_instructions
+        self.engine = engine
 
     def run(self):
         """Simulate from ``_start`` until the exit SWI; returns
@@ -64,54 +67,31 @@ class ArmSimulator:
         return result
 
     def _run(self):
-        image = self.image
-        regs = [0] * 16
-        regs[13] = image.stack_top
-        mem = image.initial_memory()
-        flags = [False, False, False, False]  # N, Z, C, V
-        trace = TraceBuilder()
-        exit_code = [None]
+        program = build_program(self.image)
+        return engine.execute(program, self.max_instructions, self.engine)
 
-        handlers = _compile_handlers(image, regs, mem, flags, trace, exit_code)
 
-        starts_append = trace.run_starts.append
-        ends_append = trace.run_ends.append
-        idx = 0  # _start is always the first instruction
-        run_start = 0
-        executed = 0
-        limit = self.max_instructions
-        try:
-            while idx >= 0:
-                nxt = handlers[idx]()
-                if nxt == idx + 1:
-                    idx = nxt
-                    continue
-                starts_append(run_start)
-                ends_append(idx)
-                executed += idx - run_start + 1
-                if executed > limit:
-                    raise SimulationError(
-                        "instruction budget exceeded (%d) in %s"
-                        % (limit, image.name)
-                    )
-                idx = nxt
-                run_start = nxt
-        except (struct.error, IndexError) as exc:
-            raise SimulationError(
-                "memory fault near instruction index %d (%s): %s"
-                % (idx, image.func_of_index[idx] if 0 <= idx < len(image.instrs) else "?", exc)
-            ) from exc
-
-        return ExecutionResult(
-            image=image,
-            exit_code=exit_code[0],
-            run_starts=trace.run_starts,
-            run_ends=trace.run_ends,
-            mem_addrs=trace.mem_addrs,
-            mem_is_store=trace.mem_is_store,
-            console=bytes(trace.console),
-            memory=mem,
-        )
+def build_program(image):
+    """Fresh per-run :class:`~repro.sim.functional.engine.Program`."""
+    regs = [0] * 16
+    regs[13] = image.stack_top
+    mem = image.initial_memory()
+    flags = [False, False, False, False]  # N, Z, C, V
+    trace = TraceBuilder()
+    exit_code = [None]
+    handlers = _compile_handlers(image, regs, mem, flags, trace, exit_code)
+    instrs = image.instrs
+    return engine.Program(
+        image=image,
+        isa="arm",
+        handlers=handlers,
+        regs=regs,
+        mem=mem,
+        flags=flags,
+        trace=trace,
+        exit_code=exit_code,
+        emit=lambda idx: _emit(instrs[idx], idx, image),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -465,3 +445,226 @@ def _compile_memhalf(ins, idx, regs, mem, ma, ms, unpack_from, pack_into):
             pack_into("<H", mem, addr, regs[rd] & 0xFFFF)
             return nxt
     return h
+
+
+# ----------------------------------------------------------------------
+# block-engine source templates
+#
+# Each template mirrors the matching closure above statement for
+# statement; the block engine property tests (tests/test_engine.py)
+# hold the two representations bit-identical.  An instruction kind
+# without a template returns None and executes through its closure.
+
+
+_DP_EXPR = {
+    DPOp.AND: "regs[%d] & %s",
+    DPOp.EOR: "regs[%d] ^ %s",
+    DPOp.SUB: "(regs[%d] - %s) & 4294967295",
+    DPOp.RSB: None,  # operand order swapped; handled explicitly
+    DPOp.ADD: "(regs[%d] + %s) & 4294967295",
+    DPOp.ORR: "regs[%d] | %s",
+    DPOp.BIC: "regs[%d] & ~(%s) & 4294967295",
+}
+
+_ST_NAME = {ShiftType.LSL: "LSL", ShiftType.LSR: "LSR",
+            ShiftType.ASR: "ASR", ShiftType.ROR: "ROR"}
+
+
+def _op2_expr(op2):
+    """Source expression for a shifter operand, or None (RRX)."""
+    if isinstance(op2, Operand2Imm):
+        return "%d" % op2.value
+    if isinstance(op2, Operand2Reg):
+        rm, n = op2.rm, op2.shift_imm
+        if op2.shift_type is ShiftType.LSL:
+            if n == 0:
+                return "regs[%d]" % rm
+            return "((regs[%d] << %d) & 4294967295)" % (rm, n)
+        if op2.shift_type is ShiftType.LSR:
+            if n == 0:
+                return "0"  # LSR #0 encodes LSR #32
+            return "(regs[%d] >> %d)" % (rm, n)
+        if op2.shift_type is ShiftType.ASR:
+            if n == 0:
+                return "(4294967295 if regs[%d] & 2147483648 else 0)" % rm
+            mask = ((1 << n) - 1) << (32 - n)
+            return ("(((regs[%d] >> %d) | %d) if regs[%d] & 2147483648"
+                    " else (regs[%d] >> %d))" % (rm, n, mask, rm, rm, n))
+        # ROR
+        if n == 0:
+            return None  # RRX — the closure compiler rejects it anyway
+        return ("(((regs[%d] >> %d) | (regs[%d] << %d)) & 4294967295)"
+                % (rm, n, rm, 32 - n))
+    if isinstance(op2, Operand2RegReg):
+        return ("dyn_shift(regs[%d], %s, regs[%d] & 255)"
+                % (op2.rm, _ST_NAME[op2.shift_type], op2.rs))
+    return None
+
+
+def _flag_lines(t, x, y, r, carry, overflow):
+    """NZ always; C/V from the given expressions (None to skip)."""
+    lines = ["flags[0] = %s >= 2147483648" % r,
+             "flags[1] = %s == 0" % r]
+    if carry is not None:
+        lines.append("flags[2] = %s" % carry)
+    if overflow is not None:
+        lines.append("flags[3] = %s" % overflow)
+    return lines
+
+
+def _emit_dataproc(ins, idx):
+    op2 = _op2_expr(ins.operand2)
+    if op2 is None:
+        return None
+    rd, rn, op = ins.rd, ins.rn, ins.op
+    t = "%d" % idx
+
+    if op in COMPARE_OPS:
+        x, y, r, tot = "_x" + t, "_y" + t, "_r" + t, "_t" + t
+        if op is DPOp.CMP:
+            lines = ["%s = regs[%d]" % (x, rn),
+                     "%s = %s" % (y, op2),
+                     "%s = (%s - %s) & 4294967295" % (r, x, y)]
+            lines += _flag_lines(t, x, y, r,
+                                 "%s >= %s" % (x, y),
+                                 "((%s ^ %s) & (%s ^ %s) & 2147483648) != 0"
+                                 % (x, y, x, r))
+        elif op is DPOp.CMN:
+            lines = ["%s = regs[%d]" % (x, rn),
+                     "%s = %s" % (y, op2),
+                     "%s = %s + %s" % (tot, x, y),
+                     "%s = %s & 4294967295" % (r, tot)]
+            lines += _flag_lines(t, x, y, r,
+                                 "%s > 4294967295" % tot,
+                                 "(~(%s ^ %s) & (%s ^ %s) & 2147483648) != 0"
+                                 % (x, y, x, r))
+        elif op is DPOp.TST:
+            lines = ["%s = regs[%d] & %s" % (r, rn, op2)]
+            lines += _flag_lines(t, None, None, r, None, None)
+        else:  # TEQ
+            lines = ["%s = regs[%d] ^ %s" % (r, rn, op2)]
+            lines += _flag_lines(t, None, None, r, None, None)
+        return Emitted(lines)
+
+    if ins.s:
+        return None  # closure compilation already raised
+
+    if rd == 15:
+        if op is not DPOp.MOV:
+            return None
+        return Emitted([], nxt="index_of(%s)" % op2)
+
+    if op is DPOp.MOV:
+        return Emitted(["regs[%d] = %s" % (rd, op2)])
+    if op is DPOp.MVN:
+        return Emitted(["regs[%d] = %s ^ 4294967295" % (rd, op2)])
+    if op is DPOp.RSB:
+        return Emitted(["regs[%d] = (%s - regs[%d]) & 4294967295" % (rd, op2, rn)])
+    pattern = _DP_EXPR.get(op)
+    if pattern is None:
+        return None
+    return Emitted(["regs[%d] = %s" % (rd, pattern % (rn, op2))])
+
+
+def _ea_expr(ins):
+    """Effective-address expression of a MemWord/MemHalf operand."""
+    rn = ins.rn
+    if isinstance(ins.offset, int):
+        return "(regs[%d] + %d) & 4294967295" % (rn, ins.offset)
+    rm = ins.offset.rm
+    shift = ins.offset.shift_imm
+    if shift:
+        return ("(regs[%d] + ((regs[%d] << %d) & 4294967295)) & 4294967295"
+                % (rn, rm, shift))
+    return "(regs[%d] + regs[%d]) & 4294967295" % (rn, rm)
+
+
+def _emit_memmultiple(ins, idx):
+    reglist = tuple(ins.reglist)
+    rn = ins.rn
+    t = "%d" % idx
+    lines = []
+    addrs = []
+    if ins.load:
+        gprs = tuple(r for r in reglist if r != 15)
+        lines.append("_a%s_0 = regs[%d]" % (t, rn))
+        cursor = "_a%s_0" % t
+        for j, r in enumerate(gprs):
+            if j:
+                cursor = "_a%s_%d" % (t, j)
+                lines.append("%s = _a%s_%d + 4" % (cursor, t, j - 1))
+            lines.append("regs[%d] = unpack_from(\"<I\", mem, %s)[0]" % (r, cursor))
+            addrs.append((cursor, 0))
+        if 15 in reglist:
+            pc_cursor = "_a%s_%d" % (t, len(gprs))
+            if gprs:
+                lines.append("%s = %s + 4" % (pc_cursor, cursor))
+            else:
+                lines.append("%s = regs[%d]" % (pc_cursor, rn))
+            lines.append("_t%s = index_of(unpack_from(\"<I\", mem, %s)[0])"
+                         % (t, pc_cursor))
+            addrs.append((pc_cursor, 0))
+            lines.append("regs[%d] = %s + 4" % (rn, pc_cursor))
+            return Emitted(lines, addrs=tuple(addrs), nxt="_t%s" % t)
+        lines.append("regs[%d] = %s + 4" % (rn, cursor))
+        return Emitted(lines, addrs=tuple(addrs))
+    # store-multiple: descending base, ascending stores
+    lines.append("_a%s_0 = regs[%d] - %d" % (t, rn, 4 * len(reglist)))
+    lines.append("regs[%d] = _a%s_0" % (rn, t))
+    cursor = "_a%s_0" % t
+    for j, r in enumerate(reglist):
+        if j:
+            cursor = "_a%s_%d" % (t, j)
+            lines.append("%s = _a%s_%d + 4" % (cursor, t, j - 1))
+        lines.append("pack_into(\"<I\", mem, %s, regs[%d])" % (cursor, r))
+        addrs.append((cursor, 1))
+    return Emitted(lines, addrs=tuple(addrs))
+
+
+def _emit_branch(ins, idx, image):
+    target = image.index_of_addr(ins.target(image.addr_of_index(idx)))
+    check = cond_expr(ins.cond)
+    if ins.link:
+        ret_addr = image.addr_of_index(idx) + 4
+        if check is None:
+            return Emitted(["regs[14] = %d" % ret_addr], nxt="%d" % target)
+        return Emitted([], nxt="%d" % target, cond=check,
+                       taken_lines=("regs[14] = %d" % ret_addr,))
+    if check is None:
+        return Emitted([], nxt="%d" % target)
+    return Emitted([], nxt="%d" % target, cond=check)
+
+
+def _emit(ins, idx, image):
+    """Block-engine template for one instruction, or None (fallback)."""
+    if isinstance(ins, DataProc):
+        return _emit_dataproc(ins, idx)
+    if isinstance(ins, MemWord):
+        width = 1 if ins.byte else 4
+        return emit_mem(ins.load, width, False, ins.rd, _ea_expr(ins), "_a%d" % idx)
+    if isinstance(ins, MemHalf):
+        ea = "(regs[%d] + %d) & 4294967295" % (ins.rn, ins.offset)
+        if ins.load:
+            width = 2 if ins.half else 1
+            return emit_mem(True, width, ins.signed or not ins.half, ins.rd,
+                            ea, "_a%d" % idx)
+        return emit_mem(False, 2, False, ins.rd, ea, "_a%d" % idx)
+    if isinstance(ins, MemMultiple):
+        return _emit_memmultiple(ins, idx)
+    if isinstance(ins, Multiply):
+        if ins.accumulate:
+            line = ("regs[%d] = (regs[%d] * regs[%d] + regs[%d]) & 4294967295"
+                    % (ins.rd, ins.rm, ins.rs, ins.rn))
+        else:
+            line = ("regs[%d] = (regs[%d] * regs[%d]) & 4294967295"
+                    % (ins.rd, ins.rm, ins.rs))
+        return Emitted([line])
+    if isinstance(ins, Branch):
+        return _emit_branch(ins, idx, image)
+    if isinstance(ins, Swi):
+        if ins.imm24 == SWI_EXIT:
+            return Emitted(["exit_code[0] = regs[0]"], nxt="-1")
+        if ins.imm24 == SWI_PUTC:
+            return Emitted(["console.append(regs[0] & 255)"])
+        return None
+    return None

@@ -1,0 +1,724 @@
+"""Block-compiled execution engine shared by the functional simulators.
+
+The three functional simulators (:mod:`~repro.sim.functional.arm_sim`,
+:mod:`~repro.sim.functional.thumb_sim`,
+:mod:`~repro.sim.functional.fits_sim`) all pre-decode their image into
+per-instruction Python closures and then chain those closures from a
+dispatch loop.  That loop pays, per executed instruction, one list
+index, one closure call, and one fall-through comparison — which is the
+dominant cost of a cold trace once the cache side of the simulate stage
+is one-pass (PR 4).
+
+This module factors the shared run-loop/trace plumbing out of the three
+simulators and adds a faster execution strategy on top of the same
+closures:
+
+``closure`` engine
+    The classic loop, verbatim: call ``handlers[idx]()``, compare the
+    returned index against the sequential successor, record a run
+    boundary on every taken control transfer.
+
+``block`` engine
+    Discover *superblocks* lazily from the executed control flow: the
+    first time control reaches index ``i``, scan forward from ``i``
+    and ``exec()``-compile the whole stretch into a single generated
+    Python function.  The scan runs **through** conditional branches —
+    a conditional branch becomes an inline guarded early return (the
+    taken path records its run boundary and exits; the fall-through
+    path simply keeps executing inside the same function) — and only
+    stops at an unconditional transfer, an instruction with no codegen
+    template, or the block-size cap.  Subsequent visits dispatch
+    through a ``{entry index: block fn}`` table.  Inside a block there
+    are no per-instruction calls or comparisons: each instruction's
+    semantics are emitted inline from a source template, and memory-
+    access trace records are *batched* — buffered in local temporaries
+    and appended to the trace arrays once per block exit instead of
+    once per access.  Run boundaries (and the executed-instruction
+    budget tally) are maintained by the generated code itself through a
+    shared two-cell state, recording exactly the boundaries the closure
+    loop would.
+
+    Instructions without a template fall back to the always-available
+    per-instruction closure: the block ends there and the closure
+    becomes the block's terminator (pending trace records are flushed
+    first so the access order is preserved).  A lazily-entered index
+    that lands mid-atom (FITS) or on a continuation halfword (Thumb)
+    simply dispatches the existing closure/None and fails exactly like
+    the closure engine.
+
+Both engines produce bit-identical
+:class:`~repro.sim.functional.trace.ExecutionResult` objects: same run
+boundaries, same memory-access records in the same order, same console
+bytes, final memory, exit code, and dynamic instruction count — this is
+property-tested across ISAs, workloads, and scales in
+``tests/test_engine.py``.
+
+Engine selection: ``REPRO_SIM_ENGINE=block`` (the default) or
+``closure``; simulators also accept an explicit ``engine=`` argument
+which takes precedence (used by ``repro.bench`` to measure one against
+the other).
+
+Instruction-budget enforcement (both engines): the budget is checked at
+every *run boundary* (taken control transfer or program exit), never
+mid-run.  The overshoot is therefore bounded by the length of the
+current straight-line run — identical between the engines, so a too-
+small ``max_instructions`` raises :class:`SimulationError` at exactly
+the same executed-instruction count under either engine.
+
+Observability (when enabled): the block engine publishes
+``sim.engine.blocks_compiled`` / ``sim.engine.units_compiled`` /
+``sim.engine.fallback_instrs`` counters and a
+``sim.engine.avg_block_len`` gauge per run, and both engines count
+``sim.engine.runs.<engine>``.
+"""
+
+import os
+import re
+import struct
+
+from repro.isa.arm.model import ShiftType
+from repro.obs import core as obs
+from repro.sim.functional.trace import ExecutionResult, TraceBuilder
+
+M32 = 0xFFFFFFFF
+
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+ENGINES = ("block", "closure")
+
+#: Blocks longer than this are split; a split point behaves exactly like
+#: a sequential fall-through, so the cap only bounds codegen size.
+MAX_BLOCK_LEN = 192
+
+#: A block entry is compiled on its Nth visit; colder entries are
+#: interpreted through the per-instruction closures.  This keeps
+#: codegen cost off code that never repeats (large images with long
+#: one-shot init/table-build phases) while hot loops still compile on
+#: their second visit.
+COMPILE_THRESHOLD = 2
+
+#: Global codegen budget: a new block is compiled only once the
+#: executed-instruction count exceeds ``units_compiled * COMPILE_AMORT``
+#: — i.e. codegen is throttled to a fixed fraction of execution
+#: progress.  Loop-dominated programs hit the gate almost never (their
+#: executed count races ahead), while sprawling low-reuse code (a large
+#: image where every block runs a handful of times) stays mostly
+#: interpreted instead of paying ~2µs/instruction of compile time it
+#: can never amortize.  Deterministic: depends only on instruction
+#: counts, never on wall-clock.
+COMPILE_AMORT = 200
+
+#: The first this-many compiled units are exempt from the amortization
+#: gate, so small loop-dominated programs compile their entire working
+#: set up front; only large images feel the throttle.
+COMPILE_FREE_UNITS = 512
+
+#: Minimum scanned units before a superblock may end by chaining into
+#: another compiled block's entry (dedups overlapping compilations of
+#: the same stretch without splitting short hot loops).
+CHAIN_MIN_UNITS = 48
+
+
+class SimulationError(Exception):
+    """Raised on bad control flow, memory faults, or instruction limits."""
+
+
+def selected_engine(env=None):
+    """The engine named by ``REPRO_SIM_ENGINE`` (default ``block``)."""
+    env = os.environ if env is None else env
+    value = (env.get(ENGINE_ENV) or "").strip().lower()
+    if value in ("", "default"):
+        return "block"
+    if value not in ENGINES:
+        raise ValueError(
+            "unrecognized %s=%r (expected one of %s)"
+            % (ENGINE_ENV, value, "/".join(ENGINES))
+        )
+    return value
+
+
+def dyn_shift(value, stype, amount):
+    """Register-amount barrel shift, shared by every ISA's semantics.
+
+    ``amount`` is the already-masked 0..255 shift register value; the
+    behaviour matches the ARM register-specified shift rules that all
+    three instruction sets inherit.
+    """
+    if stype is ShiftType.LSL:
+        return (value << amount) & M32 if amount < 32 else 0
+    if stype is ShiftType.LSR:
+        return value >> amount if amount < 32 else 0
+    if stype is ShiftType.ASR:
+        if amount >= 32:
+            return M32 if value & 0x80000000 else 0
+        if value & 0x80000000:
+            return (value >> amount) | (((1 << amount) - 1) << (32 - amount))
+        return value >> amount
+    amount &= 31
+    if amount == 0:
+        return value
+    return ((value >> amount) | (value << (32 - amount))) & M32
+
+
+#: Names visible to generated block code, beyond the factory arguments.
+EXEC_GLOBALS = {
+    "dyn_shift": dyn_shift,
+    "LSL": ShiftType.LSL,
+    "LSR": ShiftType.LSR,
+    "ASR": ShiftType.ASR,
+    "ROR": ShiftType.ROR,
+}
+
+#: Condition-code source expressions over the shared ``flags`` NZCV
+#: list, keyed by condition *name* so the ARM ``Cond`` and Thumb
+#: ``TCond`` enums share one table.  ``AL`` is absent on purpose —
+#: always-taken branches emit an unconditional next expression.
+COND_EXPR = {
+    "EQ": "(flags[1])",
+    "NE": "(not flags[1])",
+    "CS": "(flags[2])",
+    "CC": "(not flags[2])",
+    "MI": "(flags[0])",
+    "PL": "(not flags[0])",
+    "VS": "(flags[3])",
+    "VC": "(not flags[3])",
+    "HI": "(flags[2] and not flags[1])",
+    "LS": "(not flags[2] or flags[1])",
+    "GE": "(flags[0] == flags[3])",
+    "LT": "(flags[0] != flags[3])",
+    "GT": "(not flags[1] and flags[0] == flags[3])",
+    "LE": "(flags[1] or flags[0] != flags[3])",
+}
+
+
+def cond_expr(cond):
+    """Source expression for a condition enum member, None for AL."""
+    if cond.name == "AL":
+        return None
+    return COND_EXPR[cond.name]
+
+
+class Emitted:
+    """One instruction's codegen template output.
+
+    Attributes:
+        lines: statement strings (one statement per entry, no newlines).
+        addrs: ``(temp_name, is_store)`` pairs, in access order, naming
+            temporaries assigned by ``lines`` that hold data-memory
+            addresses to be appended to the trace.
+        nxt: for control-transferring instructions, the expression for
+            the next instruction index (evaluated after ``lines``);
+            None for always-sequential instructions.  When ``cond`` is
+            set it must be a *static* index literal.
+        cond: for conditional branches, the source expression deciding
+            whether the transfer to ``nxt`` is taken; when it is false
+            the instruction falls through sequentially and the
+            superblock continues past it.
+        taken_lines: statements executed only on the taken path of a
+            conditional transfer (e.g. a conditional ``bl``'s link-
+            register write), before the run boundary is recorded.
+    """
+
+    __slots__ = ("lines", "addrs", "nxt", "cond", "taken_lines")
+
+    def __init__(self, lines, addrs=(), nxt=None, cond=None, taken_lines=()):
+        self.lines = lines
+        self.addrs = addrs
+        self.nxt = nxt
+        self.cond = cond
+        self.taken_lines = taken_lines
+
+
+def emit_mem(load, width, signed, rd, ea_expr, temp):
+    """Shared load/store template (identical semantics in all ISAs).
+
+    Returns an :class:`Emitted` performing one access of ``width`` bytes
+    at ``ea_expr`` into/out of ``regs[rd]``, recording the address in
+    ``temp``.
+    """
+    lines = ["%s = %s" % (temp, ea_expr)]
+    if load:
+        if width == 4:
+            lines.append("regs[%d] = unpack_from(\"<I\", mem, %s)[0]" % (rd, temp))
+        elif width == 2 and signed:
+            lines.append("regs[%d] = unpack_from(\"<h\", mem, %s)[0] & 4294967295" % (rd, temp))
+        elif width == 2:
+            lines.append("regs[%d] = unpack_from(\"<H\", mem, %s)[0]" % (rd, temp))
+        elif signed:
+            lines.append("_v%s = mem[%s]" % (temp, temp))
+            lines.append("regs[%d] = _v%s | 4294967040 if _v%s & 128 else _v%s"
+                         % (rd, temp, temp, temp))
+        else:
+            lines.append("regs[%d] = mem[%s]" % (rd, temp))
+        return Emitted(lines, addrs=((temp, 0),))
+    if width == 4:
+        lines.append("pack_into(\"<I\", mem, %s, regs[%d])" % (temp, rd))
+    elif width == 2:
+        lines.append("pack_into(\"<H\", mem, %s, regs[%d] & 65535)" % (temp, rd))
+    else:
+        lines.append("mem[%s] = regs[%d] & 255" % (temp, rd))
+    return Emitted(lines, addrs=((temp, 1),))
+
+
+class Program:
+    """Everything the engine needs to execute one prepared image.
+
+    Built fresh per run by each simulator's ``_run``: the closures in
+    ``handlers`` close over the mutable state (``regs``/``mem``/
+    ``flags``/``trace``/``exit_code``) that the generated block code
+    shares through the factory arguments.
+
+    ``seq_next`` is None when the sequential successor of index ``i`` is
+    always ``i + 1`` (ARM, Thumb); FITS passes its per-halfword atom
+    successor table.  ``emit`` maps an instruction index to an
+    :class:`Emitted` template or None (→ closure fallback).
+    """
+
+    __slots__ = ("image", "isa", "handlers", "seq_next", "emit", "regs",
+                 "mem", "flags", "trace", "exit_code", "index_of")
+
+    def __init__(self, image, isa, handlers, regs, mem, flags, trace,
+                 exit_code, emit=None, seq_next=None, index_of=None):
+        self.image = image
+        self.isa = isa
+        self.handlers = handlers
+        self.seq_next = seq_next
+        self.emit = emit
+        self.regs = regs
+        self.mem = mem
+        self.flags = flags
+        self.trace = trace
+        self.exit_code = exit_code
+        self.index_of = index_of if index_of is not None else image.index_of_addr
+
+
+def execute(program, max_instructions, engine=None):
+    """Run ``program`` to completion; returns :class:`ExecutionResult`.
+
+    ``engine`` overrides ``REPRO_SIM_ENGINE`` when given.
+    """
+    name = engine if engine is not None else selected_engine()
+    if name == "closure":
+        _run_closure(program, max_instructions)
+    elif name == "block":
+        _BlockRunner(program).run(max_instructions)
+    else:
+        raise ValueError("unknown engine %r (expected one of %s)"
+                         % (name, "/".join(ENGINES)))
+    if obs.enabled:
+        obs.counter("sim.engine.runs.%s" % name)
+    trace = program.trace
+    return ExecutionResult(
+        image=program.image,
+        exit_code=program.exit_code[0],
+        run_starts=trace.run_starts,
+        run_ends=trace.run_ends,
+        mem_addrs=trace.mem_addrs,
+        mem_is_store=trace.mem_is_store,
+        console=bytes(trace.console),
+        memory=program.mem,
+    )
+
+
+def _budget_error(program, limit):
+    return SimulationError(
+        "instruction budget exceeded (%d) in %s" % (limit, program.image.name)
+    )
+
+
+def _fault_error(program, idx, exc):
+    image = program.image
+    where = ""
+    func_of_index = getattr(image, "func_of_index", None)
+    if func_of_index is not None and 0 <= idx < len(func_of_index):
+        where = " (%s)" % func_of_index[idx]
+    return SimulationError(
+        "%s memory fault near instruction index %d%s: %s"
+        % (program.isa, idx, where, exc)
+    )
+
+
+# ----------------------------------------------------------------------
+# closure engine — the classic per-instruction dispatch loops
+
+
+def _run_closure(program, limit):
+    """The pre-block execution strategy, preserved verbatim."""
+    trace = program.trace
+    handlers = program.handlers
+    starts_append = trace.run_starts.append
+    ends_append = trace.run_ends.append
+    seq = program.seq_next
+    idx = 0
+    run_start = 0
+    executed = 0
+    try:
+        if seq is None:
+            while idx >= 0:
+                nxt = handlers[idx]()
+                if nxt == idx + 1:
+                    idx = nxt
+                    continue
+                starts_append(run_start)
+                ends_append(idx)
+                executed += idx - run_start + 1
+                if executed > limit:
+                    raise _budget_error(program, limit)
+                idx = nxt
+                run_start = nxt
+        else:
+            while idx >= 0:
+                nxt = handlers[idx]()
+                straight = seq[idx]
+                if nxt == straight:
+                    idx = nxt
+                    continue
+                # the run ends at the *last* halfword of the atom
+                starts_append(run_start)
+                ends_append(straight - 1)
+                executed += straight - run_start
+                if executed > limit:
+                    raise _budget_error(program, limit)
+                idx = nxt
+                run_start = nxt
+    except (struct.error, IndexError) as exc:
+        raise _fault_error(program, idx, exc) from exc
+
+
+# ----------------------------------------------------------------------
+# block engine — lazy superblock discovery + exec() codegen
+
+
+#: Fixed parameter list of every generated block factory.  The factory
+#: is called once per compiled block and returns the zero-argument
+#: block function, which closes over these fast local cells.  ``_st``
+#: is the shared run-accounting state ``[run_start, executed]``; the
+#: generated exits append run boundaries via ``_sa``/``_ea`` and bump
+#: the executed tally, so the dispatch loop only checks the budget.
+_FACTORY_PARAMS = ("H", "regs", "mem", "flags", "_xa", "_xs", "_sa", "_ea",
+                   "_st", "index_of", "unpack_from", "pack_into", "console",
+                   "exit_code")
+
+
+def _flush_lines(pending):
+    """Statements appending the batched trace records, one extend per
+    array.  ``pending`` is every access temp assigned since block entry
+    — each dynamic execution reaches exactly one exit, so the full
+    prefix is appended exactly once."""
+    if not pending:
+        return []
+    return [
+        "_xa((%s,))" % ", ".join(temp for temp, _store in pending),
+        "_xs((%s,))" % ", ".join(str(store) for _temp, store in pending),
+    ]
+
+
+def _boundary_stmts(count_end, target_expr):
+    """Record one run boundary ending at ``count_end`` (mirrors the
+    closure loop's bookkeeping statement for statement)."""
+    return [
+        "_sa(_st[0])",
+        "_ea(%d)" % count_end,
+        "_st[1] += %d - _st[0]" % (count_end + 1),
+        "_st[0] = %s" % target_expr,
+    ]
+
+
+#: Marker expanded by :func:`_apply_reg_cache` into the write-back of
+#: cached register/flag locals; placed on every path that leaves the
+#: generated function (so other blocks and fallback closures always see
+#: canonical ``regs``/``flags`` state).
+_SYNC = "__SYNC__"
+
+_REG_RE = re.compile(r"regs\[(\d+)\]")
+_FLAG_RE = re.compile(r"flags\[(\d+)\]")
+#: A write is ``regs[i] = `` at the start of a statement — the start of
+#: a (possibly indented) line, or after ``: ``/``; `` in a one-liner.
+_REG_WRITE_RE = re.compile(r"(?:^\s*|[:;] )regs\[(\d+)\] = ")
+_FLAG_WRITE_RE = re.compile(r"(?:^\s*|[:;] )flags\[(\d+)\] = ")
+
+
+def _strip_sync(body):
+    """Drop the sync markers (register caching disabled)."""
+    out = []
+    for line in body:
+        if line.strip() == _SYNC:
+            continue
+        out.append(line.replace(_SYNC + "; ", ""))
+    return out
+
+
+def _apply_reg_cache(body):
+    """Rewrite ``regs[i]``/``flags[i]`` references into block-local
+    variables, loaded once at entry and written back at every exit.
+
+    Inside a hot loop (backedge ``continue``) the cached locals persist
+    across iterations, eliminating nearly all shared-list traffic.
+    Every exit path carries a :data:`_SYNC` marker that expands to the
+    write-back of the *written* subset, so the shared lists are
+    canonical whenever control leaves the block.  Returns
+    ``(prologue_lines, rewritten_body)``.
+    """
+    used_r, used_f, written_r, written_f = set(), set(), set(), set()
+    for line in body:
+        for m in _REG_RE.finditer(line):
+            used_r.add(int(m.group(1)))
+        for m in _FLAG_RE.finditer(line):
+            used_f.add(int(m.group(1)))
+        for m in _REG_WRITE_RE.finditer(line):
+            written_r.add(int(m.group(1)))
+        for m in _FLAG_WRITE_RE.finditer(line):
+            written_f.add(int(m.group(1)))
+    sync = ["regs[%d] = _g%d" % (r, r) for r in sorted(written_r)]
+    sync += ["flags[%d] = _f%d" % (f, f) for f in sorted(written_f)]
+    sync_inline = "; ".join(sync)
+    out = []
+    for line in body:
+        line = _REG_RE.sub(lambda m: "_g" + m.group(1), line)
+        line = _FLAG_RE.sub(lambda m: "_f" + m.group(1), line)
+        if _SYNC not in line:
+            out.append(line)
+        elif line.strip() == _SYNC:
+            indent = line[:len(line) - len(line.lstrip())]
+            out.extend(indent + s for s in sync)
+        elif sync_inline:
+            out.append(line.replace(_SYNC, sync_inline))
+        else:
+            out.append(line.replace(_SYNC + "; ", ""))
+    prologue = ["_g%d = regs[%d]" % (r, r) for r in sorted(used_r)]
+    prologue += ["_f%d = flags[%d]" % (f, f) for f in sorted(used_f)]
+    return prologue, out
+
+
+class _BlockRunner:
+    """Executes one :class:`Program` through lazily-compiled blocks."""
+
+    def __init__(self, program):
+        self.program = program
+        self.blocks = {}
+        self.hot = {}  # entry index -> visit count, below threshold
+        self.state = [0, 0, 0]  # [run_start, executed, budget limit]
+        self.blocks_compiled = 0
+        self.units_compiled = 0
+        self.fallback_instrs = 0
+
+    def _seq(self, idx):
+        seq = self.program.seq_next
+        return idx + 1 if seq is None else seq[idx]
+
+    @staticmethod
+    def _dyn_exit(body, count_end):
+        """Exit through a runtime-computed ``_nxt`` (boundary iff taken)."""
+        body.append(
+            "if _nxt != %d: _sa(_st[0]); _ea(%d); _st[1] += %d - _st[0]; "
+            "_st[0] = _nxt" % (count_end + 1, count_end, count_end + 1))
+        body.append("return _nxt")
+
+    @staticmethod
+    def _backedge_stmts(start, pending, count_end):
+        """Taken transfer back to the block's own entry: record the run
+        boundary and re-enter via ``continue`` instead of returning to
+        the dispatch loop — a hot loop body then iterates entirely
+        inside its generated function.  The budget is checked before
+        looping (the dispatch loop raises on the returned-over-budget
+        path); flushing the access prefix per iteration is safe because
+        every iteration re-executes the same straight-line prefix."""
+        stmts = _flush_lines(pending)
+        stmts += _boundary_stmts(count_end, "%d" % start)
+        stmts.append("if _st[1] > _st[2]: %s; return %d" % (_SYNC, start))
+        stmts.append("continue")
+        return stmts
+
+    def _compile_block(self, start):
+        """Scan + codegen one superblock entered at ``start``."""
+        emit = self.program.emit
+        blocks = self.blocks
+        body = []
+        pending = []  # (temp_name, is_store) accumulated since block entry
+        units = 0
+        fallbacks = 0
+        idx = start
+        while True:
+            if units >= CHAIN_MIN_UNITS and idx != start and idx in blocks:
+                # reached another compiled block's entry: chain to it
+                # instead of re-compiling the overlap (the run stays
+                # open across the static fall-through — no boundary).
+                # Only after a minimum scan length: chaining too eagerly
+                # would split short hot loops at interior entries and
+                # forfeit the in-block backedge.
+                body.extend(_flush_lines(pending))
+                body.append(_SYNC)
+                body.append("return %d" % idx)
+                break
+            template = emit(idx) if emit is not None else None
+            units += 1
+            count_end = self._seq(idx) - 1
+            if template is None:
+                # no codegen template: flush the batch, sync cached
+                # locals back (the closure reads the shared lists), let
+                # the pre-compiled closure terminate the block.  No
+                # sync *after* the call — the locals are stale then,
+                # and nothing downstream reads them.
+                body.extend(_flush_lines(pending))
+                body.append(_SYNC)
+                body.append("_nxt = H[%d]()" % idx)
+                self._dyn_exit(body, count_end)
+                fallbacks += 1
+                break
+            body.extend(template.lines)
+            pending.extend(template.addrs)
+            if template.cond is not None:
+                # conditional transfer: guarded early exit, then the
+                # superblock continues along the fall-through path
+                target = int(template.nxt)
+                if target == count_end + 1:
+                    # branch to the next instruction: never a boundary,
+                    # but the taken side effects still happen
+                    if template.taken_lines:
+                        body.append("if %s: %s" % (
+                            template.cond, "; ".join(template.taken_lines)))
+                elif target == start:
+                    body.append("if %s:" % template.cond)
+                    for line in template.taken_lines:
+                        body.append(" " + line)
+                    for line in self._backedge_stmts(start, pending, count_end):
+                        body.append(" " + line)
+                else:
+                    stmts = list(template.taken_lines)
+                    stmts += _flush_lines(pending)
+                    stmts += _boundary_stmts(count_end, "%d" % target)
+                    stmts.append(_SYNC)
+                    stmts.append("return %d" % target)
+                    body.append("if %s: %s" % (template.cond, "; ".join(stmts)))
+                if units >= MAX_BLOCK_LEN:
+                    body.extend(_flush_lines(pending))
+                    body.append(_SYNC)
+                    body.append("return %d" % (count_end + 1))
+                    break
+                idx = count_end + 1
+                continue
+            if template.nxt is not None:
+                try:
+                    target = int(template.nxt)
+                except ValueError:
+                    target = None
+                if target is None:
+                    body.extend(_flush_lines(pending))
+                    body.append("_nxt = %s" % template.nxt)
+                    body.append(_SYNC)
+                    self._dyn_exit(body, count_end)
+                    break
+                if target == start:
+                    body.extend(self._backedge_stmts(start, pending, count_end))
+                    break
+                if target == count_end + 1:
+                    # static jump to the next index — never a boundary,
+                    # the superblock simply continues through it
+                    if units >= MAX_BLOCK_LEN:
+                        body.extend(_flush_lines(pending))
+                        body.append(_SYNC)
+                        body.append("return %d" % target)
+                        break
+                    idx = target
+                    continue
+                body.extend(_flush_lines(pending))
+                body.extend(_boundary_stmts(count_end, "%d" % target))
+                body.append(_SYNC)
+                body.append("return %d" % target)
+                break
+            if units >= MAX_BLOCK_LEN:
+                body.extend(_flush_lines(pending))
+                body.append(_SYNC)
+                body.append("return %d" % (count_end + 1))
+                break
+            idx = count_end + 1
+
+        fn = self._assemble(start, body)
+        self.blocks_compiled += 1
+        self.units_compiled += units
+        self.fallback_instrs += fallbacks
+        return fn
+
+    def _assemble(self, start, body):
+        program = self.program
+        # Register/flag caching pays for its prologue loads + exit
+        # write-backs only when values are re-read many times — i.e.
+        # when the block loops on itself (backedge ``continue``).
+        if any(line.strip() == "continue" for line in body):
+            prologue, body = _apply_reg_cache(body)
+        else:
+            prologue, body = [], _strip_sync(body)
+        src = ("def _factory(%s):\n def _block():\n%s  while True:\n   %s\n"
+               " return _block\n" % (", ".join(_FACTORY_PARAMS),
+                                     "".join("  %s\n" % p for p in prologue),
+                                     "\n   ".join(body)))
+        namespace = {}
+        code = compile(src, "<repro.sim.block:%s:%d>" % (program.isa, start), "exec")
+        exec(code, EXEC_GLOBALS, namespace)
+        trace = program.trace
+        return namespace["_factory"](
+            program.handlers, program.regs, program.mem, program.flags,
+            trace.mem_addrs.extend, trace.mem_is_store.extend,
+            trace.run_starts.append, trace.run_ends.append, self.state,
+            program.index_of, struct.unpack_from, struct.pack_into,
+            trace.console, program.exit_code,
+        )
+
+    def run(self, limit):
+        program = self.program
+        state = self.state
+        state[2] = limit
+        blocks = self.blocks
+        blocks_get = blocks.get
+        hot = self.hot
+        hot_get = hot.get
+        handlers = program.handlers
+        seq = program.seq_next
+        starts_append = program.trace.run_starts.append
+        ends_append = program.trace.run_ends.append
+        idx = 0
+        try:
+            while idx >= 0:
+                fn = blocks_get(idx)
+                if fn is None:
+                    n = hot_get(idx, 0) + 1
+                    if (n < COMPILE_THRESHOLD
+                            or (self.units_compiled - COMPILE_FREE_UNITS)
+                            * COMPILE_AMORT > state[1]):
+                        # cold entry: interpret one run through the
+                        # closures (identical bookkeeping to the
+                        # closure engine) instead of paying codegen for
+                        # code that may never repeat.
+                        hot[idx] = n
+                        while True:
+                            nxt = handlers[idx]()
+                            straight = idx + 1 if seq is None else seq[idx]
+                            if nxt == straight:
+                                idx = nxt
+                                continue
+                            starts_append(state[0])
+                            ends_append(straight - 1)
+                            state[1] += straight - state[0]
+                            state[0] = nxt
+                            idx = nxt
+                            break
+                        if state[1] > limit:
+                            raise _budget_error(program, limit)
+                        continue
+                    fn = self._compile_block(idx)
+                    blocks[idx] = fn
+                idx = fn()
+                # state[1] only moves at run boundaries, and a block
+                # returns immediately after any boundary that crosses
+                # the budget — so this raises at exactly the boundary
+                # where the closure loop would.
+                if state[1] > limit:
+                    raise _budget_error(program, limit)
+        except (struct.error, IndexError) as exc:
+            raise _fault_error(program, idx, exc) from exc
+        finally:
+            if obs.enabled and self.blocks_compiled:
+                obs.counter("sim.engine.blocks_compiled", self.blocks_compiled)
+                obs.counter("sim.engine.units_compiled", self.units_compiled)
+                obs.counter("sim.engine.fallback_instrs", self.fallback_instrs)
+                obs.gauge("sim.engine.avg_block_len",
+                          self.units_compiled / self.blocks_compiled)

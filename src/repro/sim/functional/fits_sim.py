@@ -18,8 +18,16 @@ from repro.isa.arm.model import Cond, DPOp, ShiftType
 from repro.isa.fits.spec import OPRD_DICT, OPRD_RAW, OPRD_REG
 from repro.isa.fits.codec import decode_fits
 from repro.obs import core as obs
-from repro.sim.functional.trace import ExecutionResult, TraceBuilder, publish_result
-from repro.sim.functional.arm_sim import SimulationError, _cond_checker
+from repro.sim.functional import engine
+from repro.sim.functional.engine import (
+    Emitted,
+    SimulationError,
+    cond_expr,
+    dyn_shift as _shift,
+    emit_mem,
+)
+from repro.sim.functional.trace import TraceBuilder, publish_result
+from repro.sim.functional.arm_sim import _cond_checker
 
 M32 = 0xFFFFFFFF
 
@@ -27,10 +35,12 @@ M32 = 0xFFFFFFFF
 class FitsSimulator:
     """Executes a FITS image to completion (exit SWI)."""
 
-    def __init__(self, image, max_instructions=400_000_000, verify_decode=True):
+    def __init__(self, image, max_instructions=400_000_000, verify_decode=True,
+                 engine=None):
         self.image = image
         self.max_instructions = max_instructions
         self.verify_decode = verify_decode
+        self.engine = engine
 
     def run(self):
         if not obs.enabled:
@@ -42,13 +52,6 @@ class FitsSimulator:
 
     def _run(self):
         image = self.image
-        regs = [0] * 16
-        regs[13] = image.stack_top
-        mem = image.initial_memory()
-        flags = [False, False, False, False]
-        trace = TraceBuilder()
-        exit_code = [None]
-
         if self.verify_decode:
             for half, rec in zip(image.halfwords, image.records):
                 back = decode_fits(image.isa, half)
@@ -56,42 +59,32 @@ class FitsSimulator:
                     raise SimulationError(
                         "decoder disagreement: %r decodes to %r" % (rec, back)
                     )
+        program = build_program(image)
+        return engine.execute(program, self.max_instructions, self.engine)
 
-        handlers, seq_next = _compile(image, regs, mem, flags, trace, exit_code)
 
-        starts_append = trace.run_starts.append
-        ends_append = trace.run_ends.append
-        idx = 0
-        run_start = 0
-        executed = 0
-        try:
-            while idx >= 0:
-                nxt = handlers[idx]()
-                straight = seq_next[idx]
-                if nxt == straight:
-                    idx = nxt
-                    continue
-                # the run ends at the *last* halfword of the atom
-                starts_append(run_start)
-                ends_append(straight - 1)
-                executed += straight - run_start
-                if executed > self.max_instructions:
-                    raise SimulationError("instruction budget exceeded in %s" % image.name)
-                idx = nxt
-                run_start = nxt
-        except (struct.error, IndexError) as exc:
-            raise SimulationError("fits memory fault near index %d: %s" % (idx, exc)) from exc
-
-        return ExecutionResult(
-            image=image,
-            exit_code=exit_code[0],
-            run_starts=trace.run_starts,
-            run_ends=trace.run_ends,
-            mem_addrs=trace.mem_addrs,
-            mem_is_store=trace.mem_is_store,
-            console=bytes(trace.console),
-            memory=mem,
-        )
+def build_program(image):
+    """Fresh per-run :class:`~repro.sim.functional.engine.Program`."""
+    regs = [0] * 16
+    regs[13] = image.stack_top
+    mem = image.initial_memory()
+    flags = [False, False, False, False]
+    trace = TraceBuilder()
+    exit_code = [None]
+    handlers, seq_next = _compile(image, regs, mem, flags, trace, exit_code)
+    atom_at = {atom.start: atom for atom in _atoms(image)}
+    return engine.Program(
+        image=image,
+        isa="fits",
+        handlers=handlers,
+        regs=regs,
+        mem=mem,
+        flags=flags,
+        trace=trace,
+        exit_code=exit_code,
+        seq_next=seq_next,
+        emit=lambda idx: _emit_fits(image, atom_at.get(idx), idx),
+    )
 
 
 def _sign_extend(value, bits):
@@ -153,6 +146,42 @@ COND_OF = {
 }
 
 
+def _reg_of(isa, atom, position, field_value):
+    # k_reg == 3: the extr payload carries per-position high bits;
+    # k_reg == 4: registers always fit their fields (the extr payload
+    # is then a full source index, handled by the Operate2 kinds)
+    idx = field_value
+    if isa.k_reg == 3:
+        idx |= ((atom.ext_regs >> position) & 1) << isa.k_reg
+    try:
+        return isa.arm_reg(idx)
+    except KeyError:
+        raise SimulationError("register index %d unmapped" % idx)
+
+
+def _operate2_source(isa, atom, rc):
+    """Source register of an Operate2 compute op (extr-source form)."""
+    if isa.k_reg == 4 and atom.ext_reg_count:
+        return isa.arm_reg(atom.ext_regs)
+    return rc
+
+
+def _operand_value(isa, atom, spec, field_name, width, scale=1, signed=False):
+    """Resolve an immediate-bearing field to its 32-bit value."""
+    raw = atom.consumer.fields.get(field_name, 0)
+    if spec.oprd_mode == OPRD_DICT:
+        return isa.dict_lookup(spec.dict_category, raw)
+    if atom.ext_imm_count:
+        total_bits = width + atom.ext_imm_count * isa.wide_width
+        combined = (atom.ext_imm << width) | (raw & ((1 << width) - 1))
+        if signed:
+            return _sign_extend(combined, total_bits)
+        return combined & M32
+    if signed:
+        return raw  # already sign-decoded by the codec
+    return raw * scale
+
+
 def _compile(image, regs, mem, flags, trace, exit_code):
     isa = image.isa
     handlers = [None] * len(image.records)
@@ -163,37 +192,14 @@ def _compile(image, regs, mem, flags, trace, exit_code):
     pack_into = struct.pack_into
 
     def reg_of(atom, position, field_value):
-        # k_reg == 3: the extr payload carries per-position high bits;
-        # k_reg == 4: registers always fit their fields (the extr payload
-        # is then a full source index, handled by the Operate2 kinds)
-        idx = field_value
-        if isa.k_reg == 3:
-            idx |= ((atom.ext_regs >> position) & 1) << isa.k_reg
-        try:
-            return isa.arm_reg(idx)
-        except KeyError:
-            raise SimulationError("register index %d unmapped" % idx)
+        return _reg_of(isa, atom, position, field_value)
 
     def operate2_source(atom, rc):
-        """Source register of an Operate2 compute op (extr-source form)."""
-        if isa.k_reg == 4 and atom.ext_reg_count:
-            return isa.arm_reg(atom.ext_regs)
-        return rc
+        return _operate2_source(isa, atom, rc)
 
     def operand_value(atom, spec, field_name, width, scale=1, signed=False):
-        """Resolve an immediate-bearing field to its 32-bit value."""
-        raw = atom.consumer.fields.get(field_name, 0)
-        if spec.oprd_mode == OPRD_DICT:
-            return isa.dict_lookup(spec.dict_category, raw)
-        if atom.ext_imm_count:
-            total_bits = width + atom.ext_imm_count * isa.wide_width
-            combined = (atom.ext_imm << width) | (raw & ((1 << width) - 1))
-            if signed:
-                return _sign_extend(combined, total_bits)
-            return combined & M32
-        if signed:
-            return raw  # already sign-decoded by the codec
-        return raw * scale
+        return _operand_value(isa, atom, spec, field_name, width,
+                              scale=scale, signed=signed)
 
     for atom in _atoms(image):
         spec = atom.consumer.spec
@@ -527,23 +533,6 @@ def _build_handler(image, isa, atom, spec, kind, fields, nxt, regs, mem, flags, 
     raise SimulationError("cannot execute FITS kind %r" % kind)
 
 
-def _shift(value, stype, amount):
-    if stype is ShiftType.LSL:
-        return (value << amount) & M32 if amount < 32 else 0
-    if stype is ShiftType.LSR:
-        return value >> amount if amount < 32 else 0
-    if stype is ShiftType.ASR:
-        if amount >= 32:
-            return M32 if value & 0x80000000 else 0
-        if value & 0x80000000:
-            return (value >> amount) | (((1 << amount) - 1) << (32 - amount))
-        return value >> amount
-    amount &= 31
-    if amount == 0:
-        return value
-    return ((value >> amount) | (value << (32 - amount))) & M32
-
-
 def _mem_handler(load, width, signed, rd, ea, nxt, regs, mem, ma, ms, unpack_from, pack_into):
     if load:
         if width == 4:
@@ -605,3 +594,269 @@ def _mem_handler(load, width, signed, rd, ea, nxt, regs, mem, ma, ms, unpack_fro
                 mem[addr] = regs[rd] & 0xFF
                 return nxt
     return h
+
+
+# ----------------------------------------------------------------------
+# block-engine source templates (mirroring _build_handler 1:1)
+
+
+_DP_PAT = {
+    DPOp.AND: "%(a)s & %(b)s",
+    DPOp.EOR: "%(a)s ^ %(b)s",
+    DPOp.SUB: "(%(a)s - %(b)s) & 4294967295",
+    DPOp.RSB: "(%(b)s - %(a)s) & 4294967295",
+    DPOp.ADD: "(%(a)s + %(b)s) & 4294967295",
+    DPOp.ORR: "%(a)s | %(b)s",
+    DPOp.BIC: "%(a)s & ~%(b)s & 4294967295",
+}
+
+_SHIFT_NAME = {ShiftType.LSL: "LSL", ShiftType.LSR: "LSR",
+               ShiftType.ASR: "ASR", ShiftType.ROR: "ROR"}
+
+
+def _emit_cmp2(op, a_expr, b_expr, idx):
+    t = "%d" % idx
+    x, y, r = "_x" + t, "_y" + t, "_r" + t
+    lines = ["%s = %s" % (x, a_expr), "%s = %s" % (y, b_expr)]
+    if op is DPOp.CMP:
+        lines += [
+            "%s = (%s - %s) & 4294967295" % (r, x, y),
+            "flags[0] = %s >= 2147483648" % r,
+            "flags[1] = %s == 0" % r,
+            "flags[2] = %s >= %s" % (x, y),
+            "flags[3] = ((%s ^ %s) & (%s ^ %s) & 2147483648) != 0" % (x, y, x, r),
+        ]
+    elif op is DPOp.CMN:
+        tot = "_t" + t
+        lines += [
+            "%s = %s + %s" % (tot, x, y),
+            "%s = %s & 4294967295" % (r, tot),
+            "flags[0] = %s >= 2147483648" % r,
+            "flags[1] = %s == 0" % r,
+            "flags[2] = %s > 4294967295" % tot,
+            "flags[3] = (~(%s ^ %s) & (%s ^ %s) & 2147483648) != 0" % (x, y, x, r),
+        ]
+    elif op is DPOp.TST:
+        lines += [
+            "%s = %s & %s" % (r, x, y),
+            "flags[0] = %s >= 2147483648" % r,
+            "flags[1] = %s == 0" % r,
+        ]
+    else:  # TEQ
+        lines += [
+            "%s = %s ^ %s" % (r, x, y),
+            "flags[0] = %s >= 2147483648" % r,
+            "flags[1] = %s == 0" % r,
+        ]
+    return Emitted(lines)
+
+
+def _emit_ldm_stm(image, spec, kind, idx, nxt):
+    reglist = tuple(spec.params["reglist"])
+    t = "%d" % idx
+    lines = []
+    addrs = []
+    if kind == "ldm":
+        loads_pc = 15 in reglist
+        gprs = tuple(r for r in reglist if r != 15)
+        lines.append("_a%s_0 = regs[13]" % t)
+        cursor = "_a%s_0" % t
+        for j, r in enumerate(gprs):
+            if j:
+                cursor = "_a%s_%d" % (t, j)
+                lines.append("%s = _a%s_%d + 4" % (cursor, t, j - 1))
+            lines.append("regs[%d] = unpack_from(\"<I\", mem, %s)[0]" % (r, cursor))
+            addrs.append((cursor, 0))
+        if loads_pc:
+            pc_cursor = "_a%s_%d" % (t, len(gprs))
+            if gprs:
+                lines.append("%s = %s + 4" % (pc_cursor, cursor))
+            else:
+                lines.append("%s = regs[13]" % pc_cursor)
+            lines.append("_t%s = index_of(unpack_from(\"<I\", mem, %s)[0])"
+                         % (t, pc_cursor))
+            addrs.append((pc_cursor, 0))
+            lines.append("regs[13] = %s + 4" % pc_cursor)
+            return Emitted(lines, addrs=tuple(addrs), nxt="_t%s" % t)
+        lines.append("regs[13] = %s + 4" % cursor)
+        return Emitted(lines, addrs=tuple(addrs))
+    # stm
+    lines.append("_a%s_0 = regs[13] - %d" % (t, 4 * len(reglist)))
+    lines.append("regs[13] = _a%s_0" % t)
+    cursor = "_a%s_0" % t
+    for j, r in enumerate(reglist):
+        if j:
+            cursor = "_a%s_%d" % (t, j)
+            lines.append("%s = _a%s_%d + 4" % (cursor, t, j - 1))
+        lines.append("pack_into(\"<I\", mem, %s, regs[%d])" % (cursor, r))
+        addrs.append((cursor, 1))
+    return Emitted(lines, addrs=tuple(addrs))
+
+
+def _emit_fits(image, atom, idx):
+    """Block-engine template for the atom starting at ``idx``, or None.
+
+    ``atom`` is None for mid-atom halfword indices — the fallback closure
+    (an ``_unreachable`` handler) then reproduces the closure engine's
+    bad-control-flow error exactly.
+    """
+    if atom is None:
+        return None
+    isa = image.isa
+    spec = atom.consumer.spec
+    kind = spec.kind
+    fields = atom.consumer.fields
+    nxt = atom.start + atom.length
+    layout = dict(isa.field_layout(spec))
+
+    if kind in ("shift2i", "shift2r", "mul2"):
+        rc = _reg_of(isa, atom, 0, fields["rc"])
+        src = _operate2_source(isa, atom, rc)
+        if kind == "shift2i":
+            amount = fields["value"]
+            name = _SHIFT_NAME[spec.params["shift"]]
+            return Emitted(["regs[%d] = dyn_shift(regs[%d], %s, %d)"
+                            % (rc, src, name, amount)])
+        if kind == "shift2r":
+            rs = (isa.arm_reg(fields["value"]) if isa.k_reg == 4
+                  else _reg_of(isa, atom, 2, fields["value"]))
+            name = _SHIFT_NAME[spec.params["shift"]]
+            return Emitted(["regs[%d] = dyn_shift(regs[%d], %s, regs[%d] & 255)"
+                            % (rc, src, name, rs)])
+        rm = (isa.arm_reg(fields["value"]) if isa.k_reg == 4
+              else _reg_of(isa, atom, 2, fields["value"]))
+        return Emitted(["regs[%d] = (regs[%d] * regs[%d]) & 4294967295"
+                        % (rc, src, rm)])
+
+    if kind == "memrx":
+        rd = _reg_of(isa, atom, 0, fields["rd"])
+        rb = _reg_of(isa, atom, 1, fields["rb"])
+        if not atom.ext_reg_count:
+            raise SimulationError("memrx without its extr index prefix")
+        rm = isa.arm_reg(atom.ext_regs)
+        shift = spec.params["shift"]
+        ea = ("(regs[%d] + ((regs[%d] << %d) & 4294967295)) & 4294967295"
+              % (rb, rm, shift))
+        return emit_mem(spec.params["load"], spec.params["width"],
+                        spec.params["signed"], rd, ea, "_a%d" % idx)
+
+    if kind in ("dp3", "mov2", "shifti", "shiftr", "mul"):
+        rc = _reg_of(isa, atom, 0, fields["rc"])
+        ra = _reg_of(isa, atom, 1, fields["ra"])
+        if kind == "mov2":
+            return Emitted(["regs[%d] = regs[%d]" % (rc, ra)])
+        if kind == "mul":
+            oprd = _reg_of(isa, atom, 2, fields["oprd"])
+            return Emitted(["regs[%d] = (regs[%d] * regs[%d]) & 4294967295"
+                            % (rc, ra, oprd)])
+        if kind == "shiftr":
+            oprd = _reg_of(isa, atom, 2, fields["oprd"])
+            name = _SHIFT_NAME[spec.params["shift"]]
+            return Emitted(["regs[%d] = dyn_shift(regs[%d], %s, regs[%d] & 255)"
+                            % (rc, ra, name, oprd)])
+        if kind == "shifti":
+            amount = _operand_value(isa, atom, spec, "oprd", layout["oprd"])
+            name = _SHIFT_NAME[spec.params["shift"]]
+            return Emitted(["regs[%d] = dyn_shift(regs[%d], %s, %d)"
+                            % (rc, ra, name, amount)])
+        # dp3
+        pat = _DP_PAT[spec.params["op"]]
+        if spec.params["mode"] == "reg":
+            oprd = _reg_of(isa, atom, 2, fields["oprd"])
+            b = "regs[%d]" % oprd
+        else:
+            b = "%d" % (_operand_value(isa, atom, spec, "oprd", layout["oprd"]) & M32)
+        return Emitted(["regs[%d] = %s" % (rc, pat % {"a": "regs[%d]" % ra, "b": b})])
+
+    if kind in ("dp2", "movi", "mvni"):
+        rc = _reg_of(isa, atom, 0, fields["rc"])
+        if kind == "dp2" and spec.oprd_mode == OPRD_REG:
+            src = _operate2_source(isa, atom, rc)
+            rm = (isa.arm_reg(fields["value"]) if isa.k_reg == 4
+                  else _reg_of(isa, atom, 2, fields["value"]))
+            pat = _DP_PAT[spec.params["op"]]
+            return Emitted(["regs[%d] = %s"
+                            % (rc, pat % {"a": "regs[%d]" % src,
+                                          "b": "regs[%d]" % rm})])
+        value = _operand_value(isa, atom, spec, "value", layout["value"]) & M32
+        if kind == "movi":
+            return Emitted(["regs[%d] = %d" % (rc, value)])
+        if kind == "mvni":
+            return Emitted(["regs[%d] = %d" % (rc, value ^ M32)])
+        pat = _DP_PAT[spec.params["op"]]
+        src = _operate2_source(isa, atom, rc)
+        return Emitted(["regs[%d] = %s"
+                        % (rc, pat % {"a": "regs[%d]" % src, "b": "%d" % value})])
+
+    if kind == "cmp2":
+        ra = _reg_of(isa, atom, 0, fields["ra"])
+        if spec.params["mode"] == "reg":
+            rm = _reg_of(isa, atom, 2, fields["value"])
+            b = "regs[%d]" % rm
+        else:
+            b = "%d" % (_operand_value(isa, atom, spec, "value",
+                                       layout["value"]) & M32)
+        return _emit_cmp2(spec.params["op"], "regs[%d]" % ra, b, idx)
+
+    if kind in ("mem", "memr", "memsp"):
+        load = spec.params["load"]
+        width = spec.params.get("width", 4)
+        signed = spec.params.get("signed", False)
+        if kind == "memsp":
+            rd = _reg_of(isa, atom, 0, fields["rd"])
+            ea = "(regs[13] + %d) & 4294967295" % (fields["imm"] * 4)
+        elif kind == "memr":
+            rd = _reg_of(isa, atom, 0, fields["rd"])
+            rb = _reg_of(isa, atom, 1, fields["rb"])
+            rm = _reg_of(isa, atom, 2, fields["imm"])
+            ea = ("(regs[%d] + ((regs[%d] << %d) & 4294967295)) & 4294967295"
+                  % (rb, rm, spec.params["shift"]))
+        else:
+            rd = _reg_of(isa, atom, 0, fields["rd"])
+            rb = _reg_of(isa, atom, 1, fields["rb"])
+            if spec.oprd_mode == OPRD_DICT:
+                offset = isa.dict_lookup("mem", fields["imm"])
+            elif atom.ext_imm_count:
+                total_bits = layout["imm"] + atom.ext_imm_count * isa.wide_width
+                combined = (atom.ext_imm << layout["imm"]) | fields["imm"]
+                offset = _sign_extend(combined, total_bits)
+            else:
+                offset = fields["imm"] * width
+            ea = "(regs[%d] + %d) & 4294967295" % (rb, offset)
+        return emit_mem(load, width, signed, rd, ea, "_a%d" % idx)
+
+    if kind == "spadj":
+        value = _operand_value(isa, atom, spec, "value", layout["value"],
+                               signed=True)
+        return Emitted(["regs[13] = (regs[13] + %d) & 4294967295" % value])
+
+    if kind in ("ldm", "stm"):
+        return _emit_ldm_stm(image, spec, kind, idx, nxt)
+
+    if kind == "b":
+        disp = _operand_value(isa, atom, spec, "value", layout["value"],
+                              signed=True)
+        target = nxt + disp
+        expr = cond_expr(spec.params["cond"])
+        if expr is None:
+            return Emitted([], nxt="%d" % target)
+        return Emitted([], nxt="%d" % target, cond=expr)
+
+    if kind == "bl":
+        disp = _operand_value(isa, atom, spec, "value", layout["value"],
+                              signed=True)
+        ret_addr = image.addr_of_index(nxt)
+        return Emitted(["regs[14] = %d" % ret_addr], nxt="%d" % (nxt + disp))
+
+    if kind == "ret":
+        return Emitted([], nxt="index_of(regs[14])")
+
+    if kind == "swi":
+        number = fields["value"]
+        if number == 0:
+            return Emitted(["exit_code[0] = regs[0]"], nxt="-1")
+        if number == 1:
+            return Emitted(["console.append(regs[0] & 255)"])
+        return None
+
+    return None

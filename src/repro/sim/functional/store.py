@@ -43,6 +43,7 @@ SCHEMA = "repro.trace/v1"
 #: anything that could change what a functional simulation produces.
 _VERSIONED_MODULES = (
     "repro.sim.functional.trace",
+    "repro.sim.functional.engine",
     "repro.sim.functional.arm_sim",
     "repro.sim.functional.thumb_sim",
     "repro.sim.functional.fits_sim",

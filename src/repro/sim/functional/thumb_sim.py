@@ -27,8 +27,9 @@ from repro.isa.thumb.model import (
     TSwi,
 )
 from repro.obs import core as obs
-from repro.sim.functional.trace import ExecutionResult, TraceBuilder, publish_result
-from repro.sim.functional.arm_sim import SimulationError
+from repro.sim.functional import engine
+from repro.sim.functional.engine import COND_EXPR, Emitted, SimulationError, emit_mem
+from repro.sim.functional.trace import TraceBuilder, publish_result
 
 M32 = 0xFFFFFFFF
 
@@ -36,9 +37,10 @@ M32 = 0xFFFFFFFF
 class ThumbSimulator:
     """Executes a linked :class:`~repro.compiler.thumb_backend.ThumbImage`."""
 
-    def __init__(self, image, max_instructions=200_000_000):
+    def __init__(self, image, max_instructions=200_000_000, engine=None):
         self.image = image
         self.max_instructions = max_instructions
+        self.engine = engine
 
     def run(self):
         if not obs.enabled:
@@ -49,46 +51,31 @@ class ThumbSimulator:
         return result
 
     def _run(self):
-        image = self.image
-        regs = [0] * 16
-        regs[13] = image.stack_top
-        mem = image.initial_memory()
-        flags = [False, False, False, False]
-        trace = TraceBuilder()
-        exit_code = [None]
-        handlers = _compile(image, regs, mem, flags, trace, exit_code)
+        program = build_program(self.image)
+        return engine.execute(program, self.max_instructions, self.engine)
 
-        starts_append = trace.run_starts.append
-        ends_append = trace.run_ends.append
-        idx = 0
-        run_start = 0
-        executed = 0
-        try:
-            while idx >= 0:
-                nxt = handlers[idx]()
-                if nxt == idx + 1:
-                    idx = nxt
-                    continue
-                starts_append(run_start)
-                ends_append(idx)
-                executed += idx - run_start + 1
-                if executed > self.max_instructions:
-                    raise SimulationError("instruction budget exceeded in %s" % image.name)
-                idx = nxt
-                run_start = nxt
-        except (struct.error, IndexError) as exc:
-            raise SimulationError("thumb memory fault near index %d: %s" % (idx, exc)) from exc
 
-        return ExecutionResult(
-            image=image,
-            exit_code=exit_code[0],
-            run_starts=trace.run_starts,
-            run_ends=trace.run_ends,
-            mem_addrs=trace.mem_addrs,
-            mem_is_store=trace.mem_is_store,
-            console=bytes(trace.console),
-            memory=mem,
-        )
+def build_program(image):
+    """Fresh per-run :class:`~repro.sim.functional.engine.Program`."""
+    regs = [0] * 16
+    regs[13] = image.stack_top
+    mem = image.initial_memory()
+    flags = [False, False, False, False]
+    trace = TraceBuilder()
+    exit_code = [None]
+    handlers = _compile(image, regs, mem, flags, trace, exit_code)
+    instr_at = image.instr_at
+    return engine.Program(
+        image=image,
+        isa="thumb",
+        handlers=handlers,
+        regs=regs,
+        mem=mem,
+        flags=flags,
+        trace=trace,
+        exit_code=exit_code,
+        emit=lambda idx: _emit(instr_at[idx], idx, image),
+    )
 
 
 def _check(cond, flags):
@@ -433,3 +420,185 @@ def _compile_pushpop(ins, idx, nxt, image, regs, mem, ma, ms, unpack_from, pack_
                 pack_into("<I", mem, sp, regs[14])
             return nxt
     return h
+
+
+# ----------------------------------------------------------------------
+# block-engine source templates (mirroring the closures above 1:1)
+
+
+_ALU_EXPR = {
+    TAluOp.AND: "regs[%(rd)d] & regs[%(rm)d]",
+    TAluOp.EOR: "regs[%(rd)d] ^ regs[%(rm)d]",
+    TAluOp.ORR: "regs[%(rd)d] | regs[%(rm)d]",
+    TAluOp.BIC: "regs[%(rd)d] & ~regs[%(rm)d] & 4294967295",
+    TAluOp.MUL: "(regs[%(rd)d] * regs[%(rm)d]) & 4294967295",
+    TAluOp.MVN: "regs[%(rm)d] ^ 4294967295",
+    TAluOp.NEG: "(-regs[%(rm)d]) & 4294967295",
+}
+
+_DYN_SHIFT_NAME = {TAluOp.LSL: "LSL", TAluOp.LSR: "LSR",
+                   TAluOp.ASR: "ASR", TAluOp.ROR: "ROR"}
+
+
+def _cmp_lines(t, a_expr, b_expr):
+    """Inline :func:`_set_cmp` on two already-safe expressions."""
+    x, y, r = "_x" + t, "_y" + t, "_r" + t
+    return [
+        "%s = %s" % (x, a_expr),
+        "%s = %s" % (y, b_expr),
+        "%s = (%s - %s) & 4294967295" % (r, x, y),
+        "flags[0] = %s >= 2147483648" % r,
+        "flags[1] = %s == 0" % r,
+        "flags[2] = %s >= %s" % (x, y),
+        "flags[3] = ((%s ^ %s) & (%s ^ %s) & 2147483648) != 0" % (x, y, x, r),
+    ]
+
+
+def _emit_shift_imm(ins, idx):
+    rd, rm, n = ins.rd, ins.rm, ins.imm5
+    if ins.op == "lsl":
+        return Emitted(["regs[%d] = (regs[%d] << %d) & 4294967295" % (rd, rm, n)])
+    if ins.op == "lsr":
+        if n:
+            return Emitted(["regs[%d] = regs[%d] >> %d" % (rd, rm, n)])
+        return Emitted(["regs[%d] = 0" % rd])
+    # asr
+    if n == 0:
+        return Emitted(
+            ["regs[%d] = 4294967295 if regs[%d] & 2147483648 else 0" % (rd, rm)])
+    mask = ((1 << n) - 1) << (32 - n)
+    v = "_v%d" % idx
+    return Emitted([
+        "%s = regs[%d]" % (v, rm),
+        "regs[%d] = ((%s >> %d) | %d) if %s & 2147483648 else (%s >> %d)"
+        % (rd, v, n, mask, v, v, n),
+    ])
+
+
+def _emit_alu(ins, idx):
+    rd, rm, op = ins.rd, ins.rm, ins.op
+    pattern = _ALU_EXPR.get(op)
+    if pattern is not None:
+        return Emitted(["regs[%d] = %s" % (rd, pattern % {"rd": rd, "rm": rm})])
+    t = "%d" % idx
+    if op is TAluOp.CMP:
+        return Emitted(_cmp_lines(t, "regs[%d]" % rd, "regs[%d]" % rm))
+    if op is TAluOp.CMN:
+        x, y, tot, r = "_x" + t, "_y" + t, "_t" + t, "_r" + t
+        return Emitted([
+            "%s = regs[%d]" % (x, rd),
+            "%s = regs[%d]" % (y, rm),
+            "%s = %s + %s" % (tot, x, y),
+            "%s = %s & 4294967295" % (r, tot),
+            "flags[0] = %s >= 2147483648" % r,
+            "flags[1] = %s == 0" % r,
+            "flags[2] = %s > 4294967295" % tot,
+            "flags[3] = (~(%s ^ %s) & (%s ^ %s) & 2147483648) != 0" % (x, y, x, r),
+        ])
+    if op is TAluOp.TST:
+        r = "_r" + t
+        return Emitted([
+            "%s = regs[%d] & regs[%d]" % (r, rd, rm),
+            "flags[0] = %s >= 2147483648" % r,
+            "flags[1] = %s == 0" % r,
+        ])
+    name = _DYN_SHIFT_NAME.get(op)
+    if name is None:
+        return None
+    return Emitted(["regs[%d] = dyn_shift(regs[%d], %s, regs[%d] & 255)"
+                    % (rd, rd, name, rm)])
+
+
+def _emit_pushpop(ins, idx):
+    reglist = tuple(ins.reglist)
+    t = "%d" % idx
+    lines = []
+    addrs = []
+    if ins.pop:
+        lines.append("_a%s_0 = regs[13]" % t)
+        cursor = "_a%s_0" % t
+        for j, r in enumerate(reglist):
+            if j:
+                cursor = "_a%s_%d" % (t, j)
+                lines.append("%s = _a%s_%d + 4" % (cursor, t, j - 1))
+            lines.append("regs[%d] = unpack_from(\"<I\", mem, %s)[0]" % (r, cursor))
+            addrs.append((cursor, 0))
+        if ins.extra:
+            pc_cursor = "_a%s_%d" % (t, len(reglist))
+            if reglist:
+                lines.append("%s = %s + 4" % (pc_cursor, cursor))
+            else:
+                lines.append("%s = regs[13]" % pc_cursor)
+            lines.append("_t%s = index_of(unpack_from(\"<I\", mem, %s)[0])"
+                         % (t, pc_cursor))
+            addrs.append((pc_cursor, 0))
+            lines.append("regs[13] = %s + 4" % pc_cursor)
+            return Emitted(lines, addrs=tuple(addrs), nxt="_t%s" % t)
+        lines.append("regs[13] = %s + 4" % cursor)
+        return Emitted(lines, addrs=tuple(addrs))
+    count = len(reglist) + (1 if ins.extra else 0)
+    lines.append("_a%s_0 = regs[13] - %d" % (t, 4 * count))
+    lines.append("regs[13] = _a%s_0" % t)
+    cursor = "_a%s_0" % t
+    store_regs = list(reglist) + ([14] if ins.extra else [])
+    for j, r in enumerate(store_regs):
+        if j:
+            cursor = "_a%s_%d" % (t, j)
+            lines.append("%s = _a%s_%d + 4" % (cursor, t, j - 1))
+        lines.append("pack_into(\"<I\", mem, %s, regs[%d])" % (cursor, r))
+        addrs.append((cursor, 1))
+    return Emitted(lines, addrs=tuple(addrs))
+
+
+def _emit(ins, idx, image):
+    """Block-engine template for one instruction, or None (fallback)."""
+    if ins is None:
+        return None  # bl continuation halfword, never executed directly
+    if isinstance(ins, TShiftImm):
+        return _emit_shift_imm(ins, idx)
+    if isinstance(ins, TAddSub):
+        rd, rn, val = ins.rd, ins.rn, ins.value
+        operand = "%d" % val if ins.imm else "regs[%d]" % val
+        sign = "-" if ins.sub else "+"
+        return Emitted(["regs[%d] = (regs[%d] %s %s) & 4294967295"
+                        % (rd, rn, sign, operand)])
+    if isinstance(ins, TMovCmpAddSubImm):
+        rd, imm = ins.rd, ins.imm8
+        if ins.op == "mov":
+            return Emitted(["regs[%d] = %d" % (rd, imm)])
+        if ins.op == "cmp":
+            return Emitted(_cmp_lines("%d" % idx, "regs[%d]" % rd, "%d" % imm))
+        sign = "+" if ins.op == "add" else "-"
+        return Emitted(["regs[%d] = (regs[%d] %s %d) & 4294967295"
+                        % (rd, rd, sign, imm)])
+    if isinstance(ins, TAlu):
+        return _emit_alu(ins, idx)
+    if isinstance(ins, TLoadStoreImm):
+        ea = "(regs[%d] + %d) & 4294967295" % (ins.rn, ins.offset)
+        return emit_mem(ins.load, ins.width, False, ins.rd, ea, "_a%d" % idx)
+    if isinstance(ins, TLoadStoreReg):
+        ea = "(regs[%d] + regs[%d]) & 4294967295" % (ins.rn, ins.rm)
+        return emit_mem(ins.load, ins.width, ins.signed, ins.rd, ea, "_a%d" % idx)
+    if isinstance(ins, TLoadStoreSpRel):
+        ea = "(regs[13] + %d) & 4294967295" % ins.offset
+        return emit_mem(ins.load, 4, False, ins.rd, ea, "_a%d" % idx)
+    if isinstance(ins, TAdjustSp):
+        return Emitted(["regs[13] = (regs[13] + %d) & 4294967295" % ins.delta])
+    if isinstance(ins, TPushPop):
+        return _emit_pushpop(ins, idx)
+    if isinstance(ins, TCondBranch):
+        return Emitted([], nxt="%d" % ins.target_index(idx),
+                       cond=COND_EXPR[ins.cond.name])
+    if isinstance(ins, TBranch):
+        return Emitted([], nxt="%d" % ins.target_index(idx))
+    if isinstance(ins, TBranchLink):
+        target = ins.target_index(idx)
+        ret_addr = image.addr_of_index(idx) + 4
+        return Emitted(["regs[14] = %d" % ret_addr], nxt="%d" % target)
+    if isinstance(ins, TSwi):
+        if ins.imm8 == 0:
+            return Emitted(["exit_code[0] = regs[0]"], nxt="-1")
+        if ins.imm8 == 1:
+            return Emitted(["console.append(regs[0] & 255)"])
+        return None
+    return None

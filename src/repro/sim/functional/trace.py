@@ -88,7 +88,16 @@ class ExecutionResult:
 
 
 class TraceBuilder:
-    """Mutable accumulator used by simulators while executing."""
+    """Mutable accumulator used by simulators while executing.
+
+    Backed by compact :mod:`array` buffers rather than Python lists:
+    one machine word per record instead of a pointer to a boxed int,
+    which cuts peak memory on full-scale runs and converts to the
+    :class:`ExecutionResult` numpy arrays (and the trace store's
+    ``.npz`` payload) without per-element boxing.  The block engine
+    appends via ``extend`` with batched per-block tuples; the closure
+    engine appends per boundary — both against this same API.
+    """
 
     def __init__(self):
         self.run_starts = array("q")

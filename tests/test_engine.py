@@ -1,0 +1,260 @@
+"""Block-compiled engine property tests.
+
+The contract under test (DESIGN.md §8): the ``block`` and ``closure``
+engines produce **bit-identical** :class:`ExecutionResult`s — same exit
+code, run boundaries, memory-access trace, console bytes, final memory,
+and dynamic instruction count — on every (workload, ISA, scale)
+combination, including branch-heavy adversarial control flow, forced
+closure fallback, and instruction-budget exhaustion.
+"""
+
+from array import array
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.compiler import compile_arm, compile_thumb
+from repro.core.flow import fits_flow
+from repro.ir import Cond, FunctionBuilder, Global, Module
+from repro.sim.functional import ArmSimulator, SimulationError, selected_engine
+from repro.sim.functional import engine as engine_mod
+from repro.sim.functional.arm_sim import build_program
+from repro.sim.functional.fits_sim import FitsSimulator
+from repro.sim.functional.thumb_sim import ThumbSimulator
+from repro.sim.functional.trace import TraceBuilder
+from repro.workloads import get_workload
+from repro.workloads.runtime import runtime_module
+
+SAMPLE = ["crc32", "sha", "qsort", "gsm", "rijndael"]
+
+#: full-scale combos cheap enough for tier-1 (sub-second per engine)
+FULL_WHERE_CHEAP = [("crc32", "arm"), ("crc32", "thumb"), ("sha", "arm")]
+
+FIELDS = ("exit_code", "run_starts", "run_ends", "mem_addrs",
+          "mem_is_store", "console", "dynamic_instructions")
+
+
+def assert_identical(a, b, label):
+    for field in FIELDS:
+        x, y = getattr(a, field), getattr(b, field)
+        if isinstance(x, np.ndarray):
+            assert len(x) == len(y) and np.array_equal(x, y), \
+                "%s: %s differs" % (label, field)
+        else:
+            assert x == y, "%s: %s differs" % (label, field)
+    assert bytes(a.memory) == bytes(b.memory), "%s: memory differs" % label
+
+
+def _images(name, scale):
+    wl = get_workload(name)
+    return {
+        "arm": compile_arm(wl.build_module(scale)),
+        "thumb": compile_thumb(wl.build_module(scale)),
+        "fits": fits_flow(wl.build_module(scale)).fits_image,
+    }
+
+
+def _run(image, isa, engine, **kwargs):
+    sim = {"arm": ArmSimulator, "thumb": ThumbSimulator,
+           "fits": FitsSimulator}[isa]
+    return sim(image, engine=engine, **kwargs).run()
+
+
+@pytest.fixture(scope="module", params=SAMPLE)
+def small_images(request):
+    return request.param, _images(request.param, "small")
+
+
+@pytest.mark.parametrize("isa", ["arm", "thumb", "fits"])
+def test_engines_bit_identical_small(small_images, isa):
+    name, images = small_images
+    block = _run(images[isa], isa, "block")
+    closure = _run(images[isa], isa, "closure")
+    assert_identical(block, closure, "%s/%s/small" % (name, isa))
+
+
+@pytest.mark.parametrize("name,isa", FULL_WHERE_CHEAP)
+def test_engines_bit_identical_full(name, isa):
+    wl = get_workload(name)
+    compiler = compile_arm if isa == "arm" else compile_thumb
+    image = compiler(wl.build_module("full"))
+    block = _run(image, isa, "block")
+    closure = _run(image, isa, "closure")
+    assert block.exit_code == wl.reference("full")
+    assert_identical(block, closure, "%s/%s/full" % (name, isa))
+
+
+# ----------------------------------------------------------------------
+# branch-heavy adversarial workload: dense conditional control flow with
+# data-dependent branch directions, nested loops, and early exits —
+# worst case for superblock discovery (guarded exits taken often, many
+# short overlapping blocks).
+
+
+def branchy_module():
+    m = Module("branchy")
+    m.add_global(Global("scratch", size=256))
+    b = FunctionBuilder(m, "main", [])
+    scratch = b.ga("scratch")
+    acc = b.li(0x12345678)
+    x = b.li(0)
+    with b.for_range(0, 97) as i:
+        v = b.eor(acc, i)
+        with b.if_else(Cond.NE, b.and_(v, 1), 0) as otherwise:
+            b.add(acc, 0x1003, dst=acc)
+            with b.if_then(Cond.LTU, b.and_(v, 7), 3):
+                b.eor(acc, 0x5A5A, dst=acc)
+            with otherwise:
+                b.sub(acc, 0x421, dst=acc)
+                with b.if_then(Cond.EQ, b.and_(v, 3), 0):
+                    b.mul(acc, 17, dst=acc)
+        b.store(acc, scratch, 0)
+        b.load(scratch, 0, dst=x)
+        b.and_(x, 255, dst=x)
+        with b.loop_while(Cond.NE, x, 0):
+            b.lsr(x, 1, dst=x)
+            b.add(acc, 1, dst=acc)
+        b.store(acc, scratch, b.and_(i, 31))
+    b.ret(acc)
+    m.merge(runtime_module(), allow_duplicates=True)
+    return m
+
+
+@pytest.mark.parametrize("isa", ["arm", "thumb", "fits"])
+def test_engines_bit_identical_branch_heavy(isa):
+    images = {
+        "arm": compile_arm(branchy_module()),
+        "thumb": compile_thumb(branchy_module()),
+        "fits": fits_flow(branchy_module()).fits_image,
+    }
+    block = _run(images[isa], isa, "block")
+    closure = _run(images[isa], isa, "closure")
+    assert block.dynamic_instructions > 1000  # actually exercised loops
+    assert_identical(block, closure, "branchy/%s" % isa)
+
+
+# ----------------------------------------------------------------------
+# instruction-budget enforcement: both engines check at run boundaries
+# with identical accounting, so raise/complete must agree at every
+# budget — including exactly at and just below the true dynamic count.
+
+
+def _budget_outcome(image, isa, engine, limit):
+    try:
+        if isa == "fits":
+            res = FitsSimulator(image, max_instructions=limit,
+                                engine=engine).run()
+        else:
+            sim = ArmSimulator if isa == "arm" else ThumbSimulator
+            res = sim(image, max_instructions=limit, engine=engine).run()
+        return ("done", res.dynamic_instructions)
+    except SimulationError as exc:
+        assert "budget" in str(exc)
+        return ("raised", str(exc))
+
+
+@pytest.mark.parametrize("isa", ["arm", "thumb", "fits"])
+def test_budget_raises_identically(isa):
+    images = _images("crc32", "small")
+    dyn = _run(images[isa], isa, "closure").dynamic_instructions
+    for limit in (1, 7, 100, 1000, dyn - 1, dyn, dyn + 1):
+        block = _budget_outcome(images[isa], isa, "block", limit)
+        closure = _budget_outcome(images[isa], isa, "closure", limit)
+        assert block == closure, "limit=%d diverged: %r vs %r" % (
+            limit, block, closure)
+    assert _budget_outcome(images[isa], isa, "block", dyn)[0] == "done"
+    assert _budget_outcome(images[isa], isa, "block", dyn - 1)[0] == "raised"
+
+
+# ----------------------------------------------------------------------
+# forced fallback: with every codegen template removed the block engine
+# must run entirely through the per-instruction closures and still match.
+
+
+def test_forced_fallback_bit_identical():
+    image = compile_arm(get_workload("crc32").build_module("small"))
+    closure = ArmSimulator(image, engine="closure").run()
+
+    program = build_program(image)
+    program.emit = lambda idx: None  # no templates: closure fallback only
+    block = engine_mod.execute(program, 200_000_000, engine="block")
+    assert_identical(block, closure, "crc32/arm/forced-fallback")
+
+
+def test_fallback_counter_reported():
+    obs.enable(sink=None)
+    try:
+        marker = obs.mark()
+        image = compile_arm(get_workload("crc32").build_module("small"))
+        program = build_program(image)
+        program.emit = lambda idx: None
+        engine_mod.execute(program, 200_000_000, engine="block")
+        counters = obs.since(marker)["counters"]
+        assert counters.get("sim.engine.fallback_instrs", 0) > 0
+        assert counters.get("sim.engine.blocks_compiled", 0) > 0
+        assert counters.get("sim.engine.runs.block", 0) == 1
+    finally:
+        obs.disable()
+
+
+def test_block_engine_counters():
+    obs.enable(sink=None)
+    try:
+        marker = obs.mark()
+        image = compile_arm(get_workload("crc32").build_module("small"))
+        ArmSimulator(image, engine="block").run()
+        counters = obs.since(marker)["counters"]
+        assert counters.get("sim.engine.blocks_compiled", 0) > 0
+        assert counters.get("sim.engine.units_compiled", 0) > 0
+        # full template coverage: no fallback closures on this workload
+        assert counters.get("sim.engine.fallback_instrs", 0) == 0
+        gauges = obs.since(marker)["gauges"]
+        assert any(k.startswith("sim.engine.avg_block_len") for k in gauges)
+    finally:
+        obs.disable()
+
+
+# ----------------------------------------------------------------------
+# engine selection knob
+
+
+def test_selected_engine_env():
+    assert selected_engine({}) == "block"
+    assert selected_engine({"REPRO_SIM_ENGINE": ""}) == "block"
+    assert selected_engine({"REPRO_SIM_ENGINE": "default"}) == "block"
+    assert selected_engine({"REPRO_SIM_ENGINE": "closure"}) == "closure"
+    assert selected_engine({"REPRO_SIM_ENGINE": "Block"}) == "block"
+    with pytest.raises(ValueError):
+        selected_engine({"REPRO_SIM_ENGINE": "jit"})
+
+
+def test_explicit_engine_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "nonsense")
+    image = compile_arm(get_workload("crc32").build_module("small"))
+    # explicit engine= must not consult the (invalid) environment
+    res = ArmSimulator(image, engine="closure").run()
+    assert res.exit_code == get_workload("crc32").reference("small")
+
+
+# ----------------------------------------------------------------------
+# TraceBuilder storage: compact array buffers, stable ExecutionResult
+# dtypes (the trace-store .npz layout depends on them)
+
+
+def test_trace_builder_array_backed():
+    tb = TraceBuilder()
+    assert isinstance(tb.run_starts, array) and tb.run_starts.typecode == "q"
+    assert isinstance(tb.run_ends, array) and tb.run_ends.typecode == "q"
+    assert isinstance(tb.mem_addrs, array) and tb.mem_addrs.typecode == "L"
+    assert isinstance(tb.mem_is_store, array)
+    assert isinstance(tb.console, bytearray)
+
+
+def test_execution_result_dtypes_stable():
+    image = compile_arm(get_workload("crc32").build_module("small"))
+    res = ArmSimulator(image).run()
+    assert res.run_starts.dtype == np.int64
+    assert res.run_ends.dtype == np.int64
+    assert res.mem_addrs.dtype == np.uint32
+    assert res.mem_is_store.dtype == np.uint8
