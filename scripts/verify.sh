@@ -13,6 +13,12 @@
 #    (the always-available fallback path).
 # 5. DSE sweeps, trajectory/golden gates, and the micro-benchmark,
 #    which must show the block engine >= 2x on >= 2 benchmarks.
+# 6. Cross-process trace gate: a --jobs 2 sweep under REPRO_OBS must
+#    export as ONE parent-linked Perfetto trace (every worker span's
+#    trace_id/parent_id resolves to the coordinator's root span).
+# 7. Block-profiler smoke: REPRO_PROFILE on a crc32 run must attribute
+#    >= 1 compiled superblock with nonzero units/wall time, and
+#    `profile top --stable` must be deterministic across two runs.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -210,5 +216,78 @@ names = {e["name"] for e in trace["traceEvents"]}
 assert any(n.startswith("stage.") for n in names), names
 print("trace valid: %d events" % len(trace["traceEvents"]))
 EOF
+
+echo "== cross-process trace gate (--jobs 2 sweep -> one linked trace) =="
+REPRO_OBS="jsonl:$tmp/sweep-spans.jsonl" python -m repro.dse sweep \
+    --preset smoke --benchmarks crc32 --scale small --jobs 2 \
+    --store "$tmp/dse-trace" --progress
+python - "$tmp/sweep-spans.jsonl" "$tmp/sweep-trace.json" <<'EOF'
+import json, sys
+from repro.obs.trace_export import check_parent_links, export_trace, \
+    validate_trace
+
+stats = check_parent_links(sys.argv[1])  # raises on any unresolvable parent
+assert len(stats["traces"]) == 1, \
+    "sweep split across %d trace ids" % len(stats["traces"])
+assert len(stats["processes"]) >= 2, "no worker-process spans in stream"
+assert stats["cross_process_links"] >= 1, "no coordinator->worker links"
+trace = export_trace(sys.argv[1])
+validate_trace(trace)
+flows = sum(1 for e in trace["traceEvents"] if e["ph"] == "s")
+labels = [e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"]
+assert any("coordinator" in n for n in labels), labels
+assert any("worker" in n for n in labels), labels
+json.dump(trace, open(sys.argv[2], "w"))
+print("linked trace: %d spans across %d processes, %d flow arrows, "
+      "all parent ids resolve" % (stats["spans"], len(stats["processes"]),
+                                  flows))
+EOF
+python -m repro.obs.report --jsonl "$tmp/sweep-spans.jsonl" --top-spans 5 \
+    | tee "$tmp/top-spans.txt"
+grep -q "p95" "$tmp/top-spans.txt" \
+    || { echo "FAIL: --top-spans report missing percentile columns"; exit 1; }
+
+echo "== block profiler smoke (crc32, two runs, deterministic) =="
+for n in 1 2; do
+    REPRO_PROFILE="jsonl:$tmp/prof$n.jsonl" python - <<'EOF'
+from repro.compiler import compile_arm
+from repro.obs import profile
+from repro.sim.functional import ArmSimulator
+from repro.workloads import get_workload
+
+image = compile_arm(get_workload("crc32").build_module("small"))
+with profile.run_context(benchmark="crc32", scale="small"):
+    ArmSimulator(image, engine="block").run()
+EOF
+done
+python -m repro.obs.profile top --profile "$tmp/prof1.jsonl" \
+    | tee "$tmp/prof-top.txt"
+grep -q "compiled" "$tmp/prof-top.txt" \
+    || { echo "FAIL: profiler top lists no compiled superblock"; exit 1; }
+python - "$tmp/prof1.jsonl" <<'EOF'
+import sys
+from repro.obs.profile import aggregate, load_records
+
+groups = aggregate(load_records(sys.argv[1]))
+rows = groups[("crc32", "arm")].values()
+compiled = [r for r in rows if r["compiled"]]
+assert compiled, "no compiled superblocks attributed"
+assert any(r["units"] > 0 for r in compiled), "compiled blocks ran 0 units"
+assert any(r["seconds"] > 0 for r in compiled), "no wall time attributed"
+print("profiler: %d blocks, %d compiled, hot block %d units" % (
+    len(rows), len(compiled),
+    max(r["units"] + r["interp_units"] for r in rows)))
+EOF
+python -m repro.obs.profile top --stable --profile "$tmp/prof1.jsonl" \
+    > "$tmp/stable1.txt"
+python -m repro.obs.profile top --stable --profile "$tmp/prof2.jsonl" \
+    > "$tmp/stable2.txt"
+cmp "$tmp/stable1.txt" "$tmp/stable2.txt" \
+    || { echo "FAIL: profile top --stable differs across identical runs"; exit 1; }
+python -m repro.obs.profile flame --profile "$tmp/prof1.jsonl" \
+    --out "$tmp/flame.folded" > /dev/null
+[ -s "$tmp/flame.folded" ] \
+    || { echo "FAIL: flame export produced no collapsed stacks"; exit 1; }
+echo "profiler smoke OK (top non-empty, stable output identical, flame written)"
 
 echo "verify OK"

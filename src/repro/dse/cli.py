@@ -78,7 +78,7 @@ def cmd_sweep(args):
         space, benchmarks, scale=args.scale, jobs=args.jobs,
         store=store_root, resume=args.resume,
         timeout_per_point=args.timeout, retries=args.retries,
-        verbose=args.verbose,
+        verbose=args.verbose, progress=args.progress,
     )
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -216,6 +216,9 @@ def build_parser():
     p.add_argument("--retries", type=int, default=1,
                    help="retries per failed/timed-out task (default: 1)")
     p.add_argument("--json", action="store_true", help="JSON summary output")
+    p.add_argument("--progress", action="store_true",
+                   help="render a live done/failed/throughput/ETA line "
+                   "from worker heartbeats")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_sweep)
 

@@ -1,0 +1,188 @@
+"""Live sweep progress: worker heartbeats + a coordinator renderer.
+
+Sweep workers are separate processes whose only result channel is the
+filesystem (see :mod:`repro.dse.scheduler`), so progress flows the same
+way: each worker keeps one atomically-replaced JSON heartbeat file under
+``<store>/progress/`` and bumps it after every evaluated point.  The
+coordinator polls the directory from its scheduling loop, aggregates the
+counters, publishes them as ``dse.progress.*`` gauges, and (under
+``python -m repro.dse sweep --progress``) renders a single live status
+line — points done/failed, throughput, ETA, live worker count.
+
+Heartbeats are additive across worker processes: every chunk task runs
+in a fresh pid, so summing all files yields the points evaluated by this
+sweep invocation.  A crashed worker's partial count survives on disk and
+its retry (which re-checks the result store per point) only adds what
+the crash left unfinished.  All heartbeat I/O is best-effort — a full
+disk or unwritable store degrades the display, never the sweep.
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro import obs
+
+#: heartbeat files older than this many seconds count as not-live
+STALE_AFTER = 5.0
+
+
+class HeartbeatWriter:
+    """One worker's progress gauge, atomically rewritten per point."""
+
+    def __init__(self, dirpath, benchmark, total):
+        self.path = os.path.join(dirpath, "w%d.json" % os.getpid())
+        self.benchmark = benchmark
+        self.total = total
+        self.done = 0
+        self.failed = 0
+        self._t0 = time.perf_counter()
+        try:
+            os.makedirs(dirpath, exist_ok=True)
+        except OSError:
+            pass
+        self._write()
+
+    def point_done(self, ok=True):
+        if ok:
+            self.done += 1
+        else:
+            self.failed += 1
+        self._write()
+
+    def _write(self):
+        payload = {
+            "pid": os.getpid(),
+            "benchmark": self.benchmark,
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "wall": time.perf_counter() - self._t0,
+            "updated": time.time(),
+        }
+        tmp = self.path + ".tmp"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # progress is advisory; never fail the worker
+
+
+def clear_heartbeats(dirpath):
+    """Drop heartbeat files from previous sweep invocations."""
+    try:
+        names = os.listdir(dirpath)
+    except OSError:
+        return
+    for name in names:
+        if name.startswith("w") and name.endswith((".json", ".json.tmp")):
+            try:
+                os.unlink(os.path.join(dirpath, name))
+            except OSError:
+                pass
+
+
+def read_heartbeats(dirpath):
+    """All worker heartbeats under ``dirpath`` (skipping torn files)."""
+    beats = []
+    try:
+        names = sorted(os.listdir(dirpath))
+    except OSError:
+        return beats
+    for name in names:
+        if not (name.startswith("w") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(dirpath, name)) as fh:
+                beat = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if isinstance(beat, dict):
+            beats.append(beat)
+    return beats
+
+
+def aggregate(beats, now=None):
+    """Sum worker heartbeats into one progress snapshot."""
+    now = time.time() if now is None else now
+    done = sum(int(b.get("done", 0)) for b in beats)
+    failed = sum(int(b.get("failed", 0)) for b in beats)
+    live = sum(1 for b in beats
+               if now - float(b.get("updated", 0)) < STALE_AFTER)
+    return {"done": done, "failed": failed, "workers": len(beats),
+            "live_workers": live}
+
+
+class ProgressRenderer:
+    """Render aggregated heartbeats as one live status line.
+
+    ``poll()`` is cheap enough for the scheduler's 20 ms loop: it
+    re-reads the heartbeat directory at most every ``interval`` seconds
+    and rewrites a ``\\r``-terminated line on the chosen stream.  Every
+    snapshot is also published as ``dse.progress.*`` gauges so any obs
+    sink (JSONL stream, memory) sees the same trajectory.
+    """
+
+    def __init__(self, dirpath, total, stream=None, interval=0.5):
+        self.dirpath = dirpath
+        self.total = total
+        self.stream = sys.stderr if stream is None else stream
+        self.interval = interval
+        self._t0 = time.perf_counter()
+        self._next = 0.0
+        self._last = None
+        self._wrote = False
+
+    def snapshot(self):
+        snap = aggregate(read_heartbeats(self.dirpath))
+        elapsed = max(time.perf_counter() - self._t0, 1e-9)
+        finished = snap["done"] + snap["failed"]
+        snap["elapsed"] = elapsed
+        snap["throughput"] = finished / elapsed
+        remaining = max(self.total - finished, 0)
+        snap["eta"] = (remaining / snap["throughput"]
+                       if snap["throughput"] > 0 else None)
+        return snap
+
+    def _publish(self, snap):
+        obs.gauge("dse.progress.done", snap["done"])
+        obs.gauge("dse.progress.failed", snap["failed"])
+        obs.gauge("dse.progress.live_workers", snap["live_workers"])
+        obs.gauge("dse.progress.throughput", round(snap["throughput"], 3))
+
+    def render_line(self, snap):
+        line = "dse: %d/%d points" % (snap["done"], self.total)
+        if snap["failed"]:
+            line += " (%d failed)" % snap["failed"]
+        line += " | %.1f pts/s" % snap["throughput"]
+        if snap["eta"] is not None and snap["done"] + snap["failed"] > 0:
+            line += " | ETA %ds" % int(snap["eta"] + 0.5)
+        line += " | %d worker%s" % (snap["live_workers"],
+                                    "" if snap["live_workers"] == 1 else "s")
+        return line
+
+    def poll(self, force=False):
+        now = time.perf_counter()
+        if not force and now < self._next:
+            return None
+        self._next = now + self.interval
+        snap = self.snapshot()
+        self._publish(snap)
+        line = self.render_line(snap)
+        if line != self._last:
+            pad = max(len(self._last or "") - len(line), 0)
+            self.stream.write("\r" + line + " " * pad)
+            self.stream.flush()
+            self._last = line
+            self._wrote = True
+        return snap
+
+    def close(self):
+        """Final snapshot; terminates the live line with a newline."""
+        snap = self.poll(force=True)
+        if self._wrote:
+            self.stream.write("\n")
+            self.stream.flush()
+        return snap

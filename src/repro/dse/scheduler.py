@@ -29,11 +29,13 @@ study with the identical isolation/retry semantics.
 
 import math
 import multiprocessing
+import os
 import sys
 import time
 import traceback
 
 from repro import obs
+from repro.dse import progress as progress_mod
 from repro.dse.evaluate import evaluate_points
 from repro.dse.store import ResultStore
 
@@ -79,7 +81,7 @@ class TaskResult:
 
 
 def run_tasks(worker, payloads, jobs=1, timeout=None, retries=1,
-              label="task", progress=None):
+              label="task", progress=None, poll=None):
     """Run ``worker(payload)`` for every payload; returns TaskResults.
 
     Args:
@@ -91,6 +93,10 @@ def run_tasks(worker, payloads, jobs=1, timeout=None, retries=1,
         retries: how many *re*-tries a failed/timed-out task gets.
         progress: optional callback ``progress(task_result)`` invoked in
             the parent as each task reaches a final status.
+        poll: optional zero-argument callback invoked on every pass of
+            the parent's scheduling loop (and after each task in serial
+            mode) — the hook live progress renderers hang off; it must
+            throttle itself.
 
     One task's crash, exception, or timeout never aborts the rest; the
     failure is recorded on its :class:`TaskResult` and (after the retry
@@ -120,6 +126,8 @@ def run_tasks(worker, payloads, jobs=1, timeout=None, retries=1,
                         obs.counter("dse.tasks.retried")
             finish(TaskResult(payload, attempts, ok, error,
                               time.perf_counter() - t0))
+            if poll is not None:
+                poll()
         return results
 
     ctx = _context()
@@ -150,6 +158,8 @@ def run_tasks(worker, payloads, jobs=1, timeout=None, retries=1,
                 proc.start()
                 running[proc] = (payload, attempt, time.perf_counter())
             time.sleep(0.02)
+            if poll is not None:
+                poll()
             now = time.perf_counter()
             for proc in list(running):
                 payload, attempt, t_start = running[proc]
@@ -184,6 +194,10 @@ def _sweep_worker(payload):
     scale = payload["scale"]
     pending = [p for p in payload["points"]
                if not store.has(benchmark, p["id"])]  # resume check
+    heartbeat = None
+    if payload.get("progress_dir"):
+        heartbeat = progress_mod.HeartbeatWriter(
+            payload["progress_dir"], benchmark, len(pending))
     hard_failures = 0
     with obs.span("stage.dse.task", benchmark=benchmark, points=len(pending)):
         for point, result, error in evaluate_points(benchmark, pending, scale):
@@ -194,8 +208,12 @@ def _sweep_worker(payload):
                 traceback.print_exception(
                     type(error), error, error.__traceback__, file=sys.stderr)
                 hard_failures += 1
+                if heartbeat is not None:
+                    heartbeat.point_done(ok=False)
                 continue
             store.save(result)
+            if heartbeat is not None:
+                heartbeat.point_done(ok=True)
     if hard_failures:
         raise SystemExit(1)
 
@@ -226,13 +244,15 @@ def _chunk_tasks(pending, store_root, scale, jobs):
 
 
 def sweep(space, benchmarks, scale="small", jobs=1, store=None, resume=True,
-          timeout_per_point=None, retries=1, verbose=False):
+          timeout_per_point=None, retries=1, verbose=False, progress=False):
     """Run (or resume) a design-space sweep; returns a summary dict.
 
     ``store`` is a :class:`ResultStore` or a directory path.  With
     ``resume`` (the default) every (benchmark, point) already present in
     the store is skipped — a re-run over a complete store evaluates
-    exactly zero points.
+    exactly zero points.  With ``progress`` workers stream per-point
+    heartbeats into ``<store>/progress/`` and the coordinator renders a
+    live done/failed/throughput/ETA line (see :mod:`repro.dse.progress`).
     """
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
@@ -253,6 +273,15 @@ def sweep(space, benchmarks, scale="small", jobs=1, store=None, resume=True,
         if timeout_per_point is not None:
             timeout = timeout_per_point * max(len(p["points"]) for p in payloads)
 
+        renderer = None
+        if progress:
+            progress_dir = os.path.join(store.root, "progress")
+            progress_mod.clear_heartbeats(progress_dir)
+            for payload in payloads:
+                payload["progress_dir"] = progress_dir
+            renderer = progress_mod.ProgressRenderer(
+                progress_dir, total=len(pending))
+
         def report(result):
             if verbose:
                 state = "ok" if result.ok else "FAILED (%s)" % result.error
@@ -260,12 +289,17 @@ def sweep(space, benchmarks, scale="small", jobs=1, store=None, resume=True,
                     result.payload["benchmark"], len(result.payload["points"]),
                     state, result.seconds), file=sys.stderr)
 
-        with obs.span("stage.dse.sweep", space=space.name, scale=scale,
-                      jobs=jobs, pending=len(pending)):
-            task_results = run_tasks(
-                _sweep_worker, payloads, jobs=jobs, timeout=timeout,
-                retries=retries, label="dse", progress=report,
-            )
+        try:
+            with obs.span("stage.dse.sweep", space=space.name, scale=scale,
+                          jobs=jobs, pending=len(pending)):
+                task_results = run_tasks(
+                    _sweep_worker, payloads, jobs=jobs, timeout=timeout,
+                    retries=retries, label="dse", progress=report,
+                    poll=renderer.poll if renderer is not None else None,
+                )
+        finally:
+            if renderer is not None:
+                renderer.close()
 
     now_done = store.completed_keys()
     evaluated = len(now_done - done)

@@ -24,8 +24,10 @@ from repro.obs.core import (
     JsonlSink,
     MemorySink,
     NullSink,
+    adopt_trace_context,
     apply_spec,
     configure_from_env,
+    trace_context,
     counter,
     disable,
     emit,
@@ -50,9 +52,11 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "NullSink",
+    "adopt_trace_context",
     "apply_spec",
     "configure_from_env",
     "core",
+    "trace_context",
     "counter",
     "disable",
     "emit",

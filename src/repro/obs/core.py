@@ -23,13 +23,30 @@ Configuration comes from the environment at import time:
 * ``REPRO_OBS=memory`` (or ``1``/``on``) — enable, keep events in memory;
 * ``REPRO_OBS_OPCODES=1`` — additionally collect per-opcode dynamic
   histograms from the functional simulators (the sampling knob; this is
-  the one collection whose cost scales with static code size).
+  the one collection whose cost scales with static code size);
+* ``REPRO_OBS_MAX_BYTES=<n>`` — rotate the JSONL stream once it grows
+  past ``n`` bytes (the previous generation is kept as ``<path>.1``),
+  so unattended sweeps cannot grow span logs unboundedly.
+
+Span hierarchy: when a sink is attached, every span event additionally
+carries ``trace_id`` / ``span_id`` / ``parent_id`` (propagated through
+:mod:`contextvars`, so nesting follows the dynamic call structure even
+across threads) and ``tid`` (a compact per-process thread lane).
+:func:`export_spec` captures the *current* trace context alongside the
+sink configuration; a worker process applying that spec via
+:func:`apply_spec` parents its root spans under the exporting span —
+which is how a multi-process DSE sweep exports as one coherent,
+parent-linked trace (see :mod:`repro.obs.trace_export`).
 """
 
 import atexit
+import contextvars
 import functools
+import itertools
 import json
 import os
+import sys
+import threading
 import time
 
 #: Version of the snapshot/manifest layout.  Bump when the shape of
@@ -59,6 +76,46 @@ _span_agg = {}  # name -> [count, total_seconds, max_seconds]
 #: without re-running anything.
 _EPOCH = time.perf_counter()
 _atexit_registered = False
+
+#: Current trace context: ``(trace_id, span_id-of-enclosing-span)``.
+#: A contextvar (not a global) so span parentage follows the dynamic
+#: call structure per thread/task, and survives into forked children.
+_TRACE_CTX = contextvars.ContextVar("repro.obs.trace", default=None)
+_span_seq = itertools.count(1)
+#: thread ident → small per-process lane number (event ``tid``).
+_thread_lanes = {}
+
+
+def _new_span_id():
+    """Unique across processes: the pid is read at call time, so forked
+    workers mint ids disjoint from their parent's."""
+    return "%x-%x" % (os.getpid(), next(_span_seq))
+
+
+def _new_trace_id():
+    return os.urandom(8).hex()
+
+
+def _tid():
+    ident = threading.get_ident()
+    lane = _thread_lanes.get(ident)
+    if lane is None:
+        lane = len(_thread_lanes) + 1
+        _thread_lanes[ident] = lane
+    return lane
+
+
+def trace_context():
+    """The current ``(trace_id, span_id)`` pair, or None outside a trace."""
+    return _TRACE_CTX.get()
+
+
+def adopt_trace_context(trace_id, parent_id=None):
+    """Join an existing trace: subsequent spans in this context parent
+    under ``parent_id`` (a span id minted by another process).  Used by
+    :func:`apply_spec` so worker-process spans resolve to the
+    coordinator's root span."""
+    _TRACE_CTX.set((trace_id, parent_id))
 
 
 class NullSink:
@@ -92,19 +149,60 @@ class JsonlSink:
     appending to one file never interleave partial lines.  The active
     sink is additionally closed via ``atexit`` (see :func:`enable`) so
     trailing events survive a run that exits mid-stream.
+
+    ``max_bytes`` (default: ``REPRO_OBS_MAX_BYTES``, 0 = unbounded) caps
+    the stream size: once an emit would cross the cap the current file
+    is rotated to ``<path>.1`` (replacing any previous generation) and a
+    fresh stream is started — with a warning on the first rotation, so
+    a long sweep that outgrows its log is loud about losing history.
+    Rotation is per-writer best-effort: concurrent workers appending to
+    a shared stream each enforce the cap against the size they observe.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, max_bytes=None):
         self.path = os.path.expanduser(path)
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
+        if max_bytes is None:
+            raw = os.environ.get("REPRO_OBS_MAX_BYTES", "").strip()
+            max_bytes = int(raw) if raw else 0
+        self.max_bytes = max_bytes
+        self.rotations = 0
         self._fh = open(self.path, "a")
 
     def emit(self, event):
         if self._fh.closed:
             return
-        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        line = json.dumps(event, sort_keys=True) + "\n"
+        if self.max_bytes:
+            try:
+                size = self._fh.tell()
+            except (OSError, ValueError):
+                size = 0
+            if size and size + len(line) > self.max_bytes:
+                self._rotate()
+        self._fh.write(line)
+        self._fh.flush()
+
+    def _rotate(self):
+        self._fh.close()
+        try:
+            os.replace(self.path, self.path + ".1")
+        except OSError:
+            pass  # another writer rotated first; just reopen
+        self._fh = open(self.path, "a")
+        self.rotations += 1
+        if self.rotations == 1:
+            print(
+                "repro.obs: span stream %s exceeded REPRO_OBS_MAX_BYTES=%d "
+                "— rotated to %s.1 (warning once)"
+                % (self.path, self.max_bytes, self.path),
+                file=sys.stderr,
+            )
+        # Re-anchor the fresh generation so trace export can still align
+        # this process's clock.
+        self._fh.write(json.dumps(_meta_event(), sort_keys=True) + "\n")
         self._fh.flush()
 
     def close(self):
@@ -129,12 +227,28 @@ def _close_sink_at_exit():
             pass
 
 
+def _meta_event():
+    """Per-process clock anchor: the wall-clock instant corresponding to
+    a known ``ts`` offset.  ``ts`` is relative to each process's private
+    import-time epoch, so without an anchor a multi-process stream's
+    timelines cannot be laid out on one axis; with one,
+    ``wall_at(ts) = wall0 + (ts - ts0)`` aligns every process."""
+    return {
+        "kind": "meta",
+        "pid": os.getpid(),
+        "wall0": time.time(),
+        "ts0": time.perf_counter() - _EPOCH,
+    }
+
+
 def enable(sink=None, opcode_sampling=False):
     """Turn collection on.  ``sink=None`` means aggregate-only."""
     global enabled, _sink, _opcode_sampling, _atexit_registered
     _sink = sink
     _opcode_sampling = opcode_sampling
     enabled = True
+    if isinstance(sink, JsonlSink):
+        sink.emit(_meta_event())
     if not _atexit_registered:
         atexit.register(_close_sink_at_exit)
         _atexit_registered = True
@@ -198,15 +312,29 @@ def export_spec():
     """
     if not enabled:
         return None
+    max_bytes = 0
     if isinstance(_sink, JsonlSink):
         kind, path = "jsonl", _sink.path
+        max_bytes = _sink.max_bytes
     elif isinstance(_sink, MemorySink):
         kind, path = "memory", None
     elif _sink is None:
         kind, path = "aggregate", None
     else:
         kind, path = "null", None
-    return {"kind": kind, "path": path, "opcodes": _opcode_sampling}
+    spec = {"kind": kind, "path": path, "opcodes": _opcode_sampling,
+            "max_bytes": max_bytes}
+    ctx = _TRACE_CTX.get()
+    if ctx is not None:
+        # the exporting span becomes the worker's root parent — this is
+        # the cross-process half of the span hierarchy
+        spec["trace"] = {"trace_id": ctx[0], "parent_id": ctx[1]}
+    from repro.obs import profile as _profile
+
+    prof_spec = _profile.export_spec()
+    if prof_spec is not None:
+        spec["profile"] = prof_spec
+    return spec
 
 
 def apply_spec(spec):
@@ -214,7 +342,10 @@ def apply_spec(spec):
 
     ``None`` disables.  A JSONL spec reopens the same file in append
     mode — emits are single flushed writes, so many workers can share
-    one stream.
+    one stream.  A ``trace`` entry joins the exporter's trace: this
+    process's root spans parent under the exporting span (overriding
+    any context inherited across ``fork``, so fork and spawn children
+    behave identically).
     """
     if spec is None:
         if enabled:
@@ -223,13 +354,21 @@ def apply_spec(spec):
     kind = spec.get("kind")
     sampling = bool(spec.get("opcodes"))
     if kind == "jsonl":
-        enable(JsonlSink(spec["path"]), opcode_sampling=sampling)
+        enable(JsonlSink(spec["path"], max_bytes=spec.get("max_bytes", 0)),
+               opcode_sampling=sampling)
     elif kind == "memory":
         enable(MemorySink(), opcode_sampling=sampling)
     elif kind == "null":
         enable(NullSink(), opcode_sampling=sampling)
     else:
         enable(sink=None, opcode_sampling=sampling)
+    trace = spec.get("trace")
+    if trace is not None:
+        adopt_trace_context(trace.get("trace_id"), trace.get("parent_id"))
+    if spec.get("profile") is not None:
+        from repro.obs import profile as _profile
+
+        _profile.apply_spec(spec["profile"])
 
 
 # ----------------------------------------------------------------------
@@ -237,16 +376,29 @@ def apply_spec(spec):
 
 
 class _Span:
-    __slots__ = ("name", "attrs", "_t0")
+    __slots__ = ("name", "attrs", "_t0", "_ids", "_token")
 
     def __init__(self, name, attrs):
         self.name = name
         self.attrs = attrs
         self._t0 = None
+        self._ids = None
+        self._token = None
 
     def __enter__(self):
         global _depth
         _depth += 1
+        if _sink is not None:
+            # Hierarchy ids only matter when events stream somewhere;
+            # aggregate-only collection skips the contextvar traffic.
+            ctx = _TRACE_CTX.get()
+            if ctx is None:
+                trace_id, parent_id = _new_trace_id(), None
+            else:
+                trace_id, parent_id = ctx
+            span_id = _new_span_id()
+            self._ids = (trace_id, span_id, parent_id)
+            self._token = _TRACE_CTX.set((trace_id, span_id))
         self._t0 = time.perf_counter()
         return self
 
@@ -262,10 +414,24 @@ class _Span:
             agg[1] += seconds
             if seconds > agg[2]:
                 agg[2] = seconds
+        if self._token is not None:
+            try:
+                _TRACE_CTX.reset(self._token)
+            except ValueError:
+                # entered in a different Context (e.g. a worker adopted
+                # the spec mid-span); fall back to restoring the parent
+                _TRACE_CTX.set((self._ids[0], self._ids[2]))
+            self._token = None
         if _sink is not None:
             event = {"kind": "span", "name": self.name,
                      "seconds": seconds, "depth": _depth,
-                     "ts": self._t0 - _EPOCH, "pid": os.getpid()}
+                     "ts": self._t0 - _EPOCH, "pid": os.getpid(),
+                     "tid": _tid()}
+            if self._ids is not None:
+                event["trace_id"] = self._ids[0]
+                event["span_id"] = self._ids[1]
+                if self._ids[2] is not None:
+                    event["parent_id"] = self._ids[2]
             if exc_type is not None:
                 event["error"] = exc_type.__name__
             if self.attrs:

@@ -17,9 +17,10 @@ recomputing anything:
   translation 1-to-1 vs 1-to-n, register spills, ...).
 
 With ``--jsonl PATH`` it instead summarizes a span/event stream written
-via ``REPRO_OBS=jsonl:<path>``; with ``--dse STORE`` it renders the
-per-(benchmark, design point) stage timings embedded in a design-space
-exploration result store (``python -m repro.dse sweep``).
+via ``REPRO_OBS=jsonl:<path>`` (add ``--top-spans N`` for a latency
+table with p50/p95/p99 columns per span name); with ``--dse STORE`` it
+renders the per-(benchmark, design point) stage timings embedded in a
+design-space exploration result store (``python -m repro.dse sweep``).
 """
 
 import argparse
@@ -212,6 +213,66 @@ def render_dse(store_root, top_counters=24):
     return "\n".join(lines)
 
 
+def _percentile(ordered, q):
+    """Linear-interpolated percentile of an ascending-sorted list."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def span_durations(path):
+    """Per-span-name duration samples from a JSONL event stream."""
+    durations = {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue
+            if event.get("kind") == "span":
+                durations.setdefault(event.get("name", "?"), []).append(
+                    float(event.get("seconds", 0.0)))
+    return durations
+
+
+def render_top_spans(path, limit=10):
+    """Top-N span table with p50/p95/p99 duration columns; None if empty.
+
+    Needs per-span samples, so it reads a ``REPRO_OBS=jsonl:<path>``
+    stream — cached manifests only keep per-stage aggregates.
+    """
+    durations = span_durations(path)
+    if not durations:
+        return None
+    rows = sorted(durations.items(), key=lambda kv: sum(kv[1]), reverse=True)
+    width = max(28, max(len(name) for name, _d in rows[:limit]) + 2)
+    lines = ["top %d spans in %s (by total time):" % (limit, path),
+             "%-*s %7s %12s %12s %12s %12s %12s" % (
+                 width, "span", "n", "total", "p50", "p95", "p99", "max")]
+    lines.append("-" * len(lines[-1]))
+    for name, samples in rows[:limit]:
+        samples = sorted(samples)
+        lines.append("%-*s %7d %12s %12s %12s %12s %12s" % (
+            width, name, len(samples),
+            _fmt_seconds(sum(samples)).strip(),
+            _fmt_seconds(_percentile(samples, 50)).strip(),
+            _fmt_seconds(_percentile(samples, 95)).strip(),
+            _fmt_seconds(_percentile(samples, 99)).strip(),
+            _fmt_seconds(samples[-1]).strip()))
+    if len(rows) > limit:
+        lines.append("  ... %d more span names" % (len(rows) - limit))
+    return "\n".join(lines)
+
+
 def render_jsonl(path, top_counters=24):
     """Summarize a JSONL event stream; None when empty/span-free."""
     spans = {}
@@ -270,11 +331,23 @@ def main(argv=None):
                         "of cached benchmark manifests")
     parser.add_argument("--counters", type=int, default=24,
                         help="how many counters to print (default 24)")
+    parser.add_argument("--top-spans", type=int, default=None, metavar="N",
+                        help="with --jsonl: rank the N hottest span names "
+                        "with p50/p95/p99 duration columns")
     args = parser.parse_args(argv)
+
+    if args.top_spans is not None and not args.jsonl:
+        print("error: --top-spans needs --jsonl PATH (per-span duration "
+              "samples only exist in REPRO_OBS=jsonl:<path> streams; "
+              "cached manifests keep aggregates only)", file=sys.stderr)
+        return 2
 
     if args.jsonl:
         try:
-            text = render_jsonl(args.jsonl, top_counters=args.counters)
+            if args.top_spans is not None:
+                text = render_top_spans(args.jsonl, limit=args.top_spans)
+            else:
+                text = render_jsonl(args.jsonl, top_counters=args.counters)
         except OSError as exc:
             print("error: cannot read event stream %s (%s) — run with "
                   "REPRO_OBS=jsonl:<path> first" % (args.jsonl, exc),

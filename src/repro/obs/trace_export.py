@@ -3,49 +3,40 @@
 Converts the span events streamed by :class:`repro.obs.core.JsonlSink`
 into the Trace Event Format understood by ``chrome://tracing`` and
 https://ui.perfetto.dev, so a pipeline run (or a whole parallel DSE
-sweep) can be inspected as a flamegraph: one track per process, spans
-nested by their real start/duration.
+sweep) can be inspected as a flamegraph: one track per (process,
+thread), spans nested by their real start/duration, and **flow arrows**
+stitching each worker's spans to the coordinator span that spawned them.
 
-Span events carry ``ts`` (start offset in seconds since the emitting
-process's observability epoch) and ``pid``; each becomes one complete
-("ph": "X") event with microsecond ``ts``/``dur``.  Events from older
-streams that lack ``ts`` are laid out sequentially per process — the
-durations and nesting remain faithful, only the gaps are synthetic.
+Layout and alignment:
+
+* lanes — each span lands on ``(pid, tid)``: the emitting process and
+  its compact per-process thread lane, so concurrent worker (or
+  threaded) spans never collapse onto one row;
+* clocks — every process's ``ts`` is relative to its own private epoch;
+  ``meta`` anchor events (``wall0``/``ts0``, emitted once per process
+  when a JSONL sink is enabled) let the exporter place all processes on
+  one wall-clock axis.  Streams without anchors fall back to raw ``ts``
+  (single-process streams need no alignment) and legacy events without
+  ``ts`` are laid out sequentially per process;
+* hierarchy — span events carry ``trace_id``/``span_id``/``parent_id``
+  (see :mod:`repro.obs.core`); a parent link that crosses a lane
+  becomes an ``s``/``f`` flow-event pair (submit → worker), and each
+  process is labelled ``coordinator``/``worker`` from its position in
+  the span graph.
+
 Manifest events become instant ("ph": "i") markers carrying the
-benchmark name.
+benchmark name.  :func:`check_parent_links` is the machine-checkable
+side of the same structure: it verifies every ``parent_id`` in a stream
+resolves to a recorded span and reports per-process link statistics
+(the CI gate for cross-process trace integrity).
 """
 
 import json
 
 
-def _span_to_event(event, fallback_clock):
-    """One obs span event -> one trace 'X' event (times in µs)."""
+def _lane(event):
     pid = event.get("pid", 1)
-    seconds = float(event.get("seconds", 0.0))
-    ts = event.get("ts")
-    if ts is None:
-        # Legacy stream: synthesize a sequential timeline per process.
-        ts = fallback_clock.get(pid, 0.0)
-        fallback_clock[pid] = ts + seconds
-    out = {
-        "name": event.get("name", "?"),
-        "ph": "X",
-        "pid": pid,
-        "tid": pid,
-        "ts": ts * 1e6,
-        "dur": seconds * 1e6,
-        "cat": "obs",
-    }
-    args = {}
-    if event.get("attrs"):
-        args.update(event["attrs"])
-    if event.get("error"):
-        args["error"] = event["error"]
-    if event.get("depth") is not None:
-        args["depth"] = event["depth"]
-    if args:
-        out["args"] = args
-    return out
+    return pid, event.get("tid", pid)
 
 
 def iter_events(path):
@@ -63,35 +54,199 @@ def iter_events(path):
                 yield event
 
 
+def _clock_offsets(events):
+    """Per-pid additive corrections aligning all ``ts`` on one axis.
+
+    From each process's anchor, ``wall_at(ts) = wall0 + ts - ts0``; the
+    export subtracts the earliest anchored wall instant so aligned
+    timelines start near zero.  Unanchored pids get offset 0.
+    """
+    anchors = {}
+    for event in events:
+        if event.get("kind") == "meta" and "wall0" in event:
+            pid = event.get("pid", 1)
+            # keep the first anchor per pid (rotation re-emits later ones)
+            anchors.setdefault(pid, (event["wall0"], event.get("ts0", 0.0)))
+    if not anchors:
+        return {}
+    base = min(wall0 - ts0 for wall0, ts0 in anchors.values())
+    return {pid: (wall0 - ts0) - base for pid, (wall0, ts0) in anchors.items()}
+
+
+def _span_to_event(event, fallback_clock, offsets):
+    """One obs span event -> one trace 'X' event (times in µs)."""
+    pid, tid = _lane(event)
+    seconds = float(event.get("seconds", 0.0))
+    ts = event.get("ts")
+    if ts is None:
+        # Legacy stream: synthesize a sequential timeline per process.
+        ts = fallback_clock.get(pid, 0.0)
+        fallback_clock[pid] = ts + seconds
+    else:
+        ts += offsets.get(pid, 0.0)
+    out = {
+        "name": event.get("name", "?"),
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": ts * 1e6,
+        "dur": seconds * 1e6,
+        "cat": "obs",
+    }
+    args = {}
+    if event.get("attrs"):
+        args.update(event["attrs"])
+    if event.get("error"):
+        args["error"] = event["error"]
+    if event.get("depth") is not None:
+        args["depth"] = event["depth"]
+    for key in ("trace_id", "span_id", "parent_id"):
+        if event.get(key) is not None:
+            args[key] = event[key]
+    if args:
+        out["args"] = args
+    return out
+
+
+def _flow_events(trace_events, spans_by_id):
+    """``s``/``f`` flow pairs for parent links that cross a lane."""
+    flows = []
+    flow_id = 0
+    for child in trace_events:
+        args = child.get("args") or {}
+        parent_id = args.get("parent_id")
+        if parent_id is None:
+            continue
+        parent = spans_by_id.get(parent_id)
+        if parent is None:
+            continue
+        if (parent["pid"], parent["tid"]) == (child["pid"], child["tid"]):
+            continue  # same-lane nesting is already visible
+        flow_id += 1
+        # anchor the start inside the parent span, never after the child
+        start_ts = min(max(child["ts"], parent["ts"]),
+                       parent["ts"] + parent["dur"], child["ts"])
+        flows.append({
+            "name": "span-link", "cat": "obs.flow", "ph": "s",
+            "id": flow_id, "pid": parent["pid"], "tid": parent["tid"],
+            "ts": start_ts,
+        })
+        flows.append({
+            "name": "span-link", "cat": "obs.flow", "ph": "f", "bp": "e",
+            "id": flow_id, "pid": child["pid"], "tid": child["tid"],
+            "ts": child["ts"],
+        })
+    return flows
+
+
+def _process_labels(trace_events, spans_by_id):
+    """``coordinator``/``worker`` metadata rows from the span graph."""
+    has_remote_child = set()
+    has_remote_parent = set()
+    for event in trace_events:
+        args = event.get("args") or {}
+        parent = spans_by_id.get(args.get("parent_id"))
+        if parent is not None and parent["pid"] != event["pid"]:
+            has_remote_parent.add(event["pid"])
+            has_remote_child.add(parent["pid"])
+    labels = []
+    pids = {e["pid"] for e in trace_events}
+    for pid in sorted(pids):
+        if pid in has_remote_child:
+            name = "coordinator (pid %d)" % pid
+        elif pid in has_remote_parent:
+            name = "worker (pid %d)" % pid
+        else:
+            continue
+        labels.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "ts": 0, "args": {"name": name}})
+    return labels
+
+
 def export_trace(path):
     """Read one obs JSONL stream; return a trace-event JSON dict."""
+    events = list(iter_events(path))
+    offsets = _clock_offsets(events)
     trace_events = []
+    spans_by_id = {}
     fallback_clock = {}
     last_ts = {}
-    for event in iter_events(path):
+    for event in events:
         kind = event.get("kind")
         if kind == "span":
-            out = _span_to_event(event, fallback_clock)
+            out = _span_to_event(event, fallback_clock, offsets)
             last_ts[out["pid"]] = max(
                 last_ts.get(out["pid"], 0.0), out["ts"] + out["dur"])
+            if event.get("span_id") is not None:
+                spans_by_id[event["span_id"]] = out
             trace_events.append(out)
         elif kind == "manifest":
-            pid = event.get("pid", 1)
+            pid, tid = _lane(event)
             trace_events.append({
                 "name": "manifest %s" % event.get("benchmark", "?"),
                 "ph": "i",
                 "s": "p",
                 "pid": pid,
-                "tid": pid,
+                "tid": tid,
                 "ts": last_ts.get(pid, 0.0),
                 "cat": "obs",
             })
-    # Stable render order: by process, then start time.
-    trace_events.sort(key=lambda e: (e["pid"], e["ts"]))
+    extras = _flow_events(trace_events, spans_by_id)
+    extras += _process_labels(trace_events, spans_by_id)
+    # Stable render order: by process, then lane, then start time.
+    trace_events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
     return {
-        "traceEvents": trace_events,
+        "traceEvents": trace_events + extras,
         "displayTimeUnit": "ms",
         "otherData": {"source": "repro.obs", "stream": path},
+    }
+
+
+def check_parent_links(path):
+    """Verify the span hierarchy of a JSONL stream; returns statistics.
+
+    Raises ValueError when any span's ``parent_id`` does not resolve to
+    another span in the stream, or when linked spans disagree on
+    ``trace_id``.  Returns a dict with per-process span counts, the
+    number of cross-process links, root span ids, and the distinct
+    trace ids — what the CI gate asserts over a multi-worker sweep.
+    """
+    spans = [e for e in iter_events(path) if e.get("kind") == "span"]
+    by_id = {e["span_id"]: e for e in spans if e.get("span_id") is not None}
+    per_pid = {}
+    cross = 0
+    roots = []
+    unlinked = 0
+    for event in spans:
+        pid = event.get("pid", 1)
+        per_pid[pid] = per_pid.get(pid, 0) + 1
+        if event.get("span_id") is None:
+            unlinked += 1
+            continue
+        parent_id = event.get("parent_id")
+        if parent_id is None:
+            roots.append(event["span_id"])
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            raise ValueError(
+                "span %r (%s, pid %s) has unresolvable parent_id %r"
+                % (event.get("name"), event["span_id"], pid, parent_id))
+        if parent.get("trace_id") != event.get("trace_id"):
+            raise ValueError(
+                "span %r links across traces: %r -> parent %r"
+                % (event.get("name"), event.get("trace_id"),
+                   parent.get("trace_id")))
+        if parent.get("pid", 1) != pid:
+            cross += 1
+    return {
+        "spans": len(spans),
+        "processes": per_pid,
+        "cross_process_links": cross,
+        "roots": roots,
+        "unlinked": unlinked,
+        "traces": sorted({e.get("trace_id") for e in spans
+                          if e.get("trace_id") is not None}),
     }
 
 
@@ -100,13 +255,15 @@ def validate_trace(trace):
 
     Checks the properties Chrome/Perfetto rely on: a ``traceEvents``
     list, per-event ``name``/``ph``/``pid``/``ts``, non-negative
-    durations on complete events, and JSON serializability.
+    durations on complete events, flow pairing on ``s``/``f`` events,
+    and JSON serializability.
     """
     if not isinstance(trace, dict) or "traceEvents" not in trace:
         raise ValueError("trace must be a dict with a traceEvents list")
     events = trace["traceEvents"]
     if not isinstance(events, list):
         raise ValueError("traceEvents must be a list")
+    flow_phases = {}
     for event in events:
         for field in ("name", "ph", "pid", "ts"):
             if field not in event:
@@ -115,8 +272,16 @@ def validate_trace(trace):
             if event.get("dur", -1) < 0:
                 raise ValueError("complete event with negative/missing dur: "
                                  "%r" % (event,))
+        if event["ph"] in ("s", "f"):
+            if "id" not in event:
+                raise ValueError("flow event missing id: %r" % (event,))
+            flow_phases.setdefault(event["id"], set()).add(event["ph"])
         if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
             raise ValueError("event ts must be a non-negative number: "
                              "%r" % (event,))
+    for flow_id, phases in flow_phases.items():
+        if phases != {"s", "f"}:
+            raise ValueError("unpaired flow id %r (phases %r)"
+                             % (flow_id, sorted(phases)))
     json.dumps(trace)  # must round-trip
     return True

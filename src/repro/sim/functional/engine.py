@@ -70,15 +70,38 @@ Observability (when enabled): the block engine publishes
 ``sim.engine.fallback_instrs`` counters and a
 ``sim.engine.avg_block_len`` gauge per run, and both engines count
 ``sim.engine.runs.<engine>``.
+
+Profiling (``REPRO_PROFILE``, see :mod:`repro.obs.profile`): when
+active, the block engine's dispatch loop additionally attributes
+executed units and wall time to each superblock entry, times every
+``exec()`` compilation, and records throttle/fallback decisions — one
+profile record per run.  The hooks live on the per-dispatch path (a
+block executes many units per call), never per instruction, and leave
+the executed semantics untouched: profiler-on runs are bit-identical.
 """
 
 import os
 import re
 import struct
+import time
 
 from repro.isa.arm.model import ShiftType
 from repro.obs import core as obs
 from repro.sim.functional.trace import ExecutionResult, TraceBuilder
+
+#: repro.obs.profile, bound on first use.  Importing it eagerly would pull
+#: it into sys.modules whenever ``repro`` loads, making every
+#: ``python -m repro.obs.profile`` run trip runpy's re-execution warning.
+obs_profile = None
+
+
+def _profile_mod():
+    global obs_profile
+    if obs_profile is None:
+        from repro.obs import profile
+        obs_profile = profile
+    return obs_profile
+
 
 M32 = 0xFFFFFFFF
 
@@ -300,7 +323,19 @@ def execute(program, max_instructions, engine=None):
     if name == "closure":
         _run_closure(program, max_instructions)
     elif name == "block":
-        _BlockRunner(program).run(max_instructions)
+        runner = _BlockRunner(program, prof=_profile_mod().recorder())
+        runner.run(max_instructions)
+        if runner.prof is not None:
+            runner.prof.finish(
+                isa=program.isa,
+                image_name=getattr(program.image, "name", "?"),
+                func_of_index=getattr(program.image, "func_of_index", None),
+                totals={
+                    "blocks_compiled": runner.blocks_compiled,
+                    "units_compiled": runner.units_compiled,
+                    "fallback_instrs": runner.fallback_instrs,
+                },
+            )
     else:
         raise ValueError("unknown engine %r (expected one of %s)"
                          % (name, "/".join(ENGINES)))
@@ -490,10 +525,17 @@ def _apply_reg_cache(body):
 
 
 class _BlockRunner:
-    """Executes one :class:`Program` through lazily-compiled blocks."""
+    """Executes one :class:`Program` through lazily-compiled blocks.
 
-    def __init__(self, program):
+    ``prof`` (a :class:`repro.obs.profile.BlockRecorder` or None) turns
+    on per-superblock attribution: each dispatch and each cold
+    interpreted run is timed and its executed-unit delta (read off the
+    shared run-accounting state) credited to the entry index.
+    """
+
+    def __init__(self, program, prof=None):
         self.program = program
+        self.prof = prof
         self.blocks = {}
         self.hot = {}  # entry index -> visit count, below threshold
         self.state = [0, 0, 0]  # [run_start, executed, budget limit]
@@ -675,6 +717,8 @@ class _BlockRunner:
         seq = program.seq_next
         starts_append = program.trace.run_starts.append
         ends_append = program.trace.run_ends.append
+        prof = self.prof
+        clock = time.perf_counter
         idx = 0
         try:
             while idx >= 0:
@@ -689,6 +733,8 @@ class _BlockRunner:
                         # closure engine) instead of paying codegen for
                         # code that may never repeat.
                         hot[idx] = n
+                        if prof is not None:
+                            entry, units0, t0 = idx, state[1], clock()
                         while True:
                             nxt = handlers[idx]()
                             straight = idx + 1 if seq is None else seq[idx]
@@ -701,12 +747,31 @@ class _BlockRunner:
                             state[0] = nxt
                             idx = nxt
                             break
+                        if prof is not None:
+                            # throttled = hot enough to compile, but the
+                            # amortization gate deferred the codegen
+                            prof.interp(entry, state[1] - units0,
+                                        clock() - t0,
+                                        throttled=n >= COMPILE_THRESHOLD)
                         if state[1] > limit:
                             raise _budget_error(program, limit)
                         continue
-                    fn = self._compile_block(idx)
+                    if prof is None:
+                        fn = self._compile_block(idx)
+                    else:
+                        scanned0, fb0, t0 = (self.units_compiled,
+                                             self.fallback_instrs, clock())
+                        fn = self._compile_block(idx)
+                        prof.compiled(idx, clock() - t0,
+                                      self.units_compiled - scanned0,
+                                      self.fallback_instrs - fb0)
                     blocks[idx] = fn
-                idx = fn()
+                if prof is None:
+                    idx = fn()
+                else:
+                    entry, units0, t0 = idx, state[1], clock()
+                    idx = fn()
+                    prof.call(entry, state[1] - units0, clock() - t0)
                 # state[1] only moves at run boundaries, and a block
                 # returns immediately after any boundary that crosses
                 # the budget — so this raises at exactly the boundary

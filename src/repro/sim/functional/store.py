@@ -209,11 +209,18 @@ def cached_run(kind, image, runner, **manifest_extra):
     On a store hit the functional simulation is skipped entirely; on a
     miss the fresh result is persisted for every later process/session.
     ``kind`` labels the manifest (e.g. ``"arm"``, ``"fits"``) and the
-    ``trace_store.{hit,miss}`` obs counters.
+    ``trace_store.{hit,miss}`` obs counters.  The benchmark/scale
+    manifest extras double as the block profiler's attribution context,
+    so profile records from here carry the benchmark name.
     """
+    from repro.obs import profile as obs_profile  # lazy: keeps -m runs clean
+
+    ctx = obs_profile.run_context(benchmark=manifest_extra.get("benchmark"),
+                                  scale=manifest_extra.get("scale"))
     store = get_store()
     if store is None:
-        return runner()
+        with ctx:
+            return runner()
     result = store.load(image)
     if result is not None:
         obs.counter("trace_store.hit")
@@ -223,7 +230,7 @@ def cached_run(kind, image, runner, **manifest_extra):
         publish_result("sim." + kind, result)
         return result
     with obs.span("trace_store.fill", kind=kind,
-                  image=getattr(image, "name", "?")):
+                  image=getattr(image, "name", "?")), ctx:
         result = runner()
     obs.counter("trace_store.miss")
     obs.counter("trace_store.miss.%s" % kind)

@@ -406,3 +406,120 @@ def test_collect_parallel_uses_pool_and_atomic_cache(tmp_path):
         assert not [f for f in os.listdir(tmp_path) if f.startswith(".tmp-")]
     finally:
         os.environ.pop("REPRO_CACHE_DIR", None)
+
+
+# ----------------------------------------------------------------------
+# live sweep progress (heartbeats + renderer)
+
+
+def test_heartbeat_write_read_aggregate(tmp_path):
+    from repro.dse import progress as progress_mod
+
+    hb_dir = str(tmp_path / "progress")
+    writer = progress_mod.HeartbeatWriter(hb_dir, "crc32", total=3)
+    writer.point_done(ok=True)
+    writer.point_done(ok=True)
+    writer.point_done(ok=False)
+    beats = progress_mod.read_heartbeats(hb_dir)
+    assert len(beats) == 1
+    beat = beats[0]
+    assert beat["benchmark"] == "crc32"
+    assert beat["done"] == 2 and beat["failed"] == 1 and beat["total"] == 3
+    assert beat["pid"] == os.getpid()
+
+    snap = progress_mod.aggregate(beats)
+    assert snap == {"done": 2, "failed": 1, "workers": 1, "live_workers": 1}
+    # a stale heartbeat no longer counts as a live worker
+    stale = progress_mod.aggregate(
+        beats, now=beat["updated"] + progress_mod.STALE_AFTER + 1)
+    assert stale["live_workers"] == 0 and stale["done"] == 2
+
+    progress_mod.clear_heartbeats(hb_dir)
+    assert progress_mod.read_heartbeats(hb_dir) == []
+
+
+def test_progress_renderer_line_and_gauges(tmp_path):
+    import io
+
+    from repro import obs
+    from repro.dse import progress as progress_mod
+
+    hb_dir = str(tmp_path / "progress")
+    writer = progress_mod.HeartbeatWriter(hb_dir, "crc32", total=4)
+    writer.point_done(ok=True)
+    writer.point_done(ok=False)
+
+    obs.enable(obs.MemorySink())
+    try:
+        out = io.StringIO()
+        renderer = progress_mod.ProgressRenderer(hb_dir, total=4, stream=out)
+        snap = renderer.poll(force=True)
+        assert snap["done"] == 1 and snap["failed"] == 1
+        assert snap["throughput"] > 0 and snap["eta"] is not None
+        line = out.getvalue()
+        assert "dse: 1/4 points" in line
+        assert "(1 failed)" in line
+        assert "pts/s" in line and "ETA" in line
+        gauges = obs.snapshot()["gauges"]
+        assert gauges["dse.progress.done"] == 1
+        assert gauges["dse.progress.failed"] == 1
+        # immediate re-poll is throttled; close forces a final snapshot
+        assert renderer.poll() is None
+        assert renderer.close() is not None
+        assert out.getvalue().endswith("\n")
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def test_sweep_with_progress_writes_heartbeats(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    summary = sweep(preset("paper4"), [BENCH], scale="small", jobs=2,
+                    store=root, progress=True)
+    assert summary["evaluated"] == 4 and not summary["failed"]
+    from repro.dse import progress as progress_mod
+
+    beats = progress_mod.read_heartbeats(os.path.join(root, "progress"))
+    assert beats, "workers left no heartbeat files"
+    assert sum(b["done"] for b in beats) == 4
+    assert sum(b["failed"] for b in beats) == 0
+    err = capsys.readouterr().err
+    assert "dse: 4/4 points" in err
+
+
+# ----------------------------------------------------------------------
+# cross-process trace hierarchy through a parallel sweep
+
+
+def test_parallel_sweep_exports_one_parent_linked_trace(tmp_path):
+    from repro import obs
+    from repro.obs import trace_export
+
+    stream = str(tmp_path / "sweep-spans.jsonl")
+    root = str(tmp_path / "store")
+    obs.enable(obs.JsonlSink(stream))
+    try:
+        summary = sweep(preset("paper4"), [BENCH], scale="small", jobs=2,
+                        store=root)
+    finally:
+        obs.disable()
+        obs.reset()
+    assert summary["evaluated"] == 4 and not summary["failed"]
+
+    # every span in the stream resolves to the coordinator's root span
+    stats = trace_export.check_parent_links(stream)
+    assert stats["roots"], "no root span recorded"
+    assert len(stats["traces"]) == 1, "sweep split across trace ids"
+    assert len(stats["processes"]) >= 2, "no worker-process spans captured"
+    assert stats["cross_process_links"] >= 1
+
+    trace = trace_export.export_trace(stream)
+    assert trace_export.validate_trace(trace)
+    phases = {}
+    for event in trace["traceEvents"]:
+        phases[event["ph"]] = phases.get(event["ph"], 0) + 1
+    assert phases["s"] == phases["f"] >= 1  # flow arrows into worker lanes
+    labels = [e["args"]["name"] for e in trace["traceEvents"]
+              if e["ph"] == "M"]
+    assert any("coordinator" in name for name in labels)
+    assert any("worker" in name for name in labels)

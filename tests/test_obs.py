@@ -12,12 +12,14 @@ from repro.sim.cache import CacheGeometry, SetAssociativeCache
 
 @pytest.fixture(autouse=True)
 def clean_obs():
-    """Every test starts disabled with empty aggregates."""
+    """Every test starts disabled, traceless, with empty aggregates."""
     obs.disable()
     obs.reset()
+    obs.core._TRACE_CTX.set(None)  # adopt_trace_context persists by design
     yield
     obs.disable()
     obs.reset()
+    obs.core._TRACE_CTX.set(None)
 
 
 # ----------------------------------------------------------------------
@@ -149,10 +151,12 @@ def test_jsonl_round_trip(tmp_path):
               "manifest": {"counters": obs.snapshot()["counters"]}})
     obs.disable()
     events = [json.loads(line) for line in path.read_text().splitlines()]
-    assert [e["kind"] for e in events] == ["span", "manifest"]
-    assert events[0]["name"] == "stage.compile"
-    assert events[0]["seconds"] >= 0
-    assert events[1]["manifest"]["counters"] == {"hits": 3}
+    # the stream opens with a clock anchor for cross-process alignment
+    assert [e["kind"] for e in events] == ["meta", "span", "manifest"]
+    assert events[0]["pid"] == os.getpid() and "wall0" in events[0]
+    assert events[1]["name"] == "stage.compile"
+    assert events[1]["seconds"] >= 0
+    assert events[2]["manifest"]["counters"] == {"hits": 3}
 
 
 def test_configure_from_env_jsonl(tmp_path):
@@ -388,7 +392,7 @@ def test_export_apply_spec_round_trip(tmp_path):
     obs.enable(obs.JsonlSink(str(tmp_path / "s.jsonl")), opcode_sampling=True)
     spec = obs.export_spec()
     assert spec == {"kind": "jsonl", "path": str(tmp_path / "s.jsonl"),
-                    "opcodes": True}
+                    "opcodes": True, "max_bytes": 0}
     obs.disable()
     obs.apply_spec(spec)
     assert obs.core.enabled and obs.opcode_sampling()
@@ -397,7 +401,7 @@ def test_export_apply_spec_round_trip(tmp_path):
 
     obs.enable(sink=None)
     assert obs.export_spec() == {"kind": "aggregate", "path": None,
-                                 "opcodes": False}
+                                 "opcodes": False, "max_bytes": 0}
     obs.apply_spec(obs.export_spec())
     assert obs.core.enabled and obs.core.sink() is None
 
@@ -443,3 +447,286 @@ def test_report_cli_dse_warns_on_failed_points(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "warning: skipping failed point sha feedbeefcafe" in out
     assert "crc32" in out
+
+
+# ----------------------------------------------------------------------
+# span hierarchy (trace_id / span_id / parent_id), thread lanes
+
+
+def test_span_hierarchy_ids_nest():
+    import contextvars
+
+    sink = obs.MemorySink()
+    obs.enable(sink)
+    with obs.span("outer"):
+        with obs.span("inner"):
+            pass
+    with obs.span("second_root"):
+        pass
+    inner, outer, second = sink.events
+    assert inner["trace_id"] == outer["trace_id"]
+    assert inner["parent_id"] == outer["span_id"]
+    assert "parent_id" not in outer  # a root span
+    assert outer["span_id"] != inner["span_id"]
+    assert inner["tid"] == outer["tid"] >= 1
+    # a sibling root starts a fresh trace
+    assert second["trace_id"] != outer["trace_id"]
+    assert "parent_id" not in second
+    assert contextvars.copy_context().get(obs.core._TRACE_CTX) is None
+
+
+def test_trace_context_visible_inside_span():
+    obs.enable(obs.MemorySink())
+    assert obs.trace_context() is None
+    with obs.span("root"):
+        ctx = obs.trace_context()
+        assert ctx is not None
+        trace_id, span_id = ctx
+        with obs.span("child"):
+            inner_trace, inner_span = obs.trace_context()
+            assert inner_trace == trace_id
+            assert inner_span != span_id
+    assert obs.trace_context() is None
+
+
+def test_adopt_trace_context_parents_spans():
+    sink = obs.MemorySink()
+    obs.enable(sink)
+    obs.adopt_trace_context("feedface00000000", "dead-1")
+    with obs.span("worker_root"):
+        pass
+    event = sink.events[-1]
+    assert event["trace_id"] == "feedface00000000"
+    assert event["parent_id"] == "dead-1"
+
+
+def test_apply_spec_carries_trace_context(tmp_path):
+    """A worker applying an exported spec parents under the exporter."""
+    import contextvars
+
+    stream = str(tmp_path / "linked.jsonl")
+    obs.enable(obs.JsonlSink(stream))
+    with obs.span("coordinator"):
+        spec = obs.export_spec()
+        assert spec["trace"]["trace_id"]
+        assert spec["trace"]["parent_id"]
+
+        def worker():
+            obs.apply_spec(spec)
+            with obs.span("worker_root"):
+                pass
+
+        contextvars.copy_context().run(worker)
+    obs.disable()
+
+    events = {}
+    with open(stream) as fh:
+        for line in fh:
+            event = json.loads(line)
+            if event.get("kind") == "span":
+                events[event["name"]] = event
+    worker_root = events["worker_root"]
+    coordinator = events["coordinator"]
+    assert worker_root["parent_id"] == coordinator["span_id"]
+    assert worker_root["trace_id"] == coordinator["trace_id"]
+
+
+def test_span_ids_not_minted_without_sink():
+    obs.enable(sink=None)  # aggregate-only
+    with obs.span("quiet"):
+        assert obs.trace_context() is None
+
+
+# ----------------------------------------------------------------------
+# JSONL rotation (REPRO_OBS_MAX_BYTES)
+
+
+def test_jsonl_rotation_caps_size_and_warns_once(tmp_path, capsys):
+    stream = tmp_path / "rot.jsonl"
+    sink = obs.JsonlSink(str(stream), max_bytes=2048)
+    obs.enable(sink)
+    for i in range(100):
+        with obs.span("spin", i=i):
+            pass
+    obs.disable()
+
+    assert sink.rotations >= 1
+    assert (tmp_path / "rot.jsonl.1").exists()
+    assert stream.stat().st_size <= 2048 + 512  # cap plus one event of slack
+    err = capsys.readouterr().err
+    assert err.count("REPRO_OBS_MAX_BYTES") == 1  # warned exactly once
+    # the fresh generation re-anchors the process clock for trace export
+    with open(str(stream)) as fh:
+        first = json.loads(fh.readline())
+    assert first["kind"] == "meta" and "wall0" in first
+
+
+def test_jsonl_max_bytes_from_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_OBS_MAX_BYTES", "4096")
+    sink = obs.JsonlSink(str(tmp_path / "env.jsonl"))
+    assert sink.max_bytes == 4096
+    sink.close()
+    monkeypatch.delenv("REPRO_OBS_MAX_BYTES")
+    sink = obs.JsonlSink(str(tmp_path / "env2.jsonl"))
+    assert sink.max_bytes == 0  # unbounded by default
+    sink.close()
+
+
+def test_export_spec_propagates_max_bytes(tmp_path):
+    obs.enable(obs.JsonlSink(str(tmp_path / "m.jsonl"), max_bytes=9000))
+    spec = obs.export_spec()
+    assert spec["max_bytes"] == 9000
+    obs.disable()
+    obs.apply_spec(spec)
+    assert obs.core.sink().max_bytes == 9000
+
+
+# ----------------------------------------------------------------------
+# trace export: lanes, flow events, clock alignment, link checking
+
+
+def _write_stream(path, events):
+    with open(str(path), "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event) + "\n")
+
+
+def test_trace_export_flow_events_and_labels(tmp_path):
+    from repro.obs import trace_export
+
+    stream = tmp_path / "multi.jsonl"
+    # two processes with different private epochs: anchors say pid 10's
+    # clock started 1.0 wall-second before pid 20's
+    _write_stream(stream, [
+        {"kind": "meta", "pid": 10, "wall0": 1000.0, "ts0": 0.0},
+        {"kind": "meta", "pid": 20, "wall0": 1001.0, "ts0": 0.0},
+        {"kind": "span", "name": "root", "pid": 10, "tid": 1,
+         "ts": 0.0, "seconds": 3.0,
+         "trace_id": "t1", "span_id": "a-1"},
+        {"kind": "span", "name": "work", "pid": 20, "tid": 1,
+         "ts": 0.5, "seconds": 1.0,
+         "trace_id": "t1", "span_id": "b-1", "parent_id": "a-1"},
+    ])
+    trace = trace_export.export_trace(str(stream))
+    assert trace_export.validate_trace(trace)
+    by_ph = {}
+    for event in trace["traceEvents"]:
+        by_ph.setdefault(event["ph"], []).append(event)
+
+    root = next(e for e in by_ph["X"] if e["name"] == "root")
+    work = next(e for e in by_ph["X"] if e["name"] == "work")
+    assert root["tid"] == 1 and work["tid"] == 1
+    assert root["ts"] == 0.0
+    # pid 20's clock is 1.0s behind: 0.5s local offset lands at 1.5s
+    assert abs(work["ts"] - 1.5e6) < 1.0
+    # one flow pair stitches the cross-process parent link
+    (start,) = [e for e in by_ph["s"]]
+    (finish,) = [e for e in by_ph["f"]]
+    assert start["id"] == finish["id"]
+    assert start["pid"] == 10 and finish["pid"] == 20
+    assert finish.get("bp") == "e"
+    assert start["ts"] <= finish["ts"]
+    labels = {e["pid"]: e["args"]["name"] for e in by_ph["M"]}
+    assert "coordinator" in labels[10]
+    assert "worker" in labels[20]
+
+
+def test_trace_export_legacy_stream_without_anchors(tmp_path):
+    from repro.obs import trace_export
+
+    stream = tmp_path / "legacy.jsonl"
+    _write_stream(stream, [
+        {"kind": "span", "name": "old", "pid": 7, "seconds": 0.25},
+        {"kind": "span", "name": "older", "pid": 7, "seconds": 0.5},
+        {"kind": "manifest", "benchmark": "crc32", "pid": 7},
+    ])
+    trace = trace_export.export_trace(str(stream))
+    assert trace_export.validate_trace(trace)
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    # no ts: laid out sequentially per process, lane falls back to pid
+    assert xs[0]["ts"] == 0.0 and xs[1]["ts"] == 0.25e6
+    assert all(e["tid"] == 7 for e in xs)
+    marks = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert marks and marks[0]["name"] == "manifest crc32"
+
+
+def test_check_parent_links_good_and_orphaned(tmp_path):
+    from repro.obs import trace_export
+
+    good = tmp_path / "good.jsonl"
+    _write_stream(good, [
+        {"kind": "span", "name": "root", "pid": 1, "ts": 0.0, "seconds": 1.0,
+         "trace_id": "t", "span_id": "a-1"},
+        {"kind": "span", "name": "child", "pid": 2, "ts": 0.1, "seconds": 0.5,
+         "trace_id": "t", "span_id": "b-1", "parent_id": "a-1"},
+    ])
+    stats = trace_export.check_parent_links(str(good))
+    assert stats["spans"] == 2
+    assert stats["cross_process_links"] == 1
+    assert stats["roots"] == ["a-1"]
+    assert stats["traces"] == ["t"]
+    assert stats["processes"] == {1: 1, 2: 1}
+
+    orphan = tmp_path / "orphan.jsonl"
+    _write_stream(orphan, [
+        {"kind": "span", "name": "lost", "pid": 3, "ts": 0.0, "seconds": 0.1,
+         "trace_id": "t", "span_id": "c-1", "parent_id": "nowhere-9"},
+    ])
+    with pytest.raises(ValueError, match="unresolvable parent_id"):
+        trace_export.check_parent_links(str(orphan))
+
+    crossed = tmp_path / "crossed.jsonl"
+    _write_stream(crossed, [
+        {"kind": "span", "name": "root", "pid": 1, "ts": 0.0, "seconds": 1.0,
+         "trace_id": "t1", "span_id": "a-1"},
+        {"kind": "span", "name": "child", "pid": 1, "ts": 0.1, "seconds": 0.5,
+         "trace_id": "t2", "span_id": "b-1", "parent_id": "a-1"},
+    ])
+    with pytest.raises(ValueError, match="links across traces"):
+        trace_export.check_parent_links(str(crossed))
+
+
+def test_validate_trace_rejects_unpaired_flow():
+    from repro.obs import trace_export
+
+    with pytest.raises(ValueError, match="unpaired flow"):
+        trace_export.validate_trace({"traceEvents": [
+            {"name": "span-link", "ph": "s", "id": 1, "pid": 1, "ts": 0.0},
+        ]})
+
+
+# ----------------------------------------------------------------------
+# report --top-spans percentiles
+
+
+def test_report_top_spans_percentiles(tmp_path, capsys):
+    stream = tmp_path / "lat.jsonl"
+    events = [{"kind": "span", "name": "hot", "pid": 1,
+               "seconds": 0.01 * (i + 1)} for i in range(100)]
+    events.append({"kind": "span", "name": "cold", "pid": 1, "seconds": 0.001})
+    _write_stream(stream, events)
+
+    assert report_main(["--jsonl", str(stream), "--top-spans", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "p50" in out and "p95" in out and "p99" in out
+    assert "hot" in out
+    assert "cold" not in out  # cut by the top-1 limit
+    assert "1 more span names" in out
+    # p50 of 10ms..1000ms uniform = 505ms; p95 = 950.5ms (interpolated)
+    assert "505.00 ms" in out
+    assert "950.50 ms" in out
+
+
+def test_report_top_spans_requires_jsonl(capsys):
+    assert report_main(["--top-spans", "5"]) == 2
+    assert "--top-spans needs --jsonl" in capsys.readouterr().err
+
+
+def test_percentile_edges():
+    from repro.obs.report import _percentile
+
+    assert _percentile([], 50) == 0.0
+    assert _percentile([4.0], 99) == 4.0
+    assert _percentile([1.0, 2.0], 50) == 1.5
+    assert _percentile([1.0, 2.0, 3.0], 0) == 1.0
+    assert _percentile([1.0, 2.0, 3.0], 100) == 3.0
