@@ -19,6 +19,11 @@
 # 7. Block-profiler smoke: REPRO_PROFILE on a crc32 run must attribute
 #    >= 1 compiled superblock with nonzero units/wall time, and
 #    `profile top --stable` must be deterministic across two runs.
+# 8. Sweep-service gate: a live `repro.serve` server must dedupe two
+#    overlapping sweeps through the global cache (hit counter > 0),
+#    stream bit-identical metrics to the direct dse sweep, survive a
+#    client connection killed mid-stream (exactly-once delivery), and
+#    shut down cleanly.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -289,5 +294,61 @@ python -m repro.obs.profile flame --profile "$tmp/prof1.jsonl" \
 [ -s "$tmp/flame.folded" ] \
     || { echo "FAIL: flame export produced no collapsed stacks"; exit 1; }
 echo "profiler smoke OK (top non-empty, stable output identical, flame written)"
+
+echo "== sweep service gate (dedupe, bit-identity, reconnect, shutdown) =="
+python -m repro.serve serve --socket "$tmp/serve.sock" \
+    --cache "$tmp/serve-cache" --state "$tmp/serve-state" --jobs 2 \
+    > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+python -m repro.serve status --socket "$tmp/serve.sock" --wait-up 30 > /dev/null
+python - "$tmp/serve.sock" "$dse_store" <<'EOF'
+import sys
+from repro.dse.space import preset
+from repro.dse.store import ResultStore
+from repro.serve import ServeClient
+
+client = ServeClient(sys.argv[1], timeout=600.0)
+space = preset("smoke").to_dict()
+
+# job A computes the 4 smoke points for crc32; job B overlaps on all of
+# them (crc32 again, sha fresh), so its crc32 half must be cache-served
+a = client.submit(space, ["crc32"], scale="small")
+sa = client.wait(a["id"])["summary"]
+assert sa["status"] == "done" and sa["computed"] == 4, sa
+
+seen, killed = [], []
+def on_event(event):
+    if event.get("type") == "point":
+        seen.append(event["seq"])
+        if len(seen) == 2 and not killed:
+            killed.append(True)
+            client.kill_connection()    # sever the watch mid-stream
+b = client.submit(space, ["crc32", "sha"], scale="small")
+sb = client.wait(b["id"], on_event=on_event)["summary"]
+assert sb["status"] == "done", sb
+assert sb["cache_hits"] >= 4, "overlap not served from the cache: %s" % sb
+assert killed and seen == list(range(1, 9)), seen   # exactly-once resume
+
+status = client.status()["server"]
+assert status["cache"]["hits"] >= 4, status["cache"]
+assert status["stats"]["points_computed"] == 8, status["stats"]
+
+# bit-identical to the direct `python -m repro.dse sweep` store
+direct = {(r["benchmark"], r["point"]["id"]): r["metrics"]
+          for r in ResultStore(sys.argv[2]).iter_results()}
+served = {(r["benchmark"], r["point"]["id"]): r["metrics"]
+          for r in client.results(b["id"])}
+assert served and set(served) <= set(direct), (len(served), len(direct))
+for key, metrics in served.items():
+    assert metrics == direct[key], "serve metrics diverged for %s/%s" % key
+print("serve: %d cache hits, reconnect resumed exactly-once, %d points "
+      "bit-identical to the direct sweep"
+      % (status["cache"]["hits"], len(served)))
+client.shutdown()
+EOF
+wait "$serve_pid" \
+    || { echo "FAIL: serve exited non-zero"; cat "$tmp/serve.log"; exit 1; }
+grep -q "shut down cleanly" "$tmp/serve.log" \
+    || { echo "FAIL: no clean-shutdown message"; cat "$tmp/serve.log"; exit 1; }
 
 echo "verify OK"

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro.dse sweep|frontier|report``.
+"""Command-line interface: ``python -m repro.dse sweep|frontier|report|gc``.
 
 Examples::
 
@@ -180,6 +180,22 @@ def cmd_report(args):
     return 0
 
 
+def cmd_gc(args):
+    store = ResultStore(args.store)
+    if not os.path.isdir(store.root):
+        print("no store at %s" % store.root, file=sys.stderr)
+        return 1
+    report = store.gc(stale_after=args.stale_after)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print("gc %s: pruned %d stale heartbeat(s), %d orphaned failure "
+              "record(s), %d tmp file(s)" % (
+                  store.root, report["heartbeats"], report["failures"],
+                  report["tmp"]))
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.dse",
@@ -237,6 +253,15 @@ def build_parser():
     p.add_argument("--counters", type=int, default=16,
                    help="how many counters to print (default 16)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("gc", help="prune stale heartbeats, orphaned failure "
+                       "records and tmp files left by killed sweeps")
+    p.add_argument("--store", required=True, help="result-store directory")
+    p.add_argument("--stale-after", type=float, default=None, metavar="SECS",
+                   help="heartbeats idle this long count as dead "
+                   "(default: the live-worker threshold)")
+    p.add_argument("--json", action="store_true", help="JSON report output")
+    p.set_defaults(func=cmd_gc)
     return parser
 
 

@@ -84,6 +84,44 @@ def clear_heartbeats(dirpath):
                 pass
 
 
+def prune_heartbeats(dirpath, stale_after=STALE_AFTER, now=None):
+    """Remove dead heartbeat files; returns how many were pruned.
+
+    A killed sweep leaves its workers' last heartbeats (and any
+    ``.tmp`` mid-replace leftovers) behind forever — the next
+    ``--progress`` run clears them, but a store that is only ever
+    resumed or inspected accumulates them.  Prunes every ``.tmp`` file,
+    every torn heartbeat, and every heartbeat not updated within
+    ``stale_after`` seconds; live workers' files survive.
+    """
+    now = time.time() if now is None else now
+    pruned = 0
+    try:
+        names = os.listdir(dirpath)
+    except OSError:
+        return 0
+    for name in names:
+        path = os.path.join(dirpath, name)
+        if name.endswith(".tmp"):
+            dead = True
+        elif name.startswith("w") and name.endswith(".json"):
+            try:
+                with open(path) as fh:
+                    beat = json.load(fh)
+                dead = now - float(beat.get("updated", 0)) >= stale_after
+            except (OSError, ValueError, TypeError):
+                dead = True     # torn or garbage: never live
+        else:
+            continue
+        if dead:
+            try:
+                os.unlink(path)
+                pruned += 1
+            except OSError:
+                pass
+    return pruned
+
+
 def read_heartbeats(dirpath):
     """All worker heartbeats under ``dirpath`` (skipping torn files)."""
     beats = []

@@ -171,5 +171,78 @@ class ResultStore:
                 continue
         return out
 
+    # -- garbage collection ---------------------------------------------
+
+    @property
+    def progress_dir(self):
+        return os.path.join(self.root, "progress")
+
+    def gc(self, stale_after=None):
+        """Prune debris a killed sweep leaves behind; returns a report.
+
+        Three kinds of garbage accumulate in a store that sweeps are
+        killed over (Ctrl-C, OOM, per-point timeout kills):
+
+        * stale worker heartbeats under ``progress/`` — last-gasp files
+          from dead pids that inflate the next run's worker count;
+        * orphaned failure records — a failure mark whose point now has
+          a valid result (the worker was killed between writing the
+          result and clearing the mark), or a torn/garbage failure file;
+        * ``.tmp-*`` leftovers from atomic writes interrupted mid-flight
+          in ``results/`` and ``failures/``.
+
+        Valid results are never touched.  Returns
+        ``{"heartbeats": n, "failures": n, "tmp": n}``.
+        """
+        from repro.dse import progress as progress_mod
+
+        if stale_after is None:
+            stale_after = progress_mod.STALE_AFTER
+        report = {"heartbeats": 0, "failures": 0, "tmp": 0}
+        report["heartbeats"] = progress_mod.prune_heartbeats(
+            self.progress_dir, stale_after=stale_after)
+
+        done = self.completed_keys()
+        try:
+            names = os.listdir(self.failures_dir)
+        except OSError:
+            names = []
+        for fname in names:
+            path = os.path.join(self.failures_dir, fname)
+            if fname.startswith(".tmp-"):
+                kind = "tmp"
+            elif fname.endswith(".json"):
+                try:
+                    with open(path) as fh:
+                        record = json.load(fh)
+                    orphaned = ((record["benchmark"], record["point_id"])
+                                in done)
+                except (OSError, ValueError, KeyError, TypeError):
+                    orphaned = True     # torn or garbage record
+                if not orphaned:
+                    continue
+                kind = "failures"
+            else:
+                continue
+            try:
+                os.unlink(path)
+                report[kind] += 1
+            except OSError:
+                pass
+
+        try:
+            names = os.listdir(self.results_dir)
+        except OSError:
+            names = []
+        for fname in names:
+            if not fname.startswith(".tmp-"):
+                continue
+            try:
+                os.unlink(os.path.join(self.results_dir, fname))
+                report["tmp"] += 1
+            except OSError:
+                pass
+        return report
+
     def __repr__(self):
         return "<ResultStore %s>" % self.root

@@ -17,8 +17,10 @@ recomputing anything:
   translation 1-to-1 vs 1-to-n, register spills, ...).
 
 With ``--jsonl PATH`` it instead summarizes a span/event stream written
-via ``REPRO_OBS=jsonl:<path>`` (add ``--top-spans N`` for a latency
-table with p50/p95/p99 columns per span name); with ``--dse STORE`` it
+via ``REPRO_OBS=jsonl:<path>``, folding in the rotated ``<path>.1``
+generation kept by ``REPRO_OBS_MAX_BYTES`` rotation (add
+``--top-spans N`` for a latency table with p50/p95/p99 columns per
+span name); with ``--dse STORE`` it
 renders the per-(benchmark, design point) stage timings embedded in a
 design-space exploration result store (``python -m repro.dse sweep``).
 """
@@ -226,21 +228,54 @@ def _percentile(ordered, q):
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
+def _jsonl_generations(path):
+    """One logical stream's files, oldest first.
+
+    A stream capped by ``REPRO_OBS_MAX_BYTES`` rotates its past into
+    ``<path>.1`` (a single kept generation) and keeps writing ``<path>``;
+    reports must fold both back together or every summary silently
+    loses whatever happened before the rotation point.
+    """
+    rotated = path + ".1"
+    if os.path.exists(rotated):
+        return [rotated, path]
+    return [path]
+
+
+def _iter_jsonl_events(path):
+    """Parsed events across every generation of a JSONL stream.
+
+    The live file must be readable (its OSError propagates — callers
+    turn it into the usual "run with REPRO_OBS=jsonl:" hint); a rotated
+    generation that disappears mid-read (a concurrent run rotating
+    again) is skipped rather than failing the report.
+    """
+    for gen in _jsonl_generations(path):
+        try:
+            fh = open(gen)
+        except OSError:
+            if gen == path:
+                raise
+            continue
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    continue
+
+
 def span_durations(path):
-    """Per-span-name duration samples from a JSONL event stream."""
+    """Per-span-name duration samples from a JSONL event stream
+    (rotated generation included)."""
     durations = {}
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except ValueError:
-                continue
-            if event.get("kind") == "span":
-                durations.setdefault(event.get("name", "?"), []).append(
-                    float(event.get("seconds", 0.0)))
+    for event in _iter_jsonl_events(path):
+        if event.get("kind") == "span":
+            durations.setdefault(event.get("name", "?"), []).append(
+                float(event.get("seconds", 0.0)))
     return durations
 
 
@@ -274,30 +309,26 @@ def render_top_spans(path, limit=10):
 
 
 def render_jsonl(path, top_counters=24):
-    """Summarize a JSONL event stream; None when empty/span-free."""
+    """Summarize a JSONL event stream (rotated generation included);
+    None when empty/span-free."""
     spans = {}
     manifests = {}
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except ValueError:
-                continue
-            kind = event.get("kind")
-            if kind == "span":
-                agg = spans.setdefault(event["name"], [0, 0.0, 0.0])
-                agg[0] += 1
-                agg[1] += event.get("seconds", 0.0)
-                if event.get("seconds", 0.0) > agg[2]:
-                    agg[2] = event["seconds"]
-            elif kind == "manifest":
-                manifests[event.get("benchmark", "?")] = event.get("manifest", {})
+    for event in _iter_jsonl_events(path):
+        kind = event.get("kind")
+        if kind == "span":
+            agg = spans.setdefault(event["name"], [0, 0.0, 0.0])
+            agg[0] += 1
+            agg[1] += event.get("seconds", 0.0)
+            if event.get("seconds", 0.0) > agg[2]:
+                agg[2] = event["seconds"]
+        elif kind == "manifest":
+            manifests[event.get("benchmark", "?")] = event.get("manifest", {})
     if not spans and not manifests:
         return None
-    lines = ["spans in %s (by total time):" % path]
+    generations = _jsonl_generations(path)
+    source = path if len(generations) == 1 else "%s (+%s)" % (
+        path, generations[0])
+    lines = ["spans in %s (by total time):" % source]
     for name, (count, seconds, max_s) in sorted(
         spans.items(), key=lambda kv: kv[1][1], reverse=True
     ):

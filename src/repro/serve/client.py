@@ -1,0 +1,180 @@
+"""Synchronous client for the sweep service, surviving reconnects.
+
+Unary requests (``submit``/``status``/``results``/``cancel``/
+``shutdown``) are one connection each.  :meth:`ServeClient.watch` is
+the interesting path: it streams a job's per-point events and, when the
+connection dies mid-stream, reconnects with exponential backoff plus
+jitter and resumes from the last sequence number it saw — the server
+replays only events *after* that seq, and the client additionally drops
+any duplicate seq, so every remaining point is delivered exactly once
+no matter how many times the stream breaks.
+
+The client is deliberately dependency-free and blocking (plain
+``socket``), so scripts and the CLI can use it without touching
+asyncio.
+"""
+
+import random
+import time
+
+from repro.serve import protocol
+from repro.serve.protocol import LineConnection, ProtocolError
+
+
+class ServeError(Exception):
+    """The server answered ``ok: false`` (message carries its error)."""
+
+    def __init__(self, error, retry=False):
+        super().__init__(error)
+        self.retry = retry
+
+
+def backoff_seconds(attempt, base=0.1, cap=5.0, rng=random.random):
+    """Exponential backoff with full jitter: ``U(0, min(cap, base*2^n))``.
+
+    Full jitter desynchronizes a fleet of reconnecting clients — after
+    a server blip they return spread over the window instead of in one
+    thundering herd.
+    """
+    return rng() * min(cap, base * (2.0 ** attempt))
+
+
+class ServeClient:
+    """Blocking client bound to one server address."""
+
+    def __init__(self, address, timeout=30.0, max_attempts=8,
+                 backoff_base=0.1, backoff_cap=5.0, sleep=time.sleep):
+        self.address = address
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        self._conn = None       # live watch connection (for fault injection)
+
+    # -- unary ops ------------------------------------------------------
+
+    def request(self, msg):
+        """One request/one reply; raises :class:`ServeError` on refusal."""
+        with LineConnection(self.address, self.timeout) as conn:
+            conn.send(msg)
+            reply = conn.recv()
+        if reply is None:
+            raise ConnectionError("server closed the connection mid-request")
+        if not reply.get("ok"):
+            raise ServeError(reply.get("error", "request refused"),
+                             retry=bool(reply.get("retry")))
+        return reply
+
+    def submit(self, space, benchmarks, scale="small"):
+        """Submit one sweep; returns the job summary (status ``queued``)."""
+        reply = self.request({"op": "submit", "space": space,
+                              "benchmarks": list(benchmarks), "scale": scale})
+        return reply["job"]
+
+    def status(self, job_id=None):
+        msg = {"op": "status"}
+        if job_id:
+            msg["job"] = job_id
+        return self.request(msg)
+
+    def results(self, job_id):
+        """Every completed result blob the job has produced so far."""
+        return self.request({"op": "results", "job": job_id})["results"]
+
+    def cancel(self, job_id):
+        return self.request({"op": "cancel", "job": job_id})["job"]
+
+    def shutdown(self):
+        return self.request({"op": "shutdown"})
+
+    # -- streaming ------------------------------------------------------
+
+    def kill_connection(self):
+        """Sever the live watch connection (tests simulate crashes)."""
+        if self._conn is not None:
+            self._conn.close()
+
+    def watch(self, job_id, after_seq=0):
+        """Yield point events then the end event; survives disconnects.
+
+        Resumes from the last acked (yielded) seq on every reconnect.
+        Raises :class:`ConnectionError` only after ``max_attempts``
+        consecutive failed attempts; any successfully received event
+        resets the attempt counter.
+        """
+        last_seq = after_seq
+        attempt = 0
+        while True:
+            try:
+                conn = LineConnection(self.address, self.timeout)
+            except OSError as exc:
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    raise ConnectionError(
+                        "cannot reach server at %s after %d attempts (%s)"
+                        % (self.address, attempt, exc))
+                self._sleep(backoff_seconds(
+                    attempt, self.backoff_base, self.backoff_cap))
+                continue
+            self._conn = conn
+            try:
+                conn.send({"op": "watch", "job": job_id,
+                           "after_seq": last_seq})
+                reply = conn.recv()
+                if reply is None:
+                    raise ConnectionError("no reply to watch request")
+                if not reply.get("ok"):
+                    raise ServeError(reply.get("error", "watch refused"))
+                while True:
+                    event = conn.recv()
+                    if event is None:
+                        raise ConnectionError("stream closed mid-job")
+                    attempt = 0
+                    if event.get("type") == "point":
+                        seq = int(event.get("seq") or 0)
+                        if seq <= last_seq:
+                            continue  # duplicate from an overlapping replay
+                        last_seq = seq
+                        yield event
+                    elif event.get("type") == "end":
+                        yield event
+                        return
+            except (ConnectionError, OSError, ValueError,
+                    ProtocolError) as exc:
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    raise ConnectionError(
+                        "watch of %s died after %d attempts (%s)"
+                        % (job_id, attempt, exc))
+                self._sleep(backoff_seconds(
+                    attempt, self.backoff_base, self.backoff_cap))
+            finally:
+                self._conn = None
+                conn.close()
+
+    def wait(self, job_id, after_seq=0, on_event=None):
+        """Drive :meth:`watch` to completion; returns the end summary."""
+        for event in self.watch(job_id, after_seq=after_seq):
+            if on_event is not None:
+                on_event(event)
+            if event.get("type") == "end":
+                return event
+        raise ConnectionError("watch stream ended without an end event")
+
+
+def wait_until_up(address, timeout=10.0, interval=0.1):
+    """Poll ``status`` until the server answers (scripts' readiness gate)."""
+    client = ServeClient(address, timeout=2.0, max_attempts=1)
+    deadline = time.time() + timeout
+    while True:
+        try:
+            return client.status()
+        except (OSError, ConnectionError, ServeError):
+            if time.time() >= deadline:
+                raise
+            time.sleep(interval)
+
+
+# re-exported for convenience: scripts often just need the constant
+PROTOCOL = protocol.PROTOCOL

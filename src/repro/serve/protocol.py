@@ -1,0 +1,150 @@
+"""Wire protocol: newline-delimited JSON over a local socket.
+
+Every message is one JSON object on one line (``\\n``-terminated,
+UTF-8).  A connection carries exactly one request followed by its
+response(s): one reply object for unary ops (``submit``, ``status``,
+``results``, ``cancel``, ``shutdown``), or a reply followed by an event
+stream for ``watch``.  Streams are resumable by construction — every
+point event carries a per-job ``seq`` and a ``watch`` request may ask
+for ``after_seq`` — so a client that lost its connection replays only
+what it has not yet seen (see :mod:`repro.serve.client`).
+
+Addresses are ``unix:<path>`` (the default flavor; a bare path means
+the same) or ``tcp:<host>:<port>`` for platforms without Unix sockets.
+"""
+
+import json
+import socket
+
+PROTOCOL = "repro.serve/v1"
+
+#: Hard per-line cap: a submit carrying a large design space is the
+#: biggest legitimate message; anything beyond this is a framing bug or
+#: abuse, and is rejected rather than buffered without bound.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Request operations the server understands.
+OPS = ("submit", "watch", "status", "results", "cancel", "shutdown")
+
+
+class ProtocolError(Exception):
+    """Malformed message, oversized line, or protocol violation."""
+
+
+def encode(msg):
+    """One message as a ``\\n``-terminated UTF-8 line."""
+    line = json.dumps(msg, sort_keys=True, separators=(",", ":")) + "\n"
+    data = line.encode("utf-8")
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError("message of %d bytes exceeds %d-byte line cap"
+                            % (len(data), MAX_LINE_BYTES))
+    return data
+
+
+def decode(line):
+    """Parse one line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("line of %d bytes exceeds %d-byte cap"
+                            % (len(line), MAX_LINE_BYTES))
+    try:
+        msg = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("undecodable message: %s" % exc)
+    if not isinstance(msg, dict):
+        raise ProtocolError("message is %s, not an object" % type(msg).__name__)
+    return msg
+
+
+# ----------------------------------------------------------------------
+# asyncio (server) side
+
+
+async def read_message(reader):
+    """One message from an asyncio stream, or None at EOF."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, OSError):
+        return None
+    if not line:
+        return None
+    if not line.endswith(b"\n") and len(line) >= MAX_LINE_BYTES:
+        raise ProtocolError("unterminated line at %d-byte cap" % len(line))
+    return decode(line)
+
+
+async def write_message(writer, msg):
+    """Send one message on an asyncio stream (drains)."""
+    writer.write(encode(msg))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# addresses
+
+
+def parse_address(spec):
+    """``unix:<path>`` / bare path / ``tcp:<host>:<port>`` → (kind, target)."""
+    if not spec:
+        raise ValueError("empty server address")
+    if spec.startswith("unix:"):
+        return "unix", spec[len("unix:"):]
+    if spec.startswith("tcp:"):
+        rest = spec[len("tcp:"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host:
+            raise ValueError("bad tcp address %r (want tcp:<host>:<port>)" % spec)
+        return "tcp", (host, int(port))
+    return "unix", spec
+
+
+def connect(spec, timeout=None):
+    """Blocking client connection to ``spec``; returns a socket."""
+    kind, target = parse_address(spec)
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(target)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+class LineConnection:
+    """Blocking line-framed connection used by the synchronous client."""
+
+    def __init__(self, spec, timeout=None):
+        self.sock = connect(spec, timeout)
+        self._rfile = self.sock.makefile("rb")
+
+    def send(self, msg):
+        self.sock.sendall(encode(msg))
+
+    def recv(self):
+        """One message, or None at EOF."""
+        line = self._rfile.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            return None
+        if not line.endswith(b"\n"):
+            raise ProtocolError("truncated or oversized line from server")
+        return decode(line)
+
+    def close(self):
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

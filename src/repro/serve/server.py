@@ -1,0 +1,537 @@
+"""The asyncio sweep server: job queue, sharded compute, dedupe, streams.
+
+Architecture (one process, one event loop)::
+
+    client ──ndjson──► connection handler ──► Job (queued)
+                                               │  job slots (bounded)
+                                               ▼
+                 ┌──────────── _run_job ───────────────┐
+                 │ per (benchmark, point):             │
+                 │   global cache hit? ──► emit cached │
+                 │   in-flight?         ──► await same │
+                 │   else claim key     ──► compute    │
+                 └──────────────┬──────────────────────┘
+                                ▼ (one batch per job, serialized)
+                 thread: run_tasks(_sweep_worker, …)   ← the existing
+                         per-chunk progress → publish    DSE scheduler
+                                ▼
+                 loop: cache.put + SingleFlight.resolve
+                                ▼
+                 every waiting job emits the point, exactly once
+
+The heavy lifting reuses :func:`repro.dse.scheduler.run_tasks` (process
+isolation, per-point timeout, bounded retries, crash-safe resume via a
+per-fingerprint compute :class:`~repro.dse.store.ResultStore`) — the
+server adds the long-running job lifecycle, the bounded queue with
+backpressure, the global content-addressed cache, and single-flight so
+two concurrent jobs never compute the same design point twice.
+
+Observability: the server root span, per-job ``serve.job`` spans and
+per-point ``serve.point`` spans parent-link into the hierarchical trace
+(workers inherit the context through ``export_spec`` exactly like CLI
+sweeps); ``serve.*`` counters/gauges track queue depth, cache hit
+ratio and in-flight points; each finished job additionally emits a
+manifest event so ``python -m repro.obs.report --jsonl`` surfaces the
+service counters; completed jobs can append to the metrics trajectory.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import time
+import traceback
+
+from repro import obs
+from repro.dse.scheduler import _chunk_tasks, _sweep_worker, run_tasks
+from repro.dse.store import ResultStore
+from repro.serve import api
+from repro.serve.cache import GlobalResultCache, SingleFlight
+from repro.serve.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    parse_address,
+    read_message,
+    write_message,
+)
+
+
+def _serve_base():
+    from repro.sim.functional.store import _repo_root
+
+    return os.path.join(_repo_root(), ".serve")
+
+
+def default_socket_path():
+    return os.path.join(_serve_base(), "serve.sock")
+
+
+def _default_compute(server, scale, items, publish):
+    """Thread-side compute: shard ``items`` over the DSE worker pool.
+
+    ``items`` is a list of ``(benchmark, DesignPoint, cache_key)``
+    triples that were neither cached nor in flight.  Results land in
+    the per-(scale, fingerprint) compute store via the workers' atomic
+    writes; each task's completion publishes its chunk's outcomes back
+    to the event loop, so a job streams points as chunks finish rather
+    than when the whole batch does.
+    """
+    store = server.compute_store(scale)
+    keymap = {(b, p.point_id): key for b, p, key in items}
+    pairs = [(b, p) for b, p, _key in items]
+    payloads = _chunk_tasks(pairs, store.root, scale, server.worker_jobs)
+    timeout = None
+    if server.timeout_per_point is not None:
+        timeout = server.timeout_per_point * max(
+            len(p["points"]) for p in payloads)
+
+    def flush(task_result):
+        benchmark = task_result.payload["benchmark"]
+        for pdict in task_result.payload["points"]:
+            key = keymap.get((benchmark, pdict["id"]))
+            if key is None:
+                continue
+            blob = store.load(benchmark, pdict["id"])
+            if blob is not None:
+                publish(key, blob, None)
+                continue
+            error = task_result.error or "evaluation failed"
+            try:
+                with open(store.failure_path(benchmark, pdict["id"])) as fh:
+                    error = json.load(fh).get("error", error)
+            except (OSError, ValueError):
+                pass
+            publish(key, None, error)
+
+    with obs.span("serve.compute", points=len(items), scale=scale):
+        run_tasks(_sweep_worker, payloads, jobs=server.worker_jobs,
+                  timeout=timeout, retries=server.retries, label="serve",
+                  progress=flush)
+
+
+class ServeServer:
+    """Long-running sweep service on a local (unix or tcp) socket."""
+
+    def __init__(self, address=None, cache_root=None, state_dir=None,
+                 worker_jobs=1, max_pending=8, max_running=2,
+                 timeout_per_point=None, retries=1,
+                 record_trajectory=False, trajectory_path=None,
+                 compute_fn=None):
+        self.address = address or default_socket_path()
+        base = _serve_base()
+        self.state_dir = os.path.expanduser(state_dir or
+                                            os.path.join(base, "state"))
+        self.cache = GlobalResultCache(cache_root or
+                                       os.path.join(base, "cache"))
+        self.flight = SingleFlight()
+        self.worker_jobs = max(1, int(worker_jobs))
+        self.max_pending = max(1, int(max_pending))
+        self.timeout_per_point = timeout_per_point
+        self.retries = retries
+        self.record_trajectory = record_trajectory
+        self.trajectory_path = trajectory_path
+        self._compute_fn = compute_fn or _default_compute
+        self.jobs = {}
+        self.started_at = time.time()
+        self.stats = {k: 0 for k in (
+            "jobs_submitted", "jobs_completed", "jobs_failed",
+            "jobs_cancelled", "jobs_rejected", "cache_hits", "cache_misses",
+            "coalesced", "points_computed", "points_failed",
+            "trajectory_records")}
+        self._max_running = max(1, int(max_running))
+        self._job_slots = None      # created on the loop
+        self._compute_sem = None
+        self._shutdown = None
+        self._compute_tasks = set()
+        self._trace_ctx = None
+        self._loop = None
+
+    # -- stores ---------------------------------------------------------
+
+    def compute_store(self, scale):
+        """The crash-safe worker store for one (scale, code fingerprint).
+
+        Keyed by the same fingerprints as the global cache, so a server
+        restarted across a code change never trusts stale worker blobs.
+        """
+        tag = "%s-%s%s" % (scale, self.cache.prints["sim_code"][:8],
+                           self.cache.prints["result_code"][:8])
+        return ResultStore(os.path.join(self.state_dir, "compute", tag))
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def queue_depth(self):
+        return sum(1 for j in self.jobs.values() if not j.terminal)
+
+    def _update_gauges(self):
+        hits, misses = self.stats["cache_hits"], self.stats["cache_misses"]
+        obs.gauge("serve.queue.depth", self.queue_depth())
+        obs.gauge("serve.points.inflight", len(self.flight))
+        if hits + misses:
+            obs.gauge("serve.cache.hit_ratio",
+                      round(hits / float(hits + misses), 4))
+
+    def _publish(self, key, blob, error):
+        """Loop-side landing point for one computed outcome."""
+        if blob is not None:
+            try:
+                self.cache.put(blob["benchmark"], blob["point"]["id"],
+                               blob.get("scale", "?"), blob)
+            except OSError as exc:
+                print("serve: cache write failed (%s)" % exc, file=sys.stderr)
+        delivered = self.flight.resolve(key, blob, error)
+        if delivered:
+            if error is None:
+                self.stats["points_computed"] += 1
+                obs.counter("serve.points.computed")
+            else:
+                self.stats["points_failed"] += 1
+                obs.counter("serve.points.failed")
+        self._update_gauges()
+
+    # -- job execution --------------------------------------------------
+
+    async def _compute(self, scale, items):
+        """Run one compute batch in a thread; never leave futures hanging."""
+        loop = asyncio.get_running_loop()
+
+        def publish(key, blob, error=None):
+            loop.call_soon_threadsafe(self._publish, key, blob, error)
+
+        async with self._compute_sem:
+            try:
+                await asyncio.to_thread(
+                    self._compute_fn, self, scale, items, publish)
+            finally:
+                # idempotent: anything the compute path already resolved
+                # is a no-op here, anything it dropped becomes a failure
+                # instead of a future that hangs every waiting job.
+                for _b, _p, key in items:
+                    self._publish(key, None,
+                                  "compute batch ended without this point")
+
+    def _spawn_compute(self, scale, items):
+        task = asyncio.get_running_loop().create_task(
+            self._compute(scale, items))
+        self._compute_tasks.add(task)
+        task.add_done_callback(self._compute_tasks.discard)
+        return task
+
+    async def _run_job(self, job):
+        if self._trace_ctx is not None:
+            obs.adopt_trace_context(*self._trace_ctx)
+        with obs.span("serve.job", job=job.id, space=job.space.name,
+                      scale=job.scale, points=job.total):
+            await job.start()
+            loop = asyncio.get_running_loop()
+            waits, owned = [], []
+            for benchmark in job.benchmarks:
+                for point in job.space:
+                    key = self.cache.key(benchmark, point.point_id, job.scale)
+                    blob = self.cache.get(benchmark, point.point_id, job.scale)
+                    if blob is not None:
+                        self.stats["cache_hits"] += 1
+                        obs.counter("serve.cache.hit")
+                        with obs.span("serve.point", job=job.id,
+                                      point=point.point_id, cached=True):
+                            await job.emit_point(benchmark, point, blob,
+                                                 cached=True)
+                        continue
+                    self.stats["cache_misses"] += 1
+                    obs.counter("serve.cache.miss")
+                    fut, owner = self.flight.claim(key, loop)
+                    if not owner:
+                        self.stats["coalesced"] += 1
+                        obs.counter("serve.singleflight.coalesced")
+                    else:
+                        owned.append((benchmark, point, key))
+                    waits.append((benchmark, point, fut, owner))
+            self._update_gauges()
+            if owned:
+                self._spawn_compute(job.scale, owned)
+            for benchmark, point, fut, owner in waits:
+                # shield: cancelling this job must not cancel a future
+                # other jobs are waiting on
+                blob, error = await asyncio.shield(fut)
+                with obs.span("serve.point", job=job.id,
+                              point=point.point_id, cached=False):
+                    await job.emit_point(
+                        benchmark, point, blob, error=error,
+                        coalesced=(not owner and error is None))
+        await job.finish(api.FAILED if job.failed_points else api.DONE)
+        self.stats["jobs_completed" if job.status == api.DONE
+                   else "jobs_failed"] += 1
+        obs.counter("serve.jobs.completed" if job.status == api.DONE
+                    else "serve.jobs.failed")
+        self._emit_job_manifest(job)
+        if self.record_trajectory and job.computed:
+            added = await asyncio.to_thread(self._record_trajectory, job)
+            self.stats["trajectory_records"] += added
+
+    async def _job_main(self, job):
+        try:
+            async with self._job_slots:
+                await self._run_job(job)
+        except asyncio.CancelledError:
+            if not job.terminal:
+                await job.finish(api.CANCELLED)
+                self.stats["jobs_cancelled"] += 1
+                obs.counter("serve.jobs.cancelled")
+        except Exception as exc:
+            traceback.print_exc(file=sys.stderr)
+            job.error = "%s: %s" % (type(exc).__name__, exc)
+            if not job.terminal:
+                await job.finish(api.FAILED)
+                self.stats["jobs_failed"] += 1
+        finally:
+            self._update_gauges()
+
+    def _emit_job_manifest(self, job):
+        """One manifest event per finished job, so a ``REPRO_OBS`` JSONL
+        stream renders the service counters in ``repro.obs.report``."""
+        wall = ((job.finished or time.time()) - (job.started or job.created))
+        obs.emit({
+            "kind": "manifest",
+            "benchmark": "serve:%s" % job.id,
+            "manifest": {
+                "schema": obs.SCHEMA_VERSION,
+                "benchmark": "serve:%s" % job.id,
+                "scale": job.scale,
+                "wall_seconds": wall,
+                "stages": {},
+                "counters": {
+                    "serve.cache.hit": job.cache_hits,
+                    "serve.singleflight.coalesced": job.coalesced,
+                    "serve.points.computed": job.computed,
+                    "serve.points.failed": job.failed_points,
+                },
+            },
+        })
+
+    def _record_trajectory(self, job):
+        """Thread-side: bridge this job's computed blobs into the
+        trajectory store (dedupe makes re-records no-ops)."""
+        from repro.obs.regress import (
+            TrajectoryStore,
+            current_commit,
+            records_from_dse_store,
+        )
+
+        records = records_from_dse_store(
+            self.compute_store(job.scale), current_commit(),
+            scale=job.scale, names=job.benchmarks)
+        return TrajectoryStore(self.trajectory_path).append(records)
+
+    # -- request handling -----------------------------------------------
+
+    async def _handle_submit(self, msg, writer):
+        try:
+            space, benchmarks, scale = api.validate_submit(msg)
+        except ProtocolError as exc:
+            await write_message(writer, {"ok": False, "error": str(exc)})
+            return
+        if self.queue_depth() >= self.max_pending:
+            self.stats["jobs_rejected"] += 1
+            obs.counter("serve.jobs.rejected")
+            await write_message(writer, {
+                "ok": False, "retry": True,
+                "error": "queue full (%d jobs pending, max %d); retry later"
+                % (self.queue_depth(), self.max_pending)})
+            return
+        job = api.Job(space, benchmarks, scale)
+        self.jobs[job.id] = job
+        self.stats["jobs_submitted"] += 1
+        obs.counter("serve.jobs.submitted")
+        job.task = asyncio.get_running_loop().create_task(self._job_main(job))
+        self._update_gauges()
+        await write_message(writer, {"ok": True, "job": job.summary()})
+
+    async def _handle_watch(self, msg, writer):
+        job = self.jobs.get(msg.get("job"))
+        if job is None:
+            await write_message(writer, {
+                "ok": False, "error": "unknown job %r" % msg.get("job")})
+            return
+        idx = max(0, int(msg.get("after_seq") or 0))
+        await write_message(writer, {"ok": True, "job": job.summary()})
+        while True:
+            while idx < len(job.events):
+                await write_message(writer, job.events[idx])
+                idx += 1
+            if job.terminal:
+                await write_message(writer, job.end_event())
+                return
+            async with job.changed:
+                if idx >= len(job.events) and not job.terminal:
+                    await job.changed.wait()
+
+    def _server_summary(self):
+        states = {s: 0 for s in api.JOB_STATES}
+        for job in self.jobs.values():
+            states[job.status] += 1
+        hits, misses = self.stats["cache_hits"], self.stats["cache_misses"]
+        return {
+            "protocol": PROTOCOL,
+            "pid": os.getpid(),
+            "address": self.address,
+            "uptime": time.time() - self.started_at,
+            "jobs": states,
+            "queue_depth": self.queue_depth(),
+            "max_pending": self.max_pending,
+            "inflight_points": len(self.flight),
+            "cache": {
+                "root": self.cache.root,
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": (hits / float(hits + misses)
+                              if hits + misses else None),
+                "entries": self.cache.entries(),
+            },
+            "stats": dict(self.stats),
+        }
+
+    async def _handle_status(self, msg, writer):
+        reply = {"ok": True, "server": self._server_summary()}
+        if msg.get("job"):
+            job = self.jobs.get(msg["job"])
+            if job is None:
+                reply = {"ok": False, "error": "unknown job %r" % msg["job"]}
+            else:
+                reply["job"] = job.summary()
+        await write_message(writer, reply)
+
+    async def _handle_results(self, msg, writer):
+        job = self.jobs.get(msg.get("job"))
+        if job is None:
+            await write_message(writer, {
+                "ok": False, "error": "unknown job %r" % msg.get("job")})
+            return
+        await write_message(writer, {
+            "ok": True, "job": job.summary(),
+            "results": [blob for blob in job.results if blob is not None]})
+
+    async def _handle_cancel(self, msg, writer):
+        job = self.jobs.get(msg.get("job"))
+        if job is None:
+            await write_message(writer, {
+                "ok": False, "error": "unknown job %r" % msg.get("job")})
+            return
+        if not job.terminal and job.task is not None:
+            job.task.cancel()
+            # let the cancellation land so the reply carries final state
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+        await write_message(writer, {"ok": True, "job": job.summary()})
+
+    async def _handle_shutdown(self, msg, writer):
+        await write_message(writer, {"ok": True, "server": self._server_summary()})
+        self._shutdown.set()
+
+    async def _on_connection(self, reader, writer):
+        try:
+            msg = await read_message(reader)
+            if msg is None:
+                return
+            op = msg.get("op")
+            handler = {
+                "submit": self._handle_submit,
+                "watch": self._handle_watch,
+                "status": self._handle_status,
+                "results": self._handle_results,
+                "cancel": self._handle_cancel,
+                "shutdown": self._handle_shutdown,
+            }.get(op)
+            if handler is None:
+                await write_message(writer, {
+                    "ok": False,
+                    "error": "unknown op %r (known: submit/watch/status/"
+                    "results/cancel/shutdown)" % op})
+                return
+            await handler(msg, writer)
+        except ProtocolError as exc:
+            try:
+                await write_message(writer, {"ok": False, "error": str(exc)})
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass  # client went away; watch streams pick up on reconnect
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _prepare_unix_path(self, path):
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        if os.path.exists(path):
+            # a previous server that died without cleanup leaves the
+            # socket file behind; only a *live* server is an error
+            import socket as socket_mod
+
+            probe = socket_mod.socket(socket_mod.AF_UNIX,
+                                      socket_mod.SOCK_STREAM)
+            try:
+                probe.settimeout(0.5)
+                probe.connect(path)
+            except OSError:
+                os.unlink(path)
+            else:
+                raise RuntimeError("another server is live on %s" % path)
+            finally:
+                probe.close()
+
+    async def serve_forever(self, ready=None):
+        """Run until a shutdown request or SIGTERM/SIGINT.
+
+        ``ready`` is an optional ``threading.Event`` set once the socket
+        is accepting connections (tests and scripts wait on it).
+        """
+        self._loop = asyncio.get_running_loop()
+        self._job_slots = asyncio.Semaphore(self._max_running)
+        self._compute_sem = asyncio.Semaphore(1)
+        self._shutdown = asyncio.Event()
+        root_span = obs.span("serve.server", address=self.address)
+        root_span.__enter__()
+        self._trace_ctx = obs.core.trace_context()
+
+        kind, target = parse_address(self.address)
+        if kind == "unix":
+            self._prepare_unix_path(target)
+            server = await asyncio.start_unix_server(
+                self._on_connection, path=target)
+        else:
+            server = await asyncio.start_server(
+                self._on_connection, host=target[0], port=target[1])
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(sig, self._shutdown.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                break  # non-main thread / platform without handlers
+        if ready is not None:
+            ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for job in self.jobs.values():
+                if job.task is not None and not job.task.done():
+                    job.task.cancel()
+            await asyncio.gather(
+                *(j.task for j in self.jobs.values() if j.task is not None),
+                return_exceptions=True)
+            if self._compute_tasks:
+                await asyncio.gather(*tuple(self._compute_tasks),
+                                     return_exceptions=True)
+            if kind == "unix":
+                try:
+                    os.unlink(target)
+                except OSError:
+                    pass
+            self._update_gauges()
+            root_span.__exit__(None, None, None)

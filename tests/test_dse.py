@@ -523,3 +523,75 @@ def test_parallel_sweep_exports_one_parent_linked_trace(tmp_path):
               if e["ph"] == "M"]
     assert any("coordinator" in name for name in labels)
     assert any("worker" in name for name in labels)
+
+
+# ----------------------------------------------------------------------
+# store garbage collection
+
+
+def test_gc_prunes_killed_sweep_debris(tmp_path):
+    from repro.dse.progress import HeartbeatWriter
+
+    store = ResultStore(str(tmp_path / "store"))
+    point = DesignPoint("arm", 8192)
+    blob = {"schema": 1, "benchmark": BENCH, "scale": "small",
+            "point": point.to_dict(), "metrics": {"ipc": 1.0},
+            "manifest": {}}
+    store.save(blob)
+
+    # orphaned failure: the point has a valid result, but a kill landed
+    # between the result write and the failure-mark clear
+    store.save_failure(BENCH, point.point_id, "killed mid-retry")
+    # a real failure for a point with no result must survive gc
+    store.save_failure(BENCH, "f" * 12, "genuine failure")
+    # torn failure record
+    os.makedirs(store.failures_dir, exist_ok=True)
+    with open(os.path.join(store.failures_dir, "torn--x.json"), "w") as fh:
+        fh.write("{not json")
+    # interrupted atomic writes
+    for d in (store.results_dir, store.failures_dir):
+        with open(os.path.join(d, ".tmp-dead.json"), "w") as fh:
+            fh.write("{}")
+    # heartbeats: one stale, one torn, one tmp, one live
+    hb = HeartbeatWriter(store.progress_dir, BENCH, total=4)
+    stale = os.path.join(store.progress_dir, "w99999.json")
+    with open(stale, "w") as fh:
+        json.dump({"pid": 99999, "done": 1, "updated": time.time() - 3600},
+                  fh)
+    with open(os.path.join(store.progress_dir, "w88888.json"), "w") as fh:
+        fh.write("garbage")
+    with open(os.path.join(store.progress_dir, "w77777.json.tmp"), "w") as fh:
+        fh.write("")
+
+    report = store.gc()
+    assert report == {"heartbeats": 3, "failures": 2, "tmp": 2}
+    assert os.path.exists(hb.path)                      # live worker kept
+    assert not os.path.exists(stale)
+    assert store.load(BENCH, point.point_id) == blob    # results untouched
+    remaining = store.failures()
+    assert len(remaining) == 1
+    assert remaining[0]["error"] == "genuine failure"
+    # idempotent: a second pass finds nothing
+    assert store.gc() == {"heartbeats": 0, "failures": 0, "tmp": 0}
+
+
+def test_gc_on_missing_or_empty_store(tmp_path):
+    store = ResultStore(str(tmp_path / "nothing"))
+    assert store.gc() == {"heartbeats": 0, "failures": 0, "tmp": 0}
+
+
+def test_cli_gc(tmp_path, capsys):
+    from repro.dse.cli import main
+    from repro.dse.progress import STALE_AFTER
+
+    store = ResultStore(str(tmp_path / "store"))
+    os.makedirs(store.progress_dir, exist_ok=True)
+    with open(os.path.join(store.progress_dir, "w1.json"), "w") as fh:
+        json.dump({"pid": 1, "updated": time.time() - 10 * STALE_AFTER}, fh)
+    rc = main(["gc", "--store", store.root, "--json"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report == {"heartbeats": 1, "failures": 0, "tmp": 0}
+
+    rc = main(["gc", "--store", str(tmp_path / "missing")])
+    assert rc == 1

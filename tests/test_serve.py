@@ -1,0 +1,445 @@
+"""Tests for the sweep service: cache, protocol, server, and client.
+
+End-to-end tests run a real :class:`~repro.serve.server.ServeServer`
+on a unix socket in a background thread, but swap the heavy DSE compute
+path for a deterministic in-test ``compute_fn`` — the lifecycle, the
+global cache, single-flight coalescing, streaming, reconnect/resume and
+backpressure are all exercised for real, without simulating anything.
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.dse.space import DesignPoint, DesignSpace, preset
+from repro.serve import api, protocol
+from repro.serve.cache import CACHE_SCHEMA, GlobalResultCache, SingleFlight
+from repro.serve.client import ServeClient, ServeError, backoff_seconds
+from repro.serve.protocol import ProtocolError, parse_address
+from repro.serve.server import ServeServer
+
+
+# ----------------------------------------------------------------------
+# helpers
+
+
+def tiny_space(name="tiny", sizes=(8192, 16384)):
+    return DesignSpace.grid(name=name, isas=("arm",), sizes=sizes)
+
+
+def make_blob(benchmark, point, scale, energy=1.0):
+    """A result blob shaped like ``repro.dse.evaluate.evaluate_point``."""
+    return {
+        "schema": 1,
+        "benchmark": benchmark,
+        "scale": scale,
+        "point": point.to_dict(),
+        "metrics": {"icache_energy_j": energy * (point.icache_bytes / 8192.0),
+                    "miss_rate": 0.01},
+        "manifest": {},
+    }
+
+
+def fake_compute(server, scale, items, publish):
+    """Deterministic stand-in for the DSE worker pool."""
+    for benchmark, point, key in items:
+        publish(key, make_blob(benchmark, point, scale), None)
+
+
+class ServerThread:
+    """Run a ServeServer on a background thread; join on exit."""
+
+    def __init__(self, tmp_path, tag, **kwargs):
+        sock = str(tmp_path / ("%s.sock" % tag))
+        kwargs.setdefault("cache_root", str(tmp_path / ("%s-cache" % tag)))
+        kwargs.setdefault("state_dir", str(tmp_path / ("%s-state" % tag)))
+        kwargs.setdefault("compute_fn", fake_compute)
+        self.server = ServeServer(address=sock, **kwargs)
+        self.ready = threading.Event()
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.server.serve_forever(self.ready)),
+            daemon=True)
+
+    def __enter__(self):
+        self.thread.start()
+        assert self.ready.wait(10), "server never came up"
+        return self.server
+
+    def __exit__(self, exc_type, exc, tb):
+        try:
+            ServeClient(self.server.address, timeout=5.0).shutdown()
+        except (OSError, ConnectionError, ServeError):
+            pass
+        self.thread.join(timeout=10)
+        assert not self.thread.is_alive(), "server thread failed to stop"
+        return False
+
+
+def client_for(server, **kwargs):
+    kwargs.setdefault("timeout", 10.0)
+    kwargs.setdefault("backoff_base", 0.01)
+    kwargs.setdefault("backoff_cap", 0.05)
+    return ServeClient(server.address, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# cache + single-flight
+
+
+def test_cache_key_covers_every_input(tmp_path):
+    prints = {"sim_code": "s" * 16, "result_code": "r" * 16}
+    cache = GlobalResultCache(str(tmp_path), prints=prints)
+    base = cache.key("crc32", "a" * 12, "small")
+    assert base == cache.key("crc32", "a" * 12, "small")  # deterministic
+    assert base != cache.key("sha", "a" * 12, "small")
+    assert base != cache.key("crc32", "b" * 12, "small")
+    assert base != cache.key("crc32", "a" * 12, "full")
+    other = GlobalResultCache(str(tmp_path),
+                              prints={"sim_code": "x" * 16,
+                                      "result_code": "r" * 16})
+    assert base != other.key("crc32", "a" * 12, "small")
+
+
+def test_cache_roundtrip_and_misses(tmp_path):
+    cache = GlobalResultCache(str(tmp_path / "c"))
+    point = DesignPoint("arm", 8192)
+    blob = make_blob("crc32", point, "small")
+    assert cache.get("crc32", point.point_id, "small") is None
+    cache.put("crc32", point.point_id, "small", blob)
+    assert cache.get("crc32", point.point_id, "small") == blob
+    assert cache.entries() == 1
+
+    # a torn/truncated entry reads as a miss, never an exception
+    key = cache.key("crc32", point.point_id, "small")
+    with open(cache.path(key), "w") as fh:
+        fh.write('{"schema": "' + CACHE_SCHEMA)
+    assert cache.get("crc32", point.point_id, "small") is None
+
+    # a fingerprint change (code change) invalidates without deleting
+    cache.put("crc32", point.point_id, "small", blob)
+    stale = GlobalResultCache(cache.root,
+                              prints={"sim_code": "0" * 16,
+                                      "result_code": "0" * 16})
+    assert stale.get("crc32", point.point_id, "small") is None
+
+
+def test_single_flight_claim_and_resolve():
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        flight = SingleFlight()
+        fut1, owner1 = flight.claim("k", loop)
+        fut2, owner2 = flight.claim("k", loop)
+        assert owner1 and not owner2 and fut1 is fut2
+        assert len(flight) == 1
+        assert flight.resolve("k", {"x": 1}, None) is True
+        assert await fut1 == ({"x": 1}, None)
+        assert flight.resolve("k", None, "late") is False  # idempotent
+        # a failed key can be re-claimed (retry by a later job)
+        fut3, owner3 = flight.claim("k", loop)
+        assert owner3 and fut3 is not fut1
+        flight.resolve("k", None, "boom")
+        assert await fut3 == (None, "boom")
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# protocol + api
+
+
+def test_protocol_roundtrip_and_errors():
+    msg = {"op": "status", "n": 3}
+    assert protocol.decode(protocol.encode(msg)) == msg
+    with pytest.raises(ProtocolError):
+        protocol.decode(b"not json\n")
+    with pytest.raises(ProtocolError):
+        protocol.decode(b"[1, 2]\n")   # not an object
+    big = {"pad": "x" * (protocol.MAX_LINE_BYTES + 1)}
+    with pytest.raises(ProtocolError):
+        protocol.encode(big)
+
+
+def test_parse_address():
+    assert parse_address("unix:/tmp/s.sock") == ("unix", "/tmp/s.sock")
+    assert parse_address("/tmp/s.sock") == ("unix", "/tmp/s.sock")
+    assert parse_address("tcp:127.0.0.1:9000") == ("tcp", ("127.0.0.1", 9000))
+    with pytest.raises(ValueError):
+        parse_address("")
+    with pytest.raises(ValueError):
+        parse_address("tcp:9000")
+
+
+def test_validate_submit():
+    space, benches, scale = api.validate_submit(
+        {"space": "smoke", "benchmarks": ["crc32"], "scale": "small"})
+    assert len(space) and benches == ["crc32"] and scale == "small"
+
+    space2 = tiny_space()
+    out_space, benches, _ = api.validate_submit(
+        {"space": space2.to_dict(), "benchmarks": "all"})
+    assert len(out_space) == len(space2)
+    assert len(benches) > 1
+
+    with pytest.raises(ProtocolError):
+        api.validate_submit({"space": "no-such-preset",
+                             "benchmarks": ["crc32"]})
+    with pytest.raises(ProtocolError):
+        api.validate_submit({"space": "smoke", "benchmarks": []})
+    with pytest.raises(ProtocolError):
+        api.validate_submit({"space": "smoke", "benchmarks": ["nope"]})
+    with pytest.raises(ProtocolError):
+        api.validate_submit({"space": "smoke", "benchmarks": ["crc32"],
+                             "scale": "huge"})
+    with pytest.raises(ProtocolError):
+        api.validate_submit({"benchmarks": ["crc32"]})
+
+
+def test_backoff_is_bounded_full_jitter():
+    assert backoff_seconds(0, base=0.1, cap=5.0, rng=lambda: 1.0) == 0.1
+    assert backoff_seconds(3, base=0.1, cap=5.0, rng=lambda: 1.0) == 0.8
+    assert backoff_seconds(20, base=0.1, cap=5.0, rng=lambda: 1.0) == 5.0
+    assert backoff_seconds(20, base=0.1, cap=5.0, rng=lambda: 0.0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# end-to-end: lifecycle, dedupe, streaming
+
+
+def test_submit_wait_then_cached_second_job(tmp_path):
+    space = tiny_space()
+    with ServerThread(tmp_path, "dedupe") as server:
+        client = client_for(server)
+        job = client.submit(space.to_dict(), ["crc32"], scale="small")
+        assert job["status"] == "queued" and job["total"] == len(space)
+        end = client.wait(job["id"])
+        first = end["summary"]
+        assert first["status"] == "done"
+        assert first["computed"] == len(space)
+        assert first["cache_hits"] == 0 and first["failed_points"] == 0
+        metrics_a = {e["point_id"]: e["metrics"]
+                     for e in client.watch(job["id"])
+                     if e.get("type") == "point"}
+
+        # an identical second sweep is served wholly from the cache
+        job2 = client.submit(space.to_dict(), ["crc32"], scale="small")
+        second = client.wait(job2["id"])["summary"]
+        assert second["status"] == "done"
+        assert second["cache_hits"] == len(space) and second["computed"] == 0
+        metrics_b = {e["point_id"]: e["metrics"]
+                     for e in client.watch(job2["id"])
+                     if e.get("type") == "point"}
+        assert metrics_a == metrics_b   # bit-identical via the cache
+
+        status = client.status()["server"]
+        assert status["stats"]["points_computed"] == len(space)
+        assert status["cache"]["hits"] == len(space)
+        assert status["cache"]["entries"] == len(space)
+
+
+def test_overlapping_spaces_compute_union_once(tmp_path):
+    a = tiny_space("a", sizes=(8192, 16384))
+    b = tiny_space("b", sizes=(16384, 32768))       # overlaps on 16K
+    with ServerThread(tmp_path, "union") as server:
+        client = client_for(server)
+        ja = client.submit(a.to_dict(), ["crc32"])
+        client.wait(ja["id"])
+        jb = client.submit(b.to_dict(), ["crc32"])
+        sb = client.wait(jb["id"])["summary"]
+        assert sb["cache_hits"] == 1 and sb["computed"] == 1
+        assert server.stats["points_computed"] == 3  # union, exactly once
+
+
+def test_watch_resume_after_seq(tmp_path):
+    space = tiny_space()
+    with ServerThread(tmp_path, "resume") as server:
+        client = client_for(server)
+        job = client.submit(space.to_dict(), ["crc32"])
+        client.wait(job["id"])
+        seqs = [e["seq"] for e in client.watch(job["id"], after_seq=1)
+                if e.get("type") == "point"]
+        assert seqs == list(range(2, len(space) + 1))
+        # fully caught up: only the end event remains
+        events = list(client.watch(job["id"], after_seq=len(space)))
+        assert [e["type"] for e in events] == ["end"]
+
+
+def test_watch_survives_mid_stream_disconnect(tmp_path):
+    space = tiny_space("wide", sizes=(4096, 8192, 16384, 32768))
+    with ServerThread(tmp_path, "reconnect") as server:
+        client = client_for(server)
+        job = client.submit(space.to_dict(), ["crc32"])
+        seen = []
+
+        def on_event(event):
+            if event.get("type") == "point":
+                seen.append(event["seq"])
+                if len(seen) == 2:
+                    client.kill_connection()   # sever mid-stream
+
+        end = client.wait(job["id"], on_event=on_event)
+        assert end["summary"]["status"] == "done"
+        assert seen == list(range(1, len(space) + 1))  # exactly once
+
+
+def test_backpressure_rejects_with_retry(tmp_path):
+    release = threading.Event()
+
+    def stuck_compute(server, scale, items, publish):
+        release.wait(20)
+        fake_compute(server, scale, items, publish)
+
+    space = tiny_space()
+    with ServerThread(tmp_path, "bp", compute_fn=stuck_compute,
+                      max_pending=1) as server:
+        client = client_for(server)
+        job = client.submit(space.to_dict(), ["crc32"])
+        with pytest.raises(ServeError) as excinfo:
+            client.submit(space.to_dict(), ["crc32"])
+        assert excinfo.value.retry is True
+        assert "queue full" in str(excinfo.value)
+        release.set()
+        assert client.wait(job["id"])["summary"]["status"] == "done"
+        assert server.stats["jobs_rejected"] == 1
+
+
+def test_concurrent_jobs_coalesce_in_flight_points(tmp_path):
+    entered = threading.Event()
+    release = threading.Event()
+
+    def gated_compute(server, scale, items, publish):
+        entered.set()
+        release.wait(20)
+        fake_compute(server, scale, items, publish)
+
+    space = tiny_space()
+    with ServerThread(tmp_path, "flight", compute_fn=gated_compute) as server:
+        client = client_for(server)
+        ja = client.submit(space.to_dict(), ["crc32"])
+        assert entered.wait(10)
+        jb = client.submit(space.to_dict(), ["crc32"])  # same keys, in flight
+        release.set()
+        sa = client.wait(ja["id"])["summary"]
+        sb = client.wait(jb["id"])["summary"]
+        assert sa["computed"] == len(space)
+        assert sb["coalesced"] == len(space) and sb["computed"] == 0
+        assert server.stats["points_computed"] == len(space)
+
+
+def test_compute_failure_fails_job_but_not_server(tmp_path):
+    batches = []
+
+    def half_broken(server, scale, items, publish):
+        first_batch = not batches
+        batches.append(len(items))
+        for i, (benchmark, point, key) in enumerate(items):
+            if i == 0 and first_batch:
+                publish(key, None, "synthetic worker crash")
+            else:
+                publish(key, make_blob(benchmark, point, scale), None)
+
+    space = tiny_space()
+    with ServerThread(tmp_path, "fail", compute_fn=half_broken) as server:
+        client = client_for(server)
+        job = client.submit(space.to_dict(), ["crc32"])
+        events = []
+        end = client.wait(job["id"], on_event=events.append)
+        assert end["summary"]["status"] == "failed"
+        assert end["summary"]["failed_points"] == 1
+        errors = [e for e in events
+                  if e.get("type") == "point" and "error" in e]
+        assert len(errors) == 1
+        assert "synthetic worker crash" in errors[0]["error"]
+        # failures are not cached: a retry job recomputes only that point
+        job2 = client.submit(space.to_dict(), ["crc32"])
+        s2 = client.wait(job2["id"])["summary"]
+        assert s2["status"] == "done"
+        assert s2["cache_hits"] == len(space) - 1
+        assert batches == [len(space), 1]   # retry recomputed only the miss
+        # the server is still healthy
+        assert client.status()["server"]["stats"]["jobs_failed"] == 1
+
+
+def test_cancel_requeued_job(tmp_path):
+    release = threading.Event()
+
+    def stuck_compute(server, scale, items, publish):
+        release.wait(20)
+        fake_compute(server, scale, items, publish)
+
+    space = tiny_space()
+    with ServerThread(tmp_path, "cancel", compute_fn=stuck_compute,
+                      max_running=1) as server:
+        client = client_for(server)
+        running = client.submit(space.to_dict(), ["crc32"])
+        queued = client.submit(space.to_dict(), ["sha"])
+        cancelled = client.cancel(queued["id"])
+        deadline = time.time() + 5
+        while cancelled["status"] != "cancelled" and time.time() < deadline:
+            time.sleep(0.05)
+            cancelled = client.status(queued["id"])["job"]
+        assert cancelled["status"] == "cancelled"
+        release.set()
+        assert client.wait(running["id"])["summary"]["status"] == "done"
+        assert server.stats["jobs_cancelled"] == 1
+
+
+def test_results_and_unknown_ops(tmp_path):
+    space = tiny_space()
+    with ServerThread(tmp_path, "results") as server:
+        client = client_for(server)
+        job = client.submit(space.to_dict(), ["crc32"])
+        client.wait(job["id"])
+        results = client.results(job["id"])
+        assert len(results) == len(space)
+        assert all(r["metrics"]["icache_energy_j"] > 0 for r in results)
+        with pytest.raises(ServeError):
+            client.results("jnope")
+        with pytest.raises(ServeError):
+            client.request({"op": "frobnicate"})
+        with pytest.raises(ServeError):
+            client.submit("smoke", ["not-a-benchmark"])
+
+
+def test_stale_socket_file_is_reclaimed(tmp_path):
+    # a dead server leaves its socket file behind; the next server
+    # detects nothing is listening, reclaims the path, and binds
+    (tmp_path / "stale.sock").write_bytes(b"")
+    with ServerThread(tmp_path, "stale") as server:
+        assert client_for(server).status()["server"]["pid"] == os.getpid()
+
+
+def test_real_compute_path_matches_direct_evaluation(tmp_path):
+    """One real point through the actual DSE worker pool (no fake)."""
+    from repro.dse.evaluate import evaluate_point
+
+    space = DesignSpace("one", [DesignPoint("arm", 8192)])
+    with ServerThread(tmp_path, "real", compute_fn=None) as server:
+        client = client_for(server, timeout=300.0)
+        job = client.submit(space.to_dict(), ["crc32"], scale="small")
+        end = client.wait(job["id"])
+        assert end["summary"]["status"] == "done"
+        served = client.results(job["id"])[0]["metrics"]
+    direct = evaluate_point("crc32", DesignPoint("arm", 8192), "small")
+    assert served == direct["metrics"]   # bit-identical to the one-shot CLI
+
+
+def test_job_event_buffer_invariants():
+    async def scenario():
+        job = api.Job(tiny_space(), ["crc32"], "small")
+        await job.start()
+        for i, point in enumerate(job.space):
+            await job.emit_point("crc32", point,
+                                 make_blob("crc32", point, "small"),
+                                 cached=(i == 0))
+        await job.finish(api.DONE)
+        assert [e["seq"] for e in job.events] == [1, 2]
+        assert job.events[0]["cached"] and not job.events[1]["cached"]
+        assert job.cache_hits == 1 and job.computed == 1
+        assert job.end_event()["summary"]["emitted"] == 2
+        assert job.terminal
+
+    asyncio.run(scenario())
