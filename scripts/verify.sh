@@ -24,6 +24,12 @@
 #    stream bit-identical metrics to the direct dse sweep, survive a
 #    client connection killed mid-stream (exactly-once delivery), and
 #    shut down cleanly.
+# 9. Metrics gate: the serve `metrics` op must return valid OpenMetrics
+#    whose serve.cache.hit counter matches the job manifests exactly;
+#    `alerts check` on the committed rules must pass against the live
+#    server and an injected-breach rule set must fail non-zero;
+#    `serve dash --once` must render a frame; and simulation must be
+#    bit-identical with the metrics registry on vs off.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -344,11 +350,81 @@ for key, metrics in served.items():
 print("serve: %d cache hits, reconnect resumed exactly-once, %d points "
       "bit-identical to the direct sweep"
       % (status["cache"]["hits"], len(served)))
-client.shutdown()
+
+# -- metrics op: valid exposition, counters match the job manifests ----
+reply = client.metrics()
+from repro.obs.metrics import validate_openmetrics
+validate_openmetrics(reply["text"])
+for family in ("serve_request_seconds_bucket", "serve_point_seconds_bucket",
+               "serve_cache_hit_total", "serve_cache_miss_total"):
+    assert family in reply["text"], "metrics exposition missing %s" % family
+counters = reply["snapshot"]["counters"]
+want_hits = sa["cache_hits"] + sb["cache_hits"]
+assert counters.get("serve.cache.hit", 0) == want_hits, \
+    (counters.get("serve.cache.hit"), want_hits)
+assert counters.get("serve.points.computed") == 8, counters
+hists = reply["snapshot"]["histograms"]
+from repro.obs.metrics import summarize
+point = summarize(hists["serve.point.seconds"])
+assert point["count"] >= 8 and point["p99"] > 0, point
+print("metrics op: exposition valid, cache.hit == %d matches manifests, "
+      "point latency n=%d p99=%.3fs"
+      % (want_hits, point["count"], point["p99"]))
 EOF
+
+echo "== alert gate (committed rules pass, injected breach fails) =="
+python -m repro.obs.alerts check --rules configs/alerts.yaml \
+    --serve "$tmp/serve.sock" | tee "$tmp/alerts.txt"
+grep -q "OK" "$tmp/alerts.txt" \
+    || { echo "FAIL: no OK outcomes from default alert rules"; exit 1; }
+cat > "$tmp/breach.json" <<'EOF'
+{"rules": [{"rule": "serve.cache.hit < 0", "name": "impossible"}]}
+EOF
+if python -m repro.obs.alerts check --rules "$tmp/breach.json" \
+    --serve "$tmp/serve.sock" > "$tmp/breach.txt"; then
+    echo "FAIL: injected breach rule did not fail the alert check"; exit 1
+fi
+grep -q "BREACH" "$tmp/breach.txt" \
+    || { echo "FAIL: breach outcome not reported"; exit 1; }
+echo "alerts: default rules pass, injected breach exits non-zero"
+
+echo "== serve dashboard (single frame) =="
+python -m repro.serve dash --socket "$tmp/serve.sock" --once \
+    | tee "$tmp/dash.txt"
+grep -q "repro.serve dash" "$tmp/dash.txt" \
+    || { echo "FAIL: dash --once rendered no frame"; exit 1; }
+grep -q "latency" "$tmp/dash.txt" \
+    || { echo "FAIL: dash frame missing latency section"; exit 1; }
+
+python -m repro.serve status --socket "$tmp/serve.sock" --shutdown > /dev/null
 wait "$serve_pid" \
     || { echo "FAIL: serve exited non-zero"; cat "$tmp/serve.log"; exit 1; }
 grep -q "shut down cleanly" "$tmp/serve.log" \
     || { echo "FAIL: no clean-shutdown message"; cat "$tmp/serve.log"; exit 1; }
+
+echo "== metrics on/off simulation bit-identity =="
+python - <<'EOF'
+import numpy as np
+from repro import obs
+from repro.compiler import compile_arm
+from repro.sim.functional import ArmSimulator
+from repro.workloads import get_workload
+
+image = compile_arm(get_workload("crc32").build_module("small"))
+off = ArmSimulator(image, engine="block").run()
+obs.enable(sink=None)          # metrics registry live, aggregate-only
+try:
+    on = ArmSimulator(image, engine="block").run()
+finally:
+    obs.disable()
+    obs.reset()
+assert off.exit_code == on.exit_code
+for f in ("run_starts", "run_ends", "mem_addrs", "mem_is_store"):
+    assert np.array_equal(getattr(off, f), getattr(on, f)), f
+assert off.console == on.console
+assert off.dynamic_instructions == on.dynamic_instructions
+assert bytes(off.memory) == bytes(on.memory)
+print("simulation bit-identical with metrics registry on vs off")
+EOF
 
 echo "verify OK"

@@ -78,7 +78,7 @@ def cmd_sweep(args):
         space, benchmarks, scale=args.scale, jobs=args.jobs,
         store=store_root, resume=args.resume,
         timeout_per_point=args.timeout, retries=args.retries,
-        verbose=args.verbose, progress=args.progress,
+        verbose=args.verbose, progress=args.progress, dash=args.dash,
     )
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -235,6 +235,10 @@ def build_parser():
     p.add_argument("--progress", action="store_true",
                    help="render a live done/failed/throughput/ETA line "
                    "from worker heartbeats")
+    p.add_argument("--dash", action="store_true",
+                   help="live multi-line dashboard: progress plus latency "
+                   "percentiles and cache counters merged from worker "
+                   "metric snapshots")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_sweep)
 

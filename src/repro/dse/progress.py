@@ -23,6 +23,7 @@ import sys
 import time
 
 from repro import obs
+from repro.obs import metrics as metrics_mod
 
 #: heartbeat files older than this many seconds count as not-live
 STALE_AFTER = 5.0
@@ -61,6 +62,13 @@ class HeartbeatWriter:
             "wall": time.perf_counter() - self._t0,
             "updated": time.time(),
         }
+        if obs.enabled:
+            # periodic per-process metrics snapshot, piggybacking on the
+            # heartbeat channel — the dash renderer merges these
+            try:
+                payload["metrics"] = metrics_mod.local_snapshot()
+            except Exception:
+                pass
         tmp = self.path + ".tmp"
         try:
             with open(tmp, "w") as fh:
@@ -173,8 +181,10 @@ class ProgressRenderer:
         self._last = None
         self._wrote = False
 
-    def snapshot(self):
-        snap = aggregate(read_heartbeats(self.dirpath))
+    def snapshot(self, beats=None):
+        if beats is None:
+            beats = read_heartbeats(self.dirpath)
+        snap = aggregate(beats)
         elapsed = max(time.perf_counter() - self._t0, 1e-9)
         finished = snap["done"] + snap["failed"]
         snap["elapsed"] = elapsed
@@ -222,5 +232,79 @@ class ProgressRenderer:
         snap = self.poll(force=True)
         if self._wrote:
             self.stream.write("\n")
+            self.stream.flush()
+        return snap
+
+
+def _fmt_secs(value):
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return "%.2fs" % value
+    return "%.1fms" % (value * 1e3)
+
+
+class DashRenderer(ProgressRenderer):
+    """Multi-line sweep dashboard (``python -m repro.dse sweep --dash``).
+
+    On a tty the frame is redrawn in place (cursor-up + clear); on a
+    plain stream polling stays silent and one final panel is printed at
+    :meth:`close`.  Latency percentiles and cache counters come from the
+    metric snapshots workers embed in their heartbeats, merged with
+    :func:`repro.obs.metrics.merge` — so the panel is exact across any
+    number of worker processes.
+    """
+
+    def __init__(self, dirpath, total, stream=None, interval=0.5):
+        super().__init__(dirpath, total, stream=stream, interval=interval)
+        self._frame_lines = 0
+        self._last_frame = None
+
+    @staticmethod
+    def merged_metrics(beats):
+        return metrics_mod.merge(
+            b.get("metrics") for b in beats if b.get("metrics"))
+
+    def render_frame(self, snap, merged):
+        lines = [self.render_line(snap)]
+        counters = merged.get("counters") or {}
+        hits = counters.get("trace_store.hit", 0)
+        misses = counters.get("trace_store.miss", 0)
+        if hits + misses:
+            lines.append("trace cache: %d hits / %d misses (%.1f%% hit)"
+                         % (hits, misses, 100.0 * hits / (hits + misses)))
+        for name in sorted(merged.get("histograms") or {}):
+            row = metrics_mod.summarize(merged["histograms"][name])
+            if not row["count"]:
+                continue
+            lines.append("%-24s n=%-5d p50=%-8s p95=%-8s p99=%s" % (
+                name, row["count"], _fmt_secs(row["p50"]),
+                _fmt_secs(row["p95"]), _fmt_secs(row["p99"])))
+        return lines
+
+    def poll(self, force=False):
+        now = time.perf_counter()
+        if not force and now < self._next:
+            return None
+        self._next = now + self.interval
+        beats = read_heartbeats(self.dirpath)
+        snap = self.snapshot(beats)
+        self._publish(snap)
+        self._last_frame = self.render_frame(snap, self.merged_metrics(beats))
+        if self.stream.isatty():
+            if self._frame_lines:
+                # cursor up over the previous frame, clear to screen end
+                self.stream.write("\x1b[%dF\x1b[J" % self._frame_lines)
+            self.stream.write("\n".join(self._last_frame) + "\n")
+            self.stream.flush()
+            self._frame_lines = len(self._last_frame)
+            self._wrote = True
+        return snap
+
+    def close(self):
+        """Final frame (the only output on a non-tty stream)."""
+        snap = self.poll(force=True)
+        if not self.stream.isatty() and self._last_frame:
+            self.stream.write("\n".join(self._last_frame) + "\n")
             self.stream.flush()
         return snap

@@ -35,6 +35,7 @@ import time
 import traceback
 
 from repro import obs
+from repro.obs import metrics as obs_metrics
 from repro.dse import progress as progress_mod
 from repro.dse.evaluate import evaluate_points
 from repro.dse.store import ResultStore
@@ -59,7 +60,16 @@ def _child_main(worker, payload, obs_spec=None):
     try:
         if obs_spec is not None:
             obs.apply_spec(obs_spec)
-        worker(payload)
+        try:
+            worker(payload)
+        finally:
+            # final per-process metrics snapshot (histograms + counter
+            # deltas) for the coordinator to merge; advisory, so a full
+            # disk never turns a finished task into a failure
+            try:
+                obs_metrics.flush()
+            except Exception:
+                pass
     except SystemExit:
         raise
     except BaseException:
@@ -107,6 +117,7 @@ def run_tasks(worker, payloads, jobs=1, timeout=None, retries=1,
     def finish(result):
         results.append(result)
         obs.counter("dse.tasks.%s" % ("completed" if result.ok else "failed"))
+        obs_metrics.observe("dse.task.seconds", result.seconds)
         if progress is not None:
             progress(result)
 
@@ -244,7 +255,8 @@ def _chunk_tasks(pending, store_root, scale, jobs):
 
 
 def sweep(space, benchmarks, scale="small", jobs=1, store=None, resume=True,
-          timeout_per_point=None, retries=1, verbose=False, progress=False):
+          timeout_per_point=None, retries=1, verbose=False, progress=False,
+          dash=False):
     """Run (or resume) a design-space sweep; returns a summary dict.
 
     ``store`` is a :class:`ResultStore` or a directory path.  With
@@ -253,6 +265,9 @@ def sweep(space, benchmarks, scale="small", jobs=1, store=None, resume=True,
     exactly zero points.  With ``progress`` workers stream per-point
     heartbeats into ``<store>/progress/`` and the coordinator renders a
     live done/failed/throughput/ETA line (see :mod:`repro.dse.progress`).
+    ``dash`` upgrades that line to a multi-line dashboard with latency
+    percentiles merged from the workers' embedded metric snapshots
+    (enabling aggregate-only obs for the sweep when it was off).
     """
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
@@ -267,6 +282,7 @@ def sweep(space, benchmarks, scale="small", jobs=1, store=None, resume=True,
 
     t0 = time.perf_counter()
     task_results = []
+    dash_owns_obs = False
     if pending:
         payloads = _chunk_tasks(pending, store.root, scale, jobs)
         timeout = None
@@ -274,13 +290,19 @@ def sweep(space, benchmarks, scale="small", jobs=1, store=None, resume=True,
             timeout = timeout_per_point * max(len(p["points"]) for p in payloads)
 
         renderer = None
-        if progress:
+        if dash and not obs.enabled:
+            # workers only collect (and embed) metrics when the spec
+            # they inherit says obs is on; aggregate-only costs no sink
+            obs.enable(sink=None)
+            dash_owns_obs = True
+        if progress or dash:
             progress_dir = os.path.join(store.root, "progress")
             progress_mod.clear_heartbeats(progress_dir)
             for payload in payloads:
                 payload["progress_dir"] = progress_dir
-            renderer = progress_mod.ProgressRenderer(
-                progress_dir, total=len(pending))
+            renderer_cls = (progress_mod.DashRenderer if dash
+                            else progress_mod.ProgressRenderer)
+            renderer = renderer_cls(progress_dir, total=len(pending))
 
         def report(result):
             if verbose:
@@ -300,6 +322,8 @@ def sweep(space, benchmarks, scale="small", jobs=1, store=None, resume=True,
         finally:
             if renderer is not None:
                 renderer.close()
+            if dash_owns_obs:
+                obs.disable()
 
     now_done = store.completed_keys()
     evaluated = len(now_done - done)

@@ -45,8 +45,10 @@ from repro.obs.core import (
     timed,
 )
 from repro.obs import core
+from repro.obs import metrics
 
 __all__ = [
+    "metrics",
     "SCHEMA_VERSION",
     "STAGES",
     "JsonlSink",

@@ -85,6 +85,11 @@ _span_seq = itertools.count(1)
 #: thread ident → small per-process lane number (event ``tid``).
 _thread_lanes = {}
 
+#: Callbacks run by :func:`reset` — satellite registries (e.g.
+#: :mod:`repro.obs.metrics`) append theirs at import time so one reset
+#: clears every aggregate without core importing them (cycle-free).
+_reset_hooks = []
+
 
 def _new_span_id():
     """Unique across processes: the pid is read at call time, so forked
@@ -270,6 +275,8 @@ def reset():
     _gauges.clear()
     _dists.clear()
     _span_agg.clear()
+    for hook in list(_reset_hooks):
+        hook()
 
 
 def sink():
@@ -334,6 +341,11 @@ def export_spec():
     prof_spec = _profile.export_spec()
     if prof_spec is not None:
         spec["profile"] = prof_spec
+    from repro.obs import metrics as _metrics
+
+    metrics_spec = _metrics.export_spec()
+    if metrics_spec is not None:
+        spec["metrics"] = metrics_spec
     return spec
 
 
@@ -369,6 +381,11 @@ def apply_spec(spec):
         from repro.obs import profile as _profile
 
         _profile.apply_spec(spec["profile"])
+    from repro.obs import metrics as _metrics
+
+    # Always applied (None included): a worker adopting any spec starts
+    # a fresh metrics window so fork-inherited totals never double-count.
+    _metrics.apply_spec(spec.get("metrics"))
 
 
 # ----------------------------------------------------------------------

@@ -33,15 +33,28 @@ the run in :func:`run_context`; records then carry ``benchmark`` and
 Analysis CLI::
 
     python -m repro.obs.profile top   --profile prof.jsonl [-n 20]
+    python -m repro.obs.profile top   --profile prof.jsonl --energy
     python -m repro.obs.profile flame --profile prof.jsonl --out out.folded
     python -m repro.obs.profile diff  --profile old.jsonl new.jsonl
 
 ``top`` ranks hot superblocks per (benchmark, ISA); ``--stable`` prints
 only deterministic columns (no wall time), which is what the CI
-determinism gate compares across two runs.  ``flame`` emits
-collapsed-stack lines (``benchmark;isa;func;block@entry weight``)
-consumable by flamegraph.pl / speedscope; ``diff`` aligns two profile
-files per block and reports unit/time deltas.
+determinism gate compares across two runs.  ``--energy`` adds a dynamic
+I-cache fetch-energy column: each block's executed units times its
+ISA's fetch footprint (4 bytes/instruction on ARM, 2 on Thumb/FITS),
+priced per 32-bit fetch word by the :mod:`repro.power.cache_power`
+read-access model at ``--icache-bytes`` / ``--tech`` (defaults: the
+paper's 8 KiB at 350nm) — deterministic, so it composes with
+``--stable``.  ``flame`` emits collapsed-stack lines
+(``benchmark;isa;func;block@entry weight``) consumable by
+flamegraph.pl / speedscope; ``diff`` aligns two profile files per block
+and reports unit/time deltas.
+
+Every :meth:`BlockRecorder.finish` also folds the run's total fetch
+energy into the ``profile.energy.fetch_joules`` metrics histogram (and
+a ``profile.energy.fetch_words`` counter) when obs is enabled, so live
+dashboards and OpenMetrics exposition see per-run energy without
+reparsing profile JSONL.
 
 Only the ``block`` engine is profiled: the closure engine has no block
 structure to attribute to (runs under it simply produce no records).
@@ -159,6 +172,67 @@ def recorder():
     return BlockRecorder()
 
 
+# ----------------------------------------------------------------------
+# dynamic I-cache fetch energy (the paper's power model, per superblock)
+
+#: bytes fetched per executed instruction — ARM is fixed 32-bit; Thumb
+#: and the synthesized FITS encodings are 16-bit
+_ISA_FETCH_BYTES = {"arm": 4, "thumb": 2, "fits": 2}
+
+_word_energy_cache = {}
+
+
+def fetch_word_energy(icache_bytes=8192, tech="350nm", fetch_bits=32):
+    """Dynamic energy (J) of one 32-bit fetch-word read from the I-cache.
+
+    One cache read access (decode + tag compare + data-bit drive, from
+    :class:`repro.power.cache_power.CachePowerModel`) plus the output
+    drive per access — the per-fetch dynamic component, excluding
+    time-proportional clock/leakage terms that cannot be attributed to
+    a single block.  Memoized per (geometry, tech, width).
+    """
+    key = (icache_bytes, tech, fetch_bits)
+    energy = _word_energy_cache.get(key)
+    if energy is None:
+        from repro.power import CachePowerModel
+        from repro.power.technology import tech_node
+        from repro.sim.cache import CacheGeometry
+
+        node = tech_node(tech)
+        model = CachePowerModel(CacheGeometry(icache_bytes), node,
+                                fetch_bits=fetch_bits)
+        energy = model.read_energy + node.e_output_access
+        _word_energy_cache[key] = energy
+    return energy
+
+
+def fetch_words(units, isa):
+    """Fetch footprint of ``units`` executed instructions, in 32-bit words."""
+    return units * _ISA_FETCH_BYTES.get(isa, 4) / 4.0
+
+
+def _emit_energy_metrics(isa, blocks):
+    """Fold one finished run's fetch energy into ``profile.energy.*``.
+
+    Advisory: the metrics registry must never turn a simulation into a
+    failure, so any error (including an unknown tech table) is dropped.
+    """
+    from repro.obs import core as obs_core
+
+    if not obs_core.enabled:
+        return
+    try:
+        from repro.obs import metrics as obs_metrics
+
+        units = sum(b[_UNITS] + b[_INTERP_UNITS] for b in blocks.values())
+        words = fetch_words(units, isa)
+        obs_metrics.observe("profile.energy.fetch_joules",
+                            words * fetch_word_energy())
+        obs_core.counter("profile.energy.fetch_words", int(round(words)))
+    except Exception:
+        pass
+
+
 # per-entry stat slots (list-backed for cheap hot-path accumulation)
 _CALLS, _UNITS, _SECONDS, _COMPILED, _COMPILE_S, _SCAN_UNITS, _FALLBACKS, \
     _INTERP_VISITS, _INTERP_UNITS, _INTERP_S, _THROTTLED = range(11)
@@ -245,6 +319,7 @@ class BlockRecorder:
             "blocks": rows,
         }
         _emit(record)
+        _emit_energy_metrics(isa, self.blocks)
         return record
 
 
@@ -326,8 +401,14 @@ _SORT_KEYS = {
 }
 
 
-def render_top(groups, limit=20, sort="units", stable=False):
-    """Per-(benchmark, ISA) hot-block ranking as text lines."""
+def render_top(groups, limit=20, sort="units", stable=False,
+               energy_per_word=None):
+    """Per-(benchmark, ISA) hot-block ranking as text lines.
+
+    ``energy_per_word`` (J per 32-bit fetch word, from
+    :func:`fetch_word_energy`) adds a per-block dynamic fetch-energy
+    column and a per-group total.
+    """
     lines = []
     for label, isa in sorted(groups):
         rows = sorted(groups[(label, isa)].values(), key=_SORT_KEYS[sort])
@@ -337,31 +418,40 @@ def render_top(groups, limit=20, sort="units", stable=False):
             lines.append("")
         head = "%s/%s: %d blocks, %s units" % (
             label, isa, len(rows), "{:,}".format(total_units))
+        if energy_per_word is not None:
+            head += ", %.3f uJ fetch energy" % (
+                fetch_words(total_units, isa) * energy_per_word * 1e6)
         if not stable:
             head += ", %.3fs attributed" % total_s
         lines.append(head)
+        energy_col = " %10s" % "fetch_uJ" if energy_per_word is not None else ""
         if stable:
-            header = "%6s %-22s %10s %14s %8s  %s" % (
-                "entry", "func", "calls", "units", "units%", "status")
+            header = "%6s %-22s %10s %14s %8s%s  %s" % (
+                "entry", "func", "calls", "units", "units%", energy_col,
+                "status")
         else:
-            header = "%6s %-22s %10s %14s %8s %10s %10s  %s" % (
-                "entry", "func", "calls", "units", "units%",
+            header = "%6s %-22s %10s %14s %8s%s %10s %10s  %s" % (
+                "entry", "func", "calls", "units", "units%", energy_col,
                 "wall_ms", "codegen_ms", "status")
         lines.append(header)
         lines.append("-" * len(header))
         for row in rows[:limit]:
             units = row["units"] + row["interp_units"]
             calls = row["calls"] + row["interp_visits"]
+            cell = ""
+            if energy_per_word is not None:
+                cell = " %10.4f" % (
+                    fetch_words(units, isa) * energy_per_word * 1e6)
             if stable:
-                lines.append("%6d %-22s %10s %14s %7.1f%%  %s" % (
+                lines.append("%6d %-22s %10s %14s %7.1f%%%s  %s" % (
                     row["entry"], row["func"][:22], "{:,}".format(calls),
                     "{:,}".format(units), 100.0 * units / total_units,
-                    _status(row)))
+                    cell, _status(row)))
             else:
-                lines.append("%6d %-22s %10s %14s %7.1f%% %10.2f %10.2f  %s" % (
+                lines.append("%6d %-22s %10s %14s %7.1f%%%s %10.2f %10.2f  %s" % (
                     row["entry"], row["func"][:22], "{:,}".format(calls),
                     "{:,}".format(units), 100.0 * units / total_units,
-                    (row["seconds"] + row["interp_seconds"]) * 1e3,
+                    cell, (row["seconds"] + row["interp_seconds"]) * 1e3,
                     row["compile_seconds"] * 1e3, _status(row)))
     return lines
 
@@ -461,8 +551,15 @@ def cmd_top(args):
     if not groups:
         print("no blocks matched the filters", file=sys.stderr)
         return 1
+    energy = None
+    if args.energy:
+        try:
+            energy = fetch_word_energy(icache_bytes=args.icache_bytes,
+                                       tech=args.tech)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit("error: cannot price fetch energy (%s)" % exc)
     print("\n".join(render_top(groups, limit=args.n, sort=args.sort,
-                               stable=args.stable)))
+                               stable=args.stable, energy_per_word=energy)))
     return 0
 
 
@@ -513,6 +610,15 @@ def build_parser():
                    help="profile JSONL written via %s=jsonl:<path>" % PROFILE_ENV)
     p.add_argument("--sort", default="units", choices=sorted(_SORT_KEYS),
                    help="ranking key (default: units — deterministic)")
+    p.add_argument("--energy", action="store_true",
+                   help="add a per-block dynamic I-cache fetch-energy "
+                   "column (cache_power read model x fetch footprint; "
+                   "deterministic, composes with --stable)")
+    p.add_argument("--icache-bytes", type=int, default=8192,
+                   help="I-cache size pricing --energy (default: 8192, "
+                   "the paper's baseline)")
+    p.add_argument("--tech", default="350nm",
+                   help="tech node pricing --energy (default: 350nm)")
     _add_common(p)
     p.set_defaults(func=cmd_top)
 

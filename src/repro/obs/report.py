@@ -20,7 +20,9 @@ With ``--jsonl PATH`` it instead summarizes a span/event stream written
 via ``REPRO_OBS=jsonl:<path>``, folding in the rotated ``<path>.1``
 generation kept by ``REPRO_OBS_MAX_BYTES`` rotation (add
 ``--top-spans N`` for a latency table with p50/p95/p99 columns per
-span name); with ``--dse STORE`` it
+span name, or ``--metrics`` for the histogram families carried by
+``kind=metrics`` snapshot events — count/sum/p50/p95/p99 per metric,
+merged exactly across processes); with ``--dse STORE`` it
 renders the per-(benchmark, design point) stage timings embedded in a
 design-space exploration result store (``python -m repro.dse sweep``).
 """
@@ -308,6 +310,48 @@ def render_top_spans(path, limit=10):
     return "\n".join(lines)
 
 
+def _fmt_metric_value(name, value):
+    """Histogram cell: seconds-style for latency families, generic
+    significant digits for everything else (e.g. joules)."""
+    if name.endswith("seconds"):
+        return _fmt_seconds(value).strip()
+    return "%.6g" % value
+
+
+def render_metrics_section(snapshot):
+    """Histogram-family table from a merged metrics snapshot; None when
+    the snapshot carries no histograms.
+
+    One row per metric family with count/sum/p50/p95/p99/max — the
+    quantiles come from the merged log-bucketed histograms
+    (:mod:`repro.obs.metrics`), so they are exact bucket-upper-bound
+    estimates across any number of process snapshots.
+    """
+    from repro.obs import metrics as metrics_mod
+
+    hists = snapshot.get("histograms") or {}
+    if not hists:
+        return None
+    width = max(28, max(len(name) for name in hists) + 2)
+    procs = len(snapshot.get("procs") or ())
+    lines = ["metric histograms (%d process snapshot%s merged):"
+             % (procs, "" if procs == 1 else "s")]
+    header = "%-*s %7s %12s %12s %12s %12s %12s" % (
+        width, "metric", "n", "sum", "p50", "p95", "p99", "max")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(hists):
+        row = metrics_mod.summarize(hists[name])
+        lines.append("%-*s %7d %12s %12s %12s %12s %12s" % (
+            width, name, row["count"],
+            _fmt_metric_value(name, row["sum"]),
+            _fmt_metric_value(name, row["p50"]),
+            _fmt_metric_value(name, row["p95"]),
+            _fmt_metric_value(name, row["p99"]),
+            _fmt_metric_value(name, row["max"])))
+    return "\n".join(lines)
+
+
 def render_jsonl(path, top_counters=24):
     """Summarize a JSONL event stream (rotated generation included);
     None when empty/span-free."""
@@ -365,12 +409,21 @@ def main(argv=None):
     parser.add_argument("--top-spans", type=int, default=None, metavar="N",
                         help="with --jsonl: rank the N hottest span names "
                         "with p50/p95/p99 duration columns")
+    parser.add_argument("--metrics", action="store_true",
+                        help="with --jsonl: append the metric-histogram "
+                        "section (count/sum/p50/p95/p99 per family) folded "
+                        "from kind=metrics snapshot events")
     args = parser.parse_args(argv)
 
     if args.top_spans is not None and not args.jsonl:
         print("error: --top-spans needs --jsonl PATH (per-span duration "
               "samples only exist in REPRO_OBS=jsonl:<path> streams; "
               "cached manifests keep aggregates only)", file=sys.stderr)
+        return 2
+    if args.metrics and not args.jsonl:
+        print("error: --metrics needs --jsonl PATH (metric snapshots are "
+              "kind=metrics events in REPRO_OBS=jsonl:<path> streams)",
+              file=sys.stderr)
         return 2
 
     if args.jsonl:
@@ -379,11 +432,19 @@ def main(argv=None):
                 text = render_top_spans(args.jsonl, limit=args.top_spans)
             else:
                 text = render_jsonl(args.jsonl, top_counters=args.counters)
+            metrics_text = None
+            if args.metrics:
+                from repro.obs import metrics as metrics_mod
+
+                metrics_text = render_metrics_section(
+                    metrics_mod.fold_jsonl(args.jsonl))
         except OSError as exc:
             print("error: cannot read event stream %s (%s) — run with "
                   "REPRO_OBS=jsonl:<path> first" % (args.jsonl, exc),
                   file=sys.stderr)
             return 1
+        if metrics_text is not None:
+            text = metrics_text if text is None else text + "\n\n" + metrics_text
         if text is None:
             print("error: no span or manifest events in %s (was the run "
                   "started with REPRO_OBS=jsonl:<path>?)" % args.jsonl,

@@ -19,6 +19,7 @@ import os
 import time
 
 from repro.dse.space import DesignSpace, preset as space_preset
+from repro.obs import metrics as obs_metrics
 from repro.serve.protocol import ProtocolError
 from repro.workloads import CODE_SIZE_BENCHMARKS
 
@@ -115,11 +116,16 @@ class Job:
     async def start(self):
         self.status = RUNNING
         self.started = time.time()
+        obs_metrics.observe("serve.job.wait_seconds",
+                            self.started - self.created)
         await self._notify()
 
     async def finish(self, status):
         self.status = status
         self.finished = time.time()
+        if self.started is not None:
+            obs_metrics.observe("serve.job.seconds",
+                                self.finished - self.started)
         await self._notify()
 
     # -- events ---------------------------------------------------------

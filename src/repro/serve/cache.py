@@ -30,6 +30,8 @@ import importlib
 import os
 
 from repro.dse.store import atomic_write_json
+from repro.obs import core as obs_core
+from repro.obs import metrics as obs_metrics
 from repro.sim.functional.store import code_version_hash
 
 #: Bump when the cache entry layout (or key recipe) changes.
@@ -97,6 +99,12 @@ class GlobalResultCache:
 
     def get(self, benchmark, point_id, scale):
         """The cached result blob, or None when absent/torn/stale."""
+        if not obs_core.enabled:
+            return self._get(benchmark, point_id, scale)
+        with obs_metrics.timer("serve.cache.lookup_seconds"):
+            return self._get(benchmark, point_id, scale)
+
+    def _get(self, benchmark, point_id, scale):
         import json
 
         key = self.key(benchmark, point_id, scale)
@@ -183,6 +191,10 @@ class SingleFlight:
             fut.set_result((blob, error))
             return True
         return False
+
+    def keys(self):
+        """Cache keys currently being computed (unresolved claims)."""
+        return sorted(k for k, f in self._futures.items() if not f.done())
 
     def __len__(self):
         return sum(1 for f in self._futures.values() if not f.done())

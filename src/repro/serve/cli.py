@@ -19,12 +19,17 @@ Examples::
 
     # Pareto frontier over one job's streamed results
     python -m repro.serve frontier --job jdeadbeef --socket /tmp/serve.sock
+
+    # live terminal dashboard / OpenMetrics scrape
+    python -m repro.serve dash --socket /tmp/serve.sock
+    python -m repro.serve metrics --socket /tmp/serve.sock
 """
 
 import argparse
 import asyncio
 import json
 import sys
+import time
 
 from repro.dse import pareto, space as space_mod
 from repro.dse.cli import _build_space, _parse_benchmarks
@@ -180,9 +185,109 @@ def cmd_status(args):
         cache["hits"], cache["misses"],
         "%.1f%% hit" % (100 * ratio) if ratio is not None else "no lookups",
         cache["entries"], cache["root"]))
+    keys = server.get("inflight_keys") or []
+    if keys:
+        shown = ", ".join(k[:12] for k in keys[:6])
+        more = " (+%d more)" % (len(keys) - 6) if len(keys) > 6 else ""
+        print("  inflight keys: %s%s" % (shown, more))
+    for line in _metric_lines(server.get("metrics") or {}):
+        print("  " + line)
     if reply.get("job"):
         print(json.dumps(reply["job"], indent=2, sort_keys=True))
     return 0
+
+
+def _fmt_secs(value):
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return "%.2fs" % value
+    return "%.1fms" % (value * 1e3)
+
+
+def _metric_lines(rows):
+    """Histogram summary rows -> aligned text lines."""
+    lines = []
+    for name in sorted(rows):
+        row = rows[name]
+        if not row.get("count"):
+            continue
+        lines.append(
+            "%-28s n=%-6d p50=%-8s p95=%-8s p99=%-8s max=%s" % (
+                name, row["count"], _fmt_secs(row.get("p50")),
+                _fmt_secs(row.get("p95")), _fmt_secs(row.get("p99")),
+                _fmt_secs(row.get("max"))))
+    return lines
+
+
+def cmd_metrics(args):
+    reply = _client(args).metrics()
+    if args.json:
+        print(json.dumps(reply["snapshot"], indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(reply["text"])
+    return 0
+
+
+def _dash_frame(server, snapshot, prev, now):
+    from repro.obs import metrics as metrics_mod
+
+    cache = server["cache"]
+    stats = server["stats"]
+    lines = []
+    lines.append("repro.serve dash — pid %d on %s, up %.1fs" % (
+        server["pid"], server["address"], server["uptime"]))
+    jobs_text = ", ".join("%s %d" % (s, n)
+                          for s, n in server["jobs"].items() if n) or "none"
+    lines.append("jobs: %s | queue %d/%d | %d points in flight" % (
+        jobs_text, server["queue_depth"], server["max_pending"],
+        server["inflight_points"]))
+    ratio = cache["hit_ratio"]
+    lines.append("cache: %d hits / %d misses (%s), %d entries" % (
+        cache["hits"], cache["misses"],
+        "%.1f%% hit" % (100 * ratio) if ratio is not None else "no lookups",
+        cache["entries"]))
+    served = stats["points_computed"] + stats["cache_hits"] + stats["coalesced"]
+    rate = served / server["uptime"] if server["uptime"] > 0 else 0.0
+    window = ""
+    if prev is not None and now > prev[0]:
+        window = ", %.1f pts/s now" % ((served - prev[1]) / (now - prev[0]))
+    lines.append("throughput: %d points served (%.1f pts/s lifetime%s)"
+                 % (served, rate, window))
+    keys = server.get("inflight_keys") or []
+    if keys:
+        shown = ", ".join(k[:12] for k in keys[:4])
+        more = " (+%d more)" % (len(keys) - 4) if len(keys) > 4 else ""
+        lines.append("computing: %s%s" % (shown, more))
+    hists = (snapshot.get("histograms") or {})
+    rows = {name: metrics_mod.summarize(data)
+            for name, data in hists.items()}
+    metric_lines = _metric_lines(rows)
+    if metric_lines:
+        lines.append("latency:")
+        lines.extend("  " + line for line in metric_lines)
+    return lines, (now, served)
+
+
+def cmd_dash(args):
+    client = _client(args)
+    prev = None
+    while True:
+        reply = client.status()
+        met = client.metrics()
+        lines, prev = _dash_frame(reply["server"], met["snapshot"],
+                                  prev, time.time())
+        if args.once or not sys.stdout.isatty():
+            print("\n".join(lines))
+        else:
+            sys.stdout.write("\x1b[2J\x1b[H" + "\n".join(lines) + "\n")
+        sys.stdout.flush()
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_frontier(args):
@@ -288,6 +393,22 @@ def build_parser():
                    help="comma list of min:<metric>/max:<metric>")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_frontier)
+
+    p = sub.add_parser("metrics", help="scrape the server's metrics op "
+                       "(OpenMetrics text, or --json snapshot)")
+    _add_socket(p)
+    p.add_argument("--json", action="store_true",
+                   help="merged snapshot JSON instead of OpenMetrics text")
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("dash", help="live terminal dashboard (queue, cache, "
+                       "throughput, latency percentiles)")
+    _add_socket(p)
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh interval in seconds (default: 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (no screen clearing)")
+    p.set_defaults(func=cmd_dash)
     return parser
 
 

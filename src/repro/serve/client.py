@@ -1,7 +1,7 @@
 """Synchronous client for the sweep service, surviving reconnects.
 
 Unary requests (``submit``/``status``/``results``/``cancel``/
-``shutdown``) are one connection each.  :meth:`ServeClient.watch` is
+``metrics``/``shutdown``) are one connection each.  :meth:`ServeClient.watch` is
 the interesting path: it streams a job's per-point events and, when the
 connection dies mid-stream, reconnects with exponential backoff plus
 jitter and resumes from the last sequence number it saw — the server
@@ -84,6 +84,10 @@ class ServeClient:
 
     def cancel(self, job_id):
         return self.request({"op": "cancel", "job": job_id})["job"]
+
+    def metrics(self):
+        """Merged metric snapshot + OpenMetrics text from the server."""
+        return self.request({"op": "metrics"})
 
     def shutdown(self):
         return self.request({"op": "shutdown"})

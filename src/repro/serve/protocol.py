@@ -3,8 +3,10 @@
 Every message is one JSON object on one line (``\\n``-terminated,
 UTF-8).  A connection carries exactly one request followed by its
 response(s): one reply object for unary ops (``submit``, ``status``,
-``results``, ``cancel``, ``shutdown``), or a reply followed by an event
-stream for ``watch``.  Streams are resumable by construction — every
+``results``, ``cancel``, ``metrics``, ``shutdown``), or a reply
+followed by an event stream for ``watch``.  The ``metrics`` reply
+carries the server's merged metric snapshot plus its OpenMetrics text
+exposition (see :mod:`repro.obs.metrics`).  Streams are resumable by construction — every
 point event carries a per-job ``seq`` and a ``watch`` request may ask
 for ``after_seq`` — so a client that lost its connection replays only
 what it has not yet seen (see :mod:`repro.serve.client`).
@@ -24,7 +26,8 @@ PROTOCOL = "repro.serve/v1"
 MAX_LINE_BYTES = 8 * 1024 * 1024
 
 #: Request operations the server understands.
-OPS = ("submit", "watch", "status", "results", "cancel", "shutdown")
+OPS = ("submit", "watch", "status", "results", "cancel", "metrics",
+       "shutdown")
 
 
 class ProtocolError(Exception):

@@ -44,6 +44,7 @@ import time
 import traceback
 
 from repro import obs
+from repro.obs import metrics as obs_metrics
 from repro.dse.scheduler import _chunk_tasks, _sweep_worker, run_tasks
 from repro.dse.store import ResultStore
 from repro.serve import api
@@ -224,6 +225,7 @@ class ServeServer:
         with obs.span("serve.job", job=job.id, space=job.space.name,
                       scale=job.scale, points=job.total):
             await job.start()
+            job_t0 = time.perf_counter()
             loop = asyncio.get_running_loop()
             waits, owned = [], []
             for benchmark in job.benchmarks:
@@ -237,6 +239,8 @@ class ServeServer:
                                       point=point.point_id, cached=True):
                             await job.emit_point(benchmark, point, blob,
                                                  cached=True)
+                        obs_metrics.observe("serve.point.seconds",
+                                            time.perf_counter() - job_t0)
                         continue
                     self.stats["cache_misses"] += 1
                     obs.counter("serve.cache.miss")
@@ -259,6 +263,8 @@ class ServeServer:
                     await job.emit_point(
                         benchmark, point, blob, error=error,
                         coalesced=(not owner and error is None))
+                obs_metrics.observe("serve.point.seconds",
+                                    time.perf_counter() - job_t0)
         await job.finish(api.FAILED if job.failed_points else api.DONE)
         self.stats["jobs_completed" if job.status == api.DONE
                    else "jobs_failed"] += 1
@@ -375,11 +381,16 @@ class ServeServer:
             "protocol": PROTOCOL,
             "pid": os.getpid(),
             "address": self.address,
+            "started_at": self.started_at,
             "uptime": time.time() - self.started_at,
             "jobs": states,
             "queue_depth": self.queue_depth(),
             "max_pending": self.max_pending,
             "inflight_points": len(self.flight),
+            "inflight_keys": self.flight.keys(),
+            "metrics": {name: obs_metrics.summarize(hist)
+                        for name, hist
+                        in sorted(obs_metrics.histograms().items())},
             "cache": {
                 "root": self.cache.root,
                 "hits": hits,
@@ -428,6 +439,15 @@ class ServeServer:
         await write_message(writer, {"ok": True, "server": self._server_summary()})
         self._shutdown.set()
 
+    async def _handle_metrics(self, msg, writer):
+        """One merged snapshot (server process + flushed worker files)
+        plus its OpenMetrics text exposition."""
+        snapshot = obs_metrics.merged_snapshot()
+        await write_message(writer, {
+            "ok": True,
+            "snapshot": snapshot,
+            "text": obs_metrics.render_openmetrics(snapshot)})
+
     async def _on_connection(self, reader, writer):
         try:
             msg = await read_message(reader)
@@ -440,15 +460,17 @@ class ServeServer:
                 "status": self._handle_status,
                 "results": self._handle_results,
                 "cancel": self._handle_cancel,
+                "metrics": self._handle_metrics,
                 "shutdown": self._handle_shutdown,
             }.get(op)
             if handler is None:
                 await write_message(writer, {
                     "ok": False,
                     "error": "unknown op %r (known: submit/watch/status/"
-                    "results/cancel/shutdown)" % op})
+                    "results/cancel/metrics/shutdown)" % op})
                 return
-            await handler(msg, writer)
+            with obs_metrics.timer("serve.request.seconds"):
+                await handler(msg, writer)
         except ProtocolError as exc:
             try:
                 await write_message(writer, {"ok": False, "error": str(exc)})
@@ -495,6 +517,23 @@ class ServeServer:
         self._job_slots = asyncio.Semaphore(self._max_running)
         self._compute_sem = asyncio.Semaphore(1)
         self._shutdown = asyncio.Event()
+        # The metrics op must always have something to report: if the
+        # operator didn't configure REPRO_OBS, collect aggregate-only
+        # (no event stream).  Worker processes flush their snapshots
+        # under the state dir; both settings are restored on exit so an
+        # in-process server (tests) leaves global obs state untouched.
+        owns_obs = not obs.enabled
+        if owns_obs:
+            obs.enable(sink=None)
+        prev_snapshot_dir = obs_metrics.snapshot_dir()
+        metrics_dir = os.path.join(self.state_dir, "metrics")
+        obs_metrics.set_snapshot_dir(metrics_dir)
+        for stale in obs_metrics.read_snapshot_dir(metrics_dir):
+            # a previous server's flushed files would double-count here
+            try:
+                os.unlink(os.path.join(metrics_dir, "m%d.json" % stale["pid"]))
+            except (OSError, KeyError):
+                pass
         root_span = obs.span("serve.server", address=self.address)
         root_span.__enter__()
         self._trace_ctx = obs.core.trace_context()
@@ -535,3 +574,7 @@ class ServeServer:
                     pass
             self._update_gauges()
             root_span.__exit__(None, None, None)
+            obs_metrics.flush()
+            obs_metrics.set_snapshot_dir(prev_snapshot_dir)
+            if owns_obs:
+                obs.disable()

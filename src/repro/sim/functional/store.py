@@ -31,6 +31,7 @@ import io
 import json
 import os
 import sys
+import time
 
 import numpy as np
 
@@ -221,8 +222,14 @@ def cached_run(kind, image, runner, **manifest_extra):
     if store is None:
         with ctx:
             return runner()
+    t_load = time.perf_counter()
     result = store.load(image)
     if result is not None:
+        if obs.enabled:
+            from repro.obs import metrics as obs_metrics
+
+            obs_metrics.observe("trace_store.load_seconds",
+                                time.perf_counter() - t_load)
         obs.counter("trace_store.hit")
         obs.counter("trace_store.hit.%s" % kind)
         # trace-level counters stay present whether warm or cold, so

@@ -487,6 +487,57 @@ def test_sweep_with_progress_writes_heartbeats(tmp_path, capsys):
     assert "dse: 4/4 points" in err
 
 
+def test_dash_renderer_merges_heartbeat_metrics(tmp_path):
+    import io
+
+    from repro import obs
+    from repro.dse import progress as progress_mod
+    from repro.obs.metrics import Histogram
+
+    hb_dir = tmp_path / "progress"
+    hb_dir.mkdir()
+    h = Histogram()
+    for v in (0.1, 0.2):
+        h.observe(v)
+    for pid, hits in ((111, 3), (222, 1)):
+        beat = {"pid": pid, "benchmark": BENCH, "total": 2, "done": 1,
+                "failed": 0, "wall": 1.0, "updated": time.time(),
+                "metrics": {"schema": 1, "proc": "p%d" % pid,
+                            "counters": {"trace_store.hit": hits,
+                                         "trace_store.miss": 1},
+                            "gauges": {},
+                            "histograms": {"dse.point.seconds": h.to_dict()}}}
+        (hb_dir / ("w%d.json" % pid)).write_text(json.dumps(beat))
+
+    obs.enable(obs.MemorySink())
+    try:
+        out = io.StringIO()
+        renderer = progress_mod.DashRenderer(str(hb_dir), total=4, stream=out)
+        snap = renderer.close()
+        assert snap["done"] == 2
+        frame = out.getvalue()
+        assert "dse: 2/4 points" in frame
+        assert "trace cache: 4 hits / 2 misses" in frame
+        assert "dse.point.seconds" in frame and "n=4" in frame
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def test_sweep_dash_renders_metrics_frame(tmp_path, capsys):
+    from repro import obs
+
+    root = str(tmp_path / "store")
+    assert not obs.enabled
+    summary = sweep(preset("paper4"), [BENCH], scale="small", jobs=2,
+                    store=root, dash=True)
+    assert summary["evaluated"] == 4 and not summary["failed"]
+    assert not obs.enabled          # dash-owned obs restored
+    err = capsys.readouterr().err
+    assert "dse: 4/4 points" in err
+    assert "dse.point.seconds" in err
+
+
 # ----------------------------------------------------------------------
 # cross-process trace hierarchy through a parallel sweep
 

@@ -722,6 +722,39 @@ def test_report_top_spans_requires_jsonl(capsys):
     assert "--top-spans needs --jsonl" in capsys.readouterr().err
 
 
+def test_report_jsonl_metrics_section(tmp_path, capsys):
+    from repro.obs import metrics as metrics_mod
+
+    stream = str(tmp_path / "run.jsonl")
+    obs.enable(obs.JsonlSink(stream))
+    metrics_mod.observe("dse.point.seconds", 0.02)
+    metrics_mod.observe("dse.point.seconds", 0.04)
+    with obs.span("stage.x"):
+        pass
+    metrics_mod.flush()
+    obs.disable()
+
+    assert report_main(["--jsonl", stream, "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "stage.x" in out                  # span section still there
+    assert "metric histograms" in out
+    assert "dse.point.seconds" in out and "p95" in out
+
+    # a stream carrying only metric snapshots still renders the section
+    only = str(tmp_path / "only.jsonl")
+    obs.enable(obs.JsonlSink(only))
+    metrics_mod.observe("serve.request.seconds", 0.001)
+    metrics_mod.flush()
+    obs.disable()
+    assert report_main(["--jsonl", only, "--metrics"]) == 0
+    assert "serve.request.seconds" in capsys.readouterr().out
+
+
+def test_report_metrics_requires_jsonl(capsys):
+    assert report_main(["--metrics"]) == 2
+    assert "--metrics needs --jsonl" in capsys.readouterr().err
+
+
 def test_percentile_edges():
     from repro.obs.report import _percentile
 

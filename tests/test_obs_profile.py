@@ -158,6 +158,63 @@ def test_top_stable_is_deterministic_across_runs(tmp_path, crc_image, capsys):
     assert "wall_ms" not in out_a and "codegen_ms" not in out_a
 
 
+def test_fetch_energy_pricing():
+    # ARM fetches one 32-bit word per instruction; Thumb/FITS half that
+    assert prof.fetch_words(100, "arm") == 100.0
+    assert prof.fetch_words(100, "thumb") == 50.0
+    assert prof.fetch_words(100, "fits") == 50.0
+    e_default = prof.fetch_word_energy()
+    assert e_default > 0
+    # more sets shrink the tag, so the per-read price moves with geometry
+    assert prof.fetch_word_energy(icache_bytes=65536) != e_default
+    # memoized: same args return the identical float
+    assert prof.fetch_word_energy() == e_default
+
+
+def test_top_energy_column_deterministic(tmp_path, crc_image, capsys):
+    a = _write_profile(tmp_path, crc_image, "ea.jsonl")
+    b = _write_profile(tmp_path, crc_image, "eb.jsonl")
+    assert prof.main(["top", "--profile", a, "--stable", "--energy"]) == 0
+    out_a = capsys.readouterr().out
+    assert prof.main(["top", "--profile", b, "--stable", "--energy"]) == 0
+    out_b = capsys.readouterr().out
+    assert out_a == out_b                   # derived from units: stable
+    assert "fetch_uJ" in out_a
+    assert "uJ fetch energy" in out_a
+    # a bigger cache prices every block higher, so output must differ
+    assert prof.main(["top", "--profile", a, "--stable", "--energy",
+                      "--icache-bytes", "65536"]) == 0
+    assert capsys.readouterr().out != out_a
+
+
+def test_finish_emits_profile_energy_metrics(crc_image):
+    from repro.obs import metrics as obs_metrics
+
+    prof.enable()
+    obs.enable(sink=None)
+    with prof.run_context(benchmark="crc32", scale="small"):
+        _run_block(crc_image)
+    (record,) = prof.records()
+    h = obs_metrics.histograms().get("profile.energy.fetch_joules")
+    assert h is not None and h.count == 1
+    units = sum(r["units"] + r["interp_units"] for r in record["blocks"])
+    expected = prof.fetch_words(units, "arm") * prof.fetch_word_energy()
+    assert abs(h.sum - expected) <= 1e-12 * expected
+    counters = obs.snapshot()["counters"]
+    assert counters["profile.energy.fetch_words"] == int(
+        round(prof.fetch_words(units, "arm")))
+
+
+def test_finish_skips_energy_metrics_when_obs_off(crc_image):
+    from repro.obs import metrics as obs_metrics
+
+    prof.enable()
+    with prof.run_context(benchmark="crc32", scale="small"):
+        _run_block(crc_image)
+    assert prof.records()
+    assert "profile.energy.fetch_joules" not in obs_metrics.histograms()
+
+
 def test_flame_export_format(tmp_path, crc_image, capsys):
     path = _write_profile(tmp_path, crc_image, "f.jsonl")
     out_file = str(tmp_path / "out.folded")

@@ -427,6 +427,117 @@ def test_real_compute_path_matches_direct_evaluation(tmp_path):
     assert served == direct["metrics"]   # bit-identical to the one-shot CLI
 
 
+# ----------------------------------------------------------------------
+# metrics op, dashboards, alerts against a live server
+
+
+def _counters(snapshot):
+    return snapshot.get("counters") or {}
+
+
+def test_metrics_op_exposition_matches_job_manifests(tmp_path):
+    """The scraped exposition validates, and the cache hit/miss counter
+    deltas agree exactly with what the job summaries report."""
+    from repro.obs import metrics as metrics_mod
+
+    space = tiny_space()
+    with ServerThread(tmp_path, "met") as server:
+        client = client_for(server)
+        before = _counters(client.metrics()["snapshot"])
+        job_a = client.submit(space.to_dict(), ["crc32"])
+        sum_a = client.wait(job_a["id"])["summary"]
+        job_b = client.submit(space.to_dict(), ["crc32"])   # fully cached
+        sum_b = client.wait(job_b["id"])["summary"]
+        reply = client.metrics()
+        assert reply["ok"]
+
+        families = metrics_mod.validate_openmetrics(reply["text"])
+        assert families["serve_cache_hit"]["type"] == "counter"
+        assert families["serve_request_seconds"]["type"] == "histogram"
+
+        after = _counters(reply["snapshot"])
+        delta = lambda name: after.get(name, 0) - before.get(name, 0)
+        assert delta("serve.cache.hit") == (
+            sum_a["cache_hits"] + sum_b["cache_hits"])
+        assert delta("serve.cache.miss") == sum_a["computed"]
+        assert sum_b["cache_hits"] == len(space)
+
+        hists = reply["snapshot"]["histograms"]
+        for name in ("serve.request.seconds", "serve.point.seconds",
+                     "serve.job.seconds", "serve.job.wait_seconds",
+                     "serve.cache.lookup_seconds"):
+            assert name in hists, name
+        assert metrics_mod.summarize(hists["serve.point.seconds"])["count"] \
+            >= 2 * len(space)
+
+
+def test_status_reports_metrics_and_inflight_keys(tmp_path):
+    space = tiny_space()
+    with ServerThread(tmp_path, "statm") as server:
+        client = client_for(server)
+        job = client.submit(space.to_dict(), ["crc32"])
+        client.wait(job["id"])
+        summary = client.status()["server"]
+        assert summary["started_at"] <= time.time()
+        assert summary["inflight_keys"] == []
+        rows = summary["metrics"]
+        assert rows["serve.request.seconds"]["count"] >= 1
+        assert set(rows["serve.request.seconds"]) >= {
+            "count", "p50", "p95", "p99", "max"}
+
+
+def test_serve_cli_metrics_status_dash(tmp_path, capsys):
+    from repro.obs import metrics as metrics_mod
+    from repro.serve import cli
+
+    space = tiny_space()
+    with ServerThread(tmp_path, "cli") as server:
+        client = client_for(server)
+        job = client.submit(space.to_dict(), ["crc32"])
+        client.wait(job["id"])
+
+        assert cli.main(["metrics", "--socket", server.address]) == 0
+        metrics_mod.validate_openmetrics(capsys.readouterr().out)
+
+        assert cli.main(["metrics", "--socket", server.address,
+                         "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert "serve.request.seconds" in snap["histograms"]
+
+        assert cli.main(["status", "--socket", server.address]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out and "serve.request.seconds" in out
+
+        assert cli.main(["dash", "--once", "--socket", server.address]) == 0
+        frame = capsys.readouterr().out
+        assert "repro.serve dash" in frame
+        assert "throughput:" in frame and "latency:" in frame
+
+
+def test_alerts_check_against_live_server(tmp_path, capsys):
+    from repro.obs import alerts
+
+    space = tiny_space()
+    rules = tmp_path / "rules.json"
+    with ServerThread(tmp_path, "alrt") as server:
+        client = client_for(server)
+        job = client.submit(space.to_dict(), ["crc32"])
+        client.wait(job["id"])
+        job2 = client.submit(space.to_dict(), ["crc32"])
+        client.wait(job2["id"])
+
+        rules.write_text(json.dumps({"rules": [
+            "serve.request.seconds p99 < 60",
+            "serve.cache.hit >= 1",
+        ]}))
+        assert alerts.main(["check", "--rules", str(rules),
+                            "--serve", server.address]) == 0
+        capsys.readouterr()
+        rules.write_text(json.dumps({"rules": ["serve.cache.hit < 0"]}))
+        assert alerts.main(["check", "--rules", str(rules),
+                            "--serve", server.address]) == 1
+
+
 def test_job_event_buffer_invariants():
     async def scenario():
         job = api.Job(tiny_space(), ["crc32"], "small")
