@@ -30,6 +30,12 @@
 #    server and an injected-breach rule set must fail non-zero;
 #    `serve dash --once` must render a frame; and simulation must be
 #    bit-identical with the metrics registry on vs off.
+# 10. Columnar trace gate: a warm sweep over the RLE trace store must be
+#     bit-identical to a cold event-stream-replay run; stored trace
+#     entries must be >= 3x smaller than the pre-columnar format's; the
+#     bench trace sections must show >= 5x warm replay speedup on >= 2
+#     benchmarks; and `repro.bench --check` must accept the fresh blob
+#     and reject a tampered one.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -189,18 +195,20 @@ python -m repro.obs.regress diff --store "$hist" | tee "$tmp/diff.txt"
 grep -q "0 regressions" "$tmp/diff.txt" \
     || { echo "FAIL: diff flagged regressions on an unchanged re-run"; exit 1; }
 
-echo "== pipeline micro-benchmark (cache sweep + cold sim, trajectory record) =="
-REPRO_COMMIT=verify-smoke python -m repro.bench --reps 2 --sim-reps 3 \
+echo "== pipeline micro-benchmark (cache sweep + cold sim + trace, trajectory record) =="
+REPRO_COMMIT=verify-smoke python -m repro.bench --reps 3 --sim-reps 3 \
     --out "$tmp/BENCH_pipeline.json" --record-trajectory --store "$hist" \
     | tee "$tmp/bench.txt"
-grep -q "trajectory: 4 added" "$tmp/bench.txt" \
+grep -q "trajectory: 7 added" "$tmp/bench.txt" \
     || { echo "FAIL: bench sections not recorded into the trajectory store"; exit 1; }
 python - "$tmp/BENCH_pipeline.json" <<'EOF'
 import json, sys
 blob = json.load(open(sys.argv[1]))
-assert blob["schema"] == "repro.bench/v2", blob.get("schema")
+assert blob["schema"] == "repro.bench/v3", blob.get("schema")
+assert blob.get("code_hash"), "bench blob missing the simulator code hash"
 sweeps = [s for s in blob["sections"] if s["kind"] == "sweep"]
 sims = [s for s in blob["sections"] if s["kind"] == "sim"]
+traces = [s for s in blob["sections"] if s["kind"] == "trace"]
 assert sweeps and sweeps[0]["points"] >= 8, sweeps
 assert sweeps[0]["speedup"] > 1.0, \
     "one-pass sweep slower than per-point LRU (%.2fx)" % sweeps[0]["speedup"]
@@ -208,11 +216,79 @@ assert len(sims) >= 2, "expected >=2 cold-sim sections"
 fast = [s for s in sims if s["speedup"] >= 2.0]
 assert len(fast) >= 2, "block engine <2x on all but %d benchmarks: %s" % (
     len(fast), ["%s=%.2fx" % (s["benchmark"], s["speedup"]) for s in sims])
+# columnar trace gate: warm RLE replay >= 5x the event path on >= 2
+# benchmarks, and stored entries >= 3x smaller than the pre-columnar
+# per-boundary format (entry sizes measured before the format change)
+assert len(traces) >= 3, "expected a trace section per benchmark"
+v1_bytes = {"crc32": 14043, "sha": 10096, "bitcount": 11347}
+for s in traces:
+    budget = v1_bytes.get(s["benchmark"])
+    if budget is not None:
+        assert s["store_bytes"] * 3 <= budget, \
+            "trace entry for %s is %dB (> 1/3 of pre-columnar %dB)" % (
+                s["benchmark"], s["store_bytes"], budget)
+fast_replay = [s for s in traces if s["replay_speedup"] >= 5.0]
+assert len(fast_replay) >= 2, \
+    "warm RLE replay <5x on all but %d benchmarks: %s" % (
+        len(fast_replay),
+        ["%s=%.2fx" % (s["benchmark"], s["replay_speedup"]) for s in traces])
 print("bench: %d cache points, %.2fx sweep speedup" % (
     sweeps[0]["points"], sweeps[0]["speedup"]))
 for s in sims:
     print("bench: %s/%s cold sim %.2fx (block vs closure)" % (
         s["benchmark"], s["isa"], s["speedup"]))
+for s in traces:
+    print("bench: %s warm replay %.2fx, trace entry %dB" % (
+        s["benchmark"], s["replay_speedup"], s["store_bytes"]))
+EOF
+
+echo "== bench blob staleness check (--check accepts fresh, rejects tampered) =="
+python -m repro.bench --check --out "$tmp/BENCH_pipeline.json" \
+    || { echo "FAIL: --check rejected a freshly recorded blob"; exit 1; }
+python - "$tmp/BENCH_pipeline.json" "$tmp/BENCH_stale.json" <<'EOF'
+import json, sys
+blob = json.load(open(sys.argv[1]))
+blob["code_hash"] = "0" * 16
+json.dump(blob, open(sys.argv[2], "w"))
+EOF
+if python -m repro.bench --check --out "$tmp/BENCH_stale.json" \
+    > /dev/null 2> "$tmp/check-stale.txt"; then
+    echo "FAIL: --check accepted a blob with a stale code hash"; exit 1
+fi
+grep -q "code hash" "$tmp/check-stale.txt" \
+    || { echo "FAIL: --check failure message does not name the code hash"; exit 1; }
+echo "bench --check: fresh blob accepted, tampered blob rejected"
+
+echo "== columnar replay gate (warm RLE store sweep == cold event run) =="
+python - <<'EOF'
+import os
+from repro.compiler import compile_arm
+from repro.sim.functional import ArmSimulator, cached_run
+from repro.sim.pipeline.timing import TimingConfig, simulate_timing_multi
+from repro.workloads import get_workload
+
+specs = [(size, TimingConfig(icache_assoc=assoc))
+         for size in (1024, 4096, 16384) for assoc in (1, 2, 4)]
+for name in ("crc32", "sha"):
+    wl = get_workload(name)
+    image = compile_arm(wl.build_module("small"))
+    # prime the persistent store, then take a warm (store-hit) result
+    cached_run("arm", image, ArmSimulator(image).run, benchmark=name)
+    warm = cached_run("arm", image, ArmSimulator(image).run, benchmark=name)
+    assert warm.exit_code == wl.reference("small"), name
+    rle = simulate_timing_multi(warm, specs)
+    # cold reference: fresh simulation, event-stream replay path
+    cold = ArmSimulator(image).run()
+    os.environ["REPRO_TRACE_REPLAY"] = "event"
+    try:
+        event = simulate_timing_multi(cold, specs)
+    finally:
+        del os.environ["REPRO_TRACE_REPLAY"]
+    assert [r.__dict__ for r in rle] == [r.__dict__ for r in event], \
+        "%s: warm RLE sweep diverged from cold event-stream run" % name
+    print("  %s: %d points bit-identical (warm RLE vs cold event)"
+          % (name, len(specs)))
+print("columnar replay bit-identical to the event-stream reference")
 EOF
 
 echo "== Chrome trace-event export =="

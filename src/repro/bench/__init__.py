@@ -2,7 +2,7 @@
 
 Measures the wall-clock cost of the simulate stage and writes
 ``BENCH_pipeline.json`` at the repo root.  The blob (schema
-``repro.bench/v2``) is a list of *sections*, one measurement unit each:
+``repro.bench/v3``) is a list of *sections*, one measurement unit each:
 
 ``sweep`` section (one per benchmark)
     The cache-sweep cost model comparison from PR 4: one cold
@@ -21,24 +21,48 @@ Measures the wall-clock cost of the simulate stage and writes
     simulator, so block codegen cost is *included* — this is the
     cold-trace cost a DSE sweep actually pays on a store miss.
 
-Each measurement is repeated ``reps`` times and the median is reported,
-so one scheduler hiccup cannot skew the result.  ``--record-trajectory``
-appends the numbers (under the drift-checked ``bench.`` metric prefix)
-to the trajectory store for cross-commit tracking.
+``trace`` section (one per benchmark)
+    The columnar-trace costs.  *Emission*: cold full-scale sims whose
+    builders discard ``build_result`` — a no-op builder isolates raw
+    execution, so ``emit_overhead_*_s`` is the pure cost of recording
+    the trace, columnar (packed/batched) vs the pre-columnar
+    event-stream layout, measured as min-of-``reps`` interleaved CPU
+    time (wall clock is useless under container contention).
+    *Replay*: the warm cache sweep over the stored trace, run-length
+    stack-distance replay (``REPRO_TRACE_REPLAY=rle``) vs the
+    event-stream reference path (``=event``).  *Store*: the on-disk
+    size of the benchmark's small-scale trace-store entry
+    (``store_bytes``).
+
+Wall-clock measurements are repeated ``reps`` times and the median is
+reported, so one scheduler hiccup cannot skew the result.
+``--record-trajectory`` appends the numbers (under the drift-checked
+``bench.`` metric prefix) to the trajectory store for cross-commit
+tracking, and the blob records the simulator ``code_hash`` so
+``--check`` can tell when it went stale.
 """
 
+import gc
 import json
 import os
 import statistics
+import tempfile
 import time
 
 from repro.compiler import compile_arm, compile_thumb
 from repro.sim.functional import ArmSimulator, cached_run
+from repro.sim.functional import arm_sim, engine
+from repro.sim.functional.store import TraceStore, code_version_hash
 from repro.sim.functional.thumb_sim import ThumbSimulator
+from repro.sim.functional.trace import (
+    EventTraceBuilder,
+    NullTraceBuilder,
+    TraceBuilder,
+)
 from repro.sim.pipeline import TimingConfig, simulate_timing, simulate_timing_multi
 from repro.workloads import get_workload
 
-BENCH_SCHEMA = "repro.bench/v2"
+BENCH_SCHEMA = "repro.bench/v3"
 
 #: the default sweep: 18 cache points (6 sizes x 3 associativities) on
 #: one ISA — comfortably above the >= 8-point floor the acceptance
@@ -148,14 +172,154 @@ def bench_sim_section(benchmark, isa="arm", scale=DEFAULT_SIM_SCALE, reps=3):
     }
 
 
+# emission-only builders: identical recording cost, but build_result
+# is discarded so the measurement isolates trace *emission* from the
+# (lazily paid, layout-dependent) result encoding.
+
+
+class _EmitOnlyColumnar(TraceBuilder):
+    def build_result(self, image, exit_code, memory):
+        return None
+
+
+class _EmitOnlyEvent(EventTraceBuilder):
+    def build_result(self, image, exit_code, memory):
+        return None
+
+
+class _EmitOnlyNull(NullTraceBuilder):
+    def build_result(self, image, exit_code, memory):
+        return None
+
+
+_EMIT_BUILDERS = (("null", _EmitOnlyNull),
+                  ("rle", _EmitOnlyColumnar),
+                  ("event", _EmitOnlyEvent))
+
+
+def _emission_costs(image, reps):
+    """Min-of-``reps`` interleaved CPU time of one cold block-engine
+    sim per builder, program construction outside the timed region."""
+    best = {name: float("inf") for name, _cls in _EMIT_BUILDERS}
+    for _rep in range(reps):
+        for name, cls in _EMIT_BUILDERS:
+            arm_sim.TraceBuilder = cls
+            try:
+                program = arm_sim.build_program(image)
+            finally:
+                arm_sim.TraceBuilder = TraceBuilder
+            gc.collect()
+            gc.disable()
+            t0 = time.process_time()
+            engine.execute(program, 200_000_000, "block")
+            dt = time.process_time() - t0
+            gc.enable()
+            best[name] = min(best[name], dt)
+    return best
+
+
+def _store_entry_bytes(image, result):
+    """On-disk size of one trace-store entry (payload + manifest)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore(tmp)
+        key = store.save(image, result)
+        npz = os.path.getsize(os.path.join(tmp, key + ".npz"))
+        manifest = os.path.getsize(os.path.join(tmp, key + ".json"))
+    return npz, manifest
+
+
+def _cpu_min_of(fn, reps):
+    best = float("inf")
+    for _rep in range(reps):
+        gc.collect()
+        gc.disable()
+        t0 = time.process_time()
+        fn()
+        best = min(best, time.process_time() - t0)
+        gc.enable()
+    return best
+
+
+def bench_trace_section(benchmark, scale="small", sim_scale=DEFAULT_SIM_SCALE,
+                        reps=3, sizes=DEFAULT_SIZES, assocs=DEFAULT_ASSOCS):
+    """One ``trace`` section: emission overhead, replay time, store size."""
+    wl = get_workload(benchmark)
+
+    # emission: cold full-scale sims, columnar vs event-stream builders,
+    # with a discard-everything builder as the execution-only floor
+    full_image = compile_arm(wl.build_module(sim_scale))
+    checked = ArmSimulator(full_image, engine="block").run()
+    if checked.exit_code != wl.reference(sim_scale):
+        raise AssertionError("%s: checksum mismatch" % benchmark)
+    costs = _emission_costs(full_image, reps)
+    emit_rle = costs["rle"] - costs["null"]
+    emit_event = costs["event"] - costs["null"]
+
+    # replay: the warm sweep over the (store-cached) small-scale trace,
+    # run-length stack-distance pass vs the event-stream reference
+    image = compile_arm(wl.build_module(scale))
+    result = cached_run("arm", image, ArmSimulator(image).run,
+                        benchmark=benchmark, scale=scale)
+    if result.exit_code != wl.reference(scale):
+        raise AssertionError("%s: checksum mismatch" % benchmark)
+    specs = [(size, TimingConfig(icache_assoc=assoc))
+             for size in sizes for assoc in assocs]
+
+    def sweep(mode):
+        def run():
+            _cold(result)
+            simulate_timing_multi(result, specs)
+
+        saved = os.environ.get("REPRO_TRACE_REPLAY")
+        os.environ["REPRO_TRACE_REPLAY"] = mode
+        try:
+            return _cpu_min_of(run, reps)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_TRACE_REPLAY", None)
+            else:
+                os.environ["REPRO_TRACE_REPLAY"] = saved
+
+    replay_rle_s = sweep("rle")
+    replay_event_s = sweep("event")
+    npz_bytes, manifest_bytes = _store_entry_bytes(image, result)
+
+    return {
+        "kind": "trace",
+        "benchmark": benchmark,
+        "isa": "arm",
+        "scale": scale,
+        "sim_scale": sim_scale,
+        "reps": reps,
+        "dynamic_instructions": checked.dynamic_instructions,
+        "num_superblocks": len(result.block_starts),
+        "num_segments": len(result.seg_ids),
+        "num_runs": result.num_runs,
+        "emit_null_s": costs["null"],
+        "emit_overhead_rle_s": emit_rle,
+        "emit_overhead_event_s": emit_event,
+        "emit_reduction": emit_event / emit_rle if emit_rle > 0 else 0.0,
+        "replay_points": len(specs),
+        "replay_rle_s": replay_rle_s,
+        "replay_event_s": replay_event_s,
+        "replay_speedup": (replay_event_s / replay_rle_s
+                           if replay_rle_s else 0.0),
+        "store_npz_bytes": npz_bytes,
+        "store_manifest_bytes": manifest_bytes,
+        "store_bytes": npz_bytes + manifest_bytes,
+    }
+
+
 def bench_pipeline(benchmarks=DEFAULT_BENCHMARKS, scale="small", reps=5,
                    sim_scale=DEFAULT_SIM_SCALE, sim_reps=3, isas=("arm",),
                    sizes=DEFAULT_SIZES, assocs=DEFAULT_ASSOCS):
-    """Run every section; returns the v2 blob (not yet on disk).
+    """Run every section; returns the v3 blob (not yet on disk).
 
     The sweep section runs once (on the first benchmark — it measures
     the cache-model batching, which is ISA- and benchmark-agnostic);
-    sim sections run for every (benchmark, ISA) pair.
+    sim sections run for every (benchmark, ISA) pair and trace
+    sections for every benchmark (trace shape drives both emission and
+    replay cost, so crc32's numbers say nothing about bitcount's).
     """
     sections = [bench_sweep_section(benchmarks[0], scale=scale, reps=reps,
                                     sizes=sizes, assocs=assocs)]
@@ -163,11 +327,49 @@ def bench_pipeline(benchmarks=DEFAULT_BENCHMARKS, scale="small", reps=5,
         for isa in isas:
             sections.append(bench_sim_section(
                 benchmark, isa=isa, scale=sim_scale, reps=sim_reps))
+    for benchmark in benchmarks:
+        sections.append(bench_trace_section(
+            benchmark, scale=scale, sim_scale=sim_scale, reps=reps,
+            sizes=sizes, assocs=assocs))
     return {
         "schema": BENCH_SCHEMA,
         "recorded_at": time.time(),
+        "code_hash": code_version_hash(),
         "sections": sections,
     }
+
+
+def check_blob(path):
+    """Verify a recorded blob matches the working tree.
+
+    Returns a list of human-readable mismatch descriptions — empty when
+    the recording is current.  A missing file, a stale ``schema``, or a
+    simulator ``code_hash`` that no longer matches the sources all make
+    the recording unusable as a comparison baseline.
+    """
+    problems = []
+    try:
+        with open(path) as fh:
+            blob = json.load(fh)
+    except OSError as exc:
+        return ["%s: cannot read recorded benchmark blob (%s)" % (path, exc)]
+    except ValueError as exc:
+        return ["%s: recorded benchmark blob is not valid JSON (%s)"
+                % (path, exc)]
+    schema = blob.get("schema")
+    if schema != BENCH_SCHEMA:
+        problems.append(
+            "%s: recorded schema %r does not match %r — re-record with "
+            "`python -m repro.bench`" % (path, schema, BENCH_SCHEMA))
+    recorded = blob.get("code_hash")
+    current = code_version_hash()
+    if recorded != current:
+        problems.append(
+            "%s: recorded simulator code hash %s does not match the "
+            "working tree (%s) — the simulator changed since the numbers "
+            "were taken; re-record with `python -m repro.bench`"
+            % (path, recorded, current))
+    return problems
 
 
 def default_output_path():

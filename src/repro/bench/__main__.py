@@ -7,6 +7,7 @@ from repro.bench import (
     DEFAULT_BENCHMARKS,
     DEFAULT_SIM_SCALE,
     bench_pipeline,
+    check_blob,
     default_output_path,
     write_blob,
 )
@@ -41,7 +42,22 @@ def main(argv=None):
                         "(bench.* metrics, source=bench)")
     parser.add_argument("--store", default=None,
                         help="trajectory store path override")
+    parser.add_argument("--check", action="store_true",
+                        help="verify the recorded blob instead of measuring: "
+                        "exit non-zero when its schema version or simulator "
+                        "code hash no longer matches the working tree")
     args = parser.parse_args(argv)
+
+    if args.check:
+        path = args.out or default_output_path()
+        problems = check_blob(path)
+        for problem in problems:
+            print("STALE: %s" % problem, file=sys.stderr)
+        if problems:
+            return 1
+        print("%s: schema and simulator code hash match the working tree"
+              % path)
+        return 0
 
     benchmarks = tuple(b.strip() for b in args.benchmarks.split(",") if b.strip())
     isas = tuple(i.strip() for i in args.isas.split(",") if i.strip())
@@ -63,7 +79,7 @@ def main(argv=None):
             print("  sweep, one-pass stack:  %8.1f ms"
                   % (1e3 * section["sweep_fast_s"]))
             print("  speedup:                %8.2fx" % section["speedup"])
-        else:
+        elif section["kind"] == "sim":
             print("sim: %s/%s/%s, %d instrs, %d reps" % (
                 section["benchmark"], section["isa"], section["scale"],
                 section["dynamic_instructions"], section["reps"]))
@@ -72,6 +88,22 @@ def main(argv=None):
             print("  closure engine (cold):  %8.1f ms"
                   % (1e3 * section["closure_s"]))
             print("  speedup:                %8.2fx" % section["speedup"])
+        else:
+            print("trace: %s, %d instrs, %d sblocks / %d segs / %d runs" % (
+                section["benchmark"], section["dynamic_instructions"],
+                section["num_superblocks"], section["num_segments"],
+                section["num_runs"]))
+            print("  emission (columnar):    %8.1f ms"
+                  % (1e3 * section["emit_overhead_rle_s"]))
+            print("  emission (event):       %8.1f ms  (%.2fx reduction)"
+                  % (1e3 * section["emit_overhead_event_s"],
+                     section["emit_reduction"]))
+            print("  replay sweep (rle):     %8.1f ms  (%d points)"
+                  % (1e3 * section["replay_rle_s"], section["replay_points"]))
+            print("  replay sweep (event):   %8.1f ms  (%.2fx speedup)"
+                  % (1e3 * section["replay_event_s"],
+                     section["replay_speedup"]))
+            print("  trace store entry:      %8d B" % section["store_bytes"])
     print("wrote %s" % out)
 
     if args.record_trajectory:
@@ -94,7 +126,7 @@ def main(argv=None):
                     wall_seconds=section["timing_sim_s"],
                     source="bench",
                 ))
-            else:
+            elif section["kind"] == "sim":
                 records.append(make_record(
                     commit, section["benchmark"], section["scale"],
                     point_id="bench_sim_%s" % section["isa"],
@@ -105,6 +137,29 @@ def main(argv=None):
                         "bench.sim.speedup": section["speedup"],
                     },
                     wall_seconds=section["block_s"],
+                    source="bench",
+                ))
+            else:
+                records.append(make_record(
+                    commit, section["benchmark"], section["scale"],
+                    point_id="bench_trace_%s" % section["isa"],
+                    label="bench-trace-%s" % section["isa"],
+                    metrics={
+                        "bench.trace.emit_overhead_rle_s":
+                            section["emit_overhead_rle_s"],
+                        "bench.trace.emit_overhead_event_s":
+                            section["emit_overhead_event_s"],
+                        "bench.trace.emit_reduction":
+                            section["emit_reduction"],
+                        "bench.trace.replay_rle_s": section["replay_rle_s"],
+                        "bench.trace.replay_event_s":
+                            section["replay_event_s"],
+                        "bench.trace.replay_speedup":
+                            section["replay_speedup"],
+                        "bench.trace.store_bytes":
+                            float(section["store_bytes"]),
+                    },
+                    wall_seconds=section["replay_rle_s"],
                     source="bench",
                 ))
         added, skipped = store.append(records)

@@ -23,11 +23,11 @@ precomputation and a single stack-distance pass per block size
 simulation per point.
 
 For the paper's four configurations, the single-point evaluation path
-below is *exactly* the harness's path — ``simulate_timing(result,
-size)`` with the default :class:`TimingConfig` and
-``CachePowerModel(CacheGeometry(size))`` — and the batched path is
-bit-identical to it (asserted by the test suite), so FITS16/FITS8
-numbers reproduce bit-identically through the scheduler.
+below is *exactly* the harness's path — a :class:`TimingBatch` report
+with the default :class:`TimingConfig` and
+``CachePowerModel(CacheGeometry(size))``, itself bit-identical to
+``simulate_timing(result, size)`` (asserted by the test suite) — so
+FITS16/FITS8 numbers reproduce bit-identically through the scheduler.
 """
 
 import time
@@ -43,7 +43,7 @@ from repro.power.technology import tech_node
 from repro.sim.cache import CacheGeometry
 from repro.sim.functional import ArmSimulator, cached_run
 from repro.sim.functional.thumb_sim import ThumbSimulator
-from repro.sim.pipeline import TimingBatch, TimingConfig, simulate_timing
+from repro.sim.pipeline import TimingBatch, TimingConfig
 from repro.workloads import get_workload
 
 #: (benchmark, scale, isa) → (image, ExecutionResult).  Kept to a single
@@ -214,7 +214,11 @@ def evaluate_point(benchmark, point, scale="full"):
 
 def _evaluate(benchmark, point, scale):
     image, result = _functional(benchmark, scale, point.isa)
-    timing = simulate_timing(result, point.icache_bytes, _point_config(point))
+    # single-spec batch: same reports as simulate_timing, but through
+    # the columnar stack-distance replay instead of a full LRU walk
+    config = _point_config(point)
+    batch = TimingBatch(result, [(point.icache_bytes, config)])
+    timing = batch.report(point.icache_bytes, config)
     return _metrics(image, timing, _power_for(point, timing))
 
 

@@ -29,7 +29,7 @@ from repro import obs
 from repro.compiler import compile_arm, compile_thumb
 from repro.sim.functional import ArmSimulator, cached_run, selected_engine
 from repro.sim.functional.thumb_sim import ThumbSimulator
-from repro.sim.pipeline import simulate_timing
+from repro.sim.pipeline import TimingBatch
 from repro.sim.cache import CacheGeometry
 from repro.power import CachePowerModel, ChipPowerModel
 from repro.core.flow import fits_flow
@@ -256,8 +256,16 @@ def _run_benchmark(name, scale, verbose):
     configs = {}
     timings = {}
     powers = {}
+    # one batch per ISA: the stack-distance pass over the columnar trace
+    # is shared by that ISA's cache sizes (reports bit-identical to
+    # per-size simulate_timing calls)
+    batches = {
+        isa: TimingBatch(results[isa],
+                         [(size, None) for _l, i, size in CONFIGS if i == isa])
+        for isa in {isa for _label, isa, _size in CONFIGS}
+    }
     for label, isa, size in CONFIGS:
-        timing = simulate_timing(results[isa], size)
+        timing = batches[isa].report(size)
         power = CachePowerModel(CacheGeometry(size)).evaluate(timing)
         timings[label] = timing
         powers[label] = power

@@ -40,12 +40,13 @@ Analysis CLI::
 ``top`` ranks hot superblocks per (benchmark, ISA); ``--stable`` prints
 only deterministic columns (no wall time), which is what the CI
 determinism gate compares across two runs.  ``--energy`` adds a dynamic
-I-cache fetch-energy column: each block's executed units times its
-ISA's fetch footprint (4 bytes/instruction on ARM, 2 on Thumb/FITS),
-priced per 32-bit fetch word by the :mod:`repro.power.cache_power`
-read-access model at ``--icache-bytes`` / ``--tech`` (defaults: the
-paper's 8 KiB at 350nm) — deterministic, so it composes with
-``--stable``.  ``flame`` emits collapsed-stack lines
+I-cache fetch-energy column: each block's exact fetch-word footprint
+recorded off the superblock table (words-per-iteration weighted by
+iteration counts — no re-derivation; pre-columnar records fall back to
+units times the ISA's bytes-per-instruction), priced per 32-bit fetch
+word by the :mod:`repro.power.cache_power` read-access model at
+``--icache-bytes`` / ``--tech`` (defaults: the paper's 8 KiB at 350nm)
+— deterministic, so it composes with ``--stable``.  ``flame`` emits collapsed-stack lines
 (``benchmark;isa;func;block@entry weight``) consumable by
 flamegraph.pl / speedscope; ``diff`` aligns two profile files per block
 and reports unit/time deltas.
@@ -69,7 +70,7 @@ import sys
 import time
 
 #: Bump when the record layout changes.
-PROFILE_SCHEMA = 1
+PROFILE_SCHEMA = 2
 
 PROFILE_ENV = "REPRO_PROFILE"
 
@@ -211,7 +212,17 @@ def fetch_words(units, isa):
     return units * _ISA_FETCH_BYTES.get(isa, 4) / 4.0
 
 
-def _emit_energy_metrics(isa, blocks):
+def _row_fetch_words(row, isa):
+    """A row's fetch footprint in 32-bit words: the superblock table's
+    exact per-entry total when the record carries one (schema v2),
+    else derived from unit counts (pre-columnar records)."""
+    words = row.get("fetch_words")
+    if words is not None:
+        return words
+    return fetch_words(row["units"] + row["interp_units"], isa)
+
+
+def _emit_energy_metrics(isa, rows):
     """Fold one finished run's fetch energy into ``profile.energy.*``.
 
     Advisory: the metrics registry must never turn a simulation into a
@@ -224,8 +235,7 @@ def _emit_energy_metrics(isa, blocks):
     try:
         from repro.obs import metrics as obs_metrics
 
-        units = sum(b[_UNITS] + b[_INTERP_UNITS] for b in blocks.values())
-        words = fetch_words(units, isa)
+        words = sum(_row_fetch_words(row, isa) for row in rows)
         obs_metrics.observe("profile.energy.fetch_joules",
                             words * fetch_word_energy())
         obs_core.counter("profile.energy.fetch_words", int(round(words)))
@@ -280,8 +290,15 @@ class BlockRecorder:
         if throttled:
             b[_THROTTLED] += 1
 
-    def finish(self, isa, image_name, func_of_index=None, totals=None):
-        """Build and emit the run record; returns it."""
+    def finish(self, isa, image_name, func_of_index=None, totals=None,
+               fetch_words_of_entry=None):
+        """Build and emit the run record; returns it.
+
+        ``fetch_words_of_entry`` is the engine's exact per-entry fetch
+        footprint off the superblock table (words-per-iteration times
+        iteration counts); when given, every row carries it as
+        ``fetch_words`` and energy pricing uses it directly.
+        """
         wall = time.perf_counter() - self._t0
         ctx = current_context()
         rows = []
@@ -290,7 +307,7 @@ class BlockRecorder:
             func = "?"
             if func_of_index is not None and 0 <= entry < len(func_of_index):
                 func = str(func_of_index[entry])
-            rows.append({
+            row = {
                 "entry": entry,
                 "func": func,
                 "calls": b[_CALLS],
@@ -304,7 +321,10 @@ class BlockRecorder:
                 "interp_units": b[_INTERP_UNITS],
                 "interp_seconds": b[_INTERP_S],
                 "throttled_visits": b[_THROTTLED],
-            })
+            }
+            if fetch_words_of_entry is not None:
+                row["fetch_words"] = int(fetch_words_of_entry.get(entry, 0))
+            rows.append(row)
         record = {
             "kind": "block_profile",
             "schema": PROFILE_SCHEMA,
@@ -319,7 +339,7 @@ class BlockRecorder:
             "blocks": rows,
         }
         _emit(record)
-        _emit_energy_metrics(isa, self.blocks)
+        _emit_energy_metrics(isa, rows)
         return record
 
 
@@ -376,6 +396,9 @@ def aggregate(records, benchmark=None, isa=None):
                         "fallbacks", "interp_visits", "interp_units",
                         "interp_seconds", "throttled_visits"):
                 agg[key] += row.get(key, 0)
+            if "fetch_words" in row:
+                agg["fetch_words"] = (agg.get("fetch_words") or 0) \
+                    + row["fetch_words"]
             agg["func"] = row.get("func", agg["func"])
             agg["compiled"] = bool(row.get("compiled")) or agg["compiled"]
     return groups
@@ -419,8 +442,9 @@ def render_top(groups, limit=20, sort="units", stable=False,
         head = "%s/%s: %d blocks, %s units" % (
             label, isa, len(rows), "{:,}".format(total_units))
         if energy_per_word is not None:
+            total_words = sum(_row_fetch_words(r, isa) for r in rows)
             head += ", %.3f uJ fetch energy" % (
-                fetch_words(total_units, isa) * energy_per_word * 1e6)
+                total_words * energy_per_word * 1e6)
         if not stable:
             head += ", %.3fs attributed" % total_s
         lines.append(head)
@@ -441,7 +465,7 @@ def render_top(groups, limit=20, sort="units", stable=False,
             cell = ""
             if energy_per_word is not None:
                 cell = " %10.4f" % (
-                    fetch_words(units, isa) * energy_per_word * 1e6)
+                    _row_fetch_words(row, isa) * energy_per_word * 1e6)
             if stable:
                 lines.append("%6d %-22s %10s %14s %7.1f%%%s  %s" % (
                     row["entry"], row["func"][:22], "{:,}".format(calls),

@@ -265,3 +265,271 @@ def profile_for_sizes(lines, sizes, associativity=32, block_bytes=32):
     """Convenience wrapper: profile one assoc across many sizes."""
     geoms = [CacheGeometry(size, block_bytes, associativity) for size in sizes]
     return profile_lines(lines, geoms)
+
+
+# ----------------------------------------------------------------------
+# run-length replay: stack distances straight off the columnar trace
+
+
+#: Transition-memo safety valve: beyond this many distinct
+#: ``(recency-state, block)`` pairs the kernel stops caching and just
+#: computes each transition directly (still exact, only slower).  Real
+#: traces are loop-structured and stay orders of magnitude below this.
+_RLE_MEMO_CAP = 1 << 16
+
+
+def _reuse_walk(stack, pos, lines, tmap, nk, kmax, amax, inc):
+    """The reference capture walk of :func:`profile_lines`, applied to a
+    reconstructed mini-stack.  Mutates ``stack``/``pos`` exactly like
+    the event-path walk (move-to-top with tombstones) and accumulates
+    per-geometry conflict-bucket increments into the ``inc`` dict as
+    ``{(k_index, bucket): count}``.  First touches push without
+    incrementing — compulsory misses are accounted globally from the
+    union of executed block footprints."""
+    cnts = [0] * nk
+    for x in lines:
+        p = pos.get(x)
+        if p is None:
+            pos[x] = len(stack)
+            stack.append(x)
+            continue
+        i = len(stack) - 1
+        while i > p:
+            y = stack[i]
+            if y >= 0:
+                xor = x ^ y
+                t = (xor & -xor).bit_length() - 1
+                j = tmap[t] if t < kmax else nk
+                if j:
+                    cnts[j - 1] += 1
+            i -= 1
+        run = 0
+        for j in range(nk - 1, -1, -1):
+            run += cnts[j]
+            cnts[j] = 0
+            key = (j, run if run < amax else amax)
+            inc[key] = inc.get(key, 0) + 1
+        stack[p] = -1
+        pos[x] = len(stack)
+        stack.append(x)
+
+
+def profile_spans_rle(line_starts, line_ends, seg_ids, seg_counts,
+                      geometries):
+    """:func:`profile_lines` over the columnar trace, without expanding.
+
+    Args:
+        line_starts / line_ends: per-superblock inclusive line spans —
+            row ``b`` of the superblock table touches cache lines
+            ``line_starts[b] .. line_ends[b]`` in ascending order on
+            every iteration.
+        seg_ids / seg_counts: the run-length execution stream.
+        geometries: as for :func:`profile_lines`.
+
+    Returns a :class:`StackDistanceProfile` whose :meth:`stats` are
+    bit-identical to profiling the expanded per-access line sequence
+    (``expand_line_spans`` over the per-run spans) — property-tested in
+    ``tests/test_trace_rle.py``.
+
+    Exactness rests on one structural invariant: executing a block
+    leaves its span lines on top of the LRU stack in span order, so the
+    stack contents after any prefix of the stream are a pure function
+    of the distinct-block execution order.  The kernel runs a DFA whose
+    states are the interned stack tuples: the first iteration of a
+    segment is a pure function of ``(stack, block)`` — memoized as a
+    transition carrying the per-geometry increment vector — and
+    iterations 2..n of a segment are a fixed per-block increment
+    vector computed once and weighted by the iteration count.  Periodic
+    regions of the stream (tight multi-block loops) are detected up
+    front and folded: one full cycle drives the stack to the cycle's
+    fixed point, so cycle 2's transitions stand in for all later
+    cycles, bulk-weighted.  Consecutive-duplicate folding (the event
+    path folds them before walking) happens exactly at two places:
+    one-line blocks repeating (all of iterations 2..n), and a segment
+    whose first line equals the previous segment's last line.
+    """
+    geometries = list(geometries)
+    if not geometries:
+        raise ValueError("profile_spans_rle needs at least one geometry")
+    block = geometries[0].block_bytes
+    for g in geometries:
+        if g.block_bytes != block:
+            raise ValueError(
+                "geometries mix block sizes (%d vs %d): stack-distance "
+                "profiles are exact only at a fixed block size"
+                % (block, g.block_bytes)
+            )
+    ks = sorted({g.num_sets.bit_length() - 1 for g in geometries})
+    kmax = ks[-1]
+    amax = max(g.associativity for g in geometries)
+    nk = len(ks)
+    tmap = [sum(1 for k in ks if k <= t) for t in range(kmax + 1)]
+
+    sl = np.asarray(line_starts, dtype=np.int64)
+    el = np.asarray(line_ends, dtype=np.int64)
+    sid = np.asarray(seg_ids, dtype=np.int64)
+    cnt = np.asarray(seg_counts, dtype=np.int64)
+    if len(sl) and int(sl.min()) < 0:
+        raise ValueError("line numbers must be non-negative")
+    widths = el - sl + 1
+    accesses = int(np.dot(widths[sid], cnt)) if len(sid) else 0
+    if len(sid):
+        used = np.unique(sid)
+        distinct = np.unique(expand_line_spans(sl[used], el[used]))
+    else:
+        distinct = np.zeros(0, dtype=np.int64)
+
+    rows = np.zeros((nk, amax + 1), dtype=np.int64)
+    folded = 0
+
+    # DFA over LRU states: a state is the interned full stack content
+    # (line tuple, bottom to top) — the complete replacement state, so
+    # two histories reaching the same stack share all future
+    # transitions.  Transitions are keyed by state_id * n_blocks +
+    # block and carry the first-iteration increment vector.
+    nblocks = len(sl)
+    state_ids = {(): 0}
+    state_stacks = [()]
+    trans = {}        # state_id * n_blocks + block -> (next, inc, folded1)
+    fired = {}        # state_id * n_blocks + block -> times taken
+    direct_inc = {}   # applied immediately when the memo cap is hit
+    state = 0
+
+    seg_b = sid.tolist()
+    n_seg = len(seg_b)
+
+    # Iterations 2..n of a segment contribute a fixed per-block
+    # increment vector regardless of where in the stream the segment
+    # sits, so their totals are a pure reduction over the run-length
+    # stream — no walking involved.
+    steady_totals = np.zeros(nblocks, dtype=np.int64)
+    if n_seg:
+        np.add.at(steady_totals, sid, cnt - 1)
+
+    def step(b):
+        """First iteration of one segment of block ``b``; returns the
+        transition key (None when the memo cap forced the direct
+        path)."""
+        nonlocal state, folded
+        key = state * nblocks + b
+        hit = trans.get(key)
+        if hit is None:
+            parent = state_stacks[state]
+            b_sl = int(sl[b])
+            b_el = int(el[b])
+            stack = list(parent)
+            pos = {l: i for i, l in enumerate(stack)}
+            lines = list(range(b_sl, b_el + 1))
+            folded1 = 0
+            if stack and stack[-1] == b_sl:
+                # consecutive duplicate across the segment join — the
+                # event path folds it before walking
+                folded1 = 1
+                lines = lines[1:]
+            inc = {}
+            _reuse_walk(stack, pos, lines, tmap, nk, kmax, amax, inc)
+            # successor stack: span(b) moves to the top in span order;
+            # tombstones never persist across transitions
+            child = (tuple(x for x in parent if not b_sl <= x <= b_el)
+                     + tuple(range(b_sl, b_el + 1)))
+            nstate = state_ids.get(child)
+            if nstate is None:
+                nstate = len(state_stacks)
+                state_stacks.append(child)
+                state_ids[child] = nstate
+            hit = (nstate, inc, folded1)
+            if len(trans) < _RLE_MEMO_CAP:
+                trans[key] = hit
+            else:
+                folded += folded1
+                for jb, c in inc.items():
+                    direct_inc[jb] = direct_inc.get(jb, 0) + c
+                state = nstate
+                return None
+        state = hit[0]
+        fired[key] = fired.get(key, 0) + 1
+        return key
+
+    # Chunked walk: the DFA chain revisits the same short block
+    # sequences constantly (loop bodies re-entered from the same
+    # state), so aligned CH-segment windows are memoized whole by
+    # ``(entry state, raw chunk bytes)``.  A chunk hit replaces CH
+    # dict-per-segment steps with one lookup; its per-transition fired
+    # bumps are tallied once per distinct chunk at the end.  Chunks
+    # containing a direct-path (memo-cap overflow) step are never
+    # cached — they re-step, which stays exact.
+    _CH = 8
+    _MISS = object()
+    cell = np.int16 if nblocks <= 0x7FFF else np.int64
+    raw = sid.astype(cell).tobytes()
+    isz = np.dtype(cell).itemsize
+    chunks = {}   # (state, chunk bytes) -> (end state, fired keys) | None
+    occ = {}      # chunk key -> hits beyond the first walk
+
+    with obs.span("cache.stack.rle_pass", segments=len(sid),
+                  geometries=len(geometries)):
+        i = 0
+        main_end = n_seg - (n_seg % _CH)
+        while i < main_end:
+            ck = (state, raw[i * isz:(i + _CH) * isz])
+            hit = chunks.get(ck, _MISS)
+            if hit is not None and hit is not _MISS:
+                state = hit[0]
+                occ[ck] = occ.get(ck, 0) + 1
+                i += _CH
+                continue
+            keys = [step(b) for b in seg_b[i:i + _CH]]
+            if hit is _MISS:
+                chunks[ck] = ((state, tuple(keys))
+                              if None not in keys else None)
+            i += _CH
+        for b in seg_b[main_end:]:
+            step(b)
+    for ck, times in occ.items():
+        for key in chunks[ck][1]:
+            fired[key] = fired.get(key, 0) + times
+
+    # fold in the memoized first-iteration increments, weighted
+    for key, times in fired.items():
+        _nstate, inc, folded1 = trans[key]
+        folded += folded1 * times
+        for (j, bucket), c in inc.items():
+            rows[j][bucket] += c * times
+    for (j, bucket), c in direct_inc.items():
+        rows[j][bucket] += c
+
+    # iterations 2..n of every segment: the stack top is exactly the
+    # block's own span, so the per-iteration increments are a fixed
+    # function of the block — computed once, weighted by the totals
+    for b in np.flatnonzero(steady_totals).tolist():
+        total = int(steady_totals[b])
+        b_sl = int(sl[b])
+        b_el = int(el[b])
+        if b_el == b_sl:
+            # one-line block: every extra iteration is a consecutive
+            # duplicate, folded by the event path
+            folded += total
+            continue
+        lines = list(range(b_sl, b_el + 1))
+        stack = list(lines)
+        pos = {l: i for i, l in enumerate(stack)}
+        inc = {}
+        _reuse_walk(stack, pos, lines, tmap, nk, kmax, amax, inc)
+        for (j, bucket), c in inc.items():
+            rows[j][bucket] += c * total
+
+    # folded duplicates are conflict-count-0 accesses in every geometry
+    if folded:
+        rows[:, 0] += folded
+
+    counts_by_k = {k: rows[j].copy() for j, k in enumerate(ks)}
+    if obs.enabled:
+        obs.counter("cache.stack.rle_passes")
+        obs.counter("cache.stack.rle_segments", len(sid))
+        obs.counter("cache.stack.rle_states", len(state_stacks))
+        obs.counter("cache.stack.rle_transitions", len(trans))
+        obs.counter("cache.stack.accesses", accesses)
+        obs.counter("cache.stack.folded_repeats", folded)
+        obs.counter("cache.stack.distinct_lines", len(distinct))
+        obs.counter("cache.stack.geometries", len(geometries))
+    return StackDistanceProfile(block, accesses, distinct, counts_by_k, amax)

@@ -262,8 +262,7 @@ def _compile_dataproc(ins, idx, image, regs, flags):
 
 def _compile_handlers(image, regs, mem, flags, trace, exit_code):
     handlers = []
-    ma = trace.mem_addrs.append
-    ms = trace.mem_is_store.append
+    mm = trace.add_mem
     console = trace.console
     unpack_from = struct.unpack_from
     pack_into = struct.pack_into
@@ -273,9 +272,9 @@ def _compile_handlers(image, regs, mem, flags, trace, exit_code):
         if isinstance(ins, DataProc):
             h = _compile_dataproc(ins, idx, image, regs, flags)
         elif isinstance(ins, MemWord):
-            h = _compile_memword(ins, idx, regs, mem, ma, ms, unpack_from, pack_into)
+            h = _compile_memword(ins, idx, regs, mem, mm, unpack_from, pack_into)
         elif isinstance(ins, MemHalf):
-            h = _compile_memhalf(ins, idx, regs, mem, ma, ms, unpack_from, pack_into)
+            h = _compile_memhalf(ins, idx, regs, mem, mm, unpack_from, pack_into)
         elif isinstance(ins, MemMultiple):
             reglist = tuple(ins.reglist)
             rn = ins.rn
@@ -287,14 +286,12 @@ def _compile_handlers(image, regs, mem, flags, trace, exit_code):
                 def h(rn=rn, gprs=gprs, loads_pc=loads_pc, nxt=nxt):
                     addr = regs[rn]
                     for r in gprs:
-                        ma(addr)
-                        ms(0)
+                        mm(addr + addr)
                         regs[r] = unpack_from("<I", mem, addr)[0]
                         addr += 4
                     target = nxt
                     if loads_pc:
-                        ma(addr)
-                        ms(0)
+                        mm(addr + addr)
                         target = index_of(unpack_from("<I", mem, addr)[0])
                         addr += 4
                     regs[rn] = addr
@@ -304,8 +301,7 @@ def _compile_handlers(image, regs, mem, flags, trace, exit_code):
                     addr = regs[rn] - 4 * len(reglist)
                     regs[rn] = addr
                     for r in reglist:
-                        ma(addr)
-                        ms(1)
+                        mm(addr + addr + 1)
                         pack_into("<I", mem, addr, regs[r])
                         addr += 4
                     return nxt
@@ -359,7 +355,7 @@ def _compile_handlers(image, regs, mem, flags, trace, exit_code):
     return handlers
 
 
-def _compile_memword(ins, idx, regs, mem, ma, ms, unpack_from, pack_into):
+def _compile_memword(ins, idx, regs, mem, mm, unpack_from, pack_into):
     nxt = idx + 1
     rd, rn = ins.rd, ins.rn
     if isinstance(ins.offset, int):
@@ -382,66 +378,58 @@ def _compile_memword(ins, idx, regs, mem, ma, ms, unpack_from, pack_into):
         if ins.byte:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(0)
+                mm(addr + addr)
                 regs[rd] = mem[addr]
                 return nxt
         else:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(0)
+                mm(addr + addr)
                 regs[rd] = unpack_from("<I", mem, addr)[0]
                 return nxt
     else:
         if ins.byte:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(1)
+                mm(addr + addr + 1)
                 mem[addr] = regs[rd] & 0xFF
                 return nxt
         else:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(1)
+                mm(addr + addr + 1)
                 pack_into("<I", mem, addr, regs[rd])
                 return nxt
     return h
 
 
-def _compile_memhalf(ins, idx, regs, mem, ma, ms, unpack_from, pack_into):
+def _compile_memhalf(ins, idx, regs, mem, mm, unpack_from, pack_into):
     nxt = idx + 1
     rd, rn, off = ins.rd, ins.rn, ins.offset
     if ins.load:
         if ins.half and ins.signed:
             def h():
                 addr = (regs[rn] + off) & M32
-                ma(addr)
-                ms(0)
+                mm(addr + addr)
                 regs[rd] = unpack_from("<h", mem, addr)[0] & M32
                 return nxt
         elif ins.half:
             def h():
                 addr = (regs[rn] + off) & M32
-                ma(addr)
-                ms(0)
+                mm(addr + addr)
                 regs[rd] = unpack_from("<H", mem, addr)[0]
                 return nxt
         else:  # signed byte
             def h():
                 addr = (regs[rn] + off) & M32
-                ma(addr)
-                ms(0)
+                mm(addr + addr)
                 value = mem[addr]
                 regs[rd] = value | 0xFFFFFF00 if value & 0x80 else value
                 return nxt
     else:
         def h():
             addr = (regs[rn] + off) & M32
-            ma(addr)
-            ms(1)
+            mm(addr + addr + 1)
             pack_into("<H", mem, addr, regs[rd] & 0xFFFF)
             return nxt
     return h

@@ -87,7 +87,7 @@ import time
 
 from repro.isa.arm.model import ShiftType
 from repro.obs import core as obs
-from repro.sim.functional.trace import ExecutionResult, TraceBuilder
+from repro.sim.functional.trace import PACK, TraceBuilder
 
 #: repro.obs.profile, bound on first use.  Importing it eagerly would pull
 #: it into sys.modules whenever ``repro`` loads, making every
@@ -320,38 +320,52 @@ def execute(program, max_instructions, engine=None):
     ``engine`` overrides ``REPRO_SIM_ENGINE`` when given.
     """
     name = engine if engine is not None else selected_engine()
+    if (getattr(program.trace, "packed", False)
+            and len(program.handlers) >= PACK):
+        raise SimulationError(
+            "image too large for packed trace boundaries (%d >= %d static "
+            "indices)" % (len(program.handlers), PACK))
+    runner = None
     if name == "closure":
         _run_closure(program, max_instructions)
     elif name == "block":
         runner = _BlockRunner(program, prof=_profile_mod().recorder())
         runner.run(max_instructions)
-        if runner.prof is not None:
-            runner.prof.finish(
-                isa=program.isa,
-                image_name=getattr(program.image, "name", "?"),
-                func_of_index=getattr(program.image, "func_of_index", None),
-                totals={
-                    "blocks_compiled": runner.blocks_compiled,
-                    "units_compiled": runner.units_compiled,
-                    "fallback_instrs": runner.fallback_instrs,
-                },
-            )
     else:
         raise ValueError("unknown engine %r (expected one of %s)"
                          % (name, "/".join(ENGINES)))
     if obs.enabled:
         obs.counter("sim.engine.runs.%s" % name)
-    trace = program.trace
-    return ExecutionResult(
-        image=program.image,
-        exit_code=program.exit_code[0],
-        run_starts=trace.run_starts,
-        run_ends=trace.run_ends,
-        mem_addrs=trace.mem_addrs,
-        mem_is_store=trace.mem_is_store,
-        console=bytes(trace.console),
-        memory=program.mem,
-    )
+    result = program.trace.build_result(
+        program.image, program.exit_code[0], program.mem)
+    if runner is not None and runner.prof is not None:
+        runner.prof.finish(
+            isa=program.isa,
+            image_name=getattr(program.image, "name", "?"),
+            func_of_index=getattr(program.image, "func_of_index", None),
+            totals={
+                "blocks_compiled": runner.blocks_compiled,
+                "units_compiled": runner.units_compiled,
+                "fallback_instrs": runner.fallback_instrs,
+            },
+            fetch_words_of_entry=_fetch_words_by_entry(result),
+        )
+    return result
+
+
+def _fetch_words_by_entry(result):
+    """Exact per-entry I-cache fetch-word totals off the superblock
+    table: rows aggregated by entry index, words-per-iteration weighted
+    by iteration counts — the profiler prices fetch energy from this
+    footprint directly instead of re-deriving it from unit counts."""
+    instr_bytes = 2 if hasattr(result.image, "halfwords") else 4
+    totals = result.block_totals().tolist()
+    out = {}
+    for s, e, n in zip(result.block_starts.tolist(),
+                       result.block_ends.tolist(), totals):
+        words = (e * instr_bytes) // 4 - (s * instr_bytes) // 4 + 1
+        out[s] = out.get(s, 0) + words * n
+    return out
 
 
 def _budget_error(program, limit):
@@ -377,11 +391,12 @@ def _fault_error(program, idx, exc):
 
 
 def _run_closure(program, limit):
-    """The pre-block execution strategy, preserved verbatim."""
+    """The pre-block execution strategy, preserved verbatim (modulo the
+    builder's boundary-record method, which both record layouts
+    implement)."""
     trace = program.trace
     handlers = program.handlers
-    starts_append = trace.run_starts.append
-    ends_append = trace.run_ends.append
+    boundary = trace.add_boundary
     seq = program.seq_next
     idx = 0
     run_start = 0
@@ -393,8 +408,7 @@ def _run_closure(program, limit):
                 if nxt == idx + 1:
                     idx = nxt
                     continue
-                starts_append(run_start)
-                ends_append(idx)
+                boundary(run_start, idx)
                 executed += idx - run_start + 1
                 if executed > limit:
                     raise _budget_error(program, limit)
@@ -408,8 +422,7 @@ def _run_closure(program, limit):
                     idx = nxt
                     continue
                 # the run ends at the *last* halfword of the atom
-                starts_append(run_start)
-                ends_append(straight - 1)
+                boundary(run_start, straight - 1)
                 executed += straight - run_start
                 if executed > limit:
                     raise _budget_error(program, limit)
@@ -427,32 +440,44 @@ def _run_closure(program, limit):
 #: is called once per compiled block and returns the zero-argument
 #: block function, which closes over these fast local cells.  ``_st``
 #: is the shared run-accounting state ``[run_start, executed]``; the
-#: generated exits append run boundaries via ``_sa``/``_ea`` and bump
-#: the executed tally, so the dispatch loop only checks the budget.
-_FACTORY_PARAMS = ("H", "regs", "mem", "flags", "_xa", "_xs", "_sa", "_ea",
-                   "_st", "index_of", "unpack_from", "pack_into", "console",
-                   "exit_code")
+#: generated exits append run boundaries (packed builders: one
+#: ``start*PACK + end`` record via ``_ra``; legacy layout: two records
+#: via ``_sa``/``_ea``) and bump the executed tally, so the dispatch
+#: loop only checks the budget.  ``_fr`` is the trace builder's
+#: ``flush_repeat``: a block whose hot backedge is batched counts
+#: iterations in a local (``_bn``) and flushes them as one run-length
+#: record on exit.  Only the active layout's names are bound non-None.
+_FACTORY_PARAMS = ("H", "regs", "mem", "flags", "_xm", "_xa", "_xs", "_ra",
+                   "_sa", "_ea", "_fr", "_st", "index_of", "unpack_from",
+                   "pack_into", "console", "exit_code")
 
 
-def _flush_lines(pending):
-    """Statements appending the batched trace records, one extend per
-    array.  ``pending`` is every access temp assigned since block entry
-    — each dynamic execution reaches exactly one exit, so the full
-    prefix is appended exactly once."""
+def _flush_lines(pending, packed):
+    """Statements appending the batched trace records — one extend of
+    packed ``addr*2 | is_store`` words (or one extend per legacy
+    array).  ``pending`` is every access temp assigned since block
+    entry — each dynamic execution reaches exactly one exit, so the
+    full prefix is appended exactly once."""
     if not pending:
         return []
+    if packed:
+        return ["_xm((%s,))" % ", ".join(
+            "%s*2+1" % temp if store else "%s*2" % temp
+            for temp, store in pending)]
     return [
         "_xa((%s,))" % ", ".join(temp for temp, _store in pending),
         "_xs((%s,))" % ", ".join(str(store) for _temp, store in pending),
     ]
 
 
-def _boundary_stmts(count_end, target_expr):
+def _boundary_stmts(count_end, target_expr, packed):
     """Record one run boundary ending at ``count_end`` (mirrors the
     closure loop's bookkeeping statement for statement)."""
-    return [
-        "_sa(_st[0])",
-        "_ea(%d)" % count_end,
+    if packed:
+        head = ["_ra(_st[0]*%d + %d)" % (PACK, count_end)]
+    else:
+        head = ["_sa(_st[0])", "_ea(%d)" % count_end]
+    return head + [
         "_st[1] += %d - _st[0]" % (count_end + 1),
         "_st[0] = %s" % target_expr,
     ]
@@ -463,6 +488,36 @@ def _boundary_stmts(count_end, target_expr):
 #: generated function (so other blocks and fallback closures always see
 #: canonical ``regs``/``flags`` state).
 _SYNC = "__SYNC__"
+
+#: Marker expanded by :meth:`_BlockRunner._assemble` into the flush of
+#: the batched-backedge iteration counter (``_bn``); placed before
+#: every run-boundary emission and every function exit so the batched
+#: records land in exact stream order.  Stripped when the block has no
+#: batched backedge.
+_FLUSH = "__FLUSHRB__"
+
+
+def _expand_flush(body, batch_site):
+    """Expand (or strip) the :data:`_FLUSH` markers in a block body."""
+    if batch_site is None:
+        repl = ""
+        out = []
+        for line in body:
+            if line.strip() == _FLUSH:
+                continue
+            out.append(line.replace(_FLUSH + "; ", repl))
+        return out
+    start, count_end = batch_site
+    inline = "_bn and _fr(%d, %d, _bn); _bn = 0" % (start, count_end)
+    out = []
+    for line in body:
+        if line.strip() == _FLUSH:
+            indent = line[:len(line) - len(line.lstrip())]
+            out.append(indent + "_bn and _fr(%d, %d, _bn)" % (start, count_end))
+            out.append(indent + "_bn = 0")
+        else:
+            out.append(line.replace(_FLUSH, inline))
+    return out
 
 _REG_RE = re.compile(r"regs\[(\d+)\]")
 _FLAG_RE = re.compile(r"flags\[(\d+)\]")
@@ -542,30 +597,68 @@ class _BlockRunner:
         self.blocks_compiled = 0
         self.units_compiled = 0
         self.fallback_instrs = 0
+        # run-length batching of self-backedge boundaries and the packed
+        # record layout (the trace builder may opt out of either, e.g.
+        # the bench's event-stream baseline)
+        self._batch_ok = getattr(program.trace, "batch_boundaries", True)
+        self._packed = bool(getattr(program.trace, "packed", False))
+        self._batch_site = None  # (start, count_end) of the batched site
 
     def _seq(self, idx):
         seq = self.program.seq_next
         return idx + 1 if seq is None else seq[idx]
 
-    @staticmethod
-    def _dyn_exit(body, count_end):
+    def _dyn_exit(self, body, count_end):
         """Exit through a runtime-computed ``_nxt`` (boundary iff taken)."""
-        body.append(
-            "if _nxt != %d: _sa(_st[0]); _ea(%d); _st[1] += %d - _st[0]; "
-            "_st[0] = _nxt" % (count_end + 1, count_end, count_end + 1))
+        body.append(_FLUSH)
+        if self._packed:
+            body.append(
+                "if _nxt != %d: _ra(_st[0]*%d + %d); _st[1] += %d - _st[0]; "
+                "_st[0] = _nxt" % (count_end + 1, PACK, count_end,
+                                   count_end + 1))
+        else:
+            body.append(
+                "if _nxt != %d: _sa(_st[0]); _ea(%d); _st[1] += %d - _st[0]; "
+                "_st[0] = _nxt" % (count_end + 1, count_end, count_end + 1))
         body.append("return _nxt")
 
-    @staticmethod
-    def _backedge_stmts(start, pending, count_end):
+    def _backedge_stmts(self, start, pending, count_end):
         """Taken transfer back to the block's own entry: record the run
         boundary and re-enter via ``continue`` instead of returning to
         the dispatch loop — a hot loop body then iterates entirely
         inside its generated function.  The budget is checked before
         looping (the dispatch loop raises on the returned-over-budget
         path); flushing the access prefix per iteration is safe because
-        every iteration re-executes the same straight-line prefix."""
-        stmts = _flush_lines(pending)
-        stmts += _boundary_stmts(count_end, "%d" % start)
+        every iteration re-executes the same straight-line prefix.
+
+        The first backedge site of a block is *batched* (unless the
+        trace builder opts out): iterations bump a local counter
+        (``_bn``) instead of appending two trace records each, and the
+        accumulated count is flushed as one run-length record wherever
+        a :data:`_FLUSH` marker expands — before every other boundary
+        and on every exit, so the boundary stream order is exact.  The
+        executed tally still moves per iteration, so budget enforcement
+        is unchanged.  Later backedge sites (rare: several conditional
+        branches back to the same entry) emit directly, flushing the
+        batched site first to preserve order."""
+        stmts = _flush_lines(pending, self._packed)
+        if self._batch_site is None and self._batch_ok:
+            self._batch_site = (start, count_end)
+            stmts.append("_st[1] += %d - _st[0]" % (count_end + 1))
+            if self._packed:
+                stmts.append("if _st[0] != %d: _ra(_st[0]*%d + %d); "
+                             "_st[0] = %d" % (start, PACK, count_end, start))
+            else:
+                stmts.append(
+                    "if _st[0] != %d: _sa(_st[0]); _ea(%d); _st[0] = %d"
+                    % (start, count_end, start))
+            stmts.append("else: _bn += 1")
+            stmts.append("if _st[1] > _st[2]: %s; %s; return %d"
+                         % (_FLUSH, _SYNC, start))
+            stmts.append("continue")
+            return stmts
+        stmts.append(_FLUSH)
+        stmts += _boundary_stmts(count_end, "%d" % start, self._packed)
         stmts.append("if _st[1] > _st[2]: %s; return %d" % (_SYNC, start))
         stmts.append("continue")
         return stmts
@@ -579,6 +672,7 @@ class _BlockRunner:
         units = 0
         fallbacks = 0
         idx = start
+        self._batch_site = None
         while True:
             if units >= CHAIN_MIN_UNITS and idx != start and idx in blocks:
                 # reached another compiled block's entry: chain to it
@@ -587,7 +681,8 @@ class _BlockRunner:
                 # Only after a minimum scan length: chaining too eagerly
                 # would split short hot loops at interior entries and
                 # forfeit the in-block backedge.
-                body.extend(_flush_lines(pending))
+                body.extend(_flush_lines(pending, self._packed))
+                body.append(_FLUSH)
                 body.append(_SYNC)
                 body.append("return %d" % idx)
                 break
@@ -600,7 +695,7 @@ class _BlockRunner:
                 # the pre-compiled closure terminate the block.  No
                 # sync *after* the call — the locals are stale then,
                 # and nothing downstream reads them.
-                body.extend(_flush_lines(pending))
+                body.extend(_flush_lines(pending, self._packed))
                 body.append(_SYNC)
                 body.append("_nxt = H[%d]()" % idx)
                 self._dyn_exit(body, count_end)
@@ -626,13 +721,15 @@ class _BlockRunner:
                         body.append(" " + line)
                 else:
                     stmts = list(template.taken_lines)
-                    stmts += _flush_lines(pending)
-                    stmts += _boundary_stmts(count_end, "%d" % target)
+                    stmts += _flush_lines(pending, self._packed)
+                    stmts.append(_FLUSH)
+                    stmts += _boundary_stmts(count_end, "%d" % target, self._packed)
                     stmts.append(_SYNC)
                     stmts.append("return %d" % target)
                     body.append("if %s: %s" % (template.cond, "; ".join(stmts)))
                 if units >= MAX_BLOCK_LEN:
-                    body.extend(_flush_lines(pending))
+                    body.extend(_flush_lines(pending, self._packed))
+                    body.append(_FLUSH)
                     body.append(_SYNC)
                     body.append("return %d" % (count_end + 1))
                     break
@@ -644,7 +741,7 @@ class _BlockRunner:
                 except ValueError:
                     target = None
                 if target is None:
-                    body.extend(_flush_lines(pending))
+                    body.extend(_flush_lines(pending, self._packed))
                     body.append("_nxt = %s" % template.nxt)
                     body.append(_SYNC)
                     self._dyn_exit(body, count_end)
@@ -656,19 +753,22 @@ class _BlockRunner:
                     # static jump to the next index — never a boundary,
                     # the superblock simply continues through it
                     if units >= MAX_BLOCK_LEN:
-                        body.extend(_flush_lines(pending))
+                        body.extend(_flush_lines(pending, self._packed))
+                        body.append(_FLUSH)
                         body.append(_SYNC)
                         body.append("return %d" % target)
                         break
                     idx = target
                     continue
-                body.extend(_flush_lines(pending))
-                body.extend(_boundary_stmts(count_end, "%d" % target))
+                body.extend(_flush_lines(pending, self._packed))
+                body.append(_FLUSH)
+                body.extend(_boundary_stmts(count_end, "%d" % target, self._packed))
                 body.append(_SYNC)
                 body.append("return %d" % target)
                 break
             if units >= MAX_BLOCK_LEN:
-                body.extend(_flush_lines(pending))
+                body.extend(_flush_lines(pending, self._packed))
+                body.append(_FLUSH)
                 body.append(_SYNC)
                 body.append("return %d" % (count_end + 1))
                 break
@@ -682,6 +782,7 @@ class _BlockRunner:
 
     def _assemble(self, start, body):
         program = self.program
+        body = _expand_flush(body, self._batch_site)
         # Register/flag caching pays for its prologue loads + exit
         # write-backs only when values are re-read many times — i.e.
         # when the block loops on itself (backedge ``continue``).
@@ -689,6 +790,8 @@ class _BlockRunner:
             prologue, body = _apply_reg_cache(body)
         else:
             prologue, body = [], _strip_sync(body)
+        if self._batch_site is not None:
+            prologue.append("_bn = 0")
         src = ("def _factory(%s):\n def _block():\n%s  while True:\n   %s\n"
                " return _block\n" % (", ".join(_FACTORY_PARAMS),
                                      "".join("  %s\n" % p for p in prologue),
@@ -697,10 +800,17 @@ class _BlockRunner:
         code = compile(src, "<repro.sim.block:%s:%d>" % (program.isa, start), "exec")
         exec(code, EXEC_GLOBALS, namespace)
         trace = program.trace
+        if self._packed:
+            xm, ra = trace.mem.extend, trace.bounds.append
+            xa = xs = sa = ea = None
+        else:
+            xm = ra = None
+            xa, xs = trace.mem_addrs.extend, trace.mem_is_store.extend
+            sa, ea = trace.run_starts.append, trace.run_ends.append
         return namespace["_factory"](
             program.handlers, program.regs, program.mem, program.flags,
-            trace.mem_addrs.extend, trace.mem_is_store.extend,
-            trace.run_starts.append, trace.run_ends.append, self.state,
+            xm, xa, xs, ra, sa, ea,
+            trace.flush_repeat, self.state,
             program.index_of, struct.unpack_from, struct.pack_into,
             trace.console, program.exit_code,
         )
@@ -715,8 +825,7 @@ class _BlockRunner:
         hot_get = hot.get
         handlers = program.handlers
         seq = program.seq_next
-        starts_append = program.trace.run_starts.append
-        ends_append = program.trace.run_ends.append
+        boundary = program.trace.add_boundary
         prof = self.prof
         clock = time.perf_counter
         idx = 0
@@ -741,8 +850,7 @@ class _BlockRunner:
                             if nxt == straight:
                                 idx = nxt
                                 continue
-                            starts_append(state[0])
-                            ends_append(straight - 1)
+                            boundary(state[0], straight - 1)
                             state[1] += straight - state[0]
                             state[0] = nxt
                             idx = nxt

@@ -186,8 +186,7 @@ def _compile(image, regs, mem, flags, trace, exit_code):
     isa = image.isa
     handlers = [None] * len(image.records)
     seq_next = [0] * len(image.records)
-    ma = trace.mem_addrs.append
-    ms = trace.mem_is_store.append
+    mm = trace.add_mem
     unpack_from = struct.unpack_from
     pack_into = struct.pack_into
 
@@ -210,7 +209,7 @@ def _compile(image, regs, mem, flags, trace, exit_code):
             seq_next[k] = nxt
         h = _build_handler(
             image, isa, atom, spec, kind, fields, nxt, regs, mem, flags, trace,
-            exit_code, reg_of, operand_value, operate2_source, ma, ms,
+            exit_code, reg_of, operand_value, operate2_source, mm,
             unpack_from, pack_into,
         )
         handlers[atom.start] = h
@@ -226,7 +225,7 @@ def _unreachable(index):
 
 
 def _build_handler(image, isa, atom, spec, kind, fields, nxt, regs, mem, flags, trace,
-                   exit_code, reg_of, operand_value, operate2_source, ma, ms,
+                   exit_code, reg_of, operand_value, operate2_source, mm,
                    unpack_from, pack_into):
     layout = dict(isa.field_layout(spec))
 
@@ -270,7 +269,7 @@ def _build_handler(image, isa, atom, spec, kind, fields, nxt, regs, mem, flags, 
         def ea():
             return (regs[rb] + ((regs[rm] << shift) & M32)) & M32
 
-        return _mem_handler(load, width, signed, rd, ea, nxt, regs, mem, ma, ms,
+        return _mem_handler(load, width, signed, rd, ea, nxt, regs, mem, mm,
                             unpack_from, pack_into)
 
     if kind in ("dp3", "mov2", "shifti", "shiftr", "mul"):
@@ -440,7 +439,7 @@ def _build_handler(image, isa, atom, spec, kind, fields, nxt, regs, mem, flags, 
             def ea():
                 return (regs[rb] + offset) & M32
 
-        return _mem_handler(load, width, signed, rd, ea, nxt, regs, mem, ma, ms,
+        return _mem_handler(load, width, signed, rd, ea, nxt, regs, mem, mm,
                             unpack_from, pack_into)
 
     if kind == "spadj":
@@ -461,14 +460,12 @@ def _build_handler(image, isa, atom, spec, kind, fields, nxt, regs, mem, flags, 
             def h():
                 addr = regs[13]
                 for r in gprs:
-                    ma(addr)
-                    ms(0)
+                    mm(addr + addr)
                     regs[r] = unpack_from("<I", mem, addr)[0]
                     addr += 4
                 target = nxt
                 if loads_pc:
-                    ma(addr)
-                    ms(0)
+                    mm(addr + addr)
                     target = index_of(unpack_from("<I", mem, addr)[0])
                     addr += 4
                 regs[13] = addr
@@ -479,8 +476,7 @@ def _build_handler(image, isa, atom, spec, kind, fields, nxt, regs, mem, flags, 
             addr = regs[13] - 4 * len(reglist)
             regs[13] = addr
             for r in reglist:
-                ma(addr)
-                ms(1)
+                mm(addr + addr + 1)
                 pack_into("<I", mem, addr, regs[r])
                 addr += 4
             return nxt
@@ -533,64 +529,56 @@ def _build_handler(image, isa, atom, spec, kind, fields, nxt, regs, mem, flags, 
     raise SimulationError("cannot execute FITS kind %r" % kind)
 
 
-def _mem_handler(load, width, signed, rd, ea, nxt, regs, mem, ma, ms, unpack_from, pack_into):
+def _mem_handler(load, width, signed, rd, ea, nxt, regs, mem, mm, unpack_from, pack_into):
     if load:
         if width == 4:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(0)
+                mm(addr + addr)
                 regs[rd] = unpack_from("<I", mem, addr)[0]
                 return nxt
         elif width == 2 and signed:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(0)
+                mm(addr + addr)
                 regs[rd] = unpack_from("<h", mem, addr)[0] & M32
                 return nxt
         elif width == 2:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(0)
+                mm(addr + addr)
                 regs[rd] = unpack_from("<H", mem, addr)[0]
                 return nxt
         elif signed:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(0)
+                mm(addr + addr)
                 v = mem[addr]
                 regs[rd] = v | 0xFFFFFF00 if v & 0x80 else v
                 return nxt
         else:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(0)
+                mm(addr + addr)
                 regs[rd] = mem[addr]
                 return nxt
     else:
         if width == 4:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(1)
+                mm(addr + addr + 1)
                 pack_into("<I", mem, addr, regs[rd])
                 return nxt
         elif width == 2:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(1)
+                mm(addr + addr + 1)
                 pack_into("<H", mem, addr, regs[rd] & 0xFFFF)
                 return nxt
         else:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(1)
+                mm(addr + addr + 1)
                 mem[addr] = regs[rd] & 0xFF
                 return nxt
     return h

@@ -108,8 +108,7 @@ def _set_cmp(flags, a, b):
 
 def _compile(image, regs, mem, flags, trace, exit_code):
     handlers = []
-    ma = trace.mem_addrs.append
-    ms = trace.mem_is_store.append
+    mm = trace.add_mem
     unpack_from = struct.unpack_from
     pack_into = struct.pack_into
 
@@ -180,24 +179,22 @@ def _compile(image, regs, mem, flags, trace, exit_code):
             h = _compile_alu(ins, nxt, regs, flags)
         elif isinstance(ins, TLoadStoreImm):
             h = _compile_ls(ins.load, ins.rd, ins.rn, ins.offset, None, ins.width, False,
-                            nxt, regs, mem, ma, ms, unpack_from, pack_into)
+                            nxt, regs, mem, mm, unpack_from, pack_into)
         elif isinstance(ins, TLoadStoreReg):
             h = _compile_ls(ins.load, ins.rd, ins.rn, None, ins.rm, ins.width, ins.signed,
-                            nxt, regs, mem, ma, ms, unpack_from, pack_into)
+                            nxt, regs, mem, mm, unpack_from, pack_into)
         elif isinstance(ins, TLoadStoreSpRel):
             off, rd = ins.offset, ins.rd
             if ins.load:
                 def h(rd=rd, off=off, nxt=nxt):
                     addr = (regs[13] + off) & M32
-                    ma(addr)
-                    ms(0)
+                    mm(addr + addr)
                     regs[rd] = unpack_from("<I", mem, addr)[0]
                     return nxt
             else:
                 def h(rd=rd, off=off, nxt=nxt):
                     addr = (regs[13] + off) & M32
-                    ma(addr)
-                    ms(1)
+                    mm(addr + addr + 1)
                     pack_into("<I", mem, addr, regs[rd])
                     return nxt
         elif isinstance(ins, TAdjustSp):
@@ -207,7 +204,7 @@ def _compile(image, regs, mem, flags, trace, exit_code):
                 regs[13] = (regs[13] + delta) & M32
                 return nxt
         elif isinstance(ins, TPushPop):
-            h = _compile_pushpop(ins, idx, nxt, image, regs, mem, ma, ms, unpack_from, pack_into)
+            h = _compile_pushpop(ins, idx, nxt, image, regs, mem, mm, unpack_from, pack_into)
         elif isinstance(ins, TCondBranch):
             target = ins.target_index(idx)
             check = _check(ins.cond, flags)
@@ -311,7 +308,7 @@ def _compile_alu(ins, nxt, regs, flags):
     raise SimulationError("unsupported thumb ALU op %s" % op.name)
 
 
-def _compile_ls(load, rd, rn, off_imm, rm, width, signed, nxt, regs, mem, ma, ms, unpack_from, pack_into):
+def _compile_ls(load, rd, rn, off_imm, rm, width, signed, nxt, regs, mem, mm, unpack_from, pack_into):
     if off_imm is not None:
         def ea(rn=rn, off=off_imm):
             return (regs[rn] + off) & M32
@@ -323,67 +320,59 @@ def _compile_ls(load, rd, rn, off_imm, rm, width, signed, nxt, regs, mem, ma, ms
         if width == 4:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(0)
+                mm(addr + addr)
                 regs[rd] = unpack_from("<I", mem, addr)[0]
                 return nxt
         elif width == 2:
             if signed:
                 def h():
                     addr = ea()
-                    ma(addr)
-                    ms(0)
+                    mm(addr + addr)
                     regs[rd] = unpack_from("<h", mem, addr)[0] & M32
                     return nxt
             else:
                 def h():
                     addr = ea()
-                    ma(addr)
-                    ms(0)
+                    mm(addr + addr)
                     regs[rd] = unpack_from("<H", mem, addr)[0]
                     return nxt
         else:
             if signed:
                 def h():
                     addr = ea()
-                    ma(addr)
-                    ms(0)
+                    mm(addr + addr)
                     v = mem[addr]
                     regs[rd] = v | 0xFFFFFF00 if v & 0x80 else v
                     return nxt
             else:
                 def h():
                     addr = ea()
-                    ma(addr)
-                    ms(0)
+                    mm(addr + addr)
                     regs[rd] = mem[addr]
                     return nxt
     else:
         if width == 4:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(1)
+                mm(addr + addr + 1)
                 pack_into("<I", mem, addr, regs[rd])
                 return nxt
         elif width == 2:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(1)
+                mm(addr + addr + 1)
                 pack_into("<H", mem, addr, regs[rd] & 0xFFFF)
                 return nxt
         else:
             def h():
                 addr = ea()
-                ma(addr)
-                ms(1)
+                mm(addr + addr + 1)
                 mem[addr] = regs[rd] & 0xFF
                 return nxt
     return h
 
 
-def _compile_pushpop(ins, idx, nxt, image, regs, mem, ma, ms, unpack_from, pack_into):
+def _compile_pushpop(ins, idx, nxt, image, regs, mem, mm, unpack_from, pack_into):
     reglist = list(ins.reglist)
     if ins.pop:
         index_of = image.index_of_addr
@@ -391,14 +380,12 @@ def _compile_pushpop(ins, idx, nxt, image, regs, mem, ma, ms, unpack_from, pack_
         def h(reglist=tuple(reglist), extra=ins.extra, nxt=nxt):
             sp = regs[13]
             for r in reglist:
-                ma(sp)
-                ms(0)
+                mm(sp + sp)
                 regs[r] = unpack_from("<I", mem, sp)[0]
                 sp += 4
             target = nxt
             if extra:
-                ma(sp)
-                ms(0)
+                mm(sp + sp)
                 pc = unpack_from("<I", mem, sp)[0]
                 sp += 4
                 target = index_of(pc)
@@ -410,13 +397,11 @@ def _compile_pushpop(ins, idx, nxt, image, regs, mem, ma, ms, unpack_from, pack_
             sp = regs[13] - 4 * count
             regs[13] = sp
             for r in reglist:
-                ma(sp)
-                ms(1)
+                mm(sp + sp + 1)
                 pack_into("<I", mem, sp, regs[r])
                 sp += 4
             if extra:
-                ma(sp)
-                ms(1)
+                mm(sp + sp + 1)
                 pack_into("<I", mem, sp, regs[14])
             return nxt
     return h

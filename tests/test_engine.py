@@ -244,11 +244,13 @@ def test_explicit_engine_overrides_env(monkeypatch):
 
 def test_trace_builder_array_backed():
     tb = TraceBuilder()
-    assert isinstance(tb.run_starts, array) and tb.run_starts.typecode == "q"
-    assert isinstance(tb.run_ends, array) and tb.run_ends.typecode == "q"
-    assert isinstance(tb.mem_addrs, array) and tb.mem_addrs.typecode == "L"
-    assert isinstance(tb.mem_is_store, array)
+    assert isinstance(tb.bounds, array) and tb.bounds.typecode == "q"
+    assert isinstance(tb.mem, array) and tb.mem.typecode == "q"
     assert isinstance(tb.console, bytearray)
+    # the handler-side binding writes packed addr*2|is_store records
+    tb.add_mem(0x1000 << 1)
+    tb.add_mem((0x2004 << 1) | 1)
+    assert list(tb.mem) == [0x1000 << 1, (0x2004 << 1) | 1]
 
 
 def test_execution_result_dtypes_stable():

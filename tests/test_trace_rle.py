@@ -1,0 +1,297 @@
+"""Columnar run-length trace property tests (DESIGN.md §8).
+
+The contract under test: the two-level columnar trace — superblock
+table plus ``(superblock_id, iteration_count)`` stream — is exactly
+equivalent to the flat per-boundary event stream.  Round-trips through
+:func:`rle_encode` / :func:`rle_encode_packed` are lossless (including
+the block engine's batched backedge repeats and budget-truncated runs),
+block and closure engines produce identical columnar traces, and the
+stack-distance / timing replay over the RLE form is bit-identical to
+the event-stream reference across ≥20 cache geometries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import compile_arm, compile_thumb
+from repro.ir import Cond, FunctionBuilder, Module
+from repro.sim.cache import (
+    CacheGeometry,
+    expand_line_spans,
+    profile_lines,
+)
+from repro.sim.cache import stack as stack_mod
+from repro.sim.cache.stack import profile_spans_rle
+from repro.sim.functional import ArmSimulator
+from repro.sim.functional.thumb_sim import ThumbSimulator
+from repro.sim.functional.trace import PACK, rle_encode, rle_encode_packed
+from repro.sim.pipeline.timing import (
+    TimingConfig,
+    precompute_timing,
+    simulate_timing_multi,
+)
+from repro.workloads import get_workload
+from repro.workloads.runtime import runtime_module
+
+# ≥20 geometries at a shared 32B block: sizes 1K..32K, direct-mapped
+# through fully-associative.
+GEOMETRIES = []
+for _size in (1024, 2048, 4096, 8192, 16384, 32768):
+    for _assoc in (1, 2, 4, 8, _size // 32):
+        if _size % (32 * _assoc):
+            continue
+        _geom = CacheGeometry(_size, 32, _assoc)
+        if not any(g.size_bytes == _geom.size_bytes
+                   and g.associativity == _geom.associativity
+                   for g in GEOMETRIES):
+            GEOMETRIES.append(_geom)
+
+
+def test_geometry_pool_large_enough():
+    assert len(GEOMETRIES) >= 20
+
+
+# ----------------------------------------------------------------------
+# rle_encode round-trips: columnar -> per-boundary expansion is exact
+
+
+def expand(block_starts, block_ends, seg_ids, seg_counts):
+    rs = np.repeat(np.asarray(block_starts)[seg_ids], seg_counts)
+    re = np.repeat(np.asarray(block_ends)[seg_ids], seg_counts)
+    return rs, re
+
+
+boundary_stream = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(0, 12),
+              st.integers(1, 9)),
+    min_size=0, max_size=60,
+).map(lambda runs: [(s, s + w) for s, w, n in runs for _ in range(n)])
+
+
+@settings(max_examples=60, deadline=None)
+@given(boundary_stream)
+def test_rle_encode_roundtrip(stream):
+    rs = np.asarray([s for s, _e in stream], dtype=np.int64)
+    re = np.asarray([e for _s, e in stream], dtype=np.int64)
+    bs, be, sid, cnt = rle_encode(rs, re)
+    # table rows are distinct and the stream never repeats a block id
+    # consecutively (maximal segments)
+    assert len(np.unique(bs * 1000 + be)) == len(bs)
+    assert not np.any(sid[1:] == sid[:-1])
+    assert int(cnt.sum()) == len(rs)
+    xs, xe = expand(bs, be, sid, cnt)
+    assert np.array_equal(xs, rs)
+    assert np.array_equal(xe, re)
+
+
+@settings(max_examples=60, deadline=None)
+@given(boundary_stream)
+def test_rle_encode_packed_matches(stream):
+    rs = np.asarray([s for s, _e in stream], dtype=np.int64)
+    re = np.asarray([e for _s, e in stream], dtype=np.int64)
+    ref = rle_encode(rs, re)
+    packed = rle_encode_packed(rs * PACK + re)
+    for a, b in zip(ref, packed):
+        assert np.array_equal(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(boundary_stream, st.data())
+def test_rle_encode_folds_batched_repeats(stream, data):
+    """The block engine batches hot backedges as (boundary index, extra
+    repeats); folding them must equal materializing them."""
+    rs = np.asarray([s for s, _e in stream], dtype=np.int64)
+    re = np.asarray([e for _s, e in stream], dtype=np.int64)
+    n = len(rs)
+    reps = data.draw(st.lists(
+        st.tuples(st.integers(0, max(n - 1, 0)), st.integers(1, 50)),
+        min_size=0, max_size=5, unique_by=lambda t: t[0])) if n else []
+    # materialized reference: boundary i repeated 1 + extra times
+    extra_of = dict(reps)
+    flat_s, flat_e = [], []
+    for i in range(n):
+        times = 1 + extra_of.get(i, 0)
+        flat_s.extend([int(rs[i])] * times)
+        flat_e.extend([int(re[i])] * times)
+    ref = rle_encode(np.asarray(flat_s, dtype=np.int64),
+                     np.asarray(flat_e, dtype=np.int64))
+    idx = np.asarray(sorted(extra_of), dtype=np.int64)
+    ext = np.asarray([extra_of[i] for i in sorted(extra_of)],
+                     dtype=np.int64)
+    folded = rle_encode(rs, re, rep_index=idx, rep_extra=ext)
+    for a, b in zip(ref, folded):
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# block vs closure engines: identical columnar traces, including
+# self-backedge loops and budget-truncated (exact-budget) runs
+
+
+def selfloop_module():
+    """A tight self-backedge loop: one block repeating many times —
+    the shape the block engine batches via ``flush_repeat``."""
+    m = Module("selfloop")
+    b = FunctionBuilder(m, "main", [])
+    acc = b.li(0)
+    x = b.li(4000)
+    with b.loop_while(Cond.NE, x, 0):
+        b.add(acc, 1, dst=acc)
+        b.sub(x, 1, dst=x)
+    b.ret(b.and_(acc, 0xFF))
+    m.merge(runtime_module(), allow_duplicates=True)
+    return m
+
+
+RLE_FIELDS = ("block_starts", "block_ends", "seg_ids", "seg_counts")
+
+
+def assert_same_columnar(a, b, label):
+    for field in RLE_FIELDS:
+        assert np.array_equal(getattr(a, field), getattr(b, field)), (
+            "%s: %s differs" % (label, field))
+    assert np.array_equal(a.run_starts, b.run_starts), label
+    assert np.array_equal(a.run_ends, b.run_ends), label
+
+
+@pytest.mark.parametrize("isa", ["arm", "thumb"])
+def test_engines_columnar_identical_selfloop(isa):
+    compiler = compile_arm if isa == "arm" else compile_thumb
+    sim = ArmSimulator if isa == "arm" else ThumbSimulator
+    image = compiler(selfloop_module())
+    block = sim(image, engine="block").run()
+    closure = sim(image, engine="closure").run()
+    assert block.num_runs > 1000          # the loop actually spun
+    assert len(block.seg_ids) < block.num_runs // 100  # and collapsed
+    assert_same_columnar(block, closure, "selfloop/%s" % isa)
+
+
+@pytest.mark.parametrize("bench", ["crc32", "sha"])
+def test_engines_columnar_identical_workload(bench):
+    wl = get_workload(bench)
+    image = compile_arm(wl.build_module("small"))
+    block = ArmSimulator(image, engine="block").run()
+    closure = ArmSimulator(image, engine="closure").run()
+    assert block.exit_code == wl.reference("small")
+    assert_same_columnar(block, closure, bench)
+
+
+def test_engines_columnar_identical_exact_budget():
+    """A budget equal to the true dynamic count truncates the block
+    engine's backedge batching mid-flight; the emitted columnar trace
+    must still match the closure engine's exactly."""
+    image = compile_arm(selfloop_module())
+    dyn = ArmSimulator(image, engine="closure").run().dynamic_instructions
+    block = ArmSimulator(image, max_instructions=dyn,
+                         engine="block").run()
+    closure = ArmSimulator(image, max_instructions=dyn,
+                           engine="closure").run()
+    assert_same_columnar(block, closure, "exact-budget")
+
+
+# ----------------------------------------------------------------------
+# stack-distance replay over RLE == event-stream reference, ≥20
+# geometries, randomized span tables and streams
+
+
+def assert_rle_profile_matches(sl, el, sid, cnt, geometries):
+    rle = profile_spans_rle(sl, el, sid, cnt, geometries)
+    run_sl = np.asarray(sl)[sid]
+    run_el = np.asarray(el)[sid]
+    lines = expand_line_spans(np.repeat(run_sl, cnt),
+                              np.repeat(run_el, cnt))
+    ref = profile_lines(lines, geometries)
+    assert rle.accesses == ref.accesses
+    # the RLE path reports distinct lines sorted; the event path in
+    # first-touch order — same set, and stats() must agree exactly
+    assert np.array_equal(np.sort(np.asarray(rle.distinct_lines)),
+                          np.sort(np.asarray(ref.distinct_lines)))
+    for geom in geometries:
+        assert rle.stats(geom) == ref.stats(geom), geom
+
+
+span_table = st.lists(
+    st.tuples(st.integers(0, 120), st.integers(0, 6)),
+    min_size=1, max_size=12,
+).map(lambda rows: ([s for s, _w in rows], [s + w for s, w in rows]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(span_table, st.data())
+def test_rle_stack_profile_random(table, data):
+    sl, el = table
+    nb = len(sl)
+    segs = data.draw(st.lists(
+        st.tuples(st.integers(0, nb - 1), st.integers(1, 7)),
+        min_size=0, max_size=40))
+    sid = np.asarray([b for b, _n in segs], dtype=np.int64)
+    cnt = np.asarray([n for _b, n in segs], dtype=np.int64)
+    assert_rle_profile_matches(np.asarray(sl, dtype=np.int64),
+                               np.asarray(el, dtype=np.int64),
+                               sid, cnt, GEOMETRIES)
+
+
+def test_rle_stack_profile_periodic_and_selfloop():
+    """Adversarial shapes for the chunked DFA walk: long periodic
+    regions (chunk reuse), a self-backedge block with huge counts
+    (steady-repeat reduction), and chunk-boundary misalignment."""
+    sl = np.asarray([0, 3, 5, 9, 0], dtype=np.int64)
+    el = np.asarray([3, 5, 8, 9, 9], dtype=np.int64)
+    sid = []
+    cnt = []
+    sid += [0, 1] * 40            # period 2
+    cnt += [1, 2] * 40
+    sid += [2] * 3                # misalign the next region
+    cnt += [1, 100000, 7]         # self-repeat with a huge count
+    sid += [0, 1, 2, 3] * 25      # period 4
+    cnt += [1, 1, 2, 3] * 25
+    sid += [4]                    # full-span block touches everything
+    cnt += [2]
+    assert_rle_profile_matches(
+        sl, el, np.asarray(sid, dtype=np.int64),
+        np.asarray(cnt, dtype=np.int64), GEOMETRIES)
+
+
+def test_rle_stack_profile_memo_cap_overflow(monkeypatch):
+    """Beyond the transition-memo cap the kernel computes transitions
+    directly (and stops caching chunks) — still exact."""
+    monkeypatch.setattr(stack_mod, "_RLE_MEMO_CAP", 3)
+    sl = np.asarray([0, 2, 4, 6], dtype=np.int64)
+    el = np.asarray([1, 3, 5, 7], dtype=np.int64)
+    rng = np.random.RandomState(7)
+    sid = rng.randint(0, 4, size=200).astype(np.int64)
+    cnt = rng.randint(1, 5, size=200).astype(np.int64)
+    assert_rle_profile_matches(sl, el, sid, cnt, GEOMETRIES)
+
+
+@pytest.mark.parametrize("bench", ["crc32", "sha"])
+def test_rle_stack_profile_real_trace(bench):
+    wl = get_workload(bench)
+    image = compile_arm(wl.build_module("small"))
+    result = ArmSimulator(image, engine="block").run()
+    pre = precompute_timing(result, TimingConfig())
+    sl, el = pre.line_spans_for(32)
+    assert_rle_profile_matches(sl, el, result.seg_ids,
+                               result.seg_counts, GEOMETRIES)
+
+
+# ----------------------------------------------------------------------
+# timing replay: full reports over the RLE path == event-stream path
+
+
+def test_timing_replay_event_vs_rle(monkeypatch):
+    specs = [(size, TimingConfig(icache_assoc=assoc))
+             for size in (1024, 4096, 32768) for assoc in (1, 4)]
+    wl = get_workload("crc32")
+    image = compile_arm(wl.build_module("small"))
+    result = ArmSimulator(image, engine="block").run()
+
+    def reports(mode):
+        monkeypatch.setenv("REPRO_TRACE_REPLAY", mode)
+        result.__dict__.pop("_timing_precomps", None)
+        return simulate_timing_multi(result, specs)
+
+    event = reports("event")
+    rle = reports("rle")
+    assert [r.__dict__ for r in event] == [r.__dict__ for r in rle]
