@@ -36,6 +36,11 @@
 #     bench trace sections must show >= 5x warm replay speedup on >= 2
 #     benchmarks; and `repro.bench --check` must accept the fresh blob
 #     and reject a tampered one.
+# 11. Warm-pool gate: a REPRO_DSE_POOL=chunk re-run of the smoke sweep
+#     must be bit-identical to the default warm-pool store; the bench
+#     pool section must show the warm pool >= 1.3x at jobs=4 with
+#     identical results in both modes; and `serve dash` must render the
+#     per-worker utilization row.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -161,6 +166,28 @@ print("trace store: %d hits, %d points bit-identical cold vs warm"
       % (hits, len(cold)))
 EOF
 
+echo "== dispatch-mode equivalence (fork-per-chunk vs warm pool) =="
+REPRO_DSE_POOL=chunk python -m repro.dse sweep --preset smoke \
+    --benchmarks crc32,sha --scale small --jobs 2 \
+    --store "$tmp/dse-chunk" | tee "$tmp/sweep-chunk.txt"
+grep -q "evaluated: 8" "$tmp/sweep-chunk.txt" \
+    || { echo "FAIL: chunk-mode sweep did not evaluate 8 points"; exit 1; }
+python - "$dse_store" "$tmp/dse-chunk" <<'EOF'
+import sys
+from repro.dse.store import ResultStore
+
+warm = {(b["benchmark"], b["point"]["id"]): b["metrics"]
+        for b in ResultStore(sys.argv[1]).iter_results()}
+chunk = {(b["benchmark"], b["point"]["id"]): b["metrics"]
+         for b in ResultStore(sys.argv[2]).iter_results()}
+assert warm and set(warm) == set(chunk), "modes evaluated different points"
+for key, metrics in warm.items():
+    assert metrics == chunk[key], \
+        "pool-mode metrics diverged for %s/%s" % key
+print("dispatch modes bit-identical: %d points, warm pool == fork-per-chunk"
+      % len(warm))
+EOF
+
 echo "== DSE frontier (must be non-empty) =="
 python -m repro.dse frontier --store "$dse_store" | tee "$tmp/frontier.txt"
 grep -q "FITS" "$tmp/frontier.txt" \
@@ -199,12 +226,12 @@ echo "== pipeline micro-benchmark (cache sweep + cold sim + trace, trajectory re
 REPRO_COMMIT=verify-smoke python -m repro.bench --reps 3 --sim-reps 3 \
     --out "$tmp/BENCH_pipeline.json" --record-trajectory --store "$hist" \
     | tee "$tmp/bench.txt"
-grep -q "trajectory: 7 added" "$tmp/bench.txt" \
+grep -q "trajectory: 8 added" "$tmp/bench.txt" \
     || { echo "FAIL: bench sections not recorded into the trajectory store"; exit 1; }
 python - "$tmp/BENCH_pipeline.json" <<'EOF'
 import json, sys
 blob = json.load(open(sys.argv[1]))
-assert blob["schema"] == "repro.bench/v3", blob.get("schema")
+assert blob["schema"] == "repro.bench/v4", blob.get("schema")
 assert blob.get("code_hash"), "bench blob missing the simulator code hash"
 sweeps = [s for s in blob["sections"] if s["kind"] == "sweep"]
 sims = [s for s in blob["sections"] if s["kind"] == "sim"]
@@ -232,6 +259,14 @@ assert len(fast_replay) >= 2, \
     "warm RLE replay <5x on all but %d benchmarks: %s" % (
         len(fast_replay),
         ["%s=%.2fx" % (s["benchmark"], s["replay_speedup"]) for s in traces])
+# warm-pool gate: the persistent pool must beat fork-per-chunk dispatch
+# >= 1.3x at jobs=4, and both modes must produce identical results
+pools = [s for s in blob["sections"] if s["kind"] == "pool"]
+assert len(pools) == 1, "expected exactly one pool section"
+pool = pools[0]
+assert pool["identical"], "pool/chunk sweeps diverged in the bench section"
+assert pool["speedup"]["4"] >= 1.3, \
+    "warm pool only %.2fx vs fork-per-chunk at jobs=4" % pool["speedup"]["4"]
 print("bench: %d cache points, %.2fx sweep speedup" % (
     sweeps[0]["points"], sweeps[0]["speedup"]))
 for s in sims:
@@ -240,6 +275,8 @@ for s in sims:
 for s in traces:
     print("bench: %s warm replay %.2fx, trace entry %dB" % (
         s["benchmark"], s["replay_speedup"], s["store_bytes"]))
+print("bench: warm pool %.2fx vs fork-per-chunk at jobs=4, identical=%s" % (
+    pool["speedup"]["4"], pool["identical"]))
 EOF
 
 echo "== bench blob staleness check (--check accepts fresh, rejects tampered) =="
@@ -471,6 +508,8 @@ grep -q "repro.serve dash" "$tmp/dash.txt" \
     || { echo "FAIL: dash --once rendered no frame"; exit 1; }
 grep -q "latency" "$tmp/dash.txt" \
     || { echo "FAIL: dash frame missing latency section"; exit 1; }
+grep -q "workers:" "$tmp/dash.txt" \
+    || { echo "FAIL: dash frame missing per-worker pool utilization row"; exit 1; }
 
 python -m repro.serve status --socket "$tmp/serve.sock" --shutdown > /dev/null
 wait "$serve_pid" \

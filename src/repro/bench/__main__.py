@@ -88,6 +88,17 @@ def main(argv=None):
             print("  closure engine (cold):  %8.1f ms"
                   % (1e3 * section["closure_s"]))
             print("  speedup:                %8.2fx" % section["speedup"])
+        elif section["kind"] == "pool":
+            print("pool: %s/%s, %d points, jobs %s" % (
+                section["benchmark"], section["scale"], section["points"],
+                "/".join(str(j) for j in section["jobs"])))
+            for j in section["jobs"]:
+                print("  jobs=%d: fork-per-chunk  %8.1f ms,  warm pool "
+                      "%8.1f ms  (%.2fx)"
+                      % (j, 1e3 * section["chunk_s"][str(j)],
+                         1e3 * section["pool_s"][str(j)],
+                         section["speedup"][str(j)]))
+            print("  modes bit-identical:    %s" % section["identical"])
         else:
             print("trace: %s, %d instrs, %d sblocks / %d segs / %d runs" % (
                 section["benchmark"], section["dynamic_instructions"],
@@ -137,6 +148,22 @@ def main(argv=None):
                         "bench.sim.speedup": section["speedup"],
                     },
                     wall_seconds=section["block_s"],
+                    source="bench",
+                ))
+            elif section["kind"] == "pool":
+                jmax = str(max(section["jobs"]))
+                records.append(make_record(
+                    commit, section["benchmark"], section["scale"],
+                    point_id="bench_pool", label="bench-pool",
+                    metrics={
+                        "bench.pool.chunk_s_j%s" % jmax:
+                            section["chunk_s"][jmax],
+                        "bench.pool.pool_s_j%s" % jmax:
+                            section["pool_s"][jmax],
+                        "bench.pool.speedup_j%s" % jmax:
+                            section["speedup"][jmax],
+                    },
+                    wall_seconds=section["pool_s"][jmax],
                     source="bench",
                 ))
             else:

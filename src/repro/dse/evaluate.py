@@ -10,11 +10,12 @@ The per-ISA functional work (compile + simulate, and for FITS the whole
 synthesis flow) dominates the cost and is independent of the cache
 axes, so it is memoized per ``(benchmark, scale, isa)``: a worker
 evaluating many cache geometries for one benchmark compiles and
-simulates each ISA once.  The memo is deliberately scoped to one
-benchmark at a time (sweep tasks are grouped by benchmark) to bound
-memory.  Across processes and sessions the persistent trace store
-(:mod:`repro.sim.functional.store`) removes the functional simulation
-entirely on a warm cache.
+simulates each ISA once.  The memo keeps a small LRU of benchmark
+groups (``REPRO_DSE_FUNC_CACHE``, default 2) to bound memory while
+letting a persistent pool worker interleave chunks from concurrent
+jobs without thrashing.  Across processes and sessions the persistent
+trace store (:mod:`repro.sim.functional.store`) removes the functional
+simulation entirely on a warm cache.
 
 Cache points are further batched by :func:`evaluate_points`: all points
 of one ``(benchmark, scale, isa)`` share the geometry-invariant timing
@@ -30,7 +31,9 @@ with the default :class:`TimingConfig` and
 FITS16/FITS8 numbers reproduce bit-identically through the scheduler.
 """
 
+import os
 import time
+from collections import OrderedDict
 
 from repro import obs
 from repro.compiler import compile_arm, compile_thumb
@@ -46,24 +49,44 @@ from repro.sim.functional.thumb_sim import ThumbSimulator
 from repro.sim.pipeline import TimingBatch, TimingConfig
 from repro.workloads import get_workload
 
-#: (benchmark, scale, isa) → (image, ExecutionResult).  Kept to a single
-#: benchmark's entries at a time — see :func:`_functional`.
+#: (benchmark, scale, isa) → (image, ExecutionResult).  Persistent pool
+#: workers interleave chunks from different benchmarks (fair-share
+#: across concurrent serve jobs), so instead of the old single-benchmark
+#: policy the memo keeps the ``REPRO_DSE_FUNC_CACHE`` most recently used
+#: (benchmark, scale) groups — see :func:`_functional`.
 _FUNC_CACHE = {}
+_FUNC_GROUPS = OrderedDict()  # (benchmark, scale) → True, LRU order
+
+
+def _func_cache_groups():
+    try:
+        return max(1, int(os.environ.get("REPRO_DSE_FUNC_CACHE", "2")))
+    except ValueError:
+        return 2
 
 
 def clear_cache():
     _FUNC_CACHE.clear()
+    _FUNC_GROUPS.clear()
 
 
 def _functional(name, scale, isa):
     """Compile + functionally simulate one (benchmark, scale, isa)."""
     key = (name, scale, isa)
+    group = (name, scale)
     hit = _FUNC_CACHE.get(key)
     if hit is not None:
+        _FUNC_GROUPS[group] = True
+        _FUNC_GROUPS.move_to_end(group)
         return hit
-    # new benchmark → drop the previous benchmark's traces
-    for old in [k for k in _FUNC_CACHE if k[0] != name or k[1] != scale]:
-        del _FUNC_CACHE[old]
+    # bound memory by evicting whole least-recently-used benchmark
+    # groups once the budget is exceeded
+    _FUNC_GROUPS[group] = True
+    _FUNC_GROUPS.move_to_end(group)
+    while len(_FUNC_GROUPS) > _func_cache_groups():
+        victim, _ = _FUNC_GROUPS.popitem(last=False)
+        for old in [k for k in _FUNC_CACHE if (k[0], k[1]) == victim]:
+            del _FUNC_CACHE[old]
 
     wl = get_workload(name)
     module = wl.build_module(scale)

@@ -9,14 +9,19 @@ counters, publishes them as ``dse.progress.*`` gauges, and (under
 ``python -m repro.dse sweep --progress``) renders a single live status
 line — points done/failed, throughput, ETA, live worker count.
 
-Heartbeats are additive across worker processes: every chunk task runs
-in a fresh pid, so summing all files yields the points evaluated by this
-sweep invocation.  A crashed worker's partial count survives on disk and
-its retry (which re-checks the result store per point) only adds what
-the crash left unfinished.  All heartbeat I/O is best-effort — a full
-disk or unwritable store degrades the display, never the sweep.
+Heartbeats are additive across *writers*: each chunk task gets its own
+uniquely-named file (pid plus a per-process sequence number, since a
+persistent pool worker runs many chunks under one pid), so summing all
+files yields the points evaluated by this sweep invocation.  A crashed
+worker's partial count survives on disk and its retry (which re-checks
+the result store per point) only adds what the crash left unfinished.
+Embedded metric snapshots are cumulative per process, so the dash
+merges only the newest snapshot per pid.  All heartbeat I/O is
+best-effort — a full disk or unwritable store degrades the display,
+never the sweep.
 """
 
+import itertools
 import json
 import os
 import sys
@@ -28,12 +33,17 @@ from repro.obs import metrics as metrics_mod
 #: heartbeat files older than this many seconds count as not-live
 STALE_AFTER = 5.0
 
+#: per-process counter so each HeartbeatWriter (one per chunk) gets a
+#: distinct file even when a persistent pool worker reuses its pid
+_WRITER_SEQ = itertools.count()
+
 
 class HeartbeatWriter:
-    """One worker's progress gauge, atomically rewritten per point."""
+    """One chunk task's progress gauge, atomically rewritten per point."""
 
     def __init__(self, dirpath, benchmark, total):
-        self.path = os.path.join(dirpath, "w%d.json" % os.getpid())
+        self.path = os.path.join(
+            dirpath, "w%d_%d.json" % (os.getpid(), next(_WRITER_SEQ)))
         self.benchmark = benchmark
         self.total = total
         self.done = 0
@@ -262,8 +272,20 @@ class DashRenderer(ProgressRenderer):
 
     @staticmethod
     def merged_metrics(beats):
-        return metrics_mod.merge(
-            b.get("metrics") for b in beats if b.get("metrics"))
+        # snapshots are cumulative per process: a pool worker embeds an
+        # ever-growing snapshot in every chunk's heartbeat file, so only
+        # the newest snapshot per pid may be merged
+        latest = {}
+        for beat in beats:
+            if not beat.get("metrics"):
+                continue
+            pid = beat.get("pid")
+            cur = latest.get(pid)
+            if (cur is None
+                    or float(beat.get("updated", 0))
+                    >= float(cur.get("updated", 0))):
+                latest[pid] = beat
+        return metrics_mod.merge(b["metrics"] for b in latest.values())
 
     def render_frame(self, snap, merged):
         lines = [self.render_line(snap)]

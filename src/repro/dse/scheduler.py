@@ -1,14 +1,20 @@
-"""Parallel sweep scheduler: process-per-task with resume and isolation.
+"""Parallel sweep scheduler: warm worker pool with resume and isolation.
 
 Two layers:
 
-* :func:`run_tasks` — a generic ``multiprocessing`` task runner.  Each
-  task runs in its own child process (fork where available), so a
-  crashing or runaway task can never take the pool down; the parent
-  enforces a per-task timeout (``terminate`` + bounded requeue) and a
-  bounded retry count.  Task results must flow through the filesystem
-  (the result store's atomic writes), never through pipes — which is
-  exactly what makes sweeps resumable and crash-safe.
+* :func:`run_tasks` — a generic ``multiprocessing`` task runner.  By
+  default tasks run on the persistent warm worker pool
+  (:mod:`repro.dse.pool`): long-lived child processes that keep their
+  functional-sim memo, timing precomps, and decoded trace planes warm
+  across chunks and across jobs, with centrally-assigned (work-
+  stealing) dispatch and fair-share interleaving between concurrent
+  callers.  ``REPRO_DSE_POOL=chunk`` falls back to the legacy fork-per-
+  chunk model (one child per task) — both modes enforce the same
+  per-task timeout (``terminate`` + bounded requeue), bounded retry
+  count, and crash isolation, and are required to produce bit-identical
+  stores.  Task results must flow through the filesystem (the result
+  store's atomic writes), never through pipes — which is exactly what
+  makes sweeps resumable and crash-safe.
 
 * :func:`sweep` — the DSE orchestration: diff the design space against
   the store's completed keys (``resume``), group the pending
@@ -36,9 +42,11 @@ import traceback
 
 from repro import obs
 from repro.obs import metrics as obs_metrics
+from repro.dse import pool as pool_mod
 from repro.dse import progress as progress_mod
 from repro.dse.evaluate import evaluate_points
 from repro.dse.store import ResultStore
+from repro.dse.pool import pool_mode  # re-exported: scheduler is the façade
 
 
 def _context():
@@ -141,6 +149,11 @@ def run_tasks(worker, payloads, jobs=1, timeout=None, retries=1,
                 poll()
         return results
 
+    if pool_mode() == "warm":
+        return pool_mod.get_pool().run(
+            worker, payloads, jobs, timeout=timeout, retries=retries,
+            label=label, progress=progress, poll=poll)
+
     ctx = _context()
     obs_spec = obs.export_spec()
     queue = [(payload, 1) for payload in payloads]
@@ -203,6 +216,12 @@ def _sweep_worker(payload):
     store = ResultStore(payload["store"])
     benchmark = payload["benchmark"]
     scale = payload["scale"]
+    if payload.get("planes"):
+        # shared-memory trace planes exported by the coordinator — the
+        # trace store attaches zero-copy instead of re-running lzma
+        from repro.sim.functional import planes
+
+        planes.attach(payload["planes"])
     pending = [p for p in payload["points"]
                if not store.has(benchmark, p["id"])]  # resume check
     heartbeat = None
@@ -229,21 +248,96 @@ def _sweep_worker(payload):
         raise SystemExit(1)
 
 
+def _cost_observation(benchmark, scale):
+    """Last-known per-point cost evidence for one benchmark, or None.
+
+    Preference order: measured per-point wall seconds from the
+    trajectory history (median of the most recent records), then the
+    benchmark's dynamic instruction count from its trace-store
+    manifest.  The returned ``(tier, value)`` keeps the source visible
+    so values from different tiers are never compared raw.
+    """
+    try:
+        from repro.obs.regress import TrajectoryStore
+
+        store = TrajectoryStore()
+        walls = [float(r["wall_seconds"]) for r in store.records()
+                 if r.get("benchmark") == benchmark
+                 and r.get("scale") == scale
+                 and r.get("wall_seconds")]
+        if walls:
+            recent = sorted(walls[-8:])
+            return ("trajectory", recent[len(recent) // 2])
+    except Exception:
+        pass
+    try:
+        from repro.sim.functional.store import _read_manifest, get_store
+
+        trace_store = get_store()
+        if trace_store is not None and os.path.isdir(trace_store.root):
+            for name in sorted(os.listdir(trace_store.root)):
+                if not name.endswith(".json"):
+                    continue
+                manifest = _read_manifest(
+                    os.path.join(trace_store.root, name), warn=False)
+                if (manifest is not None
+                        and manifest.get("benchmark") == benchmark
+                        and manifest.get("scale") == scale
+                        and manifest.get("dynamic_instructions")):
+                    return ("dynamic_instructions",
+                            float(manifest["dynamic_instructions"]))
+    except Exception:
+        pass
+    return None
+
+
+def _point_costs(benchmarks, scale):
+    """Relative per-point cost weights, mean-normalized within tier.
+
+    Benchmarks whose evidence comes from the same tier compare by
+    ratio; each tier is normalized to mean 1.0 so mixed-tier sweeps
+    degrade to "roughly equal" rather than comparing seconds against
+    instruction counts.  No evidence at all means weight 1.0 — which
+    reduces the chunking below to the old uniform split.
+    """
+    observed = {b: _cost_observation(b, scale) for b in benchmarks}
+    by_tier = {}
+    for obs_pair in observed.values():
+        if obs_pair is not None:
+            by_tier.setdefault(obs_pair[0], []).append(obs_pair[1])
+    means = {tier: sum(vals) / len(vals) for tier, vals in by_tier.items()}
+    costs = {}
+    for benchmark in benchmarks:
+        obs_pair = observed[benchmark]
+        if obs_pair is None or means[obs_pair[0]] <= 0:
+            costs[benchmark] = 1.0
+        else:
+            tier, value = obs_pair
+            costs[benchmark] = max(value / means[tier], 1e-3)
+    return costs
+
+
 def _chunk_tasks(pending, store_root, scale, jobs):
     """Group pending (benchmark, point) pairs into per-benchmark chunks.
 
     Chunks never mix benchmarks (workers memoize functional simulations
     per benchmark), and each benchmark's points are split so the task
-    count comfortably exceeds the worker count.
+    count comfortably exceeds the worker count.  Chunk sizes are
+    weighted by last-known per-point cost (see :func:`_point_costs`):
+    an expensive benchmark gets proportionally smaller chunks, so one
+    slow chunk can never serialize the tail of the sweep behind it.
     """
     by_bench = {}
     for benchmark, point in pending:
         by_bench.setdefault(benchmark, []).append(point)
+    costs = _point_costs(sorted(by_bench), scale)
     target_tasks = max(1, (jobs or 1) * 2)
-    chunk_size = max(1, math.ceil(len(pending) / target_tasks))
+    budget = sum(costs[b] * len(pts) for b, pts in by_bench.items())
+    budget = budget / target_tasks  # weighted work per chunk
     payloads = []
     for benchmark in sorted(by_bench):
         points = by_bench[benchmark]
+        chunk_size = max(1, math.ceil(budget / costs[benchmark]))
         for i in range(0, len(points), chunk_size):
             payloads.append({
                 "store": store_root,
@@ -252,6 +346,36 @@ def _chunk_tasks(pending, store_root, scale, jobs):
                 "points": [p.to_dict() for p in points[i:i + chunk_size]],
             })
     return payloads
+
+
+def _export_planes(payloads, scale):
+    """Publish trace planes over shared memory for warm-pool payloads.
+
+    Decodes each relevant trace-store entry once in the coordinator and
+    attaches the descriptors to every payload of that benchmark.
+    Returns the live :class:`PlaneBus` (caller must ``close()`` it
+    after the tasks finish) or None when not applicable — chunk mode
+    keeps the payloads byte-for-byte identical to the legacy path.
+    """
+    from repro.sim.functional import planes, store as trace_store_mod
+
+    if pool_mode() != "warm" or not planes.available():
+        return None
+    trace_store = trace_store_mod.get_store()
+    if trace_store is None:
+        return None
+    bus = planes.PlaneBus()
+    descs = {}
+    for payload in payloads:
+        benchmark = payload["benchmark"]
+        if benchmark not in descs:
+            descs[benchmark] = bus.export_for(trace_store, benchmark, scale)
+        if descs[benchmark]:
+            payload["planes"] = descs[benchmark]
+    if not any(descs.values()):
+        bus.close()
+        return None
+    return bus
 
 
 def sweep(space, benchmarks, scale="small", jobs=1, store=None, resume=True,
@@ -311,15 +435,20 @@ def sweep(space, benchmarks, scale="small", jobs=1, store=None, resume=True,
                     result.payload["benchmark"], len(result.payload["points"]),
                     state, result.seconds), file=sys.stderr)
 
+        plane_bus = None
         try:
             with obs.span("stage.dse.sweep", space=space.name, scale=scale,
                           jobs=jobs, pending=len(pending)):
+                if jobs is not None and jobs > 1:
+                    plane_bus = _export_planes(payloads, scale)
                 task_results = run_tasks(
                     _sweep_worker, payloads, jobs=jobs, timeout=timeout,
                     retries=retries, label="dse", progress=report,
                     poll=renderer.poll if renderer is not None else None,
                 )
         finally:
+            if plane_bus is not None:
+                plane_bus.close()
             if renderer is not None:
                 renderer.close()
             if dash_owns_obs:

@@ -165,6 +165,13 @@ class SingleFlight:
     ``(blob, error)`` pair — exactly one of the two is set — and are
     popped on resolution, so a failed key can be re-claimed (and
     re-tried) by a later job.
+
+    The registry is shared by every **concurrently running** compute
+    batch (the server keeps up to ``max_running`` batches in flight on
+    the warm worker pool): a job submitted while another job's batch is
+    already computing an overlapping key coalesces onto that batch's
+    future instead of scheduling the point twice, and cancelling the
+    waiting job never cancels the owner's future (waiters shield it).
     """
 
     def __init__(self):

@@ -254,6 +254,14 @@ def _dash_frame(server, snapshot, prev, now):
         window = ", %.1f pts/s now" % ((served - prev[1]) / (now - prev[0]))
     lines.append("throughput: %d points served (%.1f pts/s lifetime%s)"
                  % (served, rate, window))
+    pool = server.get("pool")
+    if pool and pool.get("workers"):
+        cells = ["w%d %s %d%% (%d tasks)" % (
+            w["pid"], "busy" if w["busy"] else "idle",
+            int(round(100 * w["utilization"])), w["tasks"])
+            for w in pool["workers"]]
+        lines.append("workers: %s | %d tasks total" % (
+            " | ".join(cells), pool["tasks_done"]))
     keys = server.get("inflight_keys") or []
     if keys:
         shown = ", ".join(k[:12] for k in keys[:4])

@@ -11,9 +11,9 @@ Architecture (one process, one event loop)::
                  │   in-flight?         ──► await same │
                  │   else claim key     ──► compute    │
                  └──────────────┬──────────────────────┘
-                                ▼ (one batch per job, serialized)
-                 thread: run_tasks(_sweep_worker, …)   ← the existing
-                         per-chunk progress → publish    DSE scheduler
+                                ▼ (one batch per job, concurrent)
+                 thread: run_tasks(_sweep_worker, …)   ← the warm
+                         per-chunk progress → publish    worker pool
                                 ▼
                  loop: cache.put + SingleFlight.resolve
                                 ▼
@@ -25,6 +25,14 @@ per-fingerprint compute :class:`~repro.dse.store.ResultStore`) — the
 server adds the long-running job lifecycle, the bounded queue with
 backpressure, the global content-addressed cache, and single-flight so
 two concurrent jobs never compute the same design point twice.
+
+Up to ``max_running`` compute batches run **concurrently**: each batch
+registers its own task group on the persistent warm worker pool
+(:mod:`repro.dse.pool`), whose dispatcher interleaves the groups
+fair-share — a long sweep no longer head-of-line-blocks a smoke job,
+and single-flight keys are shared across the in-flight batches.  Under
+``REPRO_DSE_POOL=chunk`` the legacy fork-per-chunk scheduler is used
+instead (batches then time-slice the machine through the OS).
 
 Observability: the server root span, per-job ``serve.job`` spans and
 per-point ``serve.point`` spans parent-link into the hierarchical trace
@@ -45,7 +53,13 @@ import traceback
 
 from repro import obs
 from repro.obs import metrics as obs_metrics
-from repro.dse.scheduler import _chunk_tasks, _sweep_worker, run_tasks
+from repro.dse import pool as dse_pool
+from repro.dse.scheduler import (
+    _chunk_tasks,
+    _export_planes,
+    _sweep_worker,
+    run_tasks,
+)
 from repro.dse.store import ResultStore
 from repro.serve import api
 from repro.serve.cache import GlobalResultCache, SingleFlight
@@ -106,9 +120,17 @@ def _default_compute(server, scale, items, publish):
             publish(key, None, error)
 
     with obs.span("serve.compute", points=len(items), scale=scale):
-        run_tasks(_sweep_worker, payloads, jobs=server.worker_jobs,
-                  timeout=timeout, retries=server.retries, label="serve",
-                  progress=flush)
+        # warm pool mode: decode each relevant trace entry once and hand
+        # the planes to the workers over shared memory (no-op in chunk
+        # fallback mode, keeping payloads identical to the legacy path)
+        plane_bus = _export_planes(payloads, scale)
+        try:
+            run_tasks(_sweep_worker, payloads, jobs=server.worker_jobs,
+                      timeout=timeout, retries=server.retries, label="serve",
+                      progress=flush)
+        finally:
+            if plane_bus is not None:
+                plane_bus.close()
 
 
 class ServeServer:
@@ -142,7 +164,6 @@ class ServeServer:
             "trajectory_records")}
         self._max_running = max(1, int(max_running))
         self._job_slots = None      # created on the loop
-        self._compute_sem = None
         self._shutdown = None
         self._compute_tasks = set()
         self._trace_ctx = None
@@ -172,6 +193,11 @@ class ServeServer:
         if hits + misses:
             obs.gauge("serve.cache.hit_ratio",
                       round(hits / float(hits + misses), 4))
+        pool = dse_pool.pool_stats()
+        if pool is not None:
+            obs.gauge("serve.pool.workers", len(pool["workers"]))
+            obs.gauge("serve.pool.busy",
+                      sum(1 for w in pool["workers"] if w["busy"]))
 
     def _publish(self, key, blob, error):
         """Loop-side landing point for one computed outcome."""
@@ -200,17 +226,18 @@ class ServeServer:
         def publish(key, blob, error=None):
             loop.call_soon_threadsafe(self._publish, key, blob, error)
 
-        async with self._compute_sem:
-            try:
-                await asyncio.to_thread(
-                    self._compute_fn, self, scale, items, publish)
-            finally:
-                # idempotent: anything the compute path already resolved
-                # is a no-op here, anything it dropped becomes a failure
-                # instead of a future that hangs every waiting job.
-                for _b, _p, key in items:
-                    self._publish(key, None,
-                                  "compute batch ended without this point")
+        # no serialization here: up to max_running job batches run at
+        # once, interleaved fair-share by the warm pool's dispatcher
+        try:
+            await asyncio.to_thread(
+                self._compute_fn, self, scale, items, publish)
+        finally:
+            # idempotent: anything the compute path already resolved
+            # is a no-op here, anything it dropped becomes a failure
+            # instead of a future that hangs every waiting job.
+            for _b, _p, key in items:
+                self._publish(key, None,
+                              "compute batch ended without this point")
 
     def _spawn_compute(self, scale, items):
         task = asyncio.get_running_loop().create_task(
@@ -388,6 +415,7 @@ class ServeServer:
             "max_pending": self.max_pending,
             "inflight_points": len(self.flight),
             "inflight_keys": self.flight.keys(),
+            "pool": dse_pool.pool_stats(),
             "metrics": {name: obs_metrics.summarize(hist)
                         for name, hist
                         in sorted(obs_metrics.histograms().items())},
@@ -515,7 +543,6 @@ class ServeServer:
         """
         self._loop = asyncio.get_running_loop()
         self._job_slots = asyncio.Semaphore(self._max_running)
-        self._compute_sem = asyncio.Semaphore(1)
         self._shutdown = asyncio.Event()
         # The metrics op must always have something to report: if the
         # operator didn't configure REPRO_OBS, collect aggregate-only

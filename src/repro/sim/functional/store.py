@@ -33,6 +33,7 @@ import lzma
 import os
 import sys
 import time
+from collections import OrderedDict
 
 import numpy as np
 
@@ -134,6 +135,113 @@ def image_fingerprint(image):
     return h.hexdigest()[:24]
 
 
+#: In-process LRU of decoded trace planes, keyed by (store root, entry
+#: digest).  A warm ``load()`` returns the same ExecutionResult object
+#: without touching lzma again — and because TimingPrecomp memos live on
+#: the result object, repeat timing evaluations stay warm too.  Size is
+#: ``REPRO_TRACE_PLANE_CACHE`` entries (0 disables).
+_PLANE_CACHE = OrderedDict()
+
+
+def _plane_cache_max():
+    try:
+        return max(0, int(os.environ.get("REPRO_TRACE_PLANE_CACHE", "8")))
+    except ValueError:
+        return 8
+
+
+def clear_plane_cache():
+    """Drop every cached decoded plane (tests, bench cold-state resets)."""
+    _PLANE_CACHE.clear()
+
+
+def _plane_cache_get(cache_key):
+    result = _PLANE_CACHE.get(cache_key)
+    if result is not None:
+        _PLANE_CACHE.move_to_end(cache_key)
+    return result
+
+
+def _plane_cache_put(cache_key, result):
+    limit = _plane_cache_max()
+    if limit <= 0:
+        return
+    _PLANE_CACHE[cache_key] = result
+    _PLANE_CACHE.move_to_end(cache_key)
+    while len(_PLANE_CACHE) > limit:
+        _PLANE_CACHE.popitem(last=False)
+        obs.counter("trace_store.plane_cache.evict")
+
+
+def _read_manifest(man_path, warn=True):
+    """A valid current-code manifest dict, or None (skip-and-warn)."""
+    if not os.path.exists(man_path):
+        return None
+    try:
+        with open(man_path) as f:
+            manifest = json.load(f)
+    except (OSError, ValueError):
+        return None
+    if manifest.get("schema") != SCHEMA:
+        return None
+    if manifest.get("code_hash") != code_version_hash():
+        if warn:
+            print(
+                "trace store: skipping %s (simulator code changed: %s != %s)"
+                % (manifest.get("image_hash"), manifest.get("code_hash"),
+                   code_version_hash()),
+                file=sys.stderr,
+            )
+        return None
+    return manifest
+
+
+def _decode_blob(manifest, npz_path):
+    """Decompress one entry's blob into its raw member arrays.
+
+    ``mem_packed`` has delta coding undone; ``memory`` is returned still
+    in the on-disk form (XOR against the initial image when
+    ``flags[0]``) so callers without the image object — the shared-
+    memory plane exporter — can ship it as-is.
+    """
+    with np.load(npz_path) as data:
+        raw = lzma.decompress(data["blob"].tobytes())
+    lengths = [int(n) for n in manifest["lengths"]]
+    mem_delta_coded = bool(manifest["flags"][1])
+    member = {}
+    offset = 0
+    for (name, dtype), nbytes in zip(_V2_MEMBERS, lengths):
+        chunk = raw[offset:offset + nbytes]
+        offset += nbytes
+        if dtype is np.int64:
+            member[name] = _from_byte_planes(chunk)
+        else:
+            member[name] = np.frombuffer(chunk, dtype=dtype)
+    if mem_delta_coded:
+        member["mem_packed"] = np.cumsum(member["mem_packed"])
+    return member
+
+
+def result_from_members(image, exit_code, member, memory_delta):
+    """Build an ExecutionResult from decoded v2 members."""
+    memory = bytearray(member["memory"].tobytes())
+    if memory_delta:
+        base = np.frombuffer(bytes(image.initial_memory()), dtype=np.uint8)
+        memory = bytearray(
+            np.bitwise_xor(member["memory"], base).tobytes())
+    return ExecutionResult(
+        image=image,
+        exit_code=int(exit_code),
+        block_starts=member["block_starts"],
+        block_ends=member["block_ends"],
+        seg_ids=member["seg_ids"],
+        seg_counts=member["seg_counts"],
+        mem_packed=member["mem_packed"],
+        console=member["console"].tobytes(),
+        memory=memory,
+    )
+
+
 class TraceStore:
     """One directory of content-addressed functional traces."""
 
@@ -148,62 +256,37 @@ class TraceStore:
         """The stored :class:`ExecutionResult` for ``image``, or None.
 
         Returns None when the entry is absent or was produced by a
-        different simulator code version (skip-and-warn).
+        different simulator code version (skip-and-warn).  Decoded
+        planes come from, in order: the in-process plane cache, an
+        attached shared-memory plane segment published by the sweep
+        coordinator, and finally the ``.npz`` on disk.
         """
         key = image_fingerprint(image)
         npz_path, man_path = self._paths(key)
-        if not os.path.exists(man_path):
+        # the manifest check stays on every load — it is what makes
+        # code-version invalidation and entry deletion observable; the
+        # plane cache only skips the expensive lzma decode
+        manifest = _read_manifest(man_path)
+        if manifest is None:
             return None
-        try:
-            with open(man_path) as f:
-                manifest = json.load(f)
-        except (OSError, ValueError):
-            return None
-        if manifest.get("schema") != SCHEMA:
-            return None
-        if manifest.get("code_hash") != code_version_hash():
-            print(
-                "trace store: skipping %s (simulator code changed: %s != %s)"
-                % (key, manifest.get("code_hash"), code_version_hash()),
-                file=sys.stderr,
-            )
-            return None
-        try:
-            with np.load(npz_path) as data:
-                raw = lzma.decompress(data["blob"].tobytes())
-            lengths = [int(n) for n in manifest["lengths"]]
-            memory_delta = bool(manifest["flags"][0])
-            mem_delta_coded = bool(manifest["flags"][1])
-            member = {}
-            offset = 0
-            for (name, dtype), nbytes in zip(_V2_MEMBERS, lengths):
-                chunk = raw[offset:offset + nbytes]
-                offset += nbytes
-                if dtype is np.int64:
-                    member[name] = _from_byte_planes(chunk)
-                else:
-                    member[name] = np.frombuffer(chunk, dtype=dtype)
-            if mem_delta_coded:
-                member["mem_packed"] = np.cumsum(member["mem_packed"])
-            memory = bytearray(member["memory"].tobytes())
-            if memory_delta:
-                base = np.frombuffer(bytes(image.initial_memory()),
-                                     dtype=np.uint8)
-                memory = bytearray(
-                    np.bitwise_xor(member["memory"], base).tobytes())
-            result = ExecutionResult(
-                image=image,
-                exit_code=int(manifest["exit_code"]),
-                block_starts=member["block_starts"],
-                block_ends=member["block_ends"],
-                seg_ids=member["seg_ids"],
-                seg_counts=member["seg_counts"],
-                mem_packed=member["mem_packed"],
-                console=member["console"].tobytes(),
-                memory=memory,
-            )
-        except (OSError, KeyError, ValueError, lzma.LZMAError):
-            return None
+        cache_key = (os.path.abspath(self.root), key)
+        cached = _plane_cache_get(cache_key)
+        if cached is not None:
+            obs.counter("trace_store.plane_cache.hit")
+            return cached
+        from repro.sim.functional import planes  # lazy: avoids import cycle
+
+        result = planes.lookup(key, image)
+        if result is None:
+            try:
+                member = _decode_blob(manifest, npz_path)
+                result = result_from_members(
+                    image, manifest["exit_code"], member,
+                    bool(manifest["flags"][0]))
+            except (OSError, KeyError, ValueError, lzma.LZMAError):
+                return None
+        obs.counter("trace_store.plane_cache.miss")
+        _plane_cache_put(cache_key, result)
         return result
 
     def save(self, image, result, **manifest_extra):
@@ -280,6 +363,10 @@ class TraceStore:
         with open(tmp, "w") as f:
             json.dump(manifest, f, indent=1, sort_keys=True)
         os.replace(tmp, man_path)
+        # the just-simulated result is the freshest decoded form there
+        # is — seed the plane cache so a load right after a save (the
+        # resume pattern) never pays a decode
+        _plane_cache_put((os.path.abspath(self.root), key), result)
         return key
 
 

@@ -14,6 +14,8 @@ import os
 import sys
 import time
 
+import pytest
+
 from repro.dse import scheduler
 from repro.dse.scheduler import run_tasks, sweep
 from repro.dse.space import DesignSpace, preset
@@ -41,6 +43,14 @@ def _hang_first_attempt(payload):
 
 def _always_dies(payload):
     sys.exit(3)
+
+
+def _crash_first_attempt(payload):
+    if payload["crash"] and not os.path.exists(payload["marker"]):
+        open(payload["marker"], "w").close()
+        os._exit(11)            # hard kill: no cleanup, no exit message
+    with open(payload["done"], "a") as fh:
+        fh.write("x")
 
 
 # ----------------------------------------------------------------------
@@ -74,6 +84,30 @@ def test_timed_out_task_is_requeued_and_can_succeed(tmp_path):
                         retries=1)
     assert len(results) == 1
     assert results[0].ok and results[0].attempts == 2
+
+
+@pytest.mark.parametrize("mode", ["warm", "chunk"])
+def test_worker_crash_requeues_only_that_task(tmp_path, monkeypatch, mode):
+    """A hard worker death re-queues the task it was running — and only
+    that task: siblings run exactly once, in both dispatch modes."""
+    monkeypatch.setenv("REPRO_DSE_POOL", mode)
+    payloads = [
+        {"crash": True, "marker": str(tmp_path / "crashed"),
+         "done": str(tmp_path / "d0")},
+        {"crash": False, "done": str(tmp_path / "d1")},
+        {"crash": False, "done": str(tmp_path / "d2")},
+    ]
+    results = run_tasks(_crash_first_attempt, payloads, jobs=2, retries=1)
+    by_done = {r.payload["done"]: r for r in results}
+    crashed = by_done[str(tmp_path / "d0")]
+    assert crashed.ok and crashed.attempts == 2
+    for name in ("d0", "d1", "d2"):
+        r = by_done[str(tmp_path / name)]
+        assert r.ok
+        # "x" written exactly once: the crash re-ran nothing else
+        assert (tmp_path / name).read_text() == "x"
+    assert by_done[str(tmp_path / "d1")].attempts == 1
+    assert by_done[str(tmp_path / "d2")].attempts == 1
 
 
 # ----------------------------------------------------------------------

@@ -329,6 +329,79 @@ def test_concurrent_jobs_coalesce_in_flight_points(tmp_path):
         assert server.stats["points_computed"] == len(space)
 
 
+def test_two_jobs_interleave_running_points(tmp_path):
+    """Two concurrently submitted jobs both stream points while both are
+    still running — the old single compute slot would deadlock the
+    barrier here (only one batch could ever be inside compute at once)."""
+    lockstep = threading.Barrier(2, timeout=15)
+    release = threading.Event()
+
+    def lockstep_compute(server, scale, items, publish):
+        benchmark, point, key = items[0]
+        publish(key, make_blob(benchmark, point, scale), None)
+        lockstep.wait()         # requires BOTH batches in flight at once
+        release.wait(15)
+        for benchmark, point, key in items[1:]:
+            publish(key, make_blob(benchmark, point, scale), None)
+
+    space = tiny_space()
+    with ServerThread(tmp_path, "ilv", compute_fn=lockstep_compute,
+                      max_running=2) as server:
+        client = client_for(server)
+        # different benchmarks: no shared keys, so nothing coalesces
+        ja = client.submit(space.to_dict(), ["crc32"])
+        jb = client.submit(space.to_dict(), ["sha"])
+        deadline = time.time() + 10
+        sa = sb = None
+        while time.time() < deadline:
+            sa = client.status(ja["id"])["job"]
+            sb = client.status(jb["id"])["job"]
+            if (sa["status"] == "running" and sb["status"] == "running"
+                    and sa["emitted"] >= 1 and sb["emitted"] >= 1):
+                break
+            time.sleep(0.02)
+        else:
+            raise AssertionError("jobs never ran concurrently: %r / %r"
+                                 % (sa, sb))
+        release.set()
+        assert client.wait(ja["id"])["summary"]["status"] == "done"
+        assert client.wait(jb["id"])["summary"]["status"] == "done"
+        assert server.stats["points_computed"] == 2 * len(space)
+
+
+def test_cancel_running_job_leaves_other_batch_alone(tmp_path):
+    """Cancelling one of two concurrently running jobs must not tear
+    down the other job's in-flight compute batch."""
+    entered = threading.Semaphore(0)
+    release = threading.Event()
+
+    def gated_compute(server, scale, items, publish):
+        entered.release()
+        release.wait(20)
+        fake_compute(server, scale, items, publish)
+
+    space = tiny_space()
+    with ServerThread(tmp_path, "canc2", compute_fn=gated_compute,
+                      max_running=2) as server:
+        client = client_for(server)
+        ja = client.submit(space.to_dict(), ["crc32"])
+        jb = client.submit(space.to_dict(), ["sha"])
+        # wait until both batches are genuinely computing, then cancel A
+        assert entered.acquire(timeout=10)
+        assert entered.acquire(timeout=10)
+        cancelled = client.cancel(ja["id"])
+        deadline = time.time() + 5
+        while cancelled["status"] != "cancelled" and time.time() < deadline:
+            time.sleep(0.05)
+            cancelled = client.status(ja["id"])["job"]
+        assert cancelled["status"] == "cancelled"
+        release.set()
+        sb = client.wait(jb["id"])["summary"]
+        assert sb["status"] == "done"
+        assert sb["emitted"] == len(space)
+        assert server.stats["jobs_cancelled"] == 1
+
+
 def test_compute_failure_fails_job_but_not_server(tmp_path):
     batches = []
 
